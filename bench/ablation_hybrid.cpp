@@ -1,0 +1,54 @@
+// Ablation — the Section 7 hybrid strategy against the paper's three.
+// The hybrid multicasts one group-oriented message per root-child subtree
+// (d multicast addresses instead of one per k-node), predicting a middle
+// ground: ~d messages per operation, group-oriented encryption cost, and
+// client messages ~1/d the size of a group-oriented leave.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace keygraphs {
+namespace {
+
+void run() {
+  const std::size_t n = bench::client_size();
+  const std::size_t requests = std::min<std::size_t>(bench::requests(), 300);
+  std::printf("Ablation: hybrid (Sec. 7) vs the paper's strategies\n");
+  std::printf("n=%zu, degree 4, %zu requests, clients attached\n\n", n,
+              requests);
+
+  sim::TablePrinter table({{"strategy", 9},
+                           {"enc/op", 8},
+                           {"srv msgs/op", 12},
+                           {"srv bytes/op", 13},
+                           {"client leave sz", 16},
+                           {"ms/op", 8}});
+  table.header();
+
+  for (rekey::StrategyKind strategy :
+       {rekey::StrategyKind::kUserOriented, rekey::StrategyKind::kKeyOriented,
+        rekey::StrategyKind::kGroupOriented, rekey::StrategyKind::kHybrid}) {
+    sim::ExperimentConfig config;
+    config.initial_size = n;
+    config.requests = requests;
+    config.degree = 4;
+    config.strategy = strategy;
+    config.with_clients = true;
+    const sim::ExperimentResult result = sim::run_experiment(config);
+    using P = sim::TablePrinter;
+    table.row({bench::strategy_label(strategy),
+               P::num(result.all.avg_encryptions, 1),
+               P::num(result.all.avg_messages, 2),
+               P::num(result.all.avg_total_bytes, 0),
+               P::num(result.client_avg_leave_message_bytes, 1),
+               P::num(result.all.avg_processing_ms, 4)});
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs
+
+int main() {
+  keygraphs::run();
+  return 0;
+}

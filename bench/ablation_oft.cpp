@@ -1,0 +1,118 @@
+// Ablation — key trees vs one-way function trees (OFT).
+//
+// The paper's key tree ships every new key explicitly: a binary-tree leave
+// costs ~2(h-1) encrypted keys. OFT derives internal keys functionally and
+// ships ONE blinded key per level, roughly halving both the encryption
+// count and the broadcast bytes — at the price of binary-only trees (a
+// degree-4 key tree claws much of the gap back, which is exactly why the
+// paper's optimal-degree result matters) and member-side hashing.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "oft/oft.h"
+#include "sim/workload.h"
+
+namespace keygraphs {
+namespace {
+
+struct LeaveCost {
+  double encryptions = 0;
+  double bytes = 0;
+};
+
+struct PairCost {
+  LeaveCost leave;
+  double join_encryptions = 0;
+};
+
+PairCost measure_key_tree(int degree, std::size_t n, std::size_t ops) {
+  crypto::SecureRandom rng(41);
+  KeyTree tree(degree, 16, rng);
+  for (UserId user = 1; user <= n; ++user) {
+    tree.join(user, rng.bytes(16));
+  }
+  rekey::RekeyEncryptor encryptor(crypto::CipherAlgorithm::kAes128, rng);
+  const auto strategy =
+      rekey::make_strategy(rekey::StrategyKind::kGroupOriented);
+  PairCost cost;
+  for (UserId user = 1; user <= ops; ++user) {
+    encryptor.reset_counters();
+    const auto messages = strategy->plan_leave(tree.leave(user), encryptor);
+    cost.leave.encryptions +=
+        static_cast<double>(encryptor.key_encryptions());
+    for (const auto& outbound : messages) {
+      cost.leave.bytes += static_cast<double>(
+          outbound.message.serialize_body().size());
+    }
+    encryptor.reset_counters();
+    (void)strategy->plan_join(tree.join(n + user, rng.bytes(16)),
+                              encryptor);
+    cost.join_encryptions +=
+        static_cast<double>(encryptor.key_encryptions());
+  }
+  cost.leave.encryptions /= static_cast<double>(ops);
+  cost.leave.bytes /= static_cast<double>(ops);
+  cost.join_encryptions /= static_cast<double>(ops);
+  return cost;
+}
+
+PairCost measure_oft(std::size_t n, std::size_t ops) {
+  crypto::SecureRandom rng(42);
+  oft::OftTree tree(rng);
+  for (UserId user = 1; user <= n; ++user) tree.join(user);
+  PairCost cost;
+  for (UserId user = 1; user <= ops; ++user) {
+    const oft::OftRekey leave = tree.leave(user);
+    cost.leave.encryptions += static_cast<double>(leave.encryptions());
+    cost.leave.bytes += static_cast<double>(leave.broadcast_bytes());
+    cost.join_encryptions +=
+        static_cast<double>(tree.join(n + user).encryptions());
+  }
+  cost.leave.encryptions /= static_cast<double>(ops);
+  cost.leave.bytes /= static_cast<double>(ops);
+  cost.join_encryptions /= static_cast<double>(ops);
+  return cost;
+}
+
+void run() {
+  std::printf("Ablation: leave cost — OFT vs key trees "
+              "(group-oriented, AES-128 keys)\n");
+  std::printf("per-leave averages over 64 leaves\n\n");
+  sim::TablePrinter table({{"n", 7},
+                           {"OFT lv enc", 11},
+                           {"d=2 lv enc", 11},
+                           {"d=4 lv enc", 11},
+                           {"OFT lv B", 9},
+                           {"d=2 lv B", 9},
+                           {"OFT jn enc", 11},
+                           {"d=2 jn enc", 11},
+                           {"d=4 jn enc", 11}});
+  table.header();
+  for (std::size_t n : {128u, 512u, 2048u, 8192u}) {
+    const std::size_t ops = 64;
+    const PairCost oft_cost = measure_oft(n, ops);
+    const PairCost d2 = measure_key_tree(2, n, ops);
+    const PairCost d4 = measure_key_tree(4, n, ops);
+    using P = sim::TablePrinter;
+    table.row({P::num(n), P::num(oft_cost.leave.encryptions, 1),
+               P::num(d2.leave.encryptions, 1),
+               P::num(d4.leave.encryptions, 1),
+               P::num(oft_cost.leave.bytes, 0), P::num(d2.leave.bytes, 0),
+               P::num(oft_cost.join_encryptions, 1),
+               P::num(d2.join_encryptions, 1),
+               P::num(d4.join_encryptions, 1)});
+  }
+  std::printf("\nleaves: OFT ships one blinded key per level vs ~two "
+              "encrypted keys for any key tree\n(d*log_d(n) is the same "
+              "for d=2 and d=4 — the paper's d=4 optimum comes from the\n"
+              "2(h-1) JOIN cost, where the shallower tree wins, as the "
+              "join columns show).\n");
+}
+
+}  // namespace
+}  // namespace keygraphs
+
+int main() {
+  keygraphs::run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation — star vs key tree as group size grows: where does the
+// hierarchy start to pay? The paper's Table 3 predicts the crossover where
+// n/2 (star) exceeds (d+2)(h-1)/2 (tree, d=4): around n = 16. Below it the
+// star's two-key simplicity wins; beyond it the tree's O(log n) leave cost
+// dominates, by orders of magnitude at n = 4096.
+#include <cstdio>
+
+#include "analysis/cost_model.h"
+#include "bench_util.h"
+
+namespace keygraphs {
+namespace {
+
+void run() {
+  const std::size_t requests = std::min<std::size_t>(bench::requests(), 400);
+  std::printf("Ablation: star vs tree (d=4) average server encryptions per "
+              "operation, %zu requests\n\n", requests);
+  sim::TablePrinter table({{"n", 7},
+                           {"star meas", 10},
+                           {"star paper", 11},
+                           {"tree meas", 10},
+                           {"tree paper", 11},
+                           {"winner", 8}});
+  table.header();
+  for (std::size_t n : {4u, 8u, 16u, 32u, 128u, 512u, 4096u}) {
+    sim::ExperimentConfig star_config;
+    star_config.initial_size = n;
+    star_config.requests = requests;
+    star_config.strategy = rekey::StrategyKind::kKeyOriented;
+    star_config.star = true;
+    const sim::ExperimentResult star = sim::run_experiment(star_config);
+
+    sim::ExperimentConfig tree_config = star_config;
+    tree_config.star = false;
+    tree_config.degree = 4;
+    const sim::ExperimentResult tree = sim::run_experiment(tree_config);
+
+    using P = sim::TablePrinter;
+    table.row({P::num(n), P::num(star.all.avg_encryptions, 1),
+               P::num(analysis::star_avg_server_cost(n), 1),
+               P::num(tree.all.avg_encryptions, 1),
+               P::num(analysis::tree_avg_server_cost(n, 4), 1),
+               star.all.avg_encryptions <= tree.all.avg_encryptions
+                   ? "star" : "tree"});
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs
+
+int main() {
+  keygraphs::run();
+  return 0;
+}

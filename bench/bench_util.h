@@ -1,0 +1,76 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Scale knobs come from the environment so `for b in build/bench/*; do $b;
+// done` finishes in minutes while `KG_REQUESTS=1000 KG_CLIENT_SIZE=8192 ...`
+// reproduces the paper's exact scale:
+//   KG_REQUESTS      churn requests per experiment (paper: 1000)
+//   KG_SEEDS         request sequences averaged per data point (paper: 3)
+//   KG_GROUP_SIZE    initial group size for fixed-size tables (paper: 8192)
+//   KG_CLIENT_SIZE   initial size for client-attached runs (paper: 8192)
+#pragma once
+
+#include <array>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.h"
+#include "sim/table.h"
+
+namespace keygraphs::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+inline std::size_t requests() { return env_size("KG_REQUESTS", 1000); }
+inline std::size_t seeds() { return env_size("KG_SEEDS", 3); }
+inline std::size_t group_size() { return env_size("KG_GROUP_SIZE", 8192); }
+inline std::size_t client_size() { return env_size("KG_CLIENT_SIZE", 2048); }
+
+/// Runs one experiment configuration for each seed and averages the server
+/// summaries (the paper averages three request sequences per point).
+struct AveragedResult {
+  sim::ExperimentResult result;  // client fields from the last seed
+  double join_ms = 0.0;
+  double leave_ms = 0.0;
+  double all_ms = 0.0;
+};
+
+inline AveragedResult run_averaged(sim::ExperimentConfig config,
+                                   std::size_t seed_count) {
+  AveragedResult averaged;
+  for (std::size_t seed = 1; seed <= seed_count; ++seed) {
+    config.seed = seed;
+    averaged.result = sim::run_experiment(config);
+    averaged.join_ms += averaged.result.join.avg_processing_ms;
+    averaged.leave_ms += averaged.result.leave.avg_processing_ms;
+    averaged.all_ms += averaged.result.all.avg_processing_ms;
+  }
+  const auto n = static_cast<double>(seed_count);
+  averaged.join_ms /= n;
+  averaged.leave_ms /= n;
+  averaged.all_ms /= n;
+  return averaged;
+}
+
+inline const char* strategy_label(rekey::StrategyKind kind) {
+  switch (kind) {
+    case rekey::StrategyKind::kUserOriented:
+      return "user";
+    case rekey::StrategyKind::kKeyOriented:
+      return "key";
+    case rekey::StrategyKind::kGroupOriented:
+      return "group";
+    case rekey::StrategyKind::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+inline const std::array<rekey::StrategyKind, 3> kPaperStrategies = {
+    rekey::StrategyKind::kUserOriented, rekey::StrategyKind::kKeyOriented,
+    rekey::StrategyKind::kGroupOriented};
+
+}  // namespace keygraphs::bench

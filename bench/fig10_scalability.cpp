@@ -1,0 +1,54 @@
+// Figure 10 — Server processing time per request vs initial group size
+// (32..8192, log-scale x axis), key tree degree 4, all three strategies.
+// Left series: DES-CBC encryption only. Right series: DES-CBC + MD5 + RSA-512
+// batch signature. The paper's conclusion to reproduce: time grows linearly
+// with log(group size) for every strategy, i.e. the service is scalable.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace keygraphs {
+namespace {
+
+void run_series(bool signed_mode) {
+  std::printf("\nFigure 10 (%s): server processing time per request (ms) "
+              "vs group size, degree 4\n",
+              signed_mode ? "DES + MD5 + RSA-512 batch signature"
+                          : "DES encryption only");
+  sim::TablePrinter table({{"n", 7},
+                           {"user ms", 9},
+                           {"key ms", 9},
+                           {"group ms", 9}});
+  table.header();
+  const std::size_t max_n = bench::group_size();
+  for (std::size_t n = 32; n <= max_n; n *= 2) {
+    std::vector<std::string> row{sim::TablePrinter::num(n)};
+    for (rekey::StrategyKind strategy : bench::kPaperStrategies) {
+      sim::ExperimentConfig config;
+      config.initial_size = n;
+      config.requests = bench::requests();
+      config.degree = 4;
+      config.strategy = strategy;
+      if (signed_mode) {
+        config.suite = crypto::CryptoSuite::paper_signed();
+        config.signing = rekey::SigningMode::kBatch;
+      }
+      const bench::AveragedResult averaged =
+          bench::run_averaged(config, bench::seeds());
+      row.push_back(sim::TablePrinter::num(averaged.all_ms, 4));
+    }
+    table.row(row);
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs
+
+int main() {
+  std::printf("Figure 10: processing time averaged over %zu requests x %zu "
+              "seeds per point\n", keygraphs::bench::requests(),
+              keygraphs::bench::seeds());
+  keygraphs::run_series(false);
+  keygraphs::run_series(true);
+  return 0;
+}

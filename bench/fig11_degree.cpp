@@ -1,0 +1,55 @@
+// Figure 11 — Server processing time vs key tree degree (initial group
+// size 8192), all three strategies, encryption-only and full-signature
+// configurations. The paper's observations to reproduce: the optimal degree
+// is around 4; group-oriented is fastest on the server, user-oriented
+// slowest; signing adds an order of magnitude.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace keygraphs {
+namespace {
+
+void run_series(bool signed_mode, std::size_t n) {
+  std::printf("\nFigure 11 (%s): server time per request (ms) vs degree, "
+              "n=%zu\n",
+              signed_mode ? "DES + MD5 + RSA-512 batch signature"
+                          : "DES encryption only",
+              n);
+  sim::TablePrinter table({{"degree", 7},
+                           {"user ms", 9},
+                           {"key ms", 9},
+                           {"group ms", 9}});
+  table.header();
+  for (int degree : {2, 3, 4, 6, 8, 12, 16}) {
+    std::vector<std::string> row{
+        sim::TablePrinter::num(static_cast<std::size_t>(degree))};
+    for (rekey::StrategyKind strategy : bench::kPaperStrategies) {
+      sim::ExperimentConfig config;
+      config.initial_size = n;
+      config.requests = bench::requests();
+      config.degree = degree;
+      config.strategy = strategy;
+      if (signed_mode) {
+        config.suite = crypto::CryptoSuite::paper_signed();
+        config.signing = rekey::SigningMode::kBatch;
+      }
+      const bench::AveragedResult averaged =
+          bench::run_averaged(config, bench::seeds());
+      row.push_back(sim::TablePrinter::num(averaged.all_ms, 4));
+    }
+    table.row(row);
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs
+
+int main() {
+  const std::size_t n = keygraphs::bench::group_size();
+  std::printf("Figure 11: %zu requests x %zu seeds per point\n",
+              keygraphs::bench::requests(), keygraphs::bench::seeds());
+  keygraphs::run_series(false, n);
+  keygraphs::run_series(true, n);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 12 — Average number of key changes by a client per join/leave
+// request: (top) vs key tree degree, (bottom) vs initial group size. The
+// paper's result to reproduce: the measured value is close to the analytic
+// d/(d-1) and essentially independent of group size.
+#include <cstdio>
+
+#include "analysis/cost_model.h"
+#include "bench_util.h"
+
+namespace keygraphs {
+namespace {
+
+double measure(std::size_t n, int degree, std::size_t requests) {
+  sim::ExperimentConfig config;
+  config.initial_size = n;
+  config.requests = requests;
+  config.degree = degree;
+  config.strategy = rekey::StrategyKind::kGroupOriented;
+  config.with_clients = true;
+  return sim::run_experiment(config).client_avg_key_changes;
+}
+
+void run() {
+  const std::size_t n = bench::client_size();
+  const std::size_t requests = std::min<std::size_t>(bench::requests(), 300);
+  std::printf("Figure 12: average key changes by a client per request\n");
+  std::printf("%zu requests per point, group-oriented rekeying\n\n",
+              requests);
+
+  std::printf("(top) vs key tree degree, n=%zu\n", n);
+  sim::TablePrinter by_degree(
+      {{"degree", 7}, {"measured", 10}, {"d/(d-1)", 9}});
+  by_degree.header();
+  for (int degree : {2, 3, 4, 6, 8, 12, 16}) {
+    by_degree.row({sim::TablePrinter::num(static_cast<std::size_t>(degree)),
+                   sim::TablePrinter::num(measure(n, degree, requests), 3),
+                   sim::TablePrinter::num(
+                       analysis::tree_avg_user_cost(degree), 3)});
+  }
+
+  std::printf("\n(bottom) vs initial group size, degree 4 "
+              "(analytic d/(d-1) = %.3f)\n",
+              analysis::tree_avg_user_cost(4));
+  sim::TablePrinter by_size({{"n", 7}, {"measured", 10}});
+  by_size.header();
+  for (std::size_t size = 32; size <= n; size *= 2) {
+    by_size.row({sim::TablePrinter::num(size),
+                 sim::TablePrinter::num(measure(size, 4, requests), 3)});
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs
+
+int main() {
+  keygraphs::run();
+  return 0;
+}

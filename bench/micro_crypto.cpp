@@ -1,0 +1,155 @@
+// Microbenchmarks of the crypto substrate (google-benchmark): the building
+// blocks whose relative costs explain the paper's Table 4 and Figure 11 —
+// a DES key encryption is microseconds while an RSA-512 signature is
+// hundreds of microseconds, which is why batch signing wins and why the
+// server's time is signature-bound whenever signing is enabled.
+#include <benchmark/benchmark.h>
+
+#include "client/client.h"
+#include "crypto/aes.h"
+#include "crypto/cbc.h"
+#include "crypto/des.h"
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+#include "crypto/suite.h"
+#include "merkle/batch_signer.h"
+
+namespace keygraphs::crypto {
+namespace {
+
+void BM_DesBlock(benchmark::State& state) {
+  SecureRandom rng(1);
+  const Des des(rng.bytes(8));
+  Bytes block = rng.bytes(8);
+  for (auto _ : state) {
+    des.encrypt_block(block.data(), block.data());
+    benchmark::DoNotOptimize(block.data());
+  }
+}
+BENCHMARK(BM_DesBlock);
+
+void BM_AesBlock(benchmark::State& state) {
+  SecureRandom rng(2);
+  const Aes128 aes(rng.bytes(16));
+  Bytes block = rng.bytes(16);
+  for (auto _ : state) {
+    aes.encrypt_block(block.data(), block.data());
+    benchmark::DoNotOptimize(block.data());
+  }
+}
+BENCHMARK(BM_AesBlock);
+
+void BM_CbcKeyWrap(benchmark::State& state) {
+  // One rekey payload item: CBC-encrypt one 8-byte key (incl. key schedule,
+  // the per-wrap cost the server pays 2(h-1) times per join).
+  SecureRandom rng(3);
+  const Bytes wrapping_key = rng.bytes(8);
+  const Bytes payload = rng.bytes(8);
+  for (auto _ : state) {
+    const CbcCipher cbc(std::make_shared<Des>(wrapping_key));
+    benchmark::DoNotOptimize(cbc.encrypt(payload, rng));
+  }
+}
+BENCHMARK(BM_CbcKeyWrap);
+
+void BM_Digest(benchmark::State& state, DigestAlgorithm algorithm) {
+  SecureRandom rng(4);
+  const Bytes message = rng.bytes(512);  // a typical rekey message body
+  auto digest = make_digest(algorithm);
+  for (auto _ : state) {
+    digest->update(message);
+    benchmark::DoNotOptimize(digest->finish());
+  }
+}
+BENCHMARK_CAPTURE(BM_Digest, md5, DigestAlgorithm::kMd5);
+BENCHMARK_CAPTURE(BM_Digest, sha1, DigestAlgorithm::kSha1);
+BENCHMARK_CAPTURE(BM_Digest, sha256, DigestAlgorithm::kSha256);
+
+void BM_RsaSign(benchmark::State& state) {
+  SecureRandom rng(5);
+  const auto key = RsaPrivateKey::generate(
+      rng, static_cast<std::size_t>(state.range(0)));
+  const Bytes message = rng.bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(key.sign(DigestAlgorithm::kMd5, message));
+  }
+}
+BENCHMARK(BM_RsaSign)->Arg(512)->Arg(768)->Arg(1024)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RsaVerify(benchmark::State& state) {
+  SecureRandom rng(6);
+  const auto key = RsaPrivateKey::generate(
+      rng, static_cast<std::size_t>(state.range(0)));
+  const Bytes message = rng.bytes(256);
+  const Bytes signature = key.sign(DigestAlgorithm::kMd5, message);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        key.public_key().verify(DigestAlgorithm::kMd5, message, signature));
+  }
+}
+BENCHMARK(BM_RsaVerify)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_BatchSign(benchmark::State& state) {
+  // Section 4's headline: signing m messages with one RSA operation. At
+  // m=19 (a degree-4 leave at n=8192, user/key-oriented), batch signing is
+  // ~m times cheaper than per-message signing.
+  SecureRandom rng(7);
+  const auto key = RsaPrivateKey::generate(rng, 512);
+  std::vector<Bytes> messages;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    messages.push_back(rng.bytes(300));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        merkle::batch_sign(key, DigestAlgorithm::kMd5, messages));
+  }
+}
+BENCHMARK(BM_BatchSign)->Arg(1)->Arg(7)->Arg(19)->Arg(47)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ChaChaDrbg(benchmark::State& state) {
+  SecureRandom rng(8);
+  Bytes buffer(64);
+  for (auto _ : state) {
+    rng.fill(buffer.data(), buffer.size());
+    benchmark::DoNotOptimize(buffer.data());
+  }
+}
+BENCHMARK(BM_ChaChaDrbg);
+
+void BM_ClientHandleRekey(benchmark::State& state) {
+  // The client-side cost of one group-oriented leave message (parse +
+  // one decryption), the unit behind Table 6's client-side comparison.
+  SecureRandom rng(9);
+  client::ClientConfig config;
+  config.user = 1;
+  config.suite = CryptoSuite::paper_plain();
+  config.root = 100;
+  config.verify = false;
+  config.rng_seed = 10;
+  client::GroupClient client(config, nullptr);
+  const SymmetricKey individual{individual_key_id(1), 1, rng.bytes(8)};
+  client.install_individual_key(individual);
+
+  rekey::RekeyEncryptor encryptor(CipherAlgorithm::kDes, rng);
+  rekey::RekeyMessage message;
+  message.epoch = 2;
+  const SymmetricKey group{100, 2, rng.bytes(8)};
+  message.blobs.push_back(encryptor.wrap(individual, std::span(&group, 1)));
+  for (int i = 0; i < 11; ++i) {  // blobs for other subtrees
+    const SymmetricKey other{200 + static_cast<KeyId>(i), 1, rng.bytes(8)};
+    const SymmetricKey target{300 + static_cast<KeyId>(i), 1, rng.bytes(8)};
+    message.blobs.push_back(encryptor.wrap(other, std::span(&target, 1)));
+  }
+  const rekey::RekeySealer sealer(rekey::SigningMode::kNone,
+                                  DigestAlgorithm::kNone, nullptr);
+  const Bytes wire = sealer.seal(std::span(&message, 1))[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.handle_rekey(wire));
+  }
+}
+BENCHMARK(BM_ClientHandleRekey);
+
+}  // namespace
+}  // namespace keygraphs::crypto

@@ -1,0 +1,80 @@
+// Table 1 — Number of keys held by the server and by each user, for star,
+// tree (degree 4) and complete key graphs. Measured from live structures,
+// printed beside the paper's closed forms.
+#include <cstdio>
+
+#include "analysis/cost_model.h"
+#include "bench_util.h"
+#include "keygraph/complete_graph.h"
+#include "keygraph/star_graph.h"
+
+namespace keygraphs {
+namespace {
+
+void run() {
+  using bench::env_size;
+  std::printf("Table 1: number of keys (server total / per user)\n");
+  std::printf("paper: star n+1 / 2;  tree d/(d-1)*n / h;  complete 2^n-1 / "
+              "2^(n-1)\n\n");
+  sim::TablePrinter table({{"class", 10},
+                           {"n", 8},
+                           {"total meas", 12},
+                           {"total paper", 12},
+                           {"per-user meas", 14},
+                           {"per-user paper", 15}});
+  table.header();
+
+  crypto::SecureRandom rng(1);
+  for (std::size_t n : {64u, 256u, 1024u,
+                        static_cast<unsigned>(env_size("KG_GROUP_SIZE", 4096))}) {
+    StarGraph star(8, rng);
+    for (UserId user = 1; user <= n; ++user) {
+      star.join(user, rng.bytes(8));
+    }
+    table.row({"star", sim::TablePrinter::num(n),
+               sim::TablePrinter::num(star.key_count()),
+               sim::TablePrinter::num(analysis::star_key_counts(n).total_keys,
+                                      0),
+               sim::TablePrinter::num(star.keyset(1).size()),
+               sim::TablePrinter::num(
+                   analysis::star_key_counts(n).keys_per_user, 0)});
+  }
+
+  for (std::size_t n : {64u, 256u, 1024u,
+                        static_cast<unsigned>(env_size("KG_GROUP_SIZE", 4096))}) {
+    KeyTree tree(4, 8, rng);
+    for (UserId user = 1; user <= n; ++user) {
+      tree.join(user, rng.bytes(8));
+    }
+    double max_keys = 0;
+    for (UserId user : tree.users()) {
+      max_keys = std::max(max_keys,
+                          static_cast<double>(tree.keyset(user).size()));
+    }
+    const analysis::KeyCounts paper = analysis::tree_key_counts(n, 4);
+    table.row({"tree d=4", sim::TablePrinter::num(n),
+               sim::TablePrinter::num(tree.key_count()),
+               sim::TablePrinter::num(paper.total_keys, 0),
+               sim::TablePrinter::num(max_keys, 0),
+               sim::TablePrinter::num(paper.keys_per_user, 1)});
+  }
+
+  for (std::size_t n : {4u, 8u, 12u}) {
+    CompleteGraph complete(crypto::CipherAlgorithm::kDes, rng);
+    for (UserId user = 1; user <= n; ++user) complete.join(user);
+    const analysis::KeyCounts paper = analysis::complete_key_counts(n);
+    table.row({"complete", sim::TablePrinter::num(n),
+               sim::TablePrinter::num(complete.key_count()),
+               sim::TablePrinter::num(paper.total_keys, 0),
+               sim::TablePrinter::num(complete.keyset(1).size()),
+               sim::TablePrinter::num(paper.keys_per_user, 0)});
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs
+
+int main() {
+  keygraphs::run();
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Table 5 — Number and size of rekey messages, with encryption and batch
+// signature, SENT BY THE SERVER per join/leave, for key tree degrees 4, 8
+// and 16 (paper: initial group size 8192).
+// Expected shape: group-oriented sends exactly 1 message whose leave size
+// grows with d; user/key send h resp. ~(d-1)(h-1)+1 smaller messages.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace keygraphs {
+namespace {
+
+void run() {
+  const std::size_t n = bench::env_size("KG_GROUP_SIZE", 8192);
+  const std::size_t requests = bench::requests();
+  std::printf("Table 5: rekey messages sent by the server "
+              "(DES/MD5/RSA-512, batch signing)\n");
+  std::printf("n=%zu, %zu requests, 1:1 join/leave\n\n", n, requests);
+
+  sim::TablePrinter table({{"degree", 7},
+                           {"strategy", 9},
+                           {"join sz ave", 12},
+                           {"min", 6},
+                           {"max", 6},
+                           {"leave sz ave", 13},
+                           {"min", 6},
+                           {"max", 6},
+                           {"#msg join", 10},
+                           {"#msg leave", 11}});
+  table.header();
+
+  for (int degree : {4, 8, 16}) {
+    for (rekey::StrategyKind strategy : bench::kPaperStrategies) {
+      sim::ExperimentConfig config;
+      config.initial_size = n;
+      config.requests = requests;
+      config.degree = degree;
+      config.strategy = strategy;
+      config.suite = crypto::CryptoSuite::paper_signed();
+      config.signing = rekey::SigningMode::kBatch;
+      const sim::ExperimentResult result = sim::run_experiment(config);
+      using P = sim::TablePrinter;
+      table.row({P::num(static_cast<std::size_t>(degree)),
+                 bench::strategy_label(strategy),
+                 P::num(result.join.avg_message_bytes, 1),
+                 P::num(result.join.min_message_bytes),
+                 P::num(result.join.max_message_bytes),
+                 P::num(result.leave.avg_message_bytes, 1),
+                 P::num(result.leave.min_message_bytes),
+                 P::num(result.leave.max_message_bytes),
+                 P::num(result.join.avg_messages, 2),
+                 P::num(result.leave.avg_messages, 2)});
+    }
+    table.rule();
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs
+
+int main() {
+  keygraphs::run();
+  return 0;
+}

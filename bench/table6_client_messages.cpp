@@ -1,0 +1,56 @@
+// Table 6 — Number and size of rekey messages RECEIVED BY A CLIENT per
+// join/leave, degrees 4, 8 and 16. Runs real clients on the in-process
+// network. Expected shape (paper, n=8192): every client receives exactly
+// one message per request in all strategies; user-oriented messages are
+// smallest, group-oriented leave messages largest (growing with d).
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace keygraphs {
+namespace {
+
+void run() {
+  const std::size_t n = bench::client_size();
+  const std::size_t requests = std::min<std::size_t>(bench::requests(), 300);
+  std::printf("Table 6: rekey messages received by a client "
+              "(DES/MD5/RSA-512, batch signing)\n");
+  std::printf("n=%zu, %zu requests, 1:1 join/leave "
+              "(KG_CLIENT_SIZE=8192 for paper scale)\n\n", n, requests);
+
+  sim::TablePrinter table({{"degree", 7},
+                           {"strategy", 9},
+                           {"join size ave", 14},
+                           {"leave size ave", 15},
+                           {"msgs/request", 13}});
+  table.header();
+
+  for (int degree : {4, 8, 16}) {
+    for (rekey::StrategyKind strategy : bench::kPaperStrategies) {
+      sim::ExperimentConfig config;
+      config.initial_size = n;
+      config.requests = requests;
+      config.degree = degree;
+      config.strategy = strategy;
+      config.suite = crypto::CryptoSuite::paper_signed();
+      config.signing = rekey::SigningMode::kBatch;
+      config.with_clients = true;
+      const sim::ExperimentResult result = sim::run_experiment(config);
+      using P = sim::TablePrinter;
+      table.row({P::num(static_cast<std::size_t>(degree)),
+                 bench::strategy_label(strategy),
+                 P::num(result.client_avg_join_message_bytes, 1),
+                 P::num(result.client_avg_leave_message_bytes, 1),
+                 P::num(result.client_avg_messages_per_request, 2)});
+    }
+    table.rule();
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs
+
+int main() {
+  keygraphs::run();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Multiple secure groups over one user population (paper Section 7 /
+// the Keystone direction): why key *graphs*, not just key trees.
+//
+// A conferencing service runs three rooms. Users join several rooms; each
+// user has ONE individual key shared with the service, and the rooms' key
+// trees merge at the individual keys into a single key graph. Leaving one
+// room rekeys only that room's tree.
+//
+// Run: ./multi_group
+#include <cstdio>
+
+#include "keygraph/key_cover.h"
+#include "keygraph/multi_group.h"
+
+using namespace keygraphs;
+
+int main() {
+  crypto::SecureRandom rng(123);
+  MultiGroupGraph service(/*degree=*/3, /*key_size=*/16, rng);
+
+  const GroupId engineering = service.create_group();
+  const GroupId security = service.create_group();
+  const GroupId all_hands = service.create_group();
+
+  // Everyone is in all-hands; engineering and security overlap on user 3.
+  for (UserId user = 1; user <= 9; ++user) service.join(all_hands, user);
+  for (UserId user : {1u, 2u, 3u, 4u}) service.join(engineering, user);
+  for (UserId user : {3u, 5u, 6u}) service.join(security, user);
+
+  std::printf("rooms: engineering=%zu members, security=%zu, "
+              "all-hands=%zu\n",
+              service.tree(engineering).user_count(),
+              service.tree(security).user_count(),
+              service.tree(all_hands).user_count());
+
+  std::printf("user 3 is in rooms:");
+  for (GroupId group : service.groups_of(3)) {
+    std::printf(" %u", group);
+  }
+  std::printf(" — with ONE individual key shared across all of them\n");
+
+  // The merged key graph (Figure 1 generalized): u-nodes, shared
+  // individual k-nodes, and three tree roots.
+  const KeyGraph merged = service.merged_graph();
+  merged.validate();
+  std::printf("\nmerged key graph: %zu users, %zu keys, %zu roots (one per "
+              "room)\n", merged.user_count(), merged.key_count(),
+              merged.roots().size());
+  std::printf("user 3 holds %zu keys in the merged graph; user 9 (all-hands "
+              "only) holds %zu\n", merged.keyset(3).size(),
+              merged.keyset(9).size());
+
+  // Leave one room: only that room's tree rekeys.
+  const SymmetricKey security_key_before = service.tree(security).group_key();
+  const SymmetricKey allhands_key_before =
+      service.tree(all_hands).group_key();
+  service.leave(engineering, 3);
+  std::printf("\nuser 3 left engineering:\n");
+  std::printf("  security room key changed:   %s\n",
+              service.tree(security).group_key().secret ==
+                      security_key_before.secret ? "no" : "yes");
+  std::printf("  all-hands room key changed:  %s\n",
+              service.tree(all_hands).group_key().secret ==
+                      allhands_key_before.secret ? "no" : "yes");
+  std::printf("  user 3 still in security:    %s\n",
+              service.tree(security).has_user(3) ? "yes" : "no");
+
+  // The key-covering problem on the merged graph (Section 2.1): to reach
+  // "everyone in all-hands except user 7" with minimal encryptions, the
+  // greedy cover picks subtree keys, not 8 individual keys.
+  std::set<UserId> target;
+  for (UserId user : service.tree(all_hands).users()) {
+    if (user != 7) target.insert(user);
+  }
+  const KeyCover cover = greedy_key_cover(merged, target);
+  std::printf("\nkey cover for 'all-hands minus user 7': %zu keys instead "
+              "of %zu individual keys (covered=%s)\n",
+              cover.keys.size(), target.size(),
+              cover.covered ? "yes" : "no");
+  return 0;
+}

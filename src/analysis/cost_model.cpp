@@ -1,0 +1,91 @@
+#include "analysis/cost_model.h"
+
+#include <cmath>
+
+namespace keygraphs::analysis {
+
+namespace {
+
+double pow2(double e) { return std::exp2(e); }
+
+}  // namespace
+
+double tree_height(std::size_t n, int degree) {
+  if (n <= 1) return 1.0;
+  // n = d^(h-1)  =>  h = log_d(n) + 1
+  return std::log(static_cast<double>(n)) / std::log(degree) + 1.0;
+}
+
+KeyCounts star_key_counts(std::size_t n) {
+  return {static_cast<double>(n) + 1.0, 2.0};
+}
+
+KeyCounts tree_key_counts(std::size_t n, int degree) {
+  const double d = degree;
+  return {d / (d - 1.0) * static_cast<double>(n), tree_height(n, degree)};
+}
+
+KeyCounts complete_key_counts(std::size_t n) {
+  const double dn = static_cast<double>(n);
+  return {pow2(dn) - 1.0, pow2(dn - 1.0)};
+}
+
+JoinLeaveCost star_requesting_cost(std::size_t) { return {1.0, 0.0}; }
+
+JoinLeaveCost tree_requesting_cost(std::size_t n, int degree) {
+  return {tree_height(n, degree) - 1.0, 0.0};
+}
+
+JoinLeaveCost complete_requesting_cost(std::size_t n) {
+  return {pow2(static_cast<double>(n)), 0.0};
+}
+
+JoinLeaveCost star_nonrequesting_cost(std::size_t) { return {1.0, 1.0}; }
+
+JoinLeaveCost tree_nonrequesting_cost(std::size_t, int degree) {
+  const double d = degree;
+  return {d / (d - 1.0), d / (d - 1.0)};
+}
+
+JoinLeaveCost complete_nonrequesting_cost(std::size_t n) {
+  return {pow2(static_cast<double>(n) - 1.0), 0.0};
+}
+
+JoinLeaveCost star_server_cost(std::size_t n) {
+  return {2.0, static_cast<double>(n) - 1.0};
+}
+
+JoinLeaveCost tree_server_cost(std::size_t n, int degree) {
+  const double h = tree_height(n, degree);
+  return {2.0 * (h - 1.0), degree * (h - 1.0)};
+}
+
+JoinLeaveCost complete_server_cost(std::size_t n) {
+  return {pow2(static_cast<double>(n) + 1.0), 0.0};
+}
+
+JoinLeaveCost tree_server_cost_user_oriented(std::size_t n, int degree) {
+  const double h = tree_height(n, degree);
+  const double d = degree;
+  return {h * (h + 1.0) / 2.0 - 1.0, (d - 1.0) * h * (h - 1.0) / 2.0};
+}
+
+double star_avg_server_cost(std::size_t n) {
+  return static_cast<double>(n) / 2.0;
+}
+
+double tree_avg_server_cost(std::size_t n, int degree) {
+  const double h = tree_height(n, degree);
+  return (degree + 2.0) * (h - 1.0) / 2.0;
+}
+
+double complete_avg_server_cost(std::size_t n) {
+  return pow2(static_cast<double>(n));
+}
+
+double tree_avg_user_cost(int degree) {
+  const double d = degree;
+  return d / (d - 1.0);
+}
+
+}  // namespace keygraphs::analysis

@@ -1,0 +1,58 @@
+// Closed-form cost model (paper Tables 1, 2 and 3).
+//
+// These are the analytic values the paper tabulates for star, tree and
+// complete key graphs, assuming a full and balanced d-ary tree with
+// n = d^(h-1) users. The benches print them beside measured values so every
+// reproduced table shows "paper (analytic)" and "measured" columns.
+#pragma once
+
+#include <cstddef>
+
+namespace keygraphs::analysis {
+
+/// Table 1: keys held by the server / by one user.
+struct KeyCounts {
+  double total_keys = 0.0;
+  double keys_per_user = 0.0;
+};
+
+KeyCounts star_key_counts(std::size_t n);
+KeyCounts tree_key_counts(std::size_t n, int degree);
+KeyCounts complete_key_counts(std::size_t n);
+
+/// Height h of a full balanced d-ary key tree with n users, in edges
+/// (the paper's definition: users hold at most h keys).
+double tree_height(std::size_t n, int degree);
+
+/// Table 2 costs (key encryptions/decryptions per operation).
+struct JoinLeaveCost {
+  double join = 0.0;
+  double leave = 0.0;
+};
+
+// (a) requesting user
+JoinLeaveCost star_requesting_cost(std::size_t n);
+JoinLeaveCost tree_requesting_cost(std::size_t n, int degree);
+JoinLeaveCost complete_requesting_cost(std::size_t n);
+
+// (b) non-requesting user (average)
+JoinLeaveCost star_nonrequesting_cost(std::size_t n);
+JoinLeaveCost tree_nonrequesting_cost(std::size_t n, int degree);
+JoinLeaveCost complete_nonrequesting_cost(std::size_t n);
+
+// (c) the server (key-oriented / group-oriented rekeying for trees)
+JoinLeaveCost star_server_cost(std::size_t n);
+JoinLeaveCost tree_server_cost(std::size_t n, int degree);
+JoinLeaveCost complete_server_cost(std::size_t n);
+
+/// Table 2(c) for the remaining strategy: user-oriented server cost is
+/// h(h+1)/2 - 1 per join, (d-1)h(h-1)/2 per leave.
+JoinLeaveCost tree_server_cost_user_oriented(std::size_t n, int degree);
+
+/// Table 3: average cost per operation with a 1:1 join/leave mix.
+double star_avg_server_cost(std::size_t n);
+double tree_avg_server_cost(std::size_t n, int degree);
+double complete_avg_server_cost(std::size_t n);
+double tree_avg_user_cost(int degree);  // d/(d-1), Figure 12's reference
+
+}  // namespace keygraphs::analysis

@@ -1,0 +1,191 @@
+#include "client/client.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "crypto/cbc.h"
+#include "crypto/hmac.h"
+
+namespace keygraphs::client {
+
+GroupClient::GroupClient(ClientConfig config,
+                         const crypto::RsaPublicKey* server_key)
+    : config_(std::move(config)),
+      opener_(server_key),
+      has_server_key_(server_key != nullptr),
+      rng_(config_.rng_seed == 0 ? crypto::SecureRandom()
+                                 : crypto::SecureRandom(config_.rng_seed)) {}
+
+void GroupClient::install_individual_key(SymmetricKey key) {
+  keys_[key.id] = std::move(key);
+}
+
+void GroupClient::admit_snapshot(std::vector<SymmetricKey> keys,
+                                 std::uint64_t epoch) {
+  for (SymmetricKey& key : keys) keys_[key.id] = std::move(key);
+  last_epoch_ = std::max(last_epoch_, epoch);
+}
+
+RekeyOutcome GroupClient::handle_rekey(BytesView wire) {
+  RekeyOutcome outcome;
+  outcome.wire_size = wire.size();
+  ++totals_.rekeys_received;
+  totals_.bytes_received += wire.size();
+
+  const rekey::OpenedRekey opened = opener_.open(wire, config_.verify);
+  // A verifying client that knows the server's key must see a signature:
+  // accepting unsigned (or merely digested) messages would let anyone on
+  // the multicast tree downgrade authentication away.
+  const bool signature_required = config_.verify && has_server_key_;
+  const bool properly_signed =
+      opened.auth == rekey::AuthKind::kSignature ||
+      opened.auth == rekey::AuthKind::kBatchSignature;
+  if ((config_.verify && !opened.verified) ||
+      (signature_required && !properly_signed)) {
+    ++totals_.rejected;
+    return outcome;  // unauthenticated: apply nothing
+  }
+  const rekey::RekeyMessage& message = opened.message;
+  if (message.group != config_.group) {
+    return outcome;  // another group's rekeying; not ours to apply
+  }
+  if (message.epoch < last_epoch_) {
+    outcome.stale = true;  // replayed message from an older operation
+    return outcome;
+  }
+  last_epoch_ = std::max(last_epoch_, message.epoch);
+  outcome.accepted = true;
+
+  const std::size_t key_size = config_.suite.key_size();
+
+  // Decrypt to a fixpoint: a blob may be wrapped under a key delivered by
+  // another blob of the same message (group-oriented leave chains).
+  std::vector<bool> consumed(message.blobs.size(), false);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t i = 0; i < message.blobs.size(); ++i) {
+      if (consumed[i]) continue;
+      const rekey::KeyBlob& blob = message.blobs[i];
+      auto held = keys_.find(blob.wrap.id);
+      if (held == keys_.end() ||
+          held->second.version != blob.wrap.version) {
+        continue;  // not wrapped for us (or not yet unlockable)
+      }
+      consumed[i] = true;
+      progress = true;
+
+      const crypto::CbcCipher cbc(
+          crypto::make_cipher(config_.suite.cipher, held->second.secret));
+      Bytes plaintext;
+      try {
+        plaintext = cbc.decrypt(blob.ciphertext);
+      } catch (const CryptoError&) {
+        continue;  // corrupt blob; ignore, counters untouched
+      }
+      if (plaintext.size() != blob.targets.size() * key_size) {
+        continue;
+      }
+      outcome.keys_decrypted += blob.targets.size();
+      for (std::size_t t = 0; t < blob.targets.size(); ++t) {
+        const KeyRef& target = blob.targets[t];
+        SymmetricKey key{target.id, target.version,
+                         Bytes(plaintext.begin() +
+                                   static_cast<std::ptrdiff_t>(t * key_size),
+                               plaintext.begin() +
+                                   static_cast<std::ptrdiff_t>(
+                                       (t + 1) * key_size))};
+        auto existing = keys_.find(target.id);
+        if (existing == keys_.end() ||
+            existing->second.version < target.version) {
+          keys_[target.id] = std::move(key);
+          ++outcome.keys_changed;
+        }
+      }
+      secure_wipe(plaintext);
+    }
+  }
+
+  for (KeyId id : message.obsolete) keys_.erase(id);
+
+  outcome.needs_resync =
+      !message.blobs.empty() && outcome.keys_decrypted == 0;
+  totals_.keys_changed += outcome.keys_changed;
+  totals_.keys_decrypted += outcome.keys_decrypted;
+  return outcome;
+}
+
+RekeyOutcome GroupClient::handle_datagram(BytesView datagram) {
+  const rekey::Datagram decoded = rekey::Datagram::decode(datagram);
+  if (decoded.type != rekey::MessageType::kRekey) return RekeyOutcome{};
+  return handle_rekey(decoded.payload);
+}
+
+std::optional<SymmetricKey> GroupClient::group_key() const {
+  auto it = keys_.find(config_.root);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second;
+}
+
+const SymmetricKey* GroupClient::find_key(KeyId id) const {
+  auto it = keys_.find(id);
+  return it == keys_.end() ? nullptr : &it->second;
+}
+
+std::vector<KeyId> GroupClient::key_ids() const {
+  std::vector<KeyId> out;
+  out.reserve(keys_.size());
+  for (const auto& [id, key] : keys_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Bytes GroupClient::seal_application(BytesView payload) {
+  const std::optional<SymmetricKey> key = group_key();
+  if (!key.has_value()) {
+    throw ProtocolError("client: not admitted (no group key)");
+  }
+  return seal_with_key(config_.suite, *key, payload, rng_);
+}
+
+Bytes GroupClient::open_application(BytesView sealed) const {
+  const std::optional<SymmetricKey> key = group_key();
+  if (!key.has_value()) {
+    throw ProtocolError("client: not admitted (no group key)");
+  }
+  return open_with_key(config_.suite, *key, sealed);
+}
+
+void GroupClient::forget_keys() {
+  for (auto& [id, key] : keys_) secure_wipe(key.secret);
+  keys_.clear();
+}
+
+Bytes seal_with_key(const crypto::CryptoSuite& suite, const SymmetricKey& key,
+                    BytesView payload, crypto::SecureRandom& rng) {
+  const crypto::CbcCipher cbc(crypto::make_cipher(suite.cipher, key.secret));
+  Bytes sealed = cbc.encrypt(payload, rng);
+  // Encrypt-then-MAC so tampered ciphertexts are rejected before decryption.
+  const crypto::Hmac hmac(suite.signing_digest(), key.secret);
+  const Bytes tag = hmac.mac(sealed);
+  sealed.insert(sealed.end(), tag.begin(), tag.end());
+  return sealed;
+}
+
+Bytes open_with_key(const crypto::CryptoSuite& suite, const SymmetricKey& key,
+                    BytesView sealed) {
+  const crypto::Hmac hmac(suite.signing_digest(), key.secret);
+  const std::size_t tag_size = hmac.tag_size();
+  if (sealed.size() < tag_size) {
+    throw CryptoError("application payload: truncated");
+  }
+  const BytesView body = sealed.subspan(0, sealed.size() - tag_size);
+  const BytesView tag = sealed.subspan(sealed.size() - tag_size);
+  if (!hmac.verify(body, tag)) {
+    throw CryptoError("application payload: bad MAC");
+  }
+  const crypto::CbcCipher cbc(crypto::make_cipher(suite.cipher, key.secret));
+  return cbc.decrypt(body);
+}
+
+}  // namespace keygraphs::client

@@ -1,0 +1,130 @@
+// The client layer (paper Section 5: "a client layer ... implements
+// join/leave protocols for all three rekeying strategies").
+//
+// A GroupClient holds its keyset (a map from k-node id to the newest key it
+// knows for that node), verifies and decrypts incoming rekey messages, and
+// tracks the statistics the paper reports per client: rekey messages and
+// bytes received (Table 6) and the number of key changes per request
+// (Figure 12). Decryption runs to a fixpoint because a group-oriented leave
+// message may wrap a parent's new key under a child's new key carried in
+// the same message.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+#include "crypto/suite.h"
+#include "rekey/codec.h"
+
+namespace keygraphs::client {
+
+struct ClientConfig {
+  UserId user = 0;
+  crypto::CryptoSuite suite;
+  /// The secure group this client participates in; rekey messages for
+  /// other groups are ignored (a user in several groups runs one
+  /// GroupClient per group — the Section 7 multi-group model).
+  GroupId group = 1;
+  /// The group key's k-node id (told to the client at admission).
+  KeyId root = 0;
+  /// Verify digests/signatures on incoming rekey messages. The large
+  /// client-simulator benches turn this off, matching the paper's focus on
+  /// server-side cost; the security tests turn it on.
+  bool verify = true;
+  /// Seed for this client's IV generator (0 = OS entropy).
+  std::uint64_t rng_seed = 0;
+};
+
+/// Result of processing one rekey message.
+struct RekeyOutcome {
+  bool accepted = false;          // verified (or verification off) and fresh
+  bool stale = false;             // epoch older than one already processed
+  /// Set when a fresh, authentic rekey message carrying payload could not
+  /// be decrypted at all: in normal operation every delivered rekey yields
+  /// at least one decryption for a member, so this means the client missed
+  /// an earlier rekey (lossy transport) and should ask the server for a
+  /// keyset resync (MessageType::kResyncRequest).
+  bool needs_resync = false;
+  std::size_t keys_changed = 0;   // new or newer keys installed (Fig. 12)
+  std::size_t keys_decrypted = 0; // decryption cost (Table 2(b) unit)
+  std::size_t wire_size = 0;
+};
+
+/// Lifetime totals (Table 6 / Figure 12 aggregates).
+struct ClientTotals {
+  std::size_t rekeys_received = 0;
+  std::size_t bytes_received = 0;
+  std::size_t keys_changed = 0;
+  std::size_t keys_decrypted = 0;
+  std::size_t rejected = 0;  // failed verification
+};
+
+class GroupClient {
+ public:
+  /// `server_key` may be null when the server does not sign.
+  GroupClient(ClientConfig config, const crypto::RsaPublicKey* server_key);
+
+  /// Installs the individual key produced by the authentication exchange.
+  void install_individual_key(SymmetricKey key);
+
+  /// Installs a complete keyset snapshot at a given epoch. The experiment
+  /// harness uses this to materialize a pre-built group (the paper measures
+  /// only the 1000 churn requests, not the initial group construction).
+  void admit_snapshot(std::vector<SymmetricKey> keys, std::uint64_t epoch);
+
+  /// Verifies, decrypts and applies one sealed rekey message.
+  RekeyOutcome handle_rekey(BytesView wire);
+
+  /// Datagram entry point: decodes the envelope and dispatches kRekey;
+  /// other types are ignored (returns an empty outcome).
+  RekeyOutcome handle_datagram(BytesView datagram);
+
+  /// Current group key, if admitted.
+  [[nodiscard]] std::optional<SymmetricKey> group_key() const;
+
+  /// Newest key known for `id`, or null.
+  [[nodiscard]] const SymmetricKey* find_key(KeyId id) const;
+
+  /// Ids of all held keys (the client's multicast subscriptions).
+  [[nodiscard]] std::vector<KeyId> key_ids() const;
+
+  [[nodiscard]] std::size_t key_count() const noexcept {
+    return keys_.size();
+  }
+  [[nodiscard]] std::uint64_t last_epoch() const noexcept {
+    return last_epoch_;
+  }
+  [[nodiscard]] const ClientTotals& totals() const noexcept {
+    return totals_;
+  }
+  [[nodiscard]] UserId user() const noexcept { return config_.user; }
+
+  /// Confidential application payload under the current group key
+  /// (CBC + HMAC over the ciphertext). Throws if not admitted.
+  [[nodiscard]] Bytes seal_application(BytesView payload);
+  [[nodiscard]] Bytes open_application(BytesView sealed) const;
+
+  /// Wipes all keys (a departing member forgets its state).
+  void forget_keys();
+
+ private:
+  ClientConfig config_;
+  rekey::RekeyOpener opener_;
+  bool has_server_key_ = false;
+  crypto::SecureRandom rng_;
+  std::unordered_map<KeyId, SymmetricKey> keys_;
+  std::uint64_t last_epoch_ = 0;
+  ClientTotals totals_;
+};
+
+/// Application sealing as free functions, so a sender that is not a client
+/// (e.g. the server pushing announcements) can use the same format.
+Bytes seal_with_key(const crypto::CryptoSuite& suite, const SymmetricKey& key,
+                    BytesView payload, crypto::SecureRandom& rng);
+Bytes open_with_key(const crypto::CryptoSuite& suite, const SymmetricKey& key,
+                    BytesView sealed);
+
+}  // namespace keygraphs::client

@@ -1,0 +1,44 @@
+// Byte-buffer primitives shared by every subsystem.
+//
+// The whole library moves keys and messages around as flat byte vectors;
+// this header provides the alias plus the small set of helpers (hex codecs,
+// constant-time comparison, concatenation, secure wipe) that the crypto and
+// wire-format layers need.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace keygraphs {
+
+/// Owning byte buffer. The library's lingua franca for keys, digests,
+/// ciphertexts, and serialized messages.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning read-only view of bytes; use at API boundaries.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Render `data` as lowercase hex ("deadbeef").
+std::string to_hex(BytesView data);
+
+/// Parse lowercase/uppercase hex into bytes.
+/// Throws std::invalid_argument on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Copy a string's bytes into a buffer (no encoding applied).
+Bytes bytes_of(std::string_view text);
+
+/// Compare two buffers in time independent of where they differ.
+/// Still leaks length inequality, which is fine for MAC/digest checks.
+bool constant_time_equal(BytesView a, BytesView b) noexcept;
+
+/// Append `tail` to `head` and return the result.
+Bytes concat(BytesView head, BytesView tail);
+
+/// Best-effort zeroization of key material before release.
+void secure_wipe(Bytes& data) noexcept;
+
+}  // namespace keygraphs

@@ -1,0 +1,40 @@
+// Exception hierarchy. Every error the library throws derives from Error so
+// applications can catch one type at the top of an event loop.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace keygraphs {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed or truncated serialized input (network-facing decoders).
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Cryptographic failure: bad key size, padding, signature mismatch, ...
+class CryptoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Violation of a join/leave protocol or group-membership rule.
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Transport-level failure (socket errors, unknown destinations).
+class TransportError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace keygraphs

@@ -1,0 +1,76 @@
+// Little-endian binary reader/writer used by the rekey wire format and the
+// UDP framing layer. All multi-byte integers on the wire are little-endian.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace keygraphs {
+
+/// Appends little-endian primitives to an owned buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+
+  /// Raw bytes, no length prefix.
+  void raw(BytesView data);
+
+  /// u32 length prefix followed by the bytes.
+  void var_bytes(BytesView data);
+
+  /// u32 length prefix followed by UTF-8 bytes.
+  void var_string(std::string_view text);
+
+  [[nodiscard]] const Bytes& data() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes little-endian primitives from a view. Throws ParseError on
+/// truncation so malformed network input can never read out of bounds.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+
+  /// Exactly `n` raw bytes.
+  Bytes raw(std::size_t n);
+
+  /// u32 length-prefixed bytes.
+  Bytes var_bytes();
+
+  /// u32 length-prefixed UTF-8 string.
+  std::string var_string();
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
+
+  /// Throws ParseError unless the whole input was consumed.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace keygraphs

@@ -1,0 +1,546 @@
+#include "crypto/bigint.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.h"
+#include "crypto/random.h"
+
+namespace keygraphs::crypto {
+
+namespace {
+
+constexpr std::uint64_t kBase = std::uint64_t{1} << 32;
+
+// Small primes for the pre-sieve in Miller–Rabin.
+constexpr std::uint32_t kSmallPrimes[] = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+}  // namespace
+
+BigInt::BigInt(std::uint64_t value) {
+  if (value != 0) limbs_.push_back(static_cast<std::uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+void BigInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::from_bytes_be(BytesView bytes) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    const std::size_t byte_index = bytes.size() - 1 - i;  // little-endian pos
+    out.limbs_[i / 4] |= static_cast<std::uint32_t>(bytes[byte_index])
+                         << (8 * (i % 4));
+  }
+  out.trim();
+  return out;
+}
+
+Bytes BigInt::to_bytes_be(std::size_t min_size) const {
+  const std::size_t significant = (bit_length() + 7) / 8;
+  const std::size_t size = std::max(significant, min_size);
+  Bytes out(size, 0x00);
+  for (std::size_t i = 0; i < significant; ++i) {
+    out[size - 1 - i] = static_cast<std::uint8_t>(
+        limbs_[i / 4] >> (8 * (i % 4)));
+  }
+  return out;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  std::string padded(hex);
+  if (padded.size() % 2 != 0) padded.insert(padded.begin(), '0');
+  return from_bytes_be(keygraphs::from_hex(padded));
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string hex = keygraphs::to_hex(to_bytes_be());
+  const std::size_t nonzero = hex.find_first_not_of('0');
+  return hex.substr(nonzero);
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  return 32 * (limbs_.size() - 1) +
+         (32 - static_cast<std::size_t>(std::countl_zero(limbs_.back())));
+}
+
+bool BigInt::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+std::uint64_t BigInt::to_u64() const noexcept {
+  std::uint64_t v = 0;
+  if (!limbs_.empty()) v = limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() <=> b.limbs_.size();
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] <=> b.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<std::uint32_t>(carry);
+  out.trim();
+  return out;
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) {
+  if (a < b) throw Error("BigInt: negative result in subtraction");
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return BigInt{};
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          static_cast<std::uint64_t>(out.limbs_[i + j]) + ai * b.limbs_[j] +
+          carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry != 0) {
+      const std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator<<(const BigInt& a, std::size_t bits) {
+  if (a.is_zero() || bits == 0) {
+    BigInt out = a;
+    return out;
+  }
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i])
+                            << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt operator>>(const BigInt& a, std::size_t bits) {
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  if (limb_shift >= a.limbs_.size()) return BigInt{};
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i + limb_shift]) >>
+                      bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= static_cast<std::uint64_t>(a.limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& a, const BigInt& b) {
+  if (b.is_zero()) throw Error("BigInt: division by zero");
+  if (a < b) return {BigInt{}, a};
+
+  // Single-limb divisor: simple schoolbook pass.
+  if (b.limbs_.size() == 1) {
+    const std::uint64_t divisor = b.limbs_[0];
+    BigInt quotient;
+    quotient.limbs_.resize(a.limbs_.size(), 0);
+    std::uint64_t remainder = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (remainder << 32) | a.limbs_[i];
+      quotient.limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
+      remainder = cur % divisor;
+    }
+    quotient.trim();
+    return {quotient, BigInt{remainder}};
+  }
+
+  // Knuth Algorithm D (TAOCP vol. 2, 4.3.1).
+  const int shift = std::countl_zero(b.limbs_.back());
+  const BigInt u_norm = a << static_cast<std::size_t>(shift);
+  const BigInt v_norm = b << static_cast<std::size_t>(shift);
+  const std::size_t n = v_norm.limbs_.size();
+  const std::size_t m = u_norm.limbs_.size() >= n
+                            ? u_norm.limbs_.size() - n
+                            : 0;
+
+  std::vector<std::uint32_t> u = u_norm.limbs_;
+  u.resize(u_norm.limbs_.size() + 1, 0);  // u[m+n] guard limb
+  const std::vector<std::uint32_t>& v = v_norm.limbs_;
+
+  BigInt quotient;
+  quotient.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate qhat from the top two dividend limbs and top divisor limb.
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(u[j + n]) << 32) | u[j + n - 1];
+    std::uint64_t qhat = numerator / v[n - 1];
+    std::uint64_t rhat = numerator % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 32) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // Multiply-and-subtract qhat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t product = qhat * v[i] + carry;
+      carry = product >> 32;
+      const std::int64_t diff = static_cast<std::int64_t>(u[i + j]) -
+                                static_cast<std::int64_t>(product & 0xffffffffu) -
+                                borrow;
+      u[i + j] = static_cast<std::uint32_t>(diff);
+      borrow = diff < 0 ? 1 : 0;
+    }
+    const std::int64_t top = static_cast<std::int64_t>(u[j + n]) -
+                             static_cast<std::int64_t>(carry) - borrow;
+    u[j + n] = static_cast<std::uint32_t>(top);
+
+    if (top < 0) {
+      // qhat was one too large; add v back.
+      --qhat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(u[i + j]) + v[i] + add_carry;
+        u[i + j] = static_cast<std::uint32_t>(sum);
+        add_carry = sum >> 32;
+      }
+      u[j + n] = static_cast<std::uint32_t>(u[j + n] + add_carry);
+    }
+    quotient.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  quotient.trim();
+  BigInt remainder;
+  remainder.limbs_.assign(u.begin(), u.begin() + static_cast<std::ptrdiff_t>(n));
+  remainder.trim();
+  remainder = remainder >> static_cast<std::size_t>(shift);
+  return {quotient, remainder};
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+  return BigInt::divmod(a, b).first;
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+  return BigInt::divmod(a, b).second;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Iterative extended Euclid, tracking only the coefficient of a and its
+  // sign (unsigned magnitudes with an explicit sign flag).
+  if (m <= BigInt{1}) throw CryptoError("mod_inverse: modulus must be > 1");
+  BigInt r0 = m, r1 = a % m;
+  BigInt t0{0}, t1{1};
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.is_zero()) {
+    auto [q, r2] = divmod(r0, r1);
+    // t2 = t0 - q * t1 with sign tracking.
+    const BigInt qt1 = q * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (r0 != BigInt{1}) throw CryptoError("mod_inverse: not invertible");
+  if (t0_neg) return m - (t0 % m);
+  return t0 % m;
+}
+
+BigInt BigInt::random_bits(SecureRandom& rng, std::size_t bits) {
+  if (bits == 0) return BigInt{};
+  Bytes raw = rng.bytes((bits + 7) / 8);
+  // Clear excess leading bits, then force the top bit so the width is exact.
+  const std::size_t excess = raw.size() * 8 - bits;
+  raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+  raw[0] |= static_cast<std::uint8_t>(0x80 >> excess);
+  return from_bytes_be(raw);
+}
+
+BigInt BigInt::random_below(SecureRandom& rng, const BigInt& bound) {
+  if (bound.is_zero()) throw Error("random_below: zero bound");
+  const std::size_t bits = bound.bit_length();
+  for (;;) {
+    Bytes raw = rng.bytes((bits + 7) / 8);
+    const std::size_t excess = raw.size() * 8 - bits;
+    raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    BigInt candidate = from_bytes_be(raw);
+    if (candidate < bound) return candidate;
+  }
+}
+
+bool BigInt::is_probable_prime(SecureRandom& rng, int rounds) const {
+  if (*this < BigInt{2}) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    if (*this == BigInt{p}) return true;
+    if ((*this % BigInt{p}).is_zero()) return false;
+  }
+
+  // Write n-1 as d * 2^s.
+  const BigInt n_minus_1 = *this - BigInt{1};
+  BigInt d = n_minus_1;
+  std::size_t s = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++s;
+  }
+
+  const Montgomery mont(*this);
+  const BigInt two{2};
+  for (int round = 0; round < rounds; ++round) {
+    // Base in [2, n-2].
+    const BigInt base = two + random_below(rng, *this - BigInt{4} + BigInt{1});
+    BigInt x = mont.mod_exp(base, d);
+    if (x == BigInt{1} || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 1; i < s; ++i) {
+      x = mont.mod_exp(x, two);
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::generate_prime(SecureRandom& rng, std::size_t bits) {
+  if (bits < 16) throw CryptoError("generate_prime: need at least 16 bits");
+  for (;;) {
+    BigInt candidate = random_bits(rng, bits);
+    // Force the second-highest bit (RSA modulus width) and oddness.
+    candidate.limbs_[(bits - 2) / 32] |= std::uint32_t{1} << ((bits - 2) % 32);
+    candidate.limbs_[0] |= 1u;
+    if (candidate.is_probable_prime(rng, 40)) return candidate;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Montgomery arithmetic
+
+Montgomery::Montgomery(const BigInt& modulus) : modulus_(modulus) {
+  if (!modulus.is_odd() || modulus <= BigInt{1}) {
+    throw CryptoError("Montgomery: modulus must be odd and > 1");
+  }
+  k_ = modulus.limbs_.size();
+
+  // n0_inv = -N^-1 mod 2^32 via Newton iteration (5 steps suffice for 32b).
+  const std::uint32_t n0 = modulus.limbs_[0];
+  std::uint32_t inv = 1;
+  for (int i = 0; i < 5; ++i) inv *= 2 - n0 * inv;
+  n0_inv_ = ~inv + 1;  // negate mod 2^32
+
+  const BigInt r = BigInt{1} << (32 * k_);
+  r_mod_n_ = r % modulus_;
+  r2_mod_n_ = (r_mod_n_ * r_mod_n_) % modulus_;
+}
+
+void Montgomery::mont_mul(const Limbs& a, const Limbs& b, Limbs& out) const {
+  // CIOS: t has k+2 limbs.
+  std::vector<std::uint64_t> t(k_ + 2, 0);
+  const auto& n = modulus_.limbs_;
+  for (std::size_t i = 0; i < k_; ++i) {
+    // t += a[i] * b
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a[i];
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint64_t cur = t[j] + ai * b[j] + carry;
+      t[j] = cur & 0xffffffffu;
+      carry = cur >> 32;
+    }
+    std::uint64_t cur = t[k_] + carry;
+    t[k_] = cur & 0xffffffffu;
+    t[k_ + 1] += cur >> 32;
+
+    // m = t[0] * n0_inv mod 2^32 ; t += m * n ; t >>= 32
+    const std::uint64_t m =
+        (t[0] * n0_inv_) & 0xffffffffu;
+    carry = 0;
+    for (std::size_t j = 0; j < k_; ++j) {
+      const std::uint64_t cur2 = t[j] + m * n[j] + carry;
+      t[j] = cur2 & 0xffffffffu;
+      carry = cur2 >> 32;
+    }
+    cur = t[k_] + carry;
+    t[k_] = cur & 0xffffffffu;
+    t[k_ + 1] += cur >> 32;
+
+    for (std::size_t j = 0; j <= k_; ++j) t[j] = t[j + 1];
+    t[k_ + 1] = 0;
+  }
+
+  // t < 2N at this point; subtract N if needed.
+  bool ge = t[k_] != 0;
+  if (!ge) {
+    ge = true;
+    for (std::size_t i = k_; i-- > 0;) {
+      if (t[i] != n[i]) {
+        ge = t[i] > n[i];
+        break;
+      }
+    }
+  }
+  out.assign(k_, 0);
+  if (ge) {
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < k_; ++i) {
+      const std::int64_t diff =
+          static_cast<std::int64_t>(t[i]) - static_cast<std::int64_t>(n[i]) -
+          borrow;
+      out[i] = static_cast<std::uint32_t>(diff & 0xffffffff);
+      borrow = diff < 0 ? 1 : 0;
+    }
+  } else {
+    for (std::size_t i = 0; i < k_; ++i) {
+      out[i] = static_cast<std::uint32_t>(t[i]);
+    }
+  }
+}
+
+Montgomery::Limbs Montgomery::to_mont(const BigInt& value) const {
+  Limbs v = (value % modulus_).limbs_;
+  v.resize(k_, 0);
+  Limbs r2 = r2_mod_n_.limbs_;
+  r2.resize(k_, 0);
+  Limbs out;
+  mont_mul(v, r2, out);
+  return out;
+}
+
+BigInt Montgomery::from_mont(const Limbs& value) const {
+  Limbs one(k_, 0);
+  one[0] = 1;
+  Limbs out;
+  mont_mul(value, one, out);
+  BigInt result;
+  result.limbs_ = out;
+  result.trim();
+  return result;
+}
+
+BigInt Montgomery::mod_exp(const BigInt& base, const BigInt& exponent) const {
+  if (exponent.is_zero()) return BigInt{1} % modulus_;
+  const Limbs base_m = to_mont(base);
+  Limbs acc = r_mod_n_.limbs_;  // 1 in Montgomery form
+  acc.resize(k_, 0);
+  Limbs tmp;
+  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+    mont_mul(acc, acc, tmp);
+    acc.swap(tmp);
+    if (exponent.bit(i)) {
+      mont_mul(acc, base_m, tmp);
+      acc.swap(tmp);
+    }
+  }
+  return from_mont(acc);
+}
+
+BigInt BigInt::mod_exp(const BigInt& base, const BigInt& exponent,
+                       const BigInt& modulus) {
+  if (modulus.is_zero()) throw Error("mod_exp: zero modulus");
+  if (modulus == BigInt{1}) return BigInt{};
+  if (modulus.is_odd()) {
+    return Montgomery(modulus).mod_exp(base, exponent);
+  }
+  // Even modulus: classic left-to-right square and multiply.
+  BigInt acc{1};
+  const BigInt b = base % modulus;
+  for (std::size_t i = exponent.bit_length(); i-- > 0;) {
+    acc = (acc * acc) % modulus;
+    if (exponent.bit(i)) acc = (acc * b) % modulus;
+  }
+  return acc;
+}
+
+}  // namespace keygraphs::crypto

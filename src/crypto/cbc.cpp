@@ -1,0 +1,75 @@
+#include "crypto/cbc.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "crypto/random.h"
+
+namespace keygraphs::crypto {
+
+CbcCipher::CbcCipher(std::shared_ptr<const BlockCipher> cipher)
+    : cipher_(std::move(cipher)) {
+  if (!cipher_) throw CryptoError("CbcCipher: null cipher");
+}
+
+Bytes CbcCipher::encrypt(BytesView plaintext, SecureRandom& rng) const {
+  return encrypt_with_iv(plaintext, rng.bytes(cipher_->block_size()));
+}
+
+Bytes CbcCipher::encrypt_with_iv(BytesView plaintext, BytesView iv) const {
+  const std::size_t block = cipher_->block_size();
+  if (iv.size() != block) throw CryptoError("CBC: IV must be one block");
+
+  // PKCS#7: pad with `pad` bytes of value `pad`, 1..block.
+  const std::size_t pad = block - plaintext.size() % block;
+  Bytes padded(plaintext.begin(), plaintext.end());
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  Bytes out(iv.begin(), iv.end());
+  out.resize(block + padded.size());
+  const std::uint8_t* chain = out.data();  // previous ciphertext block (or IV)
+  for (std::size_t off = 0; off < padded.size(); off += block) {
+    std::uint8_t* dst = out.data() + block + off;
+    for (std::size_t i = 0; i < block; ++i) {
+      dst[i] = padded[off + i] ^ chain[i];
+    }
+    cipher_->encrypt_block(dst, dst);
+    chain = dst;
+  }
+  return out;
+}
+
+Bytes CbcCipher::decrypt(BytesView iv_and_ciphertext) const {
+  const std::size_t block = cipher_->block_size();
+  if (iv_and_ciphertext.size() < 2 * block ||
+      iv_and_ciphertext.size() % block != 0) {
+    throw CryptoError("CBC: ciphertext length invalid");
+  }
+  const std::size_t body = iv_and_ciphertext.size() - block;
+  Bytes plain(body);
+  for (std::size_t off = 0; off < body; off += block) {
+    const std::uint8_t* ct = iv_and_ciphertext.data() + block + off;
+    const std::uint8_t* chain = iv_and_ciphertext.data() + off;
+    cipher_->decrypt_block(ct, plain.data() + off);
+    for (std::size_t i = 0; i < block; ++i) {
+      plain[off + i] ^= chain[i];
+    }
+  }
+  const std::uint8_t pad = plain.back();
+  if (pad == 0 || pad > block || pad > plain.size()) {
+    throw CryptoError("CBC: bad padding");
+  }
+  for (std::size_t i = plain.size() - pad; i < plain.size(); ++i) {
+    if (plain[i] != pad) throw CryptoError("CBC: bad padding");
+  }
+  plain.resize(plain.size() - pad);
+  return plain;
+}
+
+std::size_t CbcCipher::ciphertext_size(std::size_t plaintext_size) const {
+  const std::size_t block = cipher_->block_size();
+  const std::size_t pad = block - plaintext_size % block;
+  return block + plaintext_size + pad;
+}
+
+}  // namespace keygraphs::crypto

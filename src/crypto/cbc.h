@@ -1,0 +1,43 @@
+// CBC mode with PKCS#7 padding over any BlockCipher.
+//
+// The paper encrypts new keys with DES-CBC; every rekey payload item in this
+// reproduction is one CBC encryption of the new key bytes under an existing
+// key, with a fresh random IV prepended to the ciphertext.
+#pragma once
+
+#include <memory>
+
+#include "crypto/block_cipher.h"
+
+namespace keygraphs::crypto {
+
+class SecureRandom;
+
+/// Stateless CBC helpers bound to a keyed block cipher.
+class CbcCipher {
+ public:
+  /// Takes shared ownership of a keyed cipher.
+  explicit CbcCipher(std::shared_ptr<const BlockCipher> cipher);
+
+  /// Encrypts `plaintext` with a random IV drawn from `rng`.
+  /// Output layout: IV || ciphertext blocks. Always at least two blocks
+  /// (PKCS#7 pads even exact multiples).
+  [[nodiscard]] Bytes encrypt(BytesView plaintext, SecureRandom& rng) const;
+
+  /// Encrypts with a caller-supplied IV (used by deterministic tests).
+  /// IV must be exactly one block. Output layout: IV || ciphertext.
+  [[nodiscard]] Bytes encrypt_with_iv(BytesView plaintext, BytesView iv) const;
+
+  /// Inverse of encrypt(); throws CryptoError on bad length or padding.
+  [[nodiscard]] Bytes decrypt(BytesView iv_and_ciphertext) const;
+
+  /// Ciphertext size (including IV) for a plaintext of `plaintext_size`.
+  [[nodiscard]] std::size_t ciphertext_size(std::size_t plaintext_size) const;
+
+  [[nodiscard]] const BlockCipher& cipher() const noexcept { return *cipher_; }
+
+ private:
+  std::shared_ptr<const BlockCipher> cipher_;
+};
+
+}  // namespace keygraphs::crypto

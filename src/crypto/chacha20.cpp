@@ -1,0 +1,97 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+
+#include "common/error.h"
+#include "crypto/sha256.h"
+
+namespace keygraphs::crypto {
+
+namespace {
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(BytesView key, BytesView nonce, std::uint32_t counter) {
+  if (key.size() != kKeySize) throw CryptoError("ChaCha20: key must be 32B");
+  if (nonce.size() != kNonceSize) {
+    throw CryptoError("ChaCha20: nonce must be 12B");
+  }
+  // "expand 32-byte k" constants.
+  state_[0] = 0x61707865u;
+  state_[1] = 0x3320646eu;
+  state_[2] = 0x79622d32u;
+  state_[3] = 0x6b206574u;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::quarter_round(std::uint32_t& a, std::uint32_t& b,
+                             std::uint32_t& c, std::uint32_t& d) {
+  a += b;
+  d = std::rotl(d ^ a, 16);
+  c += d;
+  b = std::rotl(b ^ c, 12);
+  a += b;
+  d = std::rotl(d ^ a, 8);
+  c += d;
+  b = std::rotl(b ^ c, 7);
+}
+
+void ChaCha20::next_block(std::uint8_t out[kBlockSize]) {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t word = x[static_cast<std::size_t>(i)] +
+                               state_[static_cast<std::size_t>(i)];
+    out[4 * i + 0] = static_cast<std::uint8_t>(word);
+    out[4 * i + 1] = static_cast<std::uint8_t>(word >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(word >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(word >> 24);
+  }
+  ++state_[12];
+}
+
+ChaCha20Drbg::ChaCha20Drbg(BytesView seed)
+    : stream_(
+          [&] {
+            if (seed.empty()) throw CryptoError("DRBG: empty seed");
+            Sha256 hash;
+            hash.update(seed);
+            return hash.finish();
+          }(),
+          Bytes(ChaCha20::kNonceSize, 0x00)) {}
+
+void ChaCha20Drbg::refill() {
+  stream_.next_block(block_.data());
+  used_ = 0;
+}
+
+void ChaCha20Drbg::fill(std::uint8_t* out, std::size_t n) {
+  while (n > 0) {
+    if (used_ == block_.size()) refill();
+    const std::size_t take = std::min(n, block_.size() - used_);
+    for (std::size_t i = 0; i < take; ++i) out[i] = block_[used_ + i];
+    out += take;
+    used_ += take;
+    n -= take;
+  }
+}
+
+}  // namespace keygraphs::crypto

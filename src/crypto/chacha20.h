@@ -1,0 +1,53 @@
+// ChaCha20 block function (RFC 7539 layout) used as the core of the
+// library's deterministic random generator. We do not use ChaCha20 for
+// payload encryption — the paper's cipher is DES-CBC — only as a CSPRNG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace keygraphs::crypto {
+
+/// Raw ChaCha20 keystream generator: 32-byte key, 12-byte nonce, 32-bit
+/// block counter. Exposed separately from the DRBG for unit testing of the
+/// quarter-round and block function.
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  ChaCha20(BytesView key, BytesView nonce, std::uint32_t counter = 0);
+
+  /// Writes the keystream block for the current counter and advances it.
+  void next_block(std::uint8_t out[kBlockSize]);
+
+  /// RFC 7539 2.1 quarter round, exposed for testing.
+  static void quarter_round(std::uint32_t& a, std::uint32_t& b,
+                            std::uint32_t& c, std::uint32_t& d);
+
+ private:
+  std::array<std::uint32_t, 16> state_{};
+};
+
+/// Deterministic random bit generator over ChaCha20.
+/// Seeded once (from the OS or from a fixed value for reproducible
+/// experiments), then produces an endless keystream.
+class ChaCha20Drbg {
+ public:
+  /// Seed must be non-empty; it is hashed to 32 bytes internally.
+  explicit ChaCha20Drbg(BytesView seed);
+
+  void fill(std::uint8_t* out, std::size_t n);
+
+ private:
+  void refill();
+
+  ChaCha20 stream_;
+  std::array<std::uint8_t, ChaCha20::kBlockSize> block_{};
+  std::size_t used_ = ChaCha20::kBlockSize;
+};
+
+}  // namespace keygraphs::crypto

@@ -1,0 +1,36 @@
+#include "crypto/des3.h"
+
+#include "common/error.h"
+
+namespace keygraphs::crypto {
+
+namespace {
+
+BytesView key_part(BytesView key, int index) {
+  if (key.size() != Des3::kKeySize) {
+    throw CryptoError("3DES: key must be 24 bytes");
+  }
+  return key.subspan(static_cast<std::size_t>(index) * Des::kKeySize,
+                     Des::kKeySize);
+}
+
+}  // namespace
+
+Des3::Des3(BytesView key)
+    : first_(key_part(key, 0)),
+      second_(key_part(key, 1)),
+      third_(key_part(key, 2)) {}
+
+void Des3::encrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
+  first_.encrypt_block(in, out);
+  second_.decrypt_block(out, out);
+  third_.encrypt_block(out, out);
+}
+
+void Des3::decrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
+  third_.decrypt_block(in, out);
+  second_.encrypt_block(out, out);
+  first_.decrypt_block(out, out);
+}
+
+}  // namespace keygraphs::crypto

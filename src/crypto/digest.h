@@ -1,0 +1,63 @@
+// Streaming message-digest interface plus algorithm registry.
+//
+// The paper's prototype computes MD5 digests of rekey messages and signs
+// them with RSA; SHA-1 and SHA-256 are provided for the digest ablation
+// benchmark. All three are Merkle–Damgård constructions over 64-byte blocks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace keygraphs::crypto {
+
+/// Incremental digest. update() may be called any number of times; finish()
+/// returns the digest and resets the object to its initial state, so one
+/// instance can be reused for many messages (the server hashes thousands of
+/// rekey messages per second).
+class Digest {
+ public:
+  virtual ~Digest() = default;
+
+  /// Digest output size in bytes (16 for MD5, 20 for SHA-1, 32 for SHA-256).
+  [[nodiscard]] virtual std::size_t digest_size() const noexcept = 0;
+
+  /// Internal block size in bytes (64 for all provided algorithms);
+  /// needed by HMAC.
+  [[nodiscard]] virtual std::size_t block_size() const noexcept = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  virtual void update(BytesView data) = 0;
+
+  /// Finalize, return the digest, and reset for the next message.
+  virtual Bytes finish() = 0;
+
+  /// Fresh instance of the same algorithm in initial state.
+  [[nodiscard]] virtual std::unique_ptr<Digest> clone() const = 0;
+};
+
+/// Identifies a digest in configuration and on the wire. kNone means the
+/// server sends rekey messages without integrity protection (the paper's
+/// "encryption only" measurement configuration).
+enum class DigestAlgorithm : std::uint8_t {
+  kNone = 0,
+  kMd5 = 1,
+  kSha1 = 2,
+  kSha256 = 3,
+};
+
+/// Factory. Throws CryptoError for kNone or unknown values.
+std::unique_ptr<Digest> make_digest(DigestAlgorithm algorithm);
+
+/// One-shot convenience: digest of a single buffer.
+Bytes digest_of(DigestAlgorithm algorithm, BytesView data);
+
+/// Digest output size in bytes without constructing an instance.
+std::size_t digest_size(DigestAlgorithm algorithm);
+
+std::string digest_name(DigestAlgorithm algorithm);
+
+}  // namespace keygraphs::crypto

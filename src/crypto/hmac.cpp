@@ -1,0 +1,42 @@
+#include "crypto/hmac.h"
+
+namespace keygraphs::crypto {
+
+Hmac::Hmac(DigestAlgorithm algorithm, BytesView key) : algorithm_(algorithm) {
+  auto digest = make_digest(algorithm);
+  const std::size_t block = digest->block_size();
+
+  Bytes normalized(key.begin(), key.end());
+  if (normalized.size() > block) {
+    digest->update(normalized);
+    normalized = digest->finish();
+  }
+  normalized.resize(block, 0x00);
+
+  inner_pad_.resize(block);
+  outer_pad_.resize(block);
+  for (std::size_t i = 0; i < block; ++i) {
+    inner_pad_[i] = normalized[i] ^ 0x36;
+    outer_pad_[i] = normalized[i] ^ 0x5c;
+  }
+}
+
+Bytes Hmac::mac(BytesView message) const {
+  auto digest = make_digest(algorithm_);
+  digest->update(inner_pad_);
+  digest->update(message);
+  const Bytes inner = digest->finish();
+  digest->update(outer_pad_);
+  digest->update(inner);
+  return digest->finish();
+}
+
+bool Hmac::verify(BytesView message, BytesView tag) const {
+  return constant_time_equal(mac(message), tag);
+}
+
+std::size_t Hmac::tag_size() const noexcept {
+  return digest_size(algorithm_);
+}
+
+}  // namespace keygraphs::crypto

@@ -1,0 +1,32 @@
+// HMAC (RFC 2104) over any Digest. Used to derive per-message integrity
+// checks in configurations where signatures are disabled, and by the key
+// derivation helper in the client layer.
+#pragma once
+
+#include <memory>
+
+#include "crypto/digest.h"
+
+namespace keygraphs::crypto {
+
+/// Keyed MAC. One instance per key; mac() may be called repeatedly.
+class Hmac {
+ public:
+  /// Keys longer than the digest block size are hashed first (RFC 2104).
+  Hmac(DigestAlgorithm algorithm, BytesView key);
+
+  /// MAC of a single message.
+  [[nodiscard]] Bytes mac(BytesView message) const;
+
+  /// Constant-time verification of a received tag.
+  [[nodiscard]] bool verify(BytesView message, BytesView tag) const;
+
+  [[nodiscard]] std::size_t tag_size() const noexcept;
+
+ private:
+  DigestAlgorithm algorithm_;
+  Bytes inner_pad_;  // key ^ 0x36.. , one block
+  Bytes outer_pad_;  // key ^ 0x5c.. , one block
+};
+
+}  // namespace keygraphs::crypto

@@ -1,0 +1,122 @@
+#include "crypto/md5.h"
+
+#include <bit>
+#include <cmath>
+
+namespace keygraphs::crypto {
+
+namespace {
+
+// Per-round left-rotation amounts (RFC 1321).
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * |sin(i+1)|), computed rather than transcribed; the
+// RFC 1321 test vectors in the test suite pin the values.
+const std::array<std::uint32_t, 64>& sine_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 64> t{};
+    for (int i = 0; i < 64; ++i) {
+      t[static_cast<std::size_t>(i)] = static_cast<std::uint32_t>(
+          std::floor(std::abs(std::sin(static_cast<double>(i + 1))) *
+                     4294967296.0));
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void Md5::reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Md5::compress(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = static_cast<std::uint32_t>(block[4 * i]) |
+           static_cast<std::uint32_t>(block[4 * i + 1]) << 8 |
+           static_cast<std::uint32_t>(block[4 * i + 2]) << 16 |
+           static_cast<std::uint32_t>(block[4 * i + 3]) << 24;
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  const auto& k = sine_table();
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    const std::uint32_t temp = d;
+    d = c;
+    c = b;
+    b += std::rotl(a + f + k[static_cast<std::size_t>(i)] + m[g],
+                   kShift[i]);
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(BytesView data) {
+  total_bytes_ += data.size();
+  std::size_t pos = 0;
+  if (buffered_ > 0) {
+    while (buffered_ < 64 && pos < data.size()) {
+      buffer_[buffered_++] = data[pos++];
+    }
+    if (buffered_ == 64) {
+      compress(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (data.size() - pos >= 64) {
+    compress(data.data() + pos);
+    pos += 64;
+  }
+  while (pos < data.size()) buffer_[buffered_++] = data[pos++];
+}
+
+Bytes Md5::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t one = 0x80;
+  update(BytesView(&one, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(BytesView(&zero, 1));
+  std::uint8_t len[8];
+  for (int i = 0; i < 8; ++i) {
+    len[i] = static_cast<std::uint8_t>(bit_length >> (8 * i));
+  }
+  update(BytesView(len, 8));
+
+  Bytes out(16);
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 4; ++i) {
+      out[static_cast<std::size_t>(4 * w + i)] =
+          static_cast<std::uint8_t>(state_[static_cast<std::size_t>(w)] >>
+                                    (8 * i));
+    }
+  }
+  reset();
+  return out;
+}
+
+}  // namespace keygraphs::crypto

@@ -1,0 +1,40 @@
+// MD5 (RFC 1321) — the digest used by the paper's prototype.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/digest.h"
+
+namespace keygraphs::crypto {
+
+/// MD5 with the standard streaming interface. Broken for collision
+/// resistance by modern standards; kept for fidelity to the paper and the
+/// digest ablation benchmark.
+class Md5 final : public Digest {
+ public:
+  Md5() { reset(); }
+
+  [[nodiscard]] std::size_t digest_size() const noexcept override {
+    return 16;
+  }
+  [[nodiscard]] std::size_t block_size() const noexcept override { return 64; }
+  [[nodiscard]] std::string name() const override { return "MD5"; }
+
+  void update(BytesView data) override;
+  Bytes finish() override;
+  [[nodiscard]] std::unique_ptr<Digest> clone() const override {
+    return std::make_unique<Md5>();
+  }
+
+ private:
+  void reset();
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace keygraphs::crypto

@@ -1,0 +1,69 @@
+#include "crypto/random.h"
+
+#include <random>
+
+#include "common/error.h"
+
+namespace keygraphs::crypto {
+
+namespace {
+
+Bytes os_seed() {
+  std::random_device device;
+  Bytes seed(32);
+  for (std::size_t i = 0; i < seed.size(); i += 4) {
+    const std::uint32_t word = device();
+    for (std::size_t j = 0; j < 4 && i + j < seed.size(); ++j) {
+      seed[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+  }
+  return seed;
+}
+
+Bytes u64_seed(std::uint64_t seed) {
+  Bytes out(8);
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seed >> (8 * i));
+  }
+  return out;
+}
+
+}  // namespace
+
+SecureRandom::SecureRandom() : drbg_(os_seed()) {}
+
+SecureRandom::SecureRandom(std::uint64_t seed) : drbg_(u64_seed(seed)) {}
+
+Bytes SecureRandom::bytes(std::size_t n) {
+  Bytes out(n);
+  drbg_.fill(out.data(), n);
+  return out;
+}
+
+void SecureRandom::fill(std::uint8_t* out, std::size_t n) {
+  drbg_.fill(out, n);
+}
+
+std::uint64_t SecureRandom::uniform(std::uint64_t bound) {
+  if (bound == 0) throw Error("SecureRandom::uniform: zero bound");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % bound;
+  for (;;) {
+    std::uint8_t raw[8];
+    drbg_.fill(raw, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+    }
+    if (v < limit) return v % bound;
+  }
+}
+
+double SecureRandom::uniform_unit() {
+  // 53 random bits into the double mantissa.
+  const std::uint64_t v = uniform(std::uint64_t{1} << 53);
+  return static_cast<double>(v) / static_cast<double>(std::uint64_t{1} << 53);
+}
+
+}  // namespace keygraphs::crypto

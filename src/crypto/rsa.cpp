@@ -1,0 +1,158 @@
+#include "crypto/rsa.h"
+
+#include "common/error.h"
+#include "common/io.h"
+#include "crypto/random.h"
+
+namespace keygraphs::crypto {
+
+namespace {
+
+// ASN.1 DigestInfo prefixes for EMSA-PKCS1-v1_5 (RFC 8017 section 9.2).
+BytesView digest_info_prefix(DigestAlgorithm algorithm) {
+  static const Bytes kMd5 =
+      from_hex("3020300c06082a864886f70d020505000410");
+  static const Bytes kSha1 = from_hex("3021300906052b0e03021a05000414");
+  static const Bytes kSha256 =
+      from_hex("3031300d060960864801650304020105000420");
+  switch (algorithm) {
+    case DigestAlgorithm::kMd5:
+      return kMd5;
+    case DigestAlgorithm::kSha1:
+      return kSha1;
+    case DigestAlgorithm::kSha256:
+      return kSha256;
+    default:
+      throw CryptoError("RSA: unsupported digest algorithm");
+  }
+}
+
+}  // namespace
+
+Bytes pkcs1_v15_encode(DigestAlgorithm algorithm, BytesView digest,
+                       std::size_t modulus_size) {
+  if (digest.size() != digest_size(algorithm)) {
+    throw CryptoError("RSA: digest length does not match algorithm");
+  }
+  const BytesView prefix = digest_info_prefix(algorithm);
+  const std::size_t payload = prefix.size() + digest.size();
+  if (modulus_size < payload + 11) {
+    throw CryptoError("RSA: modulus too small for digest");
+  }
+  Bytes out;
+  out.reserve(modulus_size);
+  out.push_back(0x00);
+  out.push_back(0x01);
+  out.insert(out.end(), modulus_size - payload - 3, 0xff);
+  out.push_back(0x00);
+  out.insert(out.end(), prefix.begin(), prefix.end());
+  out.insert(out.end(), digest.begin(), digest.end());
+  return out;
+}
+
+RsaPublicKey::RsaPublicKey(BigInt modulus, BigInt public_exponent)
+    : n_(std::move(modulus)), e_(std::move(public_exponent)) {
+  if (n_ < BigInt{4} || e_ < BigInt{3}) {
+    throw CryptoError("RSA: invalid public key parameters");
+  }
+}
+
+std::size_t RsaPublicKey::signature_size() const {
+  return (n_.bit_length() + 7) / 8;
+}
+
+bool RsaPublicKey::verify_digest(DigestAlgorithm algorithm, BytesView digest,
+                                 BytesView signature) const {
+  if (n_.is_zero()) return false;
+  if (signature.size() != signature_size()) return false;
+  const BigInt s = BigInt::from_bytes_be(signature);
+  if (s >= n_) return false;
+  const BigInt m = BigInt::mod_exp(s, e_, n_);
+  Bytes expected;
+  try {
+    expected = pkcs1_v15_encode(algorithm, digest, signature_size());
+  } catch (const CryptoError&) {
+    return false;
+  }
+  return constant_time_equal(m.to_bytes_be(signature_size()), expected);
+}
+
+bool RsaPublicKey::verify(DigestAlgorithm algorithm, BytesView message,
+                          BytesView signature) const {
+  return verify_digest(algorithm, digest_of(algorithm, message), signature);
+}
+
+Bytes RsaPublicKey::serialize() const {
+  ByteWriter writer;
+  writer.var_bytes(n_.to_bytes_be());
+  writer.var_bytes(e_.to_bytes_be());
+  return writer.take();
+}
+
+RsaPublicKey RsaPublicKey::deserialize(BytesView data) {
+  ByteReader reader(data);
+  BigInt n = BigInt::from_bytes_be(reader.var_bytes());
+  BigInt e = BigInt::from_bytes_be(reader.var_bytes());
+  reader.expect_done();
+  return RsaPublicKey(std::move(n), std::move(e));
+}
+
+RsaPrivateKey RsaPrivateKey::generate(SecureRandom& rng,
+                                      std::size_t modulus_bits,
+                                      std::uint64_t public_exponent) {
+  if (modulus_bits < 512 || modulus_bits % 2 != 0) {
+    throw CryptoError("RSA: modulus must be even and >= 512 bits");
+  }
+  const BigInt e{public_exponent};
+
+  RsaPrivateKey key;
+  for (;;) {
+    BigInt p = BigInt::generate_prime(rng, modulus_bits / 2);
+    BigInt q = BigInt::generate_prime(rng, modulus_bits / 2);
+    if (p == q) continue;
+    if (p < q) std::swap(p, q);  // CRT convention: p > q
+
+    const BigInt p1 = p - BigInt{1};
+    const BigInt q1 = q - BigInt{1};
+    // e must be coprime to (p-1)(q-1).
+    if (BigInt::gcd(p1, e) != BigInt{1} || BigInt::gcd(q1, e) != BigInt{1}) {
+      continue;
+    }
+    const BigInt n = p * q;
+    if (n.bit_length() != modulus_bits) continue;
+
+    const BigInt phi = p1 * q1;
+    const BigInt d = BigInt::mod_inverse(e, phi);
+
+    key.public_ = RsaPublicKey(n, e);
+    key.d_p_ = d % p1;
+    key.d_q_ = d % q1;
+    key.q_inv_ = BigInt::mod_inverse(q, p);
+    key.mont_p_ = std::make_shared<Montgomery>(p);
+    key.mont_q_ = std::make_shared<Montgomery>(q);
+    key.p_ = std::move(p);
+    key.q_ = std::move(q);
+    return key;
+  }
+}
+
+Bytes RsaPrivateKey::sign_digest(DigestAlgorithm algorithm,
+                                 BytesView digest) const {
+  const std::size_t size = signature_size();
+  const BigInt m =
+      BigInt::from_bytes_be(pkcs1_v15_encode(algorithm, digest, size));
+
+  // CRT: s = m^d mod n assembled from the two half-size exponentiations.
+  const BigInt s_p = mont_p_->mod_exp(m % p_, d_p_);
+  const BigInt s_q = mont_q_->mod_exp(m % q_, d_q_);
+  const BigInt diff = s_p >= s_q ? s_p - s_q : p_ - ((s_q - s_p) % p_);
+  const BigInt h = (q_inv_ * diff) % p_;
+  const BigInt s = s_q + h * q_;
+  return s.to_bytes_be(size);
+}
+
+Bytes RsaPrivateKey::sign(DigestAlgorithm algorithm, BytesView message) const {
+  return sign_digest(algorithm, digest_of(algorithm, message));
+}
+
+}  // namespace keygraphs::crypto

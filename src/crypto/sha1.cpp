@@ -1,0 +1,97 @@
+#include "crypto/sha1.h"
+
+#include <bit>
+
+namespace keygraphs::crypto {
+
+void Sha1::reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u, 0xc3d2e1f0u};
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha1::compress(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
+           static_cast<std::uint32_t>(block[4 * i + 1]) << 16 |
+           static_cast<std::uint32_t>(block[4 * i + 2]) << 8 |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = std::rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t temp = std::rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = std::rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(BytesView data) {
+  total_bytes_ += data.size();
+  std::size_t pos = 0;
+  if (buffered_ > 0) {
+    while (buffered_ < 64 && pos < data.size()) {
+      buffer_[buffered_++] = data[pos++];
+    }
+    if (buffered_ == 64) {
+      compress(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (data.size() - pos >= 64) {
+    compress(data.data() + pos);
+    pos += 64;
+  }
+  while (pos < data.size()) buffer_[buffered_++] = data[pos++];
+}
+
+Bytes Sha1::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t one = 0x80;
+  update(BytesView(&one, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(BytesView(&zero, 1));
+  std::uint8_t len[8];
+  for (int i = 0; i < 8; ++i) {
+    len[i] = static_cast<std::uint8_t>(bit_length >> (8 * (7 - i)));
+  }
+  update(BytesView(len, 8));
+
+  Bytes out(20);
+  for (int w = 0; w < 5; ++w) {
+    for (int i = 0; i < 4; ++i) {
+      out[static_cast<std::size_t>(4 * w + i)] = static_cast<std::uint8_t>(
+          state_[static_cast<std::size_t>(w)] >> (8 * (3 - i)));
+    }
+  }
+  reset();
+  return out;
+}
+
+}  // namespace keygraphs::crypto

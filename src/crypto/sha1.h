@@ -1,0 +1,37 @@
+// SHA-1 (FIPS 180-4), provided for the digest ablation benchmark.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/digest.h"
+
+namespace keygraphs::crypto {
+
+class Sha1 final : public Digest {
+ public:
+  Sha1() { reset(); }
+
+  [[nodiscard]] std::size_t digest_size() const noexcept override {
+    return 20;
+  }
+  [[nodiscard]] std::size_t block_size() const noexcept override { return 64; }
+  [[nodiscard]] std::string name() const override { return "SHA-1"; }
+
+  void update(BytesView data) override;
+  Bytes finish() override;
+  [[nodiscard]] std::unique_ptr<Digest> clone() const override {
+    return std::make_unique<Sha1>();
+  }
+
+ private:
+  void reset();
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace keygraphs::crypto

@@ -1,0 +1,177 @@
+#include "crypto/sha256.h"
+
+#include <bit>
+
+namespace keygraphs::crypto {
+
+namespace {
+
+// The round constants are the first 32 bits of the fractional parts of the
+// cube roots of the first 64 primes, and the initial state is the same for
+// square roots of the first 8 primes. Both are derived here with exact
+// integer root extraction instead of being transcribed; the FIPS 180-4 test
+// vectors in the test suite pin the values.
+
+using U128 = unsigned __int128;
+
+std::uint64_t integer_root(U128 value, int degree) {
+  // Largest r with r^degree <= value, by binary search. The callers pass
+  // value < 312 * 2^96 with degree >= 2, so the root fits well under 2^40
+  // (and hi+1 cannot overflow the midpoint computation).
+  std::uint64_t lo = 0, hi = std::uint64_t{1} << 40;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    // Compute mid^degree with overflow clamping.
+    U128 acc = 1;
+    bool overflow = false;
+    for (int i = 0; i < degree; ++i) {
+      if (acc > static_cast<U128>(-1) / mid) {
+        overflow = true;
+        break;
+      }
+      acc *= mid;
+    }
+    if (!overflow && acc <= value) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+// floor(2^32 * frac(p^(1/degree))) for a small prime p.
+std::uint32_t root_fraction(std::uint32_t p, int degree) {
+  const int shift = 32 * degree;  // root of (p << shift) is 2^32 * p^(1/deg)
+  const std::uint64_t scaled =
+      integer_root(static_cast<U128>(p) << shift, degree);
+  return static_cast<std::uint32_t>(scaled);  // low 32 bits = fraction
+}
+
+std::array<std::uint32_t, 64> make_round_constants() {
+  constexpr std::uint32_t primes[64] = {
+      2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,
+      43,  47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101,
+      103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+      173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239,
+      241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311};
+  std::array<std::uint32_t, 64> k{};
+  for (int i = 0; i < 64; ++i) {
+    k[static_cast<std::size_t>(i)] = root_fraction(primes[i], 3);
+  }
+  return k;
+}
+
+const std::array<std::uint32_t, 64>& round_constants() {
+  static const auto k = make_round_constants();
+  return k;
+}
+
+std::array<std::uint32_t, 8> initial_state() {
+  constexpr std::uint32_t primes[8] = {2, 3, 5, 7, 11, 13, 17, 19};
+  std::array<std::uint32_t, 8> h{};
+  for (int i = 0; i < 8; ++i) {
+    h[static_cast<std::size_t>(i)] = root_fraction(primes[i], 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+void Sha256::reset() {
+  static const auto h0 = initial_state();
+  state_ = h0;
+  buffered_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha256::compress(const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
+           static_cast<std::uint32_t>(block[4 * i + 1]) << 16 |
+           static_cast<std::uint32_t>(block[4 * i + 2]) << 8 |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        std::rotr(w[i - 15], 7) ^ std::rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        std::rotr(w[i - 2], 17) ^ std::rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  const auto& k = round_constants();
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 =
+        std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t temp1 =
+        h + s1 + ch + k[static_cast<std::size_t>(i)] + w[i];
+    const std::uint32_t s0 =
+        std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::update(BytesView data) {
+  total_bytes_ += data.size();
+  std::size_t pos = 0;
+  if (buffered_ > 0) {
+    while (buffered_ < 64 && pos < data.size()) {
+      buffer_[buffered_++] = data[pos++];
+    }
+    if (buffered_ == 64) {
+      compress(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (data.size() - pos >= 64) {
+    compress(data.data() + pos);
+    pos += 64;
+  }
+  while (pos < data.size()) buffer_[buffered_++] = data[pos++];
+}
+
+Bytes Sha256::finish() {
+  const std::uint64_t bit_length = total_bytes_ * 8;
+  const std::uint8_t one = 0x80;
+  update(BytesView(&one, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffered_ != 56) update(BytesView(&zero, 1));
+  std::uint8_t len[8];
+  for (int i = 0; i < 8; ++i) {
+    len[i] = static_cast<std::uint8_t>(bit_length >> (8 * (7 - i)));
+  }
+  update(BytesView(len, 8));
+
+  Bytes out(32);
+  for (int w = 0; w < 8; ++w) {
+    for (int i = 0; i < 4; ++i) {
+      out[static_cast<std::size_t>(4 * w + i)] = static_cast<std::uint8_t>(
+          state_[static_cast<std::size_t>(w)] >> (8 * (3 - i)));
+    }
+  }
+  reset();
+  return out;
+}
+
+}  // namespace keygraphs::crypto

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4): the digest used by the Merkle batch signer when a
+// modern configuration is selected, and an ablation point against MD5.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/digest.h"
+
+namespace keygraphs::crypto {
+
+class Sha256 final : public Digest {
+ public:
+  Sha256() { reset(); }
+
+  [[nodiscard]] std::size_t digest_size() const noexcept override {
+    return 32;
+  }
+  [[nodiscard]] std::size_t block_size() const noexcept override { return 64; }
+  [[nodiscard]] std::string name() const override { return "SHA-256"; }
+
+  void update(BytesView data) override;
+  Bytes finish() override;
+  [[nodiscard]] std::unique_ptr<Digest> clone() const override {
+    return std::make_unique<Sha256>();
+  }
+
+ private:
+  void reset();
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace keygraphs::crypto

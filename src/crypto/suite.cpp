@@ -1,0 +1,135 @@
+#include "crypto/suite.h"
+
+#include "common/error.h"
+#include "crypto/aes.h"
+#include "crypto/des.h"
+#include "crypto/des3.h"
+#include "crypto/md5.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace keygraphs::crypto {
+
+std::unique_ptr<BlockCipher> make_cipher(CipherAlgorithm algorithm,
+                                         BytesView key) {
+  switch (algorithm) {
+    case CipherAlgorithm::kDes:
+      return std::make_unique<Des>(key);
+    case CipherAlgorithm::kAes128:
+      return std::make_unique<Aes128>(key);
+    case CipherAlgorithm::kDes3:
+      return std::make_unique<Des3>(key);
+  }
+  throw CryptoError("make_cipher: unknown cipher algorithm");
+}
+
+std::size_t cipher_key_size(CipherAlgorithm algorithm) {
+  switch (algorithm) {
+    case CipherAlgorithm::kDes:
+      return Des::kKeySize;
+    case CipherAlgorithm::kAes128:
+      return Aes128::kKeySize;
+    case CipherAlgorithm::kDes3:
+      return Des3::kKeySize;
+  }
+  throw CryptoError("cipher_key_size: unknown cipher algorithm");
+}
+
+std::string cipher_name(CipherAlgorithm algorithm) {
+  switch (algorithm) {
+    case CipherAlgorithm::kDes:
+      return "DES";
+    case CipherAlgorithm::kAes128:
+      return "AES-128";
+    case CipherAlgorithm::kDes3:
+      return "3DES";
+  }
+  return "?";
+}
+
+std::unique_ptr<Digest> make_digest(DigestAlgorithm algorithm) {
+  switch (algorithm) {
+    case DigestAlgorithm::kMd5:
+      return std::make_unique<Md5>();
+    case DigestAlgorithm::kSha1:
+      return std::make_unique<Sha1>();
+    case DigestAlgorithm::kSha256:
+      return std::make_unique<Sha256>();
+    case DigestAlgorithm::kNone:
+      break;
+  }
+  throw CryptoError("make_digest: no such digest algorithm");
+}
+
+Bytes digest_of(DigestAlgorithm algorithm, BytesView data) {
+  auto digest = make_digest(algorithm);
+  digest->update(data);
+  return digest->finish();
+}
+
+std::size_t digest_size(DigestAlgorithm algorithm) {
+  switch (algorithm) {
+    case DigestAlgorithm::kMd5:
+      return 16;
+    case DigestAlgorithm::kSha1:
+      return 20;
+    case DigestAlgorithm::kSha256:
+      return 32;
+    case DigestAlgorithm::kNone:
+      return 0;
+  }
+  throw CryptoError("digest_size: unknown digest algorithm");
+}
+
+std::string digest_name(DigestAlgorithm algorithm) {
+  switch (algorithm) {
+    case DigestAlgorithm::kMd5:
+      return "MD5";
+    case DigestAlgorithm::kSha1:
+      return "SHA-1";
+    case DigestAlgorithm::kSha256:
+      return "SHA-256";
+    case DigestAlgorithm::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+std::size_t signature_modulus_bits(SignatureAlgorithm algorithm) {
+  switch (algorithm) {
+    case SignatureAlgorithm::kNone:
+      return 0;
+    case SignatureAlgorithm::kRsa512:
+      return 512;
+    case SignatureAlgorithm::kRsa768:
+      return 768;
+    case SignatureAlgorithm::kRsa1024:
+      return 1024;
+    case SignatureAlgorithm::kRsa2048:
+      return 2048;
+  }
+  throw CryptoError("signature_modulus_bits: unknown algorithm");
+}
+
+std::string signature_name(SignatureAlgorithm algorithm) {
+  switch (algorithm) {
+    case SignatureAlgorithm::kNone:
+      return "none";
+    case SignatureAlgorithm::kRsa512:
+      return "RSA-512";
+    case SignatureAlgorithm::kRsa768:
+      return "RSA-768";
+    case SignatureAlgorithm::kRsa1024:
+      return "RSA-1024";
+    case SignatureAlgorithm::kRsa2048:
+      return "RSA-2048";
+  }
+  return "?";
+}
+
+std::string CryptoSuite::label() const {
+  return cipher_name(cipher) + "/" + digest_name(digest) + "/" +
+         signature_name(signature);
+}
+
+}  // namespace keygraphs::crypto

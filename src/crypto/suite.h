@@ -1,0 +1,79 @@
+// CryptoSuite: the bundle of algorithm choices the paper's server reads from
+// its specification file ("the encryption algorithm, the message digest
+// algorithm, the digital signature algorithm, etc.").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "crypto/block_cipher.h"
+#include "crypto/digest.h"
+
+namespace keygraphs::crypto {
+
+/// Signature configuration. kNone reproduces the paper's "encryption only"
+/// measurements; the RSA variants add a digest + signature to every rekey
+/// message (or one per batch when Merkle batch signing is enabled).
+enum class SignatureAlgorithm : std::uint8_t {
+  kNone = 0,
+  kRsa512 = 1,
+  kRsa768 = 2,
+  kRsa1024 = 3,
+  kRsa2048 = 4,
+};
+
+/// Modulus size in bits for an RSA variant; 0 for kNone.
+std::size_t signature_modulus_bits(SignatureAlgorithm algorithm);
+
+std::string signature_name(SignatureAlgorithm algorithm);
+
+/// The paper's evaluation configurations:
+///   - encryption only:            {DES, kNone digest, kNone signature}
+///   - encryption+digest+signature {DES, MD5, RSA-512}
+struct CryptoSuite {
+  CipherAlgorithm cipher = CipherAlgorithm::kDes;
+  DigestAlgorithm digest = DigestAlgorithm::kNone;
+  SignatureAlgorithm signature = SignatureAlgorithm::kNone;
+
+  /// Digest used for signing; when `digest` is kNone but a signature is
+  /// requested, signatures fall back to MD5 (the paper's choice).
+  [[nodiscard]] DigestAlgorithm signing_digest() const {
+    return digest == DigestAlgorithm::kNone ? DigestAlgorithm::kMd5 : digest;
+  }
+
+  [[nodiscard]] bool signs() const {
+    return signature != SignatureAlgorithm::kNone;
+  }
+  [[nodiscard]] bool digests() const {
+    return digest != DigestAlgorithm::kNone;
+  }
+
+  /// Symmetric key size for the configured cipher, in bytes.
+  [[nodiscard]] std::size_t key_size() const {
+    return cipher_key_size(cipher);
+  }
+
+  /// "DES/MD5/RSA-512"-style label for bench table headers.
+  [[nodiscard]] std::string label() const;
+
+  /// The configuration the paper measured with signatures on.
+  static CryptoSuite paper_signed() {
+    return {CipherAlgorithm::kDes, DigestAlgorithm::kMd5,
+            SignatureAlgorithm::kRsa512};
+  }
+
+  /// The paper's "encryption only" configuration.
+  static CryptoSuite paper_plain() {
+    return {CipherAlgorithm::kDes, DigestAlgorithm::kNone,
+            SignatureAlgorithm::kNone};
+  }
+
+  /// A modern equivalent for the examples: AES-128 / SHA-256 / RSA-2048.
+  static CryptoSuite modern() {
+    return {CipherAlgorithm::kAes128, DigestAlgorithm::kSha256,
+            SignatureAlgorithm::kRsa2048};
+  }
+};
+
+}  // namespace keygraphs::crypto

@@ -1,0 +1,190 @@
+#include "iolus/iolus.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace keygraphs::iolus {
+
+namespace {
+
+Bytes wrap_under(crypto::CipherAlgorithm cipher, const Bytes& key,
+                 BytesView payload, crypto::SecureRandom& rng) {
+  const crypto::CbcCipher cbc(crypto::make_cipher(cipher, key));
+  return cbc.encrypt(payload, rng);
+}
+
+Bytes unwrap_under(crypto::CipherAlgorithm cipher, const Bytes& key,
+                   BytesView sealed) {
+  const crypto::CbcCipher cbc(crypto::make_cipher(cipher, key));
+  return cbc.decrypt(sealed);
+}
+
+}  // namespace
+
+IolusNetwork::IolusNetwork(IolusConfig config)
+    : config_(config),
+      rng_(config.rng_seed == 0 ? crypto::SecureRandom()
+                                : crypto::SecureRandom(config.rng_seed)),
+      key_size_(crypto::cipher_key_size(config.cipher)) {
+  if (config_.agents == 0) {
+    throw ProtocolError("Iolus: need at least one agent");
+  }
+  top_key_ = SymmetricKey{next_key_id_++, 1, rng_.bytes(key_size_)};
+  agents_.resize(config_.agents);
+  for (Agent& agent : agents_) {
+    agent.subgroup_key = SymmetricKey{next_key_id_++, 1,
+                                      rng_.bytes(key_size_)};
+  }
+}
+
+Bytes IolusNetwork::fresh_key() { return rng_.bytes(key_size_); }
+
+void IolusNetwork::count_wrap(IolusCost* cost) {
+  if (cost != nullptr) ++cost->key_encryptions;
+}
+
+std::size_t IolusNetwork::agent_of(UserId user) const {
+  auto it = member_agent_.find(user);
+  if (it == member_agent_.end()) {
+    throw ProtocolError("Iolus: user not in group");
+  }
+  return it->second;
+}
+
+IolusCost IolusNetwork::join(UserId user) {
+  if (member_agent_.contains(user)) {
+    throw ProtocolError("Iolus: user already in group");
+  }
+  // Least-loaded agent takes the newcomer (Iolus assigns by locality; load
+  // is the closest deterministic stand-in).
+  const std::size_t index = static_cast<std::size_t>(std::distance(
+      agents_.begin(),
+      std::min_element(agents_.begin(), agents_.end(),
+                       [](const Agent& a, const Agent& b) {
+                         return a.members.size() < b.members.size();
+                       })));
+  Agent& agent = agents_[index];
+
+  IolusCost cost;
+  const Bytes individual = rng_.bytes(key_size_);
+  individual_keys_[user] = individual;
+
+  // Local rekey only: new subgroup key multicast under the old one, plus a
+  // unicast under the newcomer's individual key. Other subgroups are
+  // untouched — Iolus's headline property.
+  SymmetricKey fresh{agent.subgroup_key.id, agent.subgroup_key.version + 1,
+                     fresh_key()};
+  if (!agent.members.empty()) {
+    (void)wrap_under(config_.cipher, agent.subgroup_key.secret, fresh.secret,
+                     rng_);
+    count_wrap(&cost);
+    ++cost.messages;
+  }
+  (void)wrap_under(config_.cipher, individual, fresh.secret, rng_);
+  count_wrap(&cost);
+  ++cost.messages;
+  agent.subgroup_key = std::move(fresh);
+  agent.members.push_back(user);
+  member_agent_[user] = index;
+
+  rekey_totals_.key_encryptions += cost.key_encryptions;
+  rekey_totals_.messages += cost.messages;
+  return cost;
+}
+
+IolusCost IolusNetwork::leave(UserId user) {
+  const std::size_t index = agent_of(user);
+  Agent& agent = agents_[index];
+  std::erase(agent.members, user);
+  member_agent_.erase(user);
+  individual_keys_.erase(user);
+
+  // Star-style local rekey: the new subgroup key is unicast to each
+  // remaining local member under its individual key. Cost is proportional
+  // to the SUBGROUP size, not the group size.
+  IolusCost cost;
+  SymmetricKey fresh{agent.subgroup_key.id, agent.subgroup_key.version + 1,
+                     fresh_key()};
+  for (UserId member : agent.members) {
+    (void)wrap_under(config_.cipher, individual_keys_.at(member),
+                     fresh.secret, rng_);
+    count_wrap(&cost);
+    ++cost.messages;
+  }
+  agent.subgroup_key = std::move(fresh);
+
+  rekey_totals_.key_encryptions += cost.key_encryptions;
+  rekey_totals_.messages += cost.messages;
+  return cost;
+}
+
+IolusDataMessage IolusNetwork::send(UserId sender, BytesView payload,
+                                    IolusCost* cost) {
+  const std::size_t origin = agent_of(sender);
+
+  IolusDataMessage message;
+  const Bytes message_key = fresh_key();
+
+  // The sender: payload under MK, MK under its own subgroup key.
+  message.payload_ciphertext =
+      wrap_under(config_.cipher, message_key, payload, rng_);
+  count_wrap(cost);
+  message.wrapped_message_key[origin] = wrap_under(
+      config_.cipher, agents_[origin].subgroup_key.secret, message_key, rng_);
+  count_wrap(cost);
+
+  // The origin agent unwraps and re-wraps for the top-level subgroup...
+  Bytes in_transit = unwrap_under(config_.cipher,
+                                  agents_[origin].subgroup_key.secret,
+                                  message.wrapped_message_key[origin]);
+  if (cost != nullptr) ++cost->key_decryptions;
+  message.wrapped_message_key[IolusDataMessage::kTopSubgroup] =
+      wrap_under(config_.cipher, top_key_.secret, in_transit, rng_);
+  count_wrap(cost);
+
+  // ...and every other agent unwraps the top copy and re-wraps for its own
+  // clients. This is the per-message work the paper contrasts with the key
+  // tree's per-join/leave work.
+  for (std::size_t index = 0; index < agents_.size(); ++index) {
+    if (index == origin || agents_[index].members.empty()) continue;
+    const Bytes at_agent = unwrap_under(
+        config_.cipher, top_key_.secret,
+        message.wrapped_message_key[IolusDataMessage::kTopSubgroup]);
+    if (cost != nullptr) ++cost->key_decryptions;
+    message.wrapped_message_key[index] = wrap_under(
+        config_.cipher, agents_[index].subgroup_key.secret, at_agent, rng_);
+    count_wrap(cost);
+  }
+  secure_wipe(in_transit);
+
+  if (cost != nullptr) {
+    data_totals_.key_encryptions += cost->key_encryptions;
+    data_totals_.key_decryptions += cost->key_decryptions;
+    ++data_totals_.messages;
+  }
+  return message;
+}
+
+Bytes IolusNetwork::read(UserId reader,
+                         const IolusDataMessage& message) const {
+  const std::size_t index = agent_of(reader);
+  auto it = message.wrapped_message_key.find(index);
+  if (it == message.wrapped_message_key.end()) {
+    throw ProtocolError("Iolus: no message key for this subgroup");
+  }
+  const Bytes message_key = unwrap_under(
+      config_.cipher, agents_[index].subgroup_key.secret, it->second);
+  return unwrap_under(config_.cipher, message_key,
+                      message.payload_ciphertext);
+}
+
+std::size_t IolusNetwork::member_count() const {
+  return member_agent_.size();
+}
+
+SymmetricKey IolusNetwork::subgroup_key_of(UserId user) const {
+  return agents_[agent_of(user)].subgroup_key;
+}
+
+}  // namespace keygraphs::iolus

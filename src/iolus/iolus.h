@@ -1,0 +1,119 @@
+// Iolus (Mittra, SIGCOMM '97) — the system the paper compares against in
+// Section 6, implemented as a faithful miniature so the comparison can be
+// measured instead of argued.
+//
+// Architecture: a hierarchy of trusted group security agents (GSAs). The
+// top-level agent (the GSC) and the second-level agents form one subgroup
+// sharing a key; each agent and its clients form another. There is no
+// globally shared group key:
+//   - a join/leave rekeys ONLY the local subgroup ("1 does not equal n"
+//     solved locally; leaves cost subgroup_size - 1, not n - 1);
+//   - but every confidential DATA message pays instead: the sender wraps a
+//     fresh message key under its subgroup key, and each agent on the path
+//     unwraps and re-wraps it for the adjacent subgroups ("1 affects n"
+//     moved from rekey time to send time — the paper's central contrast).
+//
+// We implement the two-level hierarchy the paper's comparison discusses,
+// with real key material and real CBC wrapping, so the costs reported by
+// the ablation bench are measured the same way as the key-tree costs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "crypto/cbc.h"
+#include "crypto/random.h"
+#include "crypto/suite.h"
+#include "keygraph/key.h"
+
+namespace keygraphs::iolus {
+
+struct IolusConfig {
+  /// Number of second-level agents (each serving one client subgroup).
+  std::size_t agents = 4;
+  crypto::CipherAlgorithm cipher = crypto::CipherAlgorithm::kDes;
+  std::uint64_t rng_seed = 1;
+};
+
+/// Crypto-operation counts for one action, in the paper's cost units.
+struct IolusCost {
+  std::size_t key_encryptions = 0;  // performed by the GSC/agents
+  std::size_t key_decryptions = 0;  // performed by agents on the data path
+  std::size_t messages = 0;
+};
+
+/// A sealed group data message: payload ciphertext plus one wrapped copy of
+/// the message key per subgroup (what the agents' re-encryption produced).
+struct IolusDataMessage {
+  Bytes payload_ciphertext;
+  std::map<std::size_t, Bytes> wrapped_message_key;  // subgroup -> {MK}_SK
+  static constexpr std::size_t kTopSubgroup = SIZE_MAX;
+};
+
+/// The Iolus secure-distribution tree (two levels, single group).
+class IolusNetwork {
+ public:
+  explicit IolusNetwork(IolusConfig config);
+
+  /// Adds a member to the least-loaded agent's subgroup and rekeys only
+  /// that subgroup (multicast under the old subgroup key + a unicast under
+  /// the member's individual key). Returns the measured cost.
+  IolusCost join(UserId user);
+
+  /// Removes a member; the local subgroup rekeys star-style: the new
+  /// subgroup key is unicast to each remaining local member.
+  IolusCost leave(UserId user);
+
+  /// Confidential message from `sender` to the whole group: generates a
+  /// message key, seals the payload once, and performs the agent unwrap/
+  /// re-wrap chain. The returned message decrypts in every subgroup.
+  IolusDataMessage send(UserId sender, BytesView payload, IolusCost* cost);
+
+  /// Decrypts a data message as `reader` would (using its subgroup key).
+  /// Throws CryptoError/ProtocolError if the member cannot.
+  [[nodiscard]] Bytes read(UserId reader,
+                           const IolusDataMessage& message) const;
+
+  [[nodiscard]] std::size_t member_count() const;
+  [[nodiscard]] std::size_t agent_count() const { return agents_.size(); }
+
+  /// Trusted entities: every agent plus the GSC (Section 6's "the level of
+  /// trust required ... is much greater in Iolus").
+  [[nodiscard]] std::size_t trusted_entities() const {
+    return agents_.size() + 1;
+  }
+
+  /// Current subgroup key of the member's subgroup (for secrecy tests).
+  [[nodiscard]] SymmetricKey subgroup_key_of(UserId user) const;
+
+  /// Lifetime totals.
+  [[nodiscard]] const IolusCost& rekey_totals() const {
+    return rekey_totals_;
+  }
+  [[nodiscard]] const IolusCost& data_totals() const { return data_totals_; }
+
+ private:
+  struct Agent {
+    SymmetricKey subgroup_key;
+    std::vector<UserId> members;
+  };
+
+  [[nodiscard]] std::size_t agent_of(UserId user) const;
+  [[nodiscard]] Bytes fresh_key();
+  void count_wrap(IolusCost* cost);
+
+  IolusConfig config_;
+  crypto::SecureRandom rng_;
+  std::size_t key_size_;
+  SymmetricKey top_key_;  // shared by the GSC and the agents
+  std::vector<Agent> agents_;
+  std::map<UserId, Bytes> individual_keys_;
+  std::map<UserId, std::size_t> member_agent_;
+  KeyId next_key_id_ = 1;
+  IolusCost rekey_totals_;
+  IolusCost data_totals_;
+};
+
+}  // namespace keygraphs::iolus

@@ -1,0 +1,137 @@
+#include "keygraph/complete_graph.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.h"
+
+namespace keygraphs {
+
+CompleteGraph::CompleteGraph(crypto::CipherAlgorithm cipher,
+                             crypto::SecureRandom& rng)
+    : cipher_(cipher), rng_(rng), key_size_(crypto::cipher_key_size(cipher)) {}
+
+CompleteGraph::SubsetMask CompleteGraph::mask_of(UserId user) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] == user) return SubsetMask{1} << i;
+  }
+  throw ProtocolError("CompleteGraph: user not in group");
+}
+
+void CompleteGraph::encrypt_key_under(const Bytes& payload,
+                                      const Bytes& wrapping_key,
+                                      std::size_t* counter) {
+  // Real encryption so the bench's "measured" column reflects cipher work.
+  const crypto::CbcCipher cbc(crypto::make_cipher(cipher_, wrapping_key));
+  (void)cbc.encrypt(payload, rng_);
+  ++*counter;
+}
+
+CompleteOpCost CompleteGraph::join(UserId user) {
+  if (user == 0) throw ProtocolError("CompleteGraph: user id 0 is reserved");
+  if (std::find(members_.begin(), members_.end(), user) != members_.end()) {
+    throw ProtocolError("CompleteGraph: user already in group");
+  }
+  if (members_.size() >= kMaxUsers) {
+    throw ProtocolError("CompleteGraph: user slots exhausted (by design)");
+  }
+  const std::size_t existing = user_count();
+  members_.push_back(user);
+  const SubsetMask new_bit = SubsetMask{1} << (members_.size() - 1);
+
+  CompleteOpCost cost;
+
+  // Individual key for the new user (from the authentication exchange; not
+  // counted, matching the paper's accounting).
+  keys_[new_bit] = SymmetricKey{next_id_++, 1, rng_.bytes(key_size_)};
+
+  // One fresh key per subset S ∪ {u} for every existing nonempty subset S,
+  // encrypted under the (unchanged) key of S: members of S learn it, the
+  // joining user cannot learn any key of a subset excluding it, and all
+  // keys of subsets including it are new — backward secrecy holds without
+  // touching any existing key.
+  std::vector<std::pair<SubsetMask, SymmetricKey>> fresh;
+  for (const auto& [mask, key] : keys_) {
+    if (mask & new_bit) continue;  // skip the individual key just made
+    SymmetricKey created{next_id_++, 1, rng_.bytes(key_size_)};
+    encrypt_key_under(created.secret, key.secret, &cost.server_encryptions);
+    fresh.emplace_back(mask | new_bit, std::move(created));
+  }
+  for (auto& [mask, key] : fresh) keys_[mask] = std::move(key);
+
+  // Unicast to the joining user: every key of a subset containing it,
+  // wrapped with its individual key (2^existing - 1 keys).
+  const Bytes& individual = keys_[new_bit].secret;
+  for (const auto& [mask, key] : keys_) {
+    if ((mask & new_bit) && mask != new_bit) {
+      encrypt_key_under(key.secret, individual, &cost.server_encryptions);
+      ++cost.requesting_user_decryptions;
+    }
+  }
+
+  // Each existing member decrypts one new key per subset it shares with the
+  // joining user: 2^(existing-1) of them.
+  if (existing > 0) {
+    std::size_t total = 0;
+    for (const auto& [mask, key] : fresh) {
+      total += static_cast<std::size_t>(std::popcount(mask)) - 1;
+    }
+    cost.non_requesting_user_decryptions =
+        static_cast<double>(total) / static_cast<double>(existing);
+  }
+  return cost;
+}
+
+CompleteOpCost CompleteGraph::leave(UserId user) {
+  const SubsetMask bit = mask_of(user);
+  // Forward secrecy is structural: discard every key of a subset containing
+  // the leaver; the survivors already share keys for all remaining subsets.
+  std::erase_if(keys_, [bit](const auto& entry) {
+    return (entry.first & bit) != 0;
+  });
+  // Retire the slot (masks of surviving keys stay valid).
+  *std::find(members_.begin(), members_.end(), user) = 0;
+  return CompleteOpCost{};  // all zeros: the paper's Table 2 leave column
+}
+
+namespace {
+std::size_t count_alive(const std::vector<UserId>& members) {
+  return static_cast<std::size_t>(
+      std::count_if(members.begin(), members.end(),
+                    [](UserId u) { return u != 0; }));
+}
+}  // namespace
+
+std::vector<SymmetricKey> CompleteGraph::keyset(UserId user) const {
+  const SubsetMask bit = mask_of(user);
+  std::vector<SymmetricKey> out;
+  for (const auto& [mask, key] : keys_) {
+    if (mask & bit) out.push_back(key);
+  }
+  return out;
+}
+
+SymmetricKey CompleteGraph::group_key() const {
+  SubsetMask all = 0;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (members_[i] != 0) all |= SubsetMask{1} << i;
+  }
+  auto it = keys_.find(all);
+  if (it == keys_.end()) {
+    throw ProtocolError("CompleteGraph: empty group has no group key");
+  }
+  return it->second;
+}
+
+bool CompleteGraph::member_holds(UserId user, const Bytes& secret) const {
+  for (const SymmetricKey& key : keyset(user)) {
+    if (key.secret == secret) return true;
+  }
+  return false;
+}
+
+std::size_t CompleteGraph::user_count() const {
+  return count_alive(members_);
+}
+
+}  // namespace keygraphs

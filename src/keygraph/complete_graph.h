@@ -1,0 +1,82 @@
+// Complete key graphs (paper Section 2.2, costs in Tables 1-3).
+//
+// A complete key graph holds one key for every nonempty subset of U: 2^n - 1
+// keys total, 2^(n-1) keys per user. Joins are exponentially expensive (all
+// keys change and a full set of new subset keys is created), but leaves are
+// free: the remaining users already share keys for every subset that
+// excludes the leaver. The paper includes this class to bound the design
+// space; we implement it (for small n) so Table 2 and Table 3's measured
+// columns cover all three graph classes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "crypto/cbc.h"
+#include "crypto/random.h"
+#include "crypto/suite.h"
+#include "keygraph/key.h"
+
+namespace keygraphs {
+
+/// Per-operation cost record, in units of key encryptions/decryptions —
+/// the paper's cost measure in Section 3.5.
+struct CompleteOpCost {
+  std::size_t server_encryptions = 0;
+  std::size_t requesting_user_decryptions = 0;
+  /// Average over the other members.
+  double non_requesting_user_decryptions = 0.0;
+};
+
+/// Complete key graph over at most kMaxUsers users (the structure is
+/// exponential by design; the guard keeps benches honest).
+class CompleteGraph {
+ public:
+  static constexpr std::size_t kMaxUsers = 16;
+
+  CompleteGraph(crypto::CipherAlgorithm cipher, crypto::SecureRandom& rng);
+
+  /// Adds a user. Every existing subset key is replaced and every subset
+  /// containing the new user gets a fresh key. All replacement keys are
+  /// genuinely encrypted (server cost ~ 2^(n+1) cipher invocations), so the
+  /// returned costs are measured, not computed.
+  CompleteOpCost join(UserId user);
+
+  /// Removes a user. No rekeying: cost is zero by construction.
+  CompleteOpCost leave(UserId user);
+
+  /// Current (alive) membership count. A CompleteGraph instance supports at
+  /// most kMaxUsers *distinct* users over its lifetime: leave() retires the
+  /// user's slot so surviving subset masks stay valid.
+  [[nodiscard]] std::size_t user_count() const;
+
+  /// 2^n - 1 (Table 1, complete column).
+  [[nodiscard]] std::size_t key_count() const { return keys_.size(); }
+
+  /// Keys held by `user`: one per subset containing it (2^(n-1) of them).
+  [[nodiscard]] std::vector<SymmetricKey> keyset(UserId user) const;
+
+  /// The key shared by all current members (the group key).
+  [[nodiscard]] SymmetricKey group_key() const;
+
+  /// True if `user` currently holds a key equal to `secret` — used by the
+  /// forward-secrecy tests (a leaver must hold none of the live keys).
+  [[nodiscard]] bool member_holds(UserId user, const Bytes& secret) const;
+
+ private:
+  using SubsetMask = std::uint32_t;  // bit i set => members_[i] in subset
+
+  [[nodiscard]] SubsetMask mask_of(UserId user) const;
+  void encrypt_key_under(const Bytes& payload, const Bytes& wrapping_key,
+                         std::size_t* counter);
+
+  crypto::CipherAlgorithm cipher_;
+  crypto::SecureRandom& rng_;
+  std::size_t key_size_;
+  std::vector<UserId> members_;          // index = bit position
+  std::map<SubsetMask, SymmetricKey> keys_;
+  KeyId next_id_ = 1;
+};
+
+}  // namespace keygraphs

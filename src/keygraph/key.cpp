@@ -1,0 +1,9 @@
+#include "keygraph/key.h"
+
+namespace keygraphs {
+
+std::string to_string(const KeyRef& ref) {
+  return "k" + std::to_string(ref.id) + "v" + std::to_string(ref.version);
+}
+
+}  // namespace keygraphs

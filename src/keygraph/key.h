@@ -1,0 +1,71 @@
+// Core identifier and key types for secure groups (paper Section 2).
+//
+// A secure group is (U, K, R): users, keys, and the user-key relation. Keys
+// here carry a stable node id (the paper's "subgroup label") plus a version
+// that increments at every rekey, so a client can tell whether an incoming
+// {K'}_{K} item is wrapped with a key it currently holds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace keygraphs {
+
+/// Identifies a user (a u-node). Assigned by the application/authentication
+/// layer; never reused within one group's lifetime.
+using UserId = std::uint64_t;
+
+/// Identifies a k-node. Stable across rekeys of that node; the paper calls
+/// this a subgroup label. Ids are unique within a group server's lifetime.
+using KeyId = std::uint64_t;
+
+/// Identifies a secure group (one key tree); used by the multi-group server.
+using GroupId = std::uint32_t;
+
+/// Version of a k-node's key material. Bumped on every rekey of the node.
+using KeyVersion = std::uint32_t;
+
+/// Reference to one key generation: which node, which version.
+struct KeyRef {
+  KeyId id = 0;
+  KeyVersion version = 0;
+
+  friend bool operator==(const KeyRef&, const KeyRef&) = default;
+  friend auto operator<=>(const KeyRef&, const KeyRef&) = default;
+};
+
+/// A symmetric key as held by the server, a client, or a rekey payload.
+struct SymmetricKey {
+  KeyId id = 0;
+  KeyVersion version = 0;
+  Bytes secret;
+
+  [[nodiscard]] KeyRef ref() const noexcept { return {id, version}; }
+
+  friend bool operator==(const SymmetricKey&, const SymmetricKey&) = default;
+};
+
+/// Debug rendering "k<id>v<version>".
+std::string to_string(const KeyRef& ref);
+
+/// The k-node id of a user's individual key is a fixed function of the user
+/// id (top bit set), so a client knows the subgroup label of its own
+/// individual key before receiving any message — the welcome rekey message
+/// wraps the new keys under this id. Internal k-nodes use small counter ids
+/// and can never collide.
+constexpr KeyId individual_key_id(UserId user) {
+  return (KeyId{1} << 63) | user;
+}
+
+}  // namespace keygraphs
+
+template <>
+struct std::hash<keygraphs::KeyRef> {
+  std::size_t operator()(const keygraphs::KeyRef& ref) const noexcept {
+    return std::hash<std::uint64_t>{}(ref.id * 0x9e3779b97f4a7c15ull ^
+                                      ref.version);
+  }
+};

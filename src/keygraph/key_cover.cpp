@@ -1,0 +1,88 @@
+#include "keygraph/key_cover.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.h"
+
+namespace keygraphs {
+
+namespace {
+
+/// Candidate keys: those whose userset is nonempty and within the target.
+std::vector<std::pair<KeyId, std::set<UserId>>> candidates(
+    const KeyGraph& graph, const std::set<UserId>& target) {
+  std::vector<std::pair<KeyId, std::set<UserId>>> out;
+  for (KeyId key : graph.keys()) {
+    std::set<UserId> users = graph.userset(key);
+    if (users.empty()) continue;
+    if (std::includes(target.begin(), target.end(), users.begin(),
+                      users.end())) {
+      out.emplace_back(key, std::move(users));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+KeyCover greedy_key_cover(const KeyGraph& graph,
+                          const std::set<UserId>& target) {
+  auto pool = candidates(graph, target);
+  std::set<UserId> uncovered = target;
+  KeyCover cover;
+  while (!uncovered.empty()) {
+    std::size_t best_gain = 0;
+    std::size_t best_index = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      const std::size_t gain = static_cast<std::size_t>(std::count_if(
+          pool[i].second.begin(), pool[i].second.end(),
+          [&uncovered](UserId u) { return uncovered.contains(u); }));
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_index = i;
+      }
+    }
+    if (best_index == pool.size()) {
+      cover.covered = false;  // someone in the target holds no usable key
+      return cover;
+    }
+    for (UserId u : pool[best_index].second) uncovered.erase(u);
+    cover.keys.push_back(pool[best_index].first);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_index));
+  }
+  cover.covered = true;
+  return cover;
+}
+
+std::optional<std::vector<KeyId>> exact_key_cover(
+    const KeyGraph& graph, const std::set<UserId>& target) {
+  const auto pool = candidates(graph, target);
+  if (pool.size() > 24) {
+    throw Error("exact_key_cover: too many candidate keys");
+  }
+  std::optional<std::vector<KeyId>> best;
+  const std::uint32_t limit = std::uint32_t{1} << pool.size();
+  for (std::uint32_t subset = 1; subset < limit; ++subset) {
+    if (best &&
+        static_cast<std::size_t>(std::popcount(subset)) >= best->size()) {
+      continue;
+    }
+    std::set<UserId> covered;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (subset & (std::uint32_t{1} << i)) {
+        covered.insert(pool[i].second.begin(), pool[i].second.end());
+      }
+    }
+    if (covered == target) {
+      std::vector<KeyId> keys;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (subset & (std::uint32_t{1} << i)) keys.push_back(pool[i].first);
+      }
+      best = std::move(keys);
+    }
+  }
+  return best;
+}
+
+}  // namespace keygraphs

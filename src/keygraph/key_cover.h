@@ -1,0 +1,38 @@
+// The key-covering problem (paper Section 2.1).
+//
+// When user u leaves, every key it held must be replaced, and each
+// replacement must be distributed to userset(k) - {u}. The server wants a
+// minimum-size set K' of keys with userset(K') equal to a target set S.
+// The paper proves this NP-hard for general key graphs; this module
+// provides the standard greedy set-cover approximation (ln|S|+1 factor)
+// plus an exact exponential solver for small instances, used by tests to
+// quantify the greedy gap.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "keygraph/key_graph.h"
+
+namespace keygraphs {
+
+/// Result of a covering attempt. `exact` is false when some user in the
+/// target set holds no usable key (cover impossible).
+struct KeyCover {
+  std::vector<KeyId> keys;
+  bool covered = false;
+};
+
+/// Greedy cover: repeatedly pick the key covering the most uncovered users
+/// of `target`, considering only keys whose userset is a subset of `target`
+/// (a key leaking outside the target would break confidentiality).
+KeyCover greedy_key_cover(const KeyGraph& graph,
+                          const std::set<UserId>& target);
+
+/// Exact minimum cover by exhaustive search; practical for graphs with at
+/// most ~20 candidate keys. Returns nullopt when no cover exists.
+std::optional<std::vector<KeyId>> exact_key_cover(
+    const KeyGraph& graph, const std::set<UserId>& target);
+
+}  // namespace keygraphs

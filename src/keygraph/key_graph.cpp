@@ -1,0 +1,121 @@
+#include "keygraph/key_graph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace keygraphs {
+
+void KeyGraph::add_user(UserId user) {
+  if (!user_edges_.emplace(user, std::set<KeyId>{}).second) {
+    throw ProtocolError("KeyGraph: duplicate user");
+  }
+}
+
+void KeyGraph::add_key(KeyId key) {
+  if (!key_edges_.emplace(key, std::set<KeyId>{}).second) {
+    throw ProtocolError("KeyGraph: duplicate key");
+  }
+}
+
+void KeyGraph::add_user_edge(UserId user, KeyId key) {
+  auto it = user_edges_.find(user);
+  if (it == user_edges_.end()) throw ProtocolError("KeyGraph: no such user");
+  if (!key_edges_.contains(key)) throw ProtocolError("KeyGraph: no such key");
+  it->second.insert(key);
+}
+
+bool KeyGraph::reaches(KeyId from, KeyId to) const {
+  std::vector<KeyId> stack{from};
+  std::set<KeyId> seen;
+  while (!stack.empty()) {
+    const KeyId current = stack.back();
+    stack.pop_back();
+    if (current == to) return true;
+    if (!seen.insert(current).second) continue;
+    for (KeyId next : key_edges_.at(current)) stack.push_back(next);
+  }
+  return false;
+}
+
+void KeyGraph::add_key_edge(KeyId from, KeyId to) {
+  if (!key_edges_.contains(from) || !key_edges_.contains(to)) {
+    throw ProtocolError("KeyGraph: no such key");
+  }
+  if (from == to || reaches(to, from)) {
+    throw ProtocolError("KeyGraph: edge would create a cycle");
+  }
+  key_edges_.at(from).insert(to);
+}
+
+bool KeyGraph::has_user(UserId user) const {
+  return user_edges_.contains(user);
+}
+
+bool KeyGraph::has_key(KeyId key) const { return key_edges_.contains(key); }
+
+std::set<KeyId> KeyGraph::keyset(UserId user) const {
+  auto it = user_edges_.find(user);
+  if (it == user_edges_.end()) throw ProtocolError("KeyGraph: no such user");
+  std::set<KeyId> out;
+  std::vector<KeyId> stack(it->second.begin(), it->second.end());
+  while (!stack.empty()) {
+    const KeyId current = stack.back();
+    stack.pop_back();
+    if (!out.insert(current).second) continue;
+    for (KeyId next : key_edges_.at(current)) stack.push_back(next);
+  }
+  return out;
+}
+
+std::set<UserId> KeyGraph::userset(KeyId key) const {
+  if (!key_edges_.contains(key)) throw ProtocolError("KeyGraph: no such key");
+  std::set<UserId> out;
+  for (const auto& [user, direct] : user_edges_) {
+    // u holds k iff k is in u's reachability closure.
+    if (keyset(user).contains(key)) out.insert(user);
+  }
+  return out;
+}
+
+std::set<UserId> KeyGraph::userset(const std::set<KeyId>& keys) const {
+  std::set<UserId> out;
+  for (const auto& [user, direct] : user_edges_) {
+    const std::set<KeyId> held = keyset(user);
+    if (std::any_of(keys.begin(), keys.end(),
+                    [&held](KeyId k) { return held.contains(k); })) {
+      out.insert(user);
+    }
+  }
+  return out;
+}
+
+std::vector<KeyId> KeyGraph::roots() const {
+  std::vector<KeyId> out;
+  for (const auto& [key, parents] : key_edges_) {
+    if (parents.empty()) out.push_back(key);
+  }
+  return out;
+}
+
+std::vector<KeyId> KeyGraph::keys() const {
+  std::vector<KeyId> out;
+  out.reserve(key_edges_.size());
+  for (const auto& [key, parents] : key_edges_) out.push_back(key);
+  return out;
+}
+
+void KeyGraph::validate() const {
+  for (const auto& [user, direct] : user_edges_) {
+    if (direct.empty()) {
+      throw Error("KeyGraph: u-node without outgoing edge");
+    }
+  }
+  for (const auto& [key, parents] : key_edges_) {
+    if (userset(key).empty()) {
+      throw Error("KeyGraph: k-node held by no user");
+    }
+  }
+}
+
+}  // namespace keygraphs

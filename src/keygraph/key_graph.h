@@ -1,0 +1,70 @@
+// General key graphs (paper Section 2.1).
+//
+// A key graph is a DAG with u-nodes (no incoming edges) and k-nodes; user u
+// holds key k iff a directed path leads from u's node to k's node. This
+// module implements the general structure with the paper's userset()/
+// keyset() functions. Trees and stars are what the group server uses
+// operationally (KeyTree), but the general form is needed for the paper's
+// closing direction — merging the key trees of multiple groups over one
+// user population — and for studying the key-covering problem.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "keygraph/key.h"
+
+namespace keygraphs {
+
+/// Mutable DAG of u-nodes and k-nodes with reachability queries.
+/// Edges point from holders toward keys: u -> k ("u holds k directly") and
+/// k1 -> k2 ("holders of k1 also hold k2"), matching the paper's Figure 1.
+class KeyGraph {
+ public:
+  /// Adds a user node. Throws ProtocolError on duplicates.
+  void add_user(UserId user);
+
+  /// Adds a key node. Throws ProtocolError on duplicates.
+  void add_key(KeyId key);
+
+  /// Edge u -> k. Both endpoints must exist.
+  void add_user_edge(UserId user, KeyId key);
+
+  /// Edge k_from -> k_to. Must not create a cycle (checked; throws).
+  void add_key_edge(KeyId from, KeyId to);
+
+  [[nodiscard]] bool has_user(UserId user) const;
+  [[nodiscard]] bool has_key(KeyId key) const;
+  [[nodiscard]] std::size_t user_count() const { return user_edges_.size(); }
+  [[nodiscard]] std::size_t key_count() const { return key_edges_.size(); }
+
+  /// userset(k): all users with a path to k (paper Section 2.1).
+  [[nodiscard]] std::set<UserId> userset(KeyId key) const;
+
+  /// keyset(u): all keys reachable from u.
+  [[nodiscard]] std::set<KeyId> keyset(UserId user) const;
+
+  /// Generalized userset over a set of keys: union of usersets.
+  [[nodiscard]] std::set<UserId> userset(const std::set<KeyId>& keys) const;
+
+  /// Keys with no outgoing edges (the paper's roots; a key graph may have
+  /// several — one per merged group).
+  [[nodiscard]] std::vector<KeyId> roots() const;
+
+  /// All key ids, ascending.
+  [[nodiscard]] std::vector<KeyId> keys() const;
+
+  /// Structural validity per Section 2.1: every u-node has at least one
+  /// outgoing edge, every k-node at least one incoming edge (checked over
+  /// the reachability closure). Throws Error on violation.
+  void validate() const;
+
+ private:
+  [[nodiscard]] bool reaches(KeyId from, KeyId to) const;
+
+  std::map<UserId, std::set<KeyId>> user_edges_;
+  std::map<KeyId, std::set<KeyId>> key_edges_;  // key -> parent keys
+};
+
+}  // namespace keygraphs

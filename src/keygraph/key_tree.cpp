@@ -1,0 +1,553 @@
+#include "keygraph/key_tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "common/io.h"
+
+namespace keygraphs {
+
+KeyTree::KeyTree(int degree, std::size_t key_size, crypto::SecureRandom& rng)
+    : degree_(degree), key_size_(key_size), rng_(rng) {
+  if (degree < 2) throw ProtocolError("KeyTree: degree must be >= 2");
+  if (key_size == 0) throw ProtocolError("KeyTree: key size must be > 0");
+  Node* root = make_node();
+  refresh_key(root);
+  root_ = root->id;
+}
+
+KeyTree::Node* KeyTree::make_node(std::optional<KeyId> fixed_id) {
+  auto owned = std::make_unique<Node>();
+  owned->id = fixed_id.value_or(next_id_++);
+  Node* node = owned.get();
+  nodes_.emplace(node->id, std::move(owned));
+  return node;
+}
+
+void KeyTree::destroy_node(Node* node) { nodes_.erase(node->id); }
+
+void KeyTree::refresh_key(Node* node) {
+  node->secret = rng_.bytes(key_size_);
+  ++node->version;
+}
+
+void KeyTree::bump_counts(Node* from, std::ptrdiff_t delta) {
+  for (Node* n = from; n != nullptr; n = n->parent) {
+    n->user_count = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(n->user_count) + delta);
+  }
+}
+
+KeyTree::Node* KeyTree::find_join_parent() {
+  // Descend toward the lightest subtree; attach at the first node with
+  // spare capacity. Returns an internal node with < degree children, or a
+  // full node whose lightest child is a leaf (caller splits that leaf).
+  Node* node = nodes_.at(root_).get();
+  for (;;) {
+    if (static_cast<int>(node->children.size()) < degree_) return node;
+    Node* lightest = *std::min_element(
+        node->children.begin(), node->children.end(),
+        [](const Node* a, const Node* b) {
+          return a->user_count < b->user_count;
+        });
+    if (lightest->is_leaf()) return node;  // full everywhere: split a leaf
+    node = lightest;
+  }
+}
+
+JoinRecord KeyTree::join(UserId user, Bytes individual_key) {
+  if (user_leaves_.contains(user)) {
+    throw ProtocolError("KeyTree: user already in group");
+  }
+  if (individual_key.size() != key_size_) {
+    throw ProtocolError("KeyTree: individual key has wrong size");
+  }
+
+  Node* leaf = make_node(individual_key_id(user));
+  leaf->user = user;
+  leaf->secret = std::move(individual_key);
+  leaf->version = 1;
+  leaf->user_count = 1;
+  user_leaves_.emplace(user, leaf);
+
+  Node* target = find_join_parent();
+  Node* attach_parent = target;
+  std::optional<SymmetricKey> split_leaf_key;
+
+  if (static_cast<int>(target->children.size()) >= degree_) {
+    // Split the lightest (leaf) child: a fresh intermediate k-node takes its
+    // place and adopts both the old leaf and the new user's leaf.
+    Node* old_leaf = *std::min_element(
+        target->children.begin(), target->children.end(),
+        [](const Node* a, const Node* b) {
+          return a->user_count < b->user_count;
+        });
+    split_leaf_key = old_leaf->key();
+    Node* intermediate = make_node();
+    *std::find(target->children.begin(), target->children.end(), old_leaf) =
+        intermediate;
+    intermediate->parent = target;
+    intermediate->user_count = old_leaf->user_count;
+    intermediate->children.push_back(old_leaf);
+    old_leaf->parent = intermediate;
+    attach_parent = intermediate;
+  }
+
+  attach_parent->children.push_back(leaf);
+  leaf->parent = attach_parent;
+  bump_counts(attach_parent, +1);
+
+  // The pre-join key of every ancestor is what existing members hold; it
+  // wraps the corresponding new key. Capture before refreshing.
+  JoinRecord record;
+  record.user = user;
+  record.individual_key = leaf->key();
+
+  std::vector<Node*> path;  // attach parent up to root
+  for (Node* n = attach_parent; n != nullptr; n = n->parent) path.push_back(n);
+  std::reverse(path.begin(), path.end());  // root first
+
+  const bool had_members = user_count() > 1;
+  for (Node* n : path) {
+    PathChange change;
+    change.node = n->id;
+    if (split_leaf_key.has_value() && n == attach_parent) {
+      // Brand-new intermediate: the only existing holder-to-be is the split
+      // leaf's user, reachable through its individual key.
+      change.old_key = split_leaf_key;
+    } else if (had_members) {
+      change.old_key = n->key();
+    }
+    refresh_key(n);
+    change.new_key = n->key();
+    record.path.push_back(std::move(change));
+  }
+  for (const Node* child : nodes_.at(root_)->children) {
+    record.root_children.push_back(child->id);
+  }
+  return record;
+}
+
+LeaveRecord KeyTree::leave(UserId user) {
+  auto it = user_leaves_.find(user);
+  if (it == user_leaves_.end()) {
+    throw ProtocolError("KeyTree: user not in group");
+  }
+  Node* leaf = it->second;
+  Node* parent = leaf->parent;
+  user_leaves_.erase(it);
+
+  LeaveRecord record;
+  record.user = user;
+  record.removed_nodes.push_back(leaf->id);
+
+  std::erase(parent->children, leaf);
+  bump_counts(parent, -1);
+  destroy_node(leaf);
+
+  // Splice out a non-root parent left with a single child: the child keeps
+  // its own key and moves up one level, shrinking user keysets by one key.
+  Node* rekey_start = parent;
+  if (parent->parent != nullptr && parent->children.size() == 1) {
+    Node* child = parent->children.front();
+    Node* grandparent = parent->parent;
+    *std::find(grandparent->children.begin(), grandparent->children.end(),
+               parent) = child;
+    child->parent = grandparent;
+    record.removed_nodes.push_back(parent->id);
+    destroy_node(parent);
+    rekey_start = grandparent;
+  }
+
+  std::vector<Node*> path;  // rekey start up to root
+  for (Node* n = rekey_start; n != nullptr; n = n->parent) path.push_back(n);
+  std::reverse(path.begin(), path.end());  // root first
+
+  for (Node* n : path) {
+    refresh_key(n);
+    PathChange change;
+    change.node = n->id;
+    change.new_key = n->key();  // old key is compromised; never recorded
+    record.path.push_back(std::move(change));
+  }
+  // Snapshot children after all refreshes so on-path children already carry
+  // their new keys (Figure 8's {K'_{i-1}}_{K'_i} chain).
+  record.children.resize(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const Node* next_on_path = i + 1 < path.size() ? path[i + 1] : nullptr;
+    for (const Node* child : path[i]->children) {
+      record.children[i].push_back(
+          ChildKey{child->id, child->key(), child == next_on_path});
+    }
+  }
+  return record;
+}
+
+BatchRecord KeyTree::batch_update(
+    const std::vector<std::pair<UserId, Bytes>>& joins,
+    const std::vector<UserId>& leaves) {
+  // Validate everything before mutating anything.
+  std::set<UserId> joining, leaving;
+  for (const auto& [user, key] : joins) {
+    if (user_leaves_.contains(user)) {
+      throw ProtocolError("batch: joining user already in group");
+    }
+    if (!joining.insert(user).second) {
+      throw ProtocolError("batch: duplicate join");
+    }
+    if (key.size() != key_size_) {
+      throw ProtocolError("batch: individual key has wrong size");
+    }
+  }
+  for (UserId user : leaves) {
+    if (joining.contains(user)) {
+      throw ProtocolError("batch: user both joins and leaves");
+    }
+    if (!user_leaves_.contains(user)) {
+      throw ProtocolError("batch: leaving user not in group");
+    }
+    if (!leaving.insert(user).second) {
+      throw ProtocolError("batch: duplicate leave");
+    }
+  }
+
+  BatchRecord record;
+  std::set<KeyId> changed;  // ordered for deterministic key generation
+
+  // Leaves first: free the slots, mark every path to the root.
+  for (UserId user : leaves) {
+    Node* leaf = user_leaves_.at(user);
+    Node* parent = leaf->parent;
+    user_leaves_.erase(user);
+    record.removed_nodes.push_back(leaf->id);
+    record.left.push_back(user);
+    std::erase(parent->children, leaf);
+    bump_counts(parent, -1);
+    destroy_node(leaf);
+
+    Node* start = parent;
+    if (parent->parent != nullptr && parent->children.size() == 1) {
+      Node* child = parent->children.front();
+      Node* grandparent = parent->parent;
+      *std::find(grandparent->children.begin(), grandparent->children.end(),
+                 parent) = child;
+      child->parent = grandparent;
+      record.removed_nodes.push_back(parent->id);
+      changed.erase(parent->id);  // may have been marked by a prior leave
+      destroy_node(parent);
+      start = grandparent;
+    }
+    for (Node* n = start; n != nullptr; n = n->parent) changed.insert(n->id);
+  }
+
+  // Then joins: attach per the balance heuristic, mark the paths.
+  for (const auto& [user, key] : joins) {
+    Node* leaf = make_node(individual_key_id(user));
+    leaf->user = user;
+    leaf->secret = key;
+    leaf->version = 1;
+    leaf->user_count = 1;
+    user_leaves_.emplace(user, leaf);
+
+    Node* target = find_join_parent();
+    Node* attach_parent = target;
+    if (static_cast<int>(target->children.size()) >= degree_) {
+      Node* old_leaf = *std::min_element(
+          target->children.begin(), target->children.end(),
+          [](const Node* a, const Node* b) {
+            return a->user_count < b->user_count;
+          });
+      Node* intermediate = make_node();
+      *std::find(target->children.begin(), target->children.end(),
+                 old_leaf) = intermediate;
+      intermediate->parent = target;
+      intermediate->user_count = old_leaf->user_count;
+      intermediate->children.push_back(old_leaf);
+      old_leaf->parent = intermediate;
+      attach_parent = intermediate;
+    }
+    attach_parent->children.push_back(leaf);
+    leaf->parent = attach_parent;
+    bump_counts(attach_parent, +1);
+    for (Node* n = attach_parent; n != nullptr; n = n->parent) {
+      changed.insert(n->id);
+    }
+    record.joined.push_back(user);
+  }
+
+  // Rekey every affected node exactly once — the whole point of batching.
+  for (KeyId id : changed) refresh_key(nodes_.at(id).get());
+
+  // Snapshot after all refreshes so wrapped-under-child keys are current.
+  for (KeyId id : changed) {
+    const Node* node = nodes_.at(id).get();
+    BatchChange change;
+    change.node = id;
+    change.new_key = node->key();
+    for (const Node* child : node->children) {
+      change.children.push_back(
+          ChildKey{child->id, child->key(), changed.contains(child->id)});
+    }
+    record.changes.push_back(std::move(change));
+  }
+  for (const auto& [user, key] : joins) {
+    record.joiner_keysets.emplace_back(user, keyset(user));
+  }
+  return record;
+}
+
+std::size_t KeyTree::user_count() const noexcept {
+  return user_leaves_.size();
+}
+
+bool KeyTree::has_user(UserId user) const {
+  return user_leaves_.contains(user);
+}
+
+std::size_t KeyTree::key_count() const noexcept { return nodes_.size(); }
+
+std::size_t KeyTree::height() const {
+  // Longest root-to-leaf path in edges, iteratively.
+  struct Frame {
+    const Node* node;
+    std::size_t depth;
+  };
+  std::size_t max_depth = 0;
+  std::vector<Frame> stack{{nodes_.at(root_).get(), 0}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, frame.depth);
+    for (const Node* child : frame.node->children) {
+      stack.push_back({child, frame.depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+SymmetricKey KeyTree::group_key() const {
+  const Node* root = nodes_.at(root_).get();
+  return SymmetricKey{root->id, root->version, root->secret};
+}
+
+std::vector<UserId> KeyTree::users_under(KeyId node_id) const {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) throw ProtocolError("KeyTree: no such k-node");
+  std::vector<UserId> out;
+  std::vector<const Node*> stack{it->second.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) out.push_back(*node->user);
+    for (const Node* child : node->children) stack.push_back(child);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SymmetricKey> KeyTree::keyset(UserId user) const {
+  auto it = user_leaves_.find(user);
+  if (it == user_leaves_.end()) {
+    throw ProtocolError("KeyTree: user not in group");
+  }
+  std::vector<SymmetricKey> out;
+  for (const Node* n = it->second; n != nullptr; n = n->parent) {
+    out.push_back(SymmetricKey{n->id, n->version, n->secret});
+  }
+  return out;
+}
+
+std::vector<UserId> KeyTree::users() const {
+  std::vector<UserId> out;
+  out.reserve(user_leaves_.size());
+  for (const auto& [user, leaf] : user_leaves_) out.push_back(user);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+constexpr std::uint8_t kTreeMagic = 0x4b;  // 'K'
+constexpr std::uint8_t kTreeVersion = 1;
+}  // namespace
+
+Bytes KeyTree::serialize() const {
+  ByteWriter writer;
+  writer.u8(kTreeMagic);
+  writer.u8(kTreeVersion);
+  writer.u32(static_cast<std::uint32_t>(degree_));
+  writer.u64(key_size_);
+  writer.u64(next_id_);
+  // Pre-order DFS; children counts make the structure self-describing.
+  std::vector<const Node*> stack{nodes_.at(root_).get()};
+  writer.u64(nodes_.size());
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    writer.u64(node->id);
+    writer.u32(node->version);
+    writer.var_bytes(node->secret);
+    writer.u8(node->is_leaf() ? 1 : 0);
+    if (node->is_leaf()) writer.u64(*node->user);
+    writer.u16(static_cast<std::uint16_t>(node->children.size()));
+    for (auto it = node->children.rbegin(); it != node->children.rend();
+         ++it) {
+      stack.push_back(*it);  // reversed so pre-order pops left-to-right
+    }
+  }
+  return writer.take();
+}
+
+std::unique_ptr<KeyTree> KeyTree::deserialize(BytesView data,
+                                              crypto::SecureRandom& rng) {
+  ByteReader reader(data);
+  if (reader.u8() != kTreeMagic) throw ParseError("KeyTree: bad magic");
+  if (reader.u8() != kTreeVersion) throw ParseError("KeyTree: bad version");
+  const int degree = static_cast<int>(reader.u32());
+  const std::size_t key_size = reader.u64();
+  if (degree < 2 || key_size == 0 || key_size > 1024) {
+    throw ParseError("KeyTree: implausible parameters");
+  }
+  auto tree = std::make_unique<KeyTree>(degree, key_size, rng);
+  tree->nodes_.clear();
+  tree->root_ = 0;
+  tree->next_id_ = reader.u64();
+
+  const std::uint64_t node_count = reader.u64();
+  if (node_count == 0 || node_count > data.size()) {
+    throw ParseError("KeyTree: implausible node count");
+  }
+
+  // Recursive-descent over the pre-order stream, iteratively: a stack of
+  // (parent, remaining-children) frames.
+  struct Frame {
+    Node* parent;
+    std::uint16_t remaining;
+  };
+  std::vector<Frame> frames;
+  std::uint64_t read_nodes = 0;
+  while (read_nodes < node_count) {
+    const KeyId id = reader.u64();
+    if (tree->nodes_.contains(id)) {
+      throw ParseError("KeyTree: duplicate node id");
+    }
+    Node* node = tree->make_node(id);
+    ++read_nodes;
+    node->version = reader.u32();
+    node->secret = reader.var_bytes();
+    if (node->secret.size() != key_size) {
+      throw ParseError("KeyTree: key size mismatch");
+    }
+    if (reader.u8() != 0) {
+      const UserId user = reader.u64();
+      node->user = user;
+      node->user_count = 1;
+      if (!tree->user_leaves_.emplace(user, node).second) {
+        throw ParseError("KeyTree: duplicate user");
+      }
+    }
+    const std::uint16_t children = reader.u16();
+    if (node->is_leaf() && children != 0) {
+      throw ParseError("KeyTree: leaf with children");
+    }
+
+    if (frames.empty()) {
+      if (tree->root_ != 0) throw ParseError("KeyTree: multiple roots");
+      tree->root_ = node->id;
+    } else {
+      Frame& top = frames.back();
+      node->parent = top.parent;
+      top.parent->children.push_back(node);
+      if (--top.remaining == 0) frames.pop_back();
+    }
+    if (children > 0) frames.push_back(Frame{node, children});
+  }
+  reader.expect_done();
+  if (!frames.empty() || tree->root_ == 0) {
+    throw ParseError("KeyTree: truncated structure");
+  }
+
+  // Recompute user counts bottom-up, then let the invariant checker vet
+  // everything else (arity, links, key sizes, leaf indexing).
+  struct CountFrame {
+    Node* node;
+    std::size_t child_index;
+  };
+  std::vector<CountFrame> walk{{tree->nodes_.at(tree->root_).get(), 0}};
+  while (!walk.empty()) {
+    CountFrame& frame = walk.back();
+    if (frame.node->is_leaf()) {
+      walk.pop_back();
+      continue;
+    }
+    if (frame.child_index < frame.node->children.size()) {
+      walk.push_back({frame.node->children[frame.child_index++], 0});
+      continue;
+    }
+    frame.node->user_count = 0;
+    for (const Node* child : frame.node->children) {
+      frame.node->user_count += child->user_count;
+    }
+    walk.pop_back();
+  }
+  try {
+    tree->check_invariants();
+  } catch (const Error& error) {
+    throw ParseError(std::string("KeyTree: invalid snapshot: ") +
+                     error.what());
+  }
+  return tree;
+}
+
+void KeyTree::check_invariants() const {
+  std::size_t leaves_seen = 0;
+  std::size_t nodes_seen = 0;
+  std::vector<const Node*> stack{nodes_.at(root_).get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    ++nodes_seen;
+    if (static_cast<int>(node->children.size()) > degree_) {
+      throw Error("invariant: node arity exceeds degree");
+    }
+    if (node->secret.size() != key_size_) {
+      throw Error("invariant: key size mismatch");
+    }
+    if (node->is_leaf()) {
+      ++leaves_seen;
+      if (!node->children.empty()) {
+        throw Error("invariant: leaf with children");
+      }
+      if (node->user_count != 1) {
+        throw Error("invariant: leaf user_count != 1");
+      }
+      auto it = user_leaves_.find(*node->user);
+      if (it == user_leaves_.end() || it->second != node) {
+        throw Error("invariant: leaf not indexed by user");
+      }
+    } else {
+      std::size_t sum = 0;
+      for (const Node* child : node->children) {
+        if (child->parent != node) {
+          throw Error("invariant: child/parent link broken");
+        }
+        sum += child->user_count;
+        stack.push_back(child);
+      }
+      if (sum != node->user_count) {
+        throw Error("invariant: user_count mismatch");
+      }
+      if (node->parent != nullptr && node->children.size() < 2) {
+        throw Error("invariant: non-root internal node with < 2 children");
+      }
+    }
+  }
+  if (leaves_seen != user_leaves_.size()) {
+    throw Error("invariant: leaf count != user count");
+  }
+  if (nodes_seen != nodes_.size()) {
+    throw Error("invariant: orphan k-nodes present");
+  }
+}
+
+}  // namespace keygraphs

@@ -1,0 +1,201 @@
+// The key tree (paper Sections 2.2, 3.3, 3.4).
+//
+// A tree key graph: the root k-node holds the group key, internal k-nodes
+// hold subgroup keys, and each leaf k-node is one user's individual key. The
+// server mutates this structure on every join/leave and hands the mutation
+// record (which nodes changed, old and new keys, sibling keys) to a rekeying
+// strategy, which turns it into rekey messages.
+//
+// The tree maintains the paper's "full and balanced" heuristic: a join
+// descends toward the lightest subtree and attaches at the first node with
+// spare capacity (splitting a leaf when every node on the way is full), and
+// a leave splices out internal nodes left with a single child.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/random.h"
+#include "keygraph/key.h"
+
+namespace keygraphs {
+
+/// One changed k-node on the rekey path, root first.
+struct PathChange {
+  KeyId node = 0;
+  /// Key existing holders of this subtree had before the change. For a join
+  /// this is the pre-join key of the node (or, when a leaf was split to make
+  /// room, the split leaf's individual key). Unset for a leave: the old key
+  /// is compromised and never used to wrap anything.
+  std::optional<SymmetricKey> old_key;
+  SymmetricKey new_key;
+};
+
+/// A child of a rekey-path node, as needed by leave strategies: its current
+/// key (already the *new* key if the child itself is on the path).
+struct ChildKey {
+  KeyId node = 0;
+  SymmetricKey key;
+  bool on_path = false;  // true if this child is the next path node down
+};
+
+/// Everything a strategy needs to build join rekey messages.
+struct JoinRecord {
+  UserId user = 0;
+  SymmetricKey individual_key;
+  /// Changed nodes from root (index 0) down to the joining point.
+  std::vector<PathChange> path;
+  /// K-nodes that no longer exist (none for joins; present for symmetry).
+  std::vector<KeyId> removed_nodes;
+  /// Ids of the root's children after the join (the hybrid strategy sends
+  /// one message per top-level subtree, paper Section 7).
+  std::vector<KeyId> root_children;
+};
+
+/// Everything a strategy needs to build leave rekey messages.
+struct LeaveRecord {
+  UserId user = 0;
+  /// Changed nodes from root (index 0) down to the leaving point.
+  std::vector<PathChange> path;
+  /// children[i] lists the children of path[i] *after* the removal.
+  std::vector<std::vector<ChildKey>> children;
+  /// K-nodes deleted by this leave (the user's leaf, plus any spliced-out
+  /// single-child parents). Clients may garbage-collect these.
+  std::vector<KeyId> removed_nodes;
+};
+
+/// One rekeyed node in a batch operation, with its post-batch children.
+struct BatchChange {
+  KeyId node = 0;
+  SymmetricKey new_key;
+  /// Children after the batch, carrying current keys (new ones for
+  /// children that were themselves rekeyed).
+  std::vector<ChildKey> children;
+};
+
+/// Result of a batched membership update (several joins and leaves rekeyed
+/// in one pass — the periodic-rekeying extension of the LKH line of work).
+struct BatchRecord {
+  std::vector<UserId> joined;
+  std::vector<UserId> left;
+  /// Every k-node whose key changed, each exactly once.
+  std::vector<BatchChange> changes;
+  std::vector<KeyId> removed_nodes;
+  /// Full new keyset (leaf to root) per joiner, for the welcome unicasts.
+  std::vector<std::pair<UserId, std::vector<SymmetricKey>>> joiner_keysets;
+};
+
+/// The server-side key tree.
+class KeyTree {
+ public:
+  /// `degree` is the paper's d (maximum children per k-node), >= 2.
+  /// `key_size` is the symmetric key size in bytes (8 for DES, 16 for AES).
+  /// The rng is borrowed for the tree's lifetime and supplies key material.
+  KeyTree(int degree, std::size_t key_size, crypto::SecureRandom& rng);
+
+  KeyTree(const KeyTree&) = delete;
+  KeyTree& operator=(const KeyTree&) = delete;
+  virtual ~KeyTree() = default;  // StarGraph derives from KeyTree
+
+  /// Adds a user. The individual key is supplied by the caller (in the
+  /// paper it comes out of the authentication exchange). Changes the keys on
+  /// the path from the joining point to the root. Throws ProtocolError if
+  /// the user is already a member.
+  JoinRecord join(UserId user, Bytes individual_key);
+
+  /// Removes a user. Changes keys from the leaving point to the root.
+  /// Throws ProtocolError if the user is not a member.
+  LeaveRecord leave(UserId user);
+
+  /// Applies several joins and leaves in one pass, rekeying each affected
+  /// k-node exactly once (periodic/batch rekeying: amortizes overlapping
+  /// rekey paths when churn is high). A user may not both join and leave
+  /// in the same batch. Throws ProtocolError on duplicate/unknown users;
+  /// the tree is unchanged if validation fails.
+  BatchRecord batch_update(
+      const std::vector<std::pair<UserId, Bytes>>& joins,
+      const std::vector<UserId>& leaves);
+
+  [[nodiscard]] std::size_t user_count() const noexcept;
+  [[nodiscard]] bool has_user(UserId user) const;
+
+  /// Total number of k-nodes including the root and leaves (Table 1 row 1
+  /// counts these as "number of keys held by the server", minus nothing —
+  /// individual keys are part of K).
+  [[nodiscard]] std::size_t key_count() const noexcept;
+
+  /// Number of edges on the longest root-to-leaf path. The paper's h counts
+  /// one more edge (their paths end at u-nodes hanging below the individual
+  /// keys), so paper-h = height() + 1 and a user at maximum depth holds
+  /// height() + 1 keys.
+  [[nodiscard]] std::size_t height() const;
+
+  [[nodiscard]] int degree() const noexcept { return degree_; }
+
+  /// Current group key (the root k-node's key).
+  [[nodiscard]] SymmetricKey group_key() const;
+
+  [[nodiscard]] KeyId root_id() const noexcept { return root_; }
+
+  /// userset(k): all users in the subtree of `node` (paper Section 2.1).
+  [[nodiscard]] std::vector<UserId> users_under(KeyId node) const;
+
+  /// keyset(u): the keys user u holds, leaf to root. Used by tests to check
+  /// the user-key relation and by the simulator to seed client state.
+  [[nodiscard]] std::vector<SymmetricKey> keyset(UserId user) const;
+
+  /// Full user list (ascending ids).
+  [[nodiscard]] std::vector<UserId> users() const;
+
+  /// Structural invariants, asserted by tests after every operation:
+  /// child/parent links consistent, arity <= degree, user counts correct,
+  /// exactly one leaf per user, no orphan nodes.
+  void check_invariants() const;
+
+  /// Serializes the complete tree — structure AND key material. This is
+  /// the replication path Section 6 alludes to ("the key server may be
+  /// replicated for reliability"): a standby server restores from it and
+  /// continues issuing rekeys. The bytes are as sensitive as the server's
+  /// memory; move them only over a mutually authenticated secure channel.
+  [[nodiscard]] Bytes serialize() const;
+
+  /// Restores a tree serialized by serialize(). The rng supplies key
+  /// material for *future* operations only. Throws ParseError on malformed
+  /// input (and validates all invariants before returning).
+  static std::unique_ptr<KeyTree> deserialize(BytesView data,
+                                              crypto::SecureRandom& rng);
+
+ private:
+  struct Node {
+    KeyId id = 0;
+    KeyVersion version = 0;
+    Bytes secret;
+    Node* parent = nullptr;
+    std::vector<Node*> children;
+    std::optional<UserId> user;      // set iff leaf (individual key)
+    std::size_t user_count = 0;      // users in this subtree
+
+    [[nodiscard]] bool is_leaf() const noexcept { return user.has_value(); }
+    [[nodiscard]] SymmetricKey key() const { return {id, version, secret}; }
+  };
+
+  Node* make_node(std::optional<KeyId> fixed_id = std::nullopt);
+  void destroy_node(Node* node);
+  void refresh_key(Node* node);
+  [[nodiscard]] Node* find_join_parent();
+  void bump_counts(Node* from, std::ptrdiff_t delta);
+
+  int degree_;
+  std::size_t key_size_;
+  crypto::SecureRandom& rng_;
+  KeyId next_id_ = 1;
+
+  std::unordered_map<KeyId, std::unique_ptr<Node>> nodes_;
+  std::unordered_map<UserId, Node*> user_leaves_;
+  KeyId root_ = 0;
+};
+
+}  // namespace keygraphs

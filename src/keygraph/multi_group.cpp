@@ -1,0 +1,87 @@
+#include "keygraph/multi_group.h"
+
+#include "common/error.h"
+
+namespace keygraphs {
+
+MultiGroupGraph::MultiGroupGraph(int degree, std::size_t key_size,
+                                 crypto::SecureRandom& rng)
+    : degree_(degree), key_size_(key_size), rng_(rng) {}
+
+GroupId MultiGroupGraph::create_group() {
+  const GroupId id = next_group_++;
+  trees_.emplace(id, std::make_unique<KeyTree>(degree_, key_size_, rng_));
+  return id;
+}
+
+JoinRecord MultiGroupGraph::join(GroupId group, UserId user) {
+  auto it = trees_.find(group);
+  if (it == trees_.end()) throw ProtocolError("MultiGroup: no such group");
+  auto [key_it, created] = individual_keys_.try_emplace(user);
+  if (created) key_it->second = rng_.bytes(key_size_);
+  return it->second->join(user, key_it->second);
+}
+
+LeaveRecord MultiGroupGraph::leave(GroupId group, UserId user) {
+  auto it = trees_.find(group);
+  if (it == trees_.end()) throw ProtocolError("MultiGroup: no such group");
+  LeaveRecord record = it->second->leave(user);
+  // The individual key survives: the user may be in other groups, and its
+  // key came from the authentication service, not from this group.
+  return record;
+}
+
+const KeyTree& MultiGroupGraph::tree(GroupId group) const {
+  auto it = trees_.find(group);
+  if (it == trees_.end()) throw ProtocolError("MultiGroup: no such group");
+  return *it->second;
+}
+
+std::vector<GroupId> MultiGroupGraph::groups_of(UserId user) const {
+  std::vector<GroupId> out;
+  for (const auto& [group, tree] : trees_) {
+    if (tree->has_user(user)) out.push_back(group);
+  }
+  return out;
+}
+
+const Bytes& MultiGroupGraph::individual_secret(UserId user) const {
+  auto it = individual_keys_.find(user);
+  if (it == individual_keys_.end()) {
+    throw ProtocolError("MultiGroup: unknown user");
+  }
+  return it->second;
+}
+
+KeyGraph MultiGroupGraph::merged_graph() const {
+  KeyGraph graph;
+  // One shared individual k-node per user who is in at least one group.
+  for (const auto& [group, tree] : trees_) {
+    for (UserId user : tree->users()) {
+      if (!graph.has_user(user)) {
+        graph.add_user(user);
+        graph.add_key(user);  // individual key node, stride-0 namespace
+        graph.add_user_edge(user, user);
+      }
+    }
+  }
+  // Per-tree internal nodes, namespaced, linked leaf-parent upward; the
+  // per-tree leaf collapses into the shared individual k-node.
+  for (const auto& [group, tree] : trees_) {
+    const KeyId stride = (static_cast<KeyId>(group) + 1) * kGroupIdStride;
+    for (UserId user : tree->users()) {
+      const std::vector<SymmetricKey> chain = tree->keyset(user);
+      // chain[0] is the leaf (individual key), chain[1..] internal nodes.
+      KeyId below = user;  // the shared individual k-node
+      for (std::size_t i = 1; i < chain.size(); ++i) {
+        const KeyId node = stride + chain[i].id;
+        if (!graph.has_key(node)) graph.add_key(node);
+        graph.add_key_edge(below, node);
+        below = node;
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace keygraphs

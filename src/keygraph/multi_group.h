@@ -1,0 +1,67 @@
+// Multiple secure groups over one user population (paper Section 7).
+//
+// The paper closes by noting that key graphs (not just trees) exist because
+// a real key-management service serves many groups at once, and a user who
+// joins several groups appears in several key trees; the trees merge at the
+// user's individual key into a single key graph. (This became the authors'
+// Keystone service.) This module provides that merged, multi-group view on
+// top of KeyTree.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "keygraph/key_graph.h"
+#include "keygraph/key_tree.h"
+
+namespace keygraphs {
+
+/// A set of key trees sharing one individual key per user. The individual
+/// key is created on the user's first join to any group and reused for each
+/// subsequent group — exactly the merge of Section 7: the u-node and its
+/// individual k-node are shared, everything above differs per group.
+class MultiGroupGraph {
+ public:
+  MultiGroupGraph(int degree, std::size_t key_size,
+                  crypto::SecureRandom& rng);
+
+  /// Creates a new, empty secure group and returns its id.
+  GroupId create_group();
+
+  /// Joins `user` to `group`. Allocates the user's individual key on first
+  /// contact with the service. Returns the per-group rekey record.
+  JoinRecord join(GroupId group, UserId user);
+
+  /// Leaves one group. The user's other memberships are untouched — the
+  /// merged graph is why this is cheap: only the one tree rekeys.
+  LeaveRecord leave(GroupId group, UserId user);
+
+  [[nodiscard]] const KeyTree& tree(GroupId group) const;
+
+  /// Groups the user currently belongs to, ascending.
+  [[nodiscard]] std::vector<GroupId> groups_of(UserId user) const;
+
+  /// The user's service-wide individual key (shared across groups).
+  [[nodiscard]] const Bytes& individual_secret(UserId user) const;
+
+  [[nodiscard]] std::size_t group_count() const { return trees_.size(); }
+
+  /// Exports the merged key graph: one u-node per user, one k-node for the
+  /// shared individual key, and the internal k-nodes of every tree. K-node
+  /// ids are namespaced as (group+1) * kGroupIdStride + local id; individual
+  /// keys use stride 0.
+  [[nodiscard]] KeyGraph merged_graph() const;
+
+  static constexpr KeyId kGroupIdStride = KeyId{1} << 32;
+
+ private:
+  int degree_;
+  std::size_t key_size_;
+  crypto::SecureRandom& rng_;
+  std::map<GroupId, std::unique_ptr<KeyTree>> trees_;
+  std::map<UserId, Bytes> individual_keys_;
+  GroupId next_group_ = 1;
+};
+
+}  // namespace keygraphs

@@ -1,0 +1,4 @@
+#include "keygraph/star_graph.h"
+
+// StarGraph is header-only over KeyTree; this file anchors the translation
+// unit so the library layout matches one-module-per-graph-class.

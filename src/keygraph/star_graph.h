@@ -1,0 +1,31 @@
+// Star key graphs (paper Section 2.2, protocols in Figures 2 and 4).
+//
+// A star is the degenerate key graph where every user holds exactly two
+// keys: its individual key and the group key. It is the paper's baseline —
+// the "conventional rekeying" whose leave cost is O(n) — and structurally a
+// key tree of unbounded degree: all individual keys attach directly to the
+// root. We implement it exactly that way, so the rekeying strategies and
+// protocols apply unchanged and the O(n) leave cost emerges naturally.
+#pragma once
+
+#include <limits>
+
+#include "keygraph/key_tree.h"
+
+namespace keygraphs {
+
+/// A star secure group: KeyTree with effectively unlimited root arity.
+/// join() changes only the group key (2 encryptions); leave() re-encrypts
+/// the new group key once per remaining member (n-1 encryptions).
+class StarGraph : public KeyTree {
+ public:
+  StarGraph(std::size_t key_size, crypto::SecureRandom& rng)
+      : KeyTree(std::numeric_limits<int>::max(), key_size, rng) {}
+
+  /// Table 1, star column: total keys is n individual keys + 1 group key.
+  [[nodiscard]] std::size_t expected_total_keys() const {
+    return user_count() + 1;
+  }
+};
+
+}  // namespace keygraphs

@@ -1,0 +1,32 @@
+#include "merkle/batch_signer.h"
+
+namespace keygraphs::merkle {
+
+std::vector<BatchSignatureItem> batch_sign(
+    const crypto::RsaPrivateKey& key, crypto::DigestAlgorithm algorithm,
+    std::span<const Bytes> messages) {
+  std::vector<Bytes> leaves;
+  leaves.reserve(messages.size());
+  for (const Bytes& message : messages) {
+    leaves.push_back(crypto::digest_of(algorithm, message));
+  }
+  const DigestTree tree(algorithm, std::move(leaves));
+  const Bytes signature = key.sign_digest(algorithm, tree.root());
+
+  std::vector<BatchSignatureItem> items;
+  items.reserve(messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    items.push_back(BatchSignatureItem{signature, tree.path(i)});
+  }
+  return items;
+}
+
+bool batch_verify(const crypto::RsaPublicKey& key,
+                  crypto::DigestAlgorithm algorithm, BytesView message,
+                  const BatchSignatureItem& item) {
+  const Bytes leaf = crypto::digest_of(algorithm, message);
+  const Bytes root = DigestTree::root_from_path(algorithm, leaf, item.path);
+  return key.verify_digest(algorithm, root, item.signature);
+}
+
+}  // namespace keygraphs::merkle

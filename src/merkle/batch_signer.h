@@ -1,0 +1,36 @@
+// Batch signing of rekey messages (paper Section 4).
+//
+// One RSA signature authenticates a whole batch: the signer hashes each
+// message, builds a DigestTree, signs the root, and returns per-message
+// authentication paths. The paper measures a ~10x reduction in server
+// processing time for user- and key-oriented rekeying versus signing each
+// message individually (Table 4).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "merkle/digest_tree.h"
+
+namespace keygraphs::merkle {
+
+/// What each message carries on the wire when batch-signed.
+struct BatchSignatureItem {
+  Bytes signature;  // RSA signature over the tree root (same for the batch)
+  AuthPath path;    // this message's authentication path
+};
+
+/// Signs `messages` (their serialized bodies) as one batch.
+/// Returns one item per message, in input order.
+std::vector<BatchSignatureItem> batch_sign(
+    const crypto::RsaPrivateKey& key, crypto::DigestAlgorithm algorithm,
+    std::span<const Bytes> messages);
+
+/// Verifies one message against its batch signature item.
+[[nodiscard]] bool batch_verify(const crypto::RsaPublicKey& key,
+                                crypto::DigestAlgorithm algorithm,
+                                BytesView message,
+                                const BatchSignatureItem& item);
+
+}  // namespace keygraphs::merkle

@@ -1,0 +1,109 @@
+#include "merkle/digest_tree.h"
+
+#include "common/error.h"
+#include "common/io.h"
+
+namespace keygraphs::merkle {
+
+Bytes AuthPath::serialize() const {
+  ByteWriter writer;
+  writer.u32(index);
+  writer.u32(leaf_count);
+  writer.u16(static_cast<std::uint16_t>(siblings.size()));
+  for (const Bytes& sibling : siblings) writer.var_bytes(sibling);
+  return writer.take();
+}
+
+AuthPath AuthPath::deserialize(BytesView data) {
+  ByteReader reader(data);
+  AuthPath path;
+  path.index = reader.u32();
+  path.leaf_count = reader.u32();
+  const std::uint16_t count = reader.u16();
+  path.siblings.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    path.siblings.push_back(reader.var_bytes());
+  }
+  reader.expect_done();
+  return path;
+}
+
+std::size_t AuthPath::wire_size() const {
+  std::size_t size = 4 + 4 + 2;
+  for (const Bytes& sibling : siblings) size += 4 + sibling.size();
+  return size;
+}
+
+DigestTree::DigestTree(crypto::DigestAlgorithm algorithm,
+                       std::vector<Bytes> leaf_digests)
+    : algorithm_(algorithm) {
+  if (leaf_digests.empty()) {
+    throw Error("DigestTree: at least one leaf required");
+  }
+  levels_.push_back(std::move(leaf_digests));
+  auto digest = crypto::make_digest(algorithm_);
+  while (levels_.back().size() > 1) {
+    const std::vector<Bytes>& below = levels_.back();
+    std::vector<Bytes> level;
+    level.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < below.size(); i += 2) {
+      // D = h(d_left || d_right), the paper's D_12 = (d_1, d_2) message.
+      digest->update(below[i]);
+      digest->update(below[i + 1]);
+      level.push_back(digest->finish());
+    }
+    if (below.size() % 2 != 0) {
+      level.push_back(below.back());  // odd leaf promoted unchanged
+    }
+    levels_.push_back(std::move(level));
+  }
+}
+
+AuthPath DigestTree::path(std::size_t index) const {
+  if (index >= leaf_count()) throw Error("DigestTree: leaf out of range");
+  AuthPath path;
+  path.leaf_count = static_cast<std::uint32_t>(leaf_count());
+  std::size_t position = index;
+  std::uint32_t turns = 0;
+  int bit = 0;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const std::vector<Bytes>& nodes = levels_[level];
+    const std::size_t sibling =
+        position % 2 == 0 ? position + 1 : position - 1;
+    if (sibling < nodes.size()) {
+      path.siblings.push_back(nodes[sibling]);
+      if (position % 2 != 0) turns |= std::uint32_t{1} << bit;
+      ++bit;
+      position /= 2;
+    } else {
+      // Promoted odd node: no sibling at this level; position carries over.
+      position /= 2;
+      if (position >= levels_[level + 1].size()) {
+        position = levels_[level + 1].size() - 1;
+      }
+    }
+  }
+  path.index = turns;
+  return path;
+}
+
+Bytes DigestTree::root_from_path(crypto::DigestAlgorithm algorithm,
+                                 const Bytes& leaf_digest,
+                                 const AuthPath& path) {
+  auto digest = crypto::make_digest(algorithm);
+  Bytes current = leaf_digest;
+  for (std::size_t i = 0; i < path.siblings.size(); ++i) {
+    const bool current_is_right = (path.index >> i) & 1u;
+    if (current_is_right) {
+      digest->update(path.siblings[i]);
+      digest->update(current);
+    } else {
+      digest->update(current);
+      digest->update(path.siblings[i]);
+    }
+    current = digest->finish();
+  }
+  return current;
+}
+
+}  // namespace keygraphs::merkle

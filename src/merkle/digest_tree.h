@@ -1,0 +1,64 @@
+// Merkle digest tree (paper Section 4, after Merkle's certified digital
+// signature).
+//
+// To sign m rekey messages with one RSA operation, the server hashes each
+// message, pairs digests into parent messages D_ij = d_i || d_j, hashes
+// those, and so on to a root digest, which it signs. Each message then
+// travels with its authentication path (the sibling digests from its leaf
+// to the root), letting a client recompute the root and check one
+// signature regardless of m.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/digest.h"
+
+namespace keygraphs::merkle {
+
+/// Authentication path for one leaf: the sibling digest at each level,
+/// bottom-up. `index` encodes left/right turns (bit i = 1 means the leaf's
+/// ancestor at level i is a right child).
+struct AuthPath {
+  std::uint32_t index = 0;
+  std::uint32_t leaf_count = 0;
+  std::vector<Bytes> siblings;
+
+  [[nodiscard]] Bytes serialize() const;
+  static AuthPath deserialize(BytesView data);
+
+  /// Total serialized overhead in bytes (what Table 4 reports as the
+  /// "small increase in average rekey message size").
+  [[nodiscard]] std::size_t wire_size() const;
+};
+
+/// Digest tree over a list of leaf digests.
+class DigestTree {
+ public:
+  /// Builds the tree with `algorithm`. Leaves with no sibling are promoted
+  /// unchanged (so a single message degenerates to its own digest).
+  /// Throws Error on an empty leaf list.
+  DigestTree(crypto::DigestAlgorithm algorithm,
+             std::vector<Bytes> leaf_digests);
+
+  [[nodiscard]] const Bytes& root() const { return levels_.back().front(); }
+
+  /// Authentication path for leaf `index`.
+  [[nodiscard]] AuthPath path(std::size_t index) const;
+
+  [[nodiscard]] std::size_t leaf_count() const {
+    return levels_.front().size();
+  }
+
+  /// Recomputes the root from one leaf digest and its path; the caller
+  /// compares the result against a signed root. Pure function of inputs.
+  static Bytes root_from_path(crypto::DigestAlgorithm algorithm,
+                              const Bytes& leaf_digest, const AuthPath& path);
+
+ private:
+  crypto::DigestAlgorithm algorithm_;
+  std::vector<std::vector<Bytes>> levels_;  // levels_[0] = leaves
+};
+
+}  // namespace keygraphs::merkle

@@ -1,0 +1,273 @@
+#include "oft/oft.h"
+
+#include "common/error.h"
+#include "crypto/sha256.h"
+
+namespace keygraphs::oft {
+
+namespace {
+
+constexpr std::size_t kSecretSize = 16;
+
+Bytes hash_with_tag(std::uint8_t tag, BytesView a, BytesView b) {
+  crypto::Sha256 sha;
+  sha.update(BytesView(&tag, 1));
+  sha.update(a);
+  sha.update(b);
+  Bytes digest = sha.finish();
+  digest.resize(kSecretSize);  // keys are 128-bit, like the AES suite
+  return digest;
+}
+
+}  // namespace
+
+Bytes blind(BytesView secret) {
+  return hash_with_tag(0x01, secret, BytesView{});
+}
+
+Bytes mix(BytesView blinded_left, BytesView blinded_right) {
+  return hash_with_tag(0x02, blinded_left, blinded_right);
+}
+
+Bytes compute_group_key(const OftTree::MemberView& view) {
+  Bytes key = view.leaf_secret;
+  for (std::size_t level = 0; level < view.sibling_blinded.size(); ++level) {
+    const Bytes own = blind(key);
+    key = view.on_left[level] ? mix(own, view.sibling_blinded[level])
+                              : mix(view.sibling_blinded[level], own);
+  }
+  return key;
+}
+
+OftTree::OftTree(crypto::SecureRandom& rng) : rng_(rng) {}
+
+OftTree::Node* OftTree::sibling_of(Node* node) const {
+  if (node->parent == nullptr) return nullptr;
+  return node->parent->left.get() == node ? node->parent->right.get()
+                                          : node->parent->left.get();
+}
+
+void OftTree::recompute_upward(Node* from, OftRekey* rekey) {
+  // `from` itself changed; everything above recomputes. Each changed node
+  // with a sibling contributes one blinded update addressed to that
+  // sibling's subtree.
+  auto emit = [this, rekey](Node* node) {
+    Node* sibling = sibling_of(node);
+    if (sibling != nullptr && rekey != nullptr) {
+      rekey->broadcast.push_back(
+          BlindedUpdate{node->id, sibling->id, blind(node->secret)});
+    }
+  };
+  emit(from);
+  for (Node* node = from->parent; node != nullptr; node = node->parent) {
+    node->secret = mix(blind(node->left->secret),
+                       blind(node->right->secret));
+    emit(node);
+  }
+}
+
+OftTree::Node* OftTree::find_attach_leaf(Node* node) {
+  while (!node->is_leaf()) {
+    node = node->left->size <= node->right->size ? node->left.get()
+                                                 : node->right.get();
+  }
+  return node;
+}
+
+OftTree::Node* OftTree::leftmost_leaf(Node* node) const {
+  while (!node->is_leaf()) node = node->left.get();
+  return node;
+}
+
+OftRekey OftTree::join(UserId user) {
+  if (leaves_.contains(user)) throw ProtocolError("OFT: duplicate join");
+
+  OftRekey rekey;
+  const Bytes fresh = rng_.bytes(kSecretSize);
+  rekey.new_leaf_secrets.emplace_back(user, fresh);
+
+  if (!root_) {
+    auto leaf = std::make_unique<Node>();
+    leaf->id = next_id_++;
+    leaf->secret = fresh;
+    leaf->user = user;
+    leaf->size = 1;
+    leaves_[user] = leaf.get();
+    root_ = std::move(leaf);
+    return rekey;
+  }
+
+  // Split the attach leaf L: a new internal node adopts L and the new
+  // leaf. L is re-randomized so the joiner cannot reconstruct the previous
+  // group key from L's (now-visible) blinded value.
+  Node* old_leaf = find_attach_leaf(root_.get());
+  const UserId old_user = *old_leaf->user;
+
+  auto internal = std::make_unique<Node>();
+  internal->id = next_id_++;
+  auto new_leaf = std::make_unique<Node>();
+  new_leaf->id = next_id_++;
+  new_leaf->secret = fresh;
+  new_leaf->user = user;
+  new_leaf->size = 1;
+  leaves_[user] = new_leaf.get();
+
+  Node* parent = old_leaf->parent;
+  std::unique_ptr<Node>& slot =
+      parent == nullptr
+          ? root_
+          : (parent->left.get() == old_leaf ? parent->left : parent->right);
+  internal->parent = parent;
+  internal->left = std::move(slot);
+  internal->left->parent = internal.get();
+  internal->right = std::move(new_leaf);
+  internal->right->parent = internal.get();
+  Node* internal_raw = internal.get();
+  slot = std::move(internal);
+
+  // Re-randomize the split leaf and fix subtree sizes up the path.
+  const Bytes refreshed = rng_.bytes(kSecretSize);
+  internal_raw->left->secret = refreshed;
+  rekey.new_leaf_secrets.emplace_back(old_user, refreshed);
+  for (Node* node = internal_raw; node != nullptr; node = node->parent) {
+    node->size = node->left->size + node->right->size;
+  }
+
+  // Changed nodes: both leaves under the new internal node, then upward.
+  // The split leaf's owner needs the joiner's blinded key (the reverse
+  // direction rides in the joiner's initial view below).
+  rekey.broadcast.push_back(BlindedUpdate{
+      internal_raw->right->id, internal_raw->left->id,
+      blind(internal_raw->right->secret)});
+  recompute_upward(internal_raw->left.get(), &rekey);
+
+  // The joiner's initial view: sibling blinded keys along its path.
+  Node* walk = leaves_.at(user);
+  while (walk->parent != nullptr) {
+    Node* sibling = sibling_of(walk);
+    rekey.joiner_view.push_back(
+        BlindedUpdate{sibling->id, walk->id, blind(sibling->secret)});
+    walk = walk->parent;
+  }
+  return rekey;
+}
+
+OftRekey OftTree::leave(UserId user) {
+  auto it = leaves_.find(user);
+  if (it == leaves_.end()) throw ProtocolError("OFT: user not in group");
+  Node* leaf = it->second;
+  leaves_.erase(it);
+
+  OftRekey rekey;
+  if (leaf->parent == nullptr) {
+    root_.reset();  // last member
+    return rekey;
+  }
+
+  // Splice: the sibling subtree takes the parent's position.
+  Node* parent = leaf->parent;
+  Node* grandparent = parent->parent;
+  std::unique_ptr<Node> promoted = parent->left.get() == leaf
+                                       ? std::move(parent->right)
+                                       : std::move(parent->left);
+  Node* promoted_raw = promoted.get();
+  std::unique_ptr<Node>& slot =
+      grandparent == nullptr
+          ? root_
+          : (grandparent->left.get() == parent ? grandparent->left
+                                               : grandparent->right);
+  promoted->parent = grandparent;
+  slot = std::move(promoted);  // destroys the old parent and the leaf
+
+  for (Node* node = grandparent; node != nullptr; node = node->parent) {
+    node->size = node->left->size + node->right->size;
+  }
+
+  // Fresh entropy: without it the leaver (who knows the blinded keys along
+  // its old path) could recompute the post-leave group key. Re-randomize
+  // one leaf of the promoted subtree; the leaver does not know that leaf's
+  // secret, so every recomputed ancestor is out of its reach.
+  Node* refreshed = leftmost_leaf(promoted_raw);
+  refreshed->secret = rng_.bytes(kSecretSize);
+  rekey.new_leaf_secrets.emplace_back(*refreshed->user, refreshed->secret);
+  recompute_upward(refreshed, &rekey);
+  return rekey;
+}
+
+std::size_t OftTree::height() const {
+  if (!root_) return 0;
+  std::size_t max_depth = 0;
+  std::vector<std::pair<const Node*, std::size_t>> stack{{root_.get(), 0}};
+  while (!stack.empty()) {
+    const auto [node, depth] = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      max_depth = std::max(max_depth, depth);
+    } else {
+      stack.emplace_back(node->left.get(), depth + 1);
+      stack.emplace_back(node->right.get(), depth + 1);
+    }
+  }
+  return max_depth;
+}
+
+Bytes OftTree::group_key() const {
+  if (!root_) throw ProtocolError("OFT: empty group has no key");
+  return root_->secret;
+}
+
+OftTree::MemberView OftTree::view_of(UserId user) const {
+  auto it = leaves_.find(user);
+  if (it == leaves_.end()) throw ProtocolError("OFT: user not in group");
+  MemberView view;
+  view.leaf_secret = it->second->secret;
+  for (Node* node = it->second; node->parent != nullptr;
+       node = node->parent) {
+    view.on_left.push_back(node->parent->left.get() == node);
+    view.sibling_blinded.push_back(blind(
+        (node->parent->left.get() == node ? node->parent->right
+                                          : node->parent->left)
+            ->secret));
+  }
+  return view;
+}
+
+void OftTree::check_invariants() const {
+  if (!root_) {
+    if (!leaves_.empty()) throw Error("OFT: leaves index out of sync");
+    return;
+  }
+  std::size_t seen_leaves = 0;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    if (node->is_leaf()) {
+      ++seen_leaves;
+      if (node->size != 1) throw Error("OFT: leaf size != 1");
+      auto it = leaves_.find(*node->user);
+      if (it == leaves_.end() || it->second != node) {
+        throw Error("OFT: leaf not indexed");
+      }
+    } else {
+      if (!node->left || !node->right) {
+        throw Error("OFT: internal node must have two children");
+      }
+      if (node->left->parent != node || node->right->parent != node) {
+        throw Error("OFT: parent link broken");
+      }
+      if (node->size != node->left->size + node->right->size) {
+        throw Error("OFT: size mismatch");
+      }
+      if (node->secret != mix(blind(node->left->secret),
+                              blind(node->right->secret))) {
+        throw Error("OFT: functional key relation violated");
+      }
+      stack.push_back(node->left.get());
+      stack.push_back(node->right.get());
+    }
+  }
+  if (seen_leaves != leaves_.size()) throw Error("OFT: leaf count mismatch");
+}
+
+}  // namespace keygraphs::oft

@@ -1,0 +1,137 @@
+// One-way Function Trees (OFT) — the contemporaneous alternative to the
+// paper's key trees, from the Wallner/Harder/Agee [20] / McGrew-Sherman
+// line of work that the paper's footnote 4 acknowledges.
+//
+// Where the paper's server *generates* every subgroup key and ships it
+// encrypted, OFT *derives* internal keys functionally:
+//
+//     k_parent = mix( blind(k_left), blind(k_right) )
+//
+// with blind() and mix() one-way (here: SHA-256 with domain separation).
+// A member holds its own leaf secret plus the blinded keys of the siblings
+// along its path, from which it computes every ancestor key including the
+// group key. A membership change therefore needs to ship only ONE blinded
+// key per tree level (encrypted for the sibling subtree), where the
+// paper's binary key tree ships two encrypted keys per level — OFT halves
+// the rekey broadcast, at the cost of binary-only trees and more client
+// computation. The ablation bench quantifies exactly that trade against
+// the paper's key tree.
+//
+// This module is deliberately self-contained (its own message structs, no
+// wire codec): it exists for the algorithmic comparison, not as a second
+// production path.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "crypto/random.h"
+#include "keygraph/key.h"
+
+namespace keygraphs::oft {
+
+/// blind(k) — the one-way function applied before a key leaves a subtree.
+Bytes blind(BytesView secret);
+
+/// mix(bl, br) — parent key from the children's blinded keys.
+Bytes mix(BytesView blinded_left, BytesView blinded_right);
+
+/// One encrypted item of an OFT rekey broadcast: the new blinded key of
+/// node `node`, for the members of the sibling subtree (who hold the key
+/// of node `wrap_node` and can decrypt anything sealed under it).
+/// Encryption is modeled: carrying the plaintext plus the wrapping key's
+/// id keeps the comparison focused on counts and bytes (the real sealing
+/// path is exercised by the main library).
+struct BlindedUpdate {
+  KeyId node = 0;       // whose blinded key this is
+  KeyId wrap_node = 0;  // subtree entitled to read it
+  Bytes blinded_key;
+};
+
+/// Everything the server emits for one membership change.
+struct OftRekey {
+  /// Broadcast: one blinded update per affected level.
+  std::vector<BlindedUpdate> broadcast;
+  /// Unicasts: (user, fresh leaf secret) — the joiner, plus on a leave the
+  /// one member whose leaf is re-randomized to inject fresh entropy.
+  std::vector<std::pair<UserId, Bytes>> new_leaf_secrets;
+  /// For a joiner: the blinded sibling keys of its path (its initial view)
+  /// and the path node ids, root-last.
+  std::vector<BlindedUpdate> joiner_view;
+  /// Encryption count (one per broadcast item + one per unicast), the same
+  /// cost unit as the key-tree strategies.
+  [[nodiscard]] std::size_t encryptions() const {
+    return broadcast.size() + new_leaf_secrets.size();
+  }
+  /// Approximate broadcast payload: one blinded key + labels per item.
+  [[nodiscard]] std::size_t broadcast_bytes() const {
+    std::size_t bytes = 0;
+    for (const BlindedUpdate& update : broadcast) {
+      bytes += 16 + update.blinded_key.size();
+    }
+    return bytes;
+  }
+};
+
+/// The server-side OFT (binary by construction).
+class OftTree {
+ public:
+  explicit OftTree(crypto::SecureRandom& rng);
+
+  /// Adds a member; returns the rekey traffic. Throws on duplicates.
+  OftRekey join(UserId user);
+
+  /// Removes a member; re-randomizes one leaf of the sibling subtree and
+  /// returns the rekey traffic. Throws for non-members.
+  OftRekey leave(UserId user);
+
+  [[nodiscard]] std::size_t member_count() const { return leaves_.size(); }
+  [[nodiscard]] std::size_t height() const;
+
+  /// The functionally derived group key (root).
+  [[nodiscard]] Bytes group_key() const;
+
+  /// A member's view: leaf secret + path sibling blinded keys, for tests
+  /// that reconstruct the group key independently.
+  struct MemberView {
+    Bytes leaf_secret;
+    std::vector<Bytes> sibling_blinded;  // leaf level first
+    std::vector<bool> on_left;  // whether the member's side is the left
+                                // child at each level (mix is ordered)
+  };
+  [[nodiscard]] MemberView view_of(UserId user) const;
+
+  /// Recomputes every internal key from the leaves and checks consistency.
+  void check_invariants() const;
+
+ private:
+  struct Node {
+    KeyId id = 0;
+    Bytes secret;                  // leaf: random; internal: mix(...)
+    Node* parent = nullptr;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    std::optional<UserId> user;
+    std::size_t size = 0;  // member count below
+
+    [[nodiscard]] bool is_leaf() const { return user.has_value(); }
+  };
+
+  Node* sibling_of(Node* node) const;
+  void recompute_upward(Node* from, OftRekey* rekey);
+  Node* find_attach_leaf(Node* node);
+  [[nodiscard]] Node* leftmost_leaf(Node* node) const;
+
+  crypto::SecureRandom& rng_;
+  std::unique_ptr<Node> root_;
+  std::map<UserId, Node*> leaves_;
+  KeyId next_id_ = 1;
+};
+
+/// Client-side reconstruction used by the tests: computes the group key
+/// from a member's view (leaf secret + sibling blinded keys, leaf first).
+Bytes compute_group_key(const OftTree::MemberView& view);
+
+}  // namespace keygraphs::oft

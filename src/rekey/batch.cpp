@@ -1,0 +1,59 @@
+#include "rekey/batch.h"
+
+#include <set>
+
+namespace keygraphs::rekey {
+
+std::vector<OutboundRekey> plan_batch(const BatchRecord& record,
+                                      RekeyEncryptor& encryptor) {
+  std::vector<OutboundRekey> out;
+  if (record.changes.empty()) return out;
+
+  // The multicast: every changed node's new key wrapped under each of its
+  // children's current keys. Clients decrypt to a fixpoint exactly as for
+  // a group-oriented leave. Joiners' individual keys are leaves here too,
+  // but joiners are served by their welcome unicasts (they are not yet on
+  // the group's multicast address).
+  RekeyMessage broadcast =
+      detail::base_message(RekeyKind::kBatch, StrategyKind::kGroupOriented);
+  const KeyId root = record.changes.empty() ? 0 : [&record] {
+    // The root is the unique changed node that is nobody's child.
+    std::set<KeyId> children;
+    for (const BatchChange& change : record.changes) {
+      for (const ChildKey& child : change.children) {
+        children.insert(child.node);
+      }
+    }
+    for (const BatchChange& change : record.changes) {
+      if (!children.contains(change.node)) return change.node;
+    }
+    return record.changes.front().node;
+  }();
+
+  for (const BatchChange& change : record.changes) {
+    for (const ChildKey& child : change.children) {
+      broadcast.blobs.push_back(
+          encryptor.wrap(child.key, std::span(&change.new_key, 1)));
+    }
+  }
+  if (!broadcast.blobs.empty()) {
+    out.push_back(
+        OutboundRekey{Recipient::to_subgroup(root), std::move(broadcast)});
+  }
+
+  for (const auto& [user, keyset] : record.joiner_keysets) {
+    RekeyMessage welcome =
+        detail::base_message(RekeyKind::kBatch, StrategyKind::kGroupOriented);
+    // keyset is leaf-to-root; the leaf (individual key) wraps the rest.
+    const SymmetricKey& individual = keyset.front();
+    const std::vector<SymmetricKey> rest(keyset.begin() + 1, keyset.end());
+    if (!rest.empty()) {
+      welcome.blobs.push_back(encryptor.wrap(individual, rest));
+    }
+    out.push_back(
+        OutboundRekey{Recipient::to_user(user), std::move(welcome)});
+  }
+  return out;
+}
+
+}  // namespace keygraphs::rekey

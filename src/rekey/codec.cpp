@@ -1,0 +1,164 @@
+#include "rekey/codec.h"
+
+#include "common/error.h"
+#include "common/io.h"
+#include "merkle/batch_signer.h"
+
+namespace keygraphs::rekey {
+
+std::string signing_mode_name(SigningMode mode) {
+  switch (mode) {
+    case SigningMode::kNone:
+      return "none";
+    case SigningMode::kDigestOnly:
+      return "digest";
+    case SigningMode::kPerMessage:
+      return "per-message signature";
+    case SigningMode::kBatch:
+      return "batch signature";
+  }
+  return "?";
+}
+
+RekeyEncryptor::RekeyEncryptor(crypto::CipherAlgorithm cipher,
+                               crypto::SecureRandom& rng)
+    : cipher_(cipher), rng_(rng) {}
+
+KeyBlob RekeyEncryptor::wrap(const SymmetricKey& wrapping,
+                             std::span<const SymmetricKey> targets) {
+  if (targets.empty()) throw Error("RekeyEncryptor: empty target list");
+  KeyBlob blob;
+  blob.wrap = wrapping.ref();
+  Bytes plaintext;
+  for (const SymmetricKey& target : targets) {
+    blob.targets.push_back(target.ref());
+    plaintext.insert(plaintext.end(), target.secret.begin(),
+                     target.secret.end());
+  }
+  const crypto::CbcCipher cbc(crypto::make_cipher(cipher_, wrapping.secret));
+  blob.ciphertext = cbc.encrypt(plaintext, rng_);
+  key_encryptions_ += targets.size();
+  secure_wipe(plaintext);
+  return blob;
+}
+
+RekeySealer::RekeySealer(SigningMode mode, crypto::DigestAlgorithm digest,
+                         const crypto::RsaPrivateKey* signer)
+    : mode_(mode), digest_(digest), signer_(signer) {
+  if ((mode == SigningMode::kPerMessage || mode == SigningMode::kBatch) &&
+      signer == nullptr) {
+    throw CryptoError("RekeySealer: signing mode requires a private key");
+  }
+  if (mode != SigningMode::kNone && digest == crypto::DigestAlgorithm::kNone) {
+    throw CryptoError("RekeySealer: digest algorithm required");
+  }
+}
+
+std::size_t RekeySealer::signatures_for(std::size_t n) const {
+  switch (mode_) {
+    case SigningMode::kPerMessage:
+      return n;
+    case SigningMode::kBatch:
+      return n == 0 ? 0 : 1;
+    default:
+      return 0;
+  }
+}
+
+std::vector<Bytes> RekeySealer::seal(
+    std::span<const RekeyMessage> messages) const {
+  std::vector<Bytes> bodies;
+  bodies.reserve(messages.size());
+  for (const RekeyMessage& message : messages) {
+    bodies.push_back(message.serialize_body());
+  }
+
+  std::vector<merkle::BatchSignatureItem> batch;
+  if (mode_ == SigningMode::kBatch && !bodies.empty()) {
+    batch = merkle::batch_sign(*signer_, digest_, bodies);
+  }
+
+  std::vector<Bytes> wire;
+  wire.reserve(bodies.size());
+  for (std::size_t i = 0; i < bodies.size(); ++i) {
+    ByteWriter writer;
+    writer.var_bytes(bodies[i]);
+    switch (mode_) {
+      case SigningMode::kNone:
+        writer.u8(static_cast<std::uint8_t>(AuthKind::kNone));
+        break;
+      case SigningMode::kDigestOnly:
+        writer.u8(static_cast<std::uint8_t>(AuthKind::kDigest));
+        writer.u8(static_cast<std::uint8_t>(digest_));
+        writer.var_bytes(crypto::digest_of(digest_, bodies[i]));
+        break;
+      case SigningMode::kPerMessage:
+        writer.u8(static_cast<std::uint8_t>(AuthKind::kSignature));
+        writer.u8(static_cast<std::uint8_t>(digest_));
+        writer.var_bytes(signer_->sign(digest_, bodies[i]));
+        break;
+      case SigningMode::kBatch:
+        writer.u8(static_cast<std::uint8_t>(AuthKind::kBatchSignature));
+        writer.u8(static_cast<std::uint8_t>(digest_));
+        writer.var_bytes(batch[i].signature);
+        writer.var_bytes(batch[i].path.serialize());
+        break;
+    }
+    wire.push_back(writer.take());
+  }
+  return wire;
+}
+
+RekeyOpener::RekeyOpener(const crypto::RsaPublicKey* server_key)
+    : server_key_(server_key) {}
+
+OpenedRekey RekeyOpener::open(BytesView wire, bool verify) const {
+  ByteReader reader(wire);
+  const Bytes body = reader.var_bytes();
+
+  OpenedRekey opened;
+  opened.wire_size = wire.size();
+  opened.auth = static_cast<AuthKind>(reader.u8());
+  switch (opened.auth) {
+    case AuthKind::kNone:
+      reader.expect_done();
+      opened.verified = true;
+      break;
+    case AuthKind::kDigest: {
+      const auto algorithm = static_cast<crypto::DigestAlgorithm>(reader.u8());
+      const Bytes digest = reader.var_bytes();
+      reader.expect_done();
+      opened.verified =
+          !verify ||
+          constant_time_equal(crypto::digest_of(algorithm, body), digest);
+      break;
+    }
+    case AuthKind::kSignature: {
+      const auto algorithm = static_cast<crypto::DigestAlgorithm>(reader.u8());
+      const Bytes signature = reader.var_bytes();
+      reader.expect_done();
+      opened.verified = !verify || (server_key_ != nullptr &&
+                                    server_key_->verify(algorithm, body,
+                                                        signature));
+      break;
+    }
+    case AuthKind::kBatchSignature: {
+      const auto algorithm = static_cast<crypto::DigestAlgorithm>(reader.u8());
+      merkle::BatchSignatureItem item;
+      item.signature = reader.var_bytes();
+      item.path = merkle::AuthPath::deserialize(reader.var_bytes());
+      reader.expect_done();
+      opened.verified =
+          !verify || (server_key_ != nullptr &&
+                      merkle::batch_verify(*server_key_, algorithm, body,
+                                           item));
+      break;
+    }
+    default:
+      throw ParseError("rekey envelope: bad auth kind");
+  }
+  opened.message = RekeyMessage::parse_body(body);
+  return opened;
+}
+
+}  // namespace keygraphs::rekey

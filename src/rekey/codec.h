@@ -1,0 +1,101 @@
+// Encryption, sealing and opening of rekey messages.
+//
+// RekeyEncryptor turns new keys into KeyBlobs (counting key encryptions,
+// the paper's Section 3.5 cost unit). RekeySealer applies the
+// authentication policy to the batch of messages produced by one join/leave
+// (none, digest, one signature per message, or the Section 4 batch
+// signature). RekeyOpener is the client side: parse, verify, expose body.
+#pragma once
+
+#include <span>
+
+#include "crypto/cbc.h"
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+#include "crypto/suite.h"
+#include "rekey/message.h"
+
+namespace keygraphs::rekey {
+
+/// How the server authenticates outgoing rekey messages.
+enum class SigningMode : std::uint8_t {
+  kNone = 0,        // encryption only (paper Figure 10/11 left-hand side)
+  kDigestOnly = 1,  // MD5 integrity check, no signature
+  kPerMessage = 2,  // Table 4 "one signature per rekey msg"
+  kBatch = 3,       // Table 4 "one signature for all rekey msgs" (Sec. 4)
+};
+
+std::string signing_mode_name(SigningMode mode);
+
+/// Builds KeyBlobs and counts the key encryptions performed.
+class RekeyEncryptor {
+ public:
+  RekeyEncryptor(crypto::CipherAlgorithm cipher, crypto::SecureRandom& rng);
+
+  /// Encrypts the concatenated secrets of `targets` under `wrapping`.
+  /// Counts targets.size() key encryptions, matching the paper's cost
+  /// bookkeeping (a combined user-oriented blob of i keys costs i).
+  [[nodiscard]] KeyBlob wrap(const SymmetricKey& wrapping,
+                             std::span<const SymmetricKey> targets);
+
+  [[nodiscard]] std::size_t key_encryptions() const noexcept {
+    return key_encryptions_;
+  }
+  void reset_counters() noexcept { key_encryptions_ = 0; }
+
+  [[nodiscard]] crypto::CipherAlgorithm cipher() const noexcept {
+    return cipher_;
+  }
+
+ private:
+  crypto::CipherAlgorithm cipher_;
+  crypto::SecureRandom& rng_;
+  std::size_t key_encryptions_ = 0;
+};
+
+/// Applies a signing policy to the rekey messages of one operation.
+class RekeySealer {
+ public:
+  /// `signer` may be null only for kNone/kDigestOnly modes.
+  RekeySealer(SigningMode mode, crypto::DigestAlgorithm digest,
+              const crypto::RsaPrivateKey* signer);
+
+  /// Seals a batch (all messages of one join/leave). Returns wire bytes in
+  /// input order. For kBatch mode, one RSA signature covers the whole batch
+  /// via a Merkle digest tree; each message carries its auth path.
+  [[nodiscard]] std::vector<Bytes> seal(
+      std::span<const RekeyMessage> messages) const;
+
+  /// Number of RSA signature operations seal() would use for `n` messages.
+  [[nodiscard]] std::size_t signatures_for(std::size_t n) const;
+
+ private:
+  SigningMode mode_;
+  crypto::DigestAlgorithm digest_;
+  const crypto::RsaPrivateKey* signer_;
+};
+
+/// A parsed-and-checked incoming rekey message.
+struct OpenedRekey {
+  RekeyMessage message;
+  AuthKind auth = AuthKind::kNone;
+  bool verified = false;  // digest/signature checked (kNone counts as true)
+  std::size_t wire_size = 0;
+};
+
+/// Client-side envelope parser/verifier.
+class RekeyOpener {
+ public:
+  /// `server_key` may be null: signed messages then parse but verify=false.
+  explicit RekeyOpener(const crypto::RsaPublicKey* server_key);
+
+  /// Parses the envelope. If `verify` is set, checks the digest/signature;
+  /// otherwise only parses (the client-simulator benches skip verification
+  /// the way the paper excludes client auth costs from server timings).
+  [[nodiscard]] OpenedRekey open(BytesView wire, bool verify) const;
+
+ private:
+  const crypto::RsaPublicKey* server_key_;
+};
+
+}  // namespace keygraphs::rekey

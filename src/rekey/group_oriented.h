@@ -1,0 +1,27 @@
+// Group-oriented rekeying (paper Section 3.3/3.4, Figures 7 and 9).
+//
+// One rekey message per operation, multicast to the whole group, containing
+// every new key (each wrapped under the appropriate subgroup key). Best for
+// the server — one message, no subgroup multicast needed, 2(h-1)/d(h-1)
+// encryptions — but each client receives a message ~d times larger than it
+// needs on a leave (the paper's client-side tradeoff, Table 6).
+#pragma once
+
+#include "rekey/strategy.h"
+
+namespace keygraphs::rekey {
+
+class GroupOrientedStrategy final : public RekeyStrategy {
+ public:
+  [[nodiscard]] StrategyKind kind() const noexcept override {
+    return StrategyKind::kGroupOriented;
+  }
+
+  [[nodiscard]] std::vector<OutboundRekey> plan_join(
+      const JoinRecord& record, RekeyEncryptor& encryptor) const override;
+
+  [[nodiscard]] std::vector<OutboundRekey> plan_leave(
+      const LeaveRecord& record, RekeyEncryptor& encryptor) const override;
+};
+
+}  // namespace keygraphs::rekey

@@ -1,0 +1,89 @@
+#include "rekey/hybrid.h"
+
+namespace keygraphs::rekey {
+
+std::vector<OutboundRekey> HybridStrategy::plan_join(
+    const JoinRecord& record, RekeyEncryptor& encryptor) const {
+  std::vector<OutboundRekey> out;
+  const std::size_t j = record.path.size() - 1;
+
+  // Path blobs {K'_i}_{K_i}, each encrypted once and shared across the
+  // subtree messages that need them.
+  std::vector<std::optional<KeyBlob>> path_blobs(record.path.size());
+  for (std::size_t i = 0; i <= j; ++i) {
+    const PathChange& change = record.path[i];
+    if (change.old_key.has_value()) {
+      path_blobs[i] = encryptor.wrap(
+          *change.old_key, std::span(&change.new_key, 1));
+    }
+  }
+
+  if (path_blobs[0].has_value()) {
+    const KeyId join_subtree = j >= 1 ? record.path[1].node : 0;
+    for (KeyId child : record.root_children) {
+      if (child == record.individual_key.id) {
+        continue;  // the joiner's own leaf: served by the unicast below
+      }
+      RekeyMessage message =
+          detail::base_message(RekeyKind::kJoin, StrategyKind::kHybrid);
+      message.blobs.push_back(*path_blobs[0]);
+      // Existing members listen on the keys they *held before* this join,
+      // so the subtree containing the joining point is addressed by its old
+      // key id — which is the split leaf's individual key id when this join
+      // created a fresh intermediate node in place of a leaf.
+      KeyId address = child;
+      if (child == join_subtree) {
+        for (std::size_t i = 1; i <= j; ++i) {
+          if (path_blobs[i].has_value()) {
+            message.blobs.push_back(*path_blobs[i]);
+          }
+        }
+        if (record.path[1].old_key.has_value()) {
+          address = record.path[1].old_key->id;
+        }
+      }
+      out.push_back(OutboundRekey{Recipient::to_subgroup(address),
+                                  std::move(message)});
+    }
+  }
+
+  RekeyMessage welcome =
+      detail::base_message(RekeyKind::kJoin, StrategyKind::kHybrid);
+  welcome.blobs.push_back(encryptor.wrap(
+      record.individual_key, detail::new_keys_upto(record.path, j)));
+  out.push_back(
+      OutboundRekey{Recipient::to_user(record.user), std::move(welcome)});
+  return out;
+}
+
+std::vector<OutboundRekey> HybridStrategy::plan_leave(
+    const LeaveRecord& record, RekeyEncryptor& encryptor) const {
+  std::vector<OutboundRekey> out;
+  const std::size_t levels = record.path.size();
+
+  // Group-oriented payloads for levels below the root, reused verbatim in
+  // the one subtree message that needs them.
+  std::vector<KeyBlob> deep_blobs;
+  for (std::size_t i = 1; i < levels; ++i) {
+    for (const ChildKey& child : record.children[i]) {
+      deep_blobs.push_back(encryptor.wrap(
+          child.key, std::span(&record.path[i].new_key, 1)));
+    }
+  }
+
+  for (const ChildKey& child : record.children[0]) {
+    RekeyMessage message =
+        detail::base_message(RekeyKind::kLeave, StrategyKind::kHybrid);
+    message.blobs.push_back(encryptor.wrap(
+        child.key, std::span(&record.path[0].new_key, 1)));
+    if (child.on_path) {
+      message.blobs.insert(message.blobs.end(), deep_blobs.begin(),
+                           deep_blobs.end());
+    }
+    out.push_back(OutboundRekey{Recipient::to_subgroup(child.node),
+                                std::move(message)});
+  }
+  return out;
+}
+
+}  // namespace keygraphs::rekey

@@ -1,0 +1,30 @@
+// Hybrid rekeying (paper Section 7).
+//
+// The paper's closing suggestion: allocate one multicast address per child
+// of the root and use group-oriented rekeying *within* each top-level
+// subtree. Every subtree message carries the new group key; only the
+// subtree containing the join/leave point carries the deeper new keys. The
+// server sends at most d messages (plus the join unicast) and each client
+// receives a message at most 1/d the size of a full group-oriented leave
+// message — the middle ground the paper predicts between group- and
+// key-oriented rekeying.
+#pragma once
+
+#include "rekey/strategy.h"
+
+namespace keygraphs::rekey {
+
+class HybridStrategy final : public RekeyStrategy {
+ public:
+  [[nodiscard]] StrategyKind kind() const noexcept override {
+    return StrategyKind::kHybrid;
+  }
+
+  [[nodiscard]] std::vector<OutboundRekey> plan_join(
+      const JoinRecord& record, RekeyEncryptor& encryptor) const override;
+
+  [[nodiscard]] std::vector<OutboundRekey> plan_leave(
+      const LeaveRecord& record, RekeyEncryptor& encryptor) const override;
+};
+
+}  // namespace keygraphs::rekey

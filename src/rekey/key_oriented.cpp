@@ -1,0 +1,78 @@
+#include "rekey/key_oriented.h"
+
+namespace keygraphs::rekey {
+
+std::vector<OutboundRekey> KeyOrientedStrategy::plan_join(
+    const JoinRecord& record, RekeyEncryptor& encryptor) const {
+  std::vector<OutboundRekey> out;
+  const std::size_t j = record.path.size() - 1;
+
+  // {K'_i}_{K_i}, each computed exactly once (the 2(h-1) cost bound relies
+  // on this reuse), then combined per Figure 6 step (4).
+  std::vector<std::optional<KeyBlob>> path_blobs(record.path.size());
+  for (std::size_t i = 0; i <= j; ++i) {
+    const PathChange& change = record.path[i];
+    if (change.old_key.has_value()) {
+      path_blobs[i] = encryptor.wrap(
+          *change.old_key, std::span(&change.new_key, 1));
+    }
+  }
+
+  for (std::size_t i = 0; i <= j; ++i) {
+    if (!path_blobs[i].has_value()) continue;
+    RekeyMessage message =
+        detail::base_message(RekeyKind::kJoin, StrategyKind::kKeyOriented);
+    for (std::size_t l = 0; l <= i; ++l) {
+      if (path_blobs[l].has_value()) message.blobs.push_back(*path_blobs[l]);
+    }
+    std::optional<KeyId> exclude;
+    if (i < j && record.path[i + 1].old_key.has_value()) {
+      exclude = record.path[i + 1].old_key->id;
+    }
+    out.push_back(OutboundRekey{
+        Recipient::to_subgroup(record.path[i].old_key->id, exclude),
+        std::move(message)});
+  }
+
+  // Figure 6 step (5): all new keys in one bundle for the joining user.
+  RekeyMessage welcome =
+      detail::base_message(RekeyKind::kJoin, StrategyKind::kKeyOriented);
+  welcome.blobs.push_back(encryptor.wrap(
+      record.individual_key, detail::new_keys_upto(record.path, j)));
+  out.push_back(
+      OutboundRekey{Recipient::to_user(record.user), std::move(welcome)});
+  return out;
+}
+
+std::vector<OutboundRekey> KeyOrientedStrategy::plan_leave(
+    const LeaveRecord& record, RekeyEncryptor& encryptor) const {
+  std::vector<OutboundRekey> out;
+  const std::size_t levels = record.path.size();
+
+  // Figure 8's chain {K'_{i-1}}_{K'_i}: each link encrypted once and reused
+  // in every message sent below level i.
+  std::vector<KeyBlob> chain(levels);  // chain[i] valid for i >= 1
+  for (std::size_t i = 1; i < levels; ++i) {
+    chain[i] = encryptor.wrap(record.path[i].new_key,
+                              std::span(&record.path[i - 1].new_key, 1));
+  }
+
+  for (std::size_t i = 0; i < levels; ++i) {
+    for (const ChildKey& child : record.children[i]) {
+      if (child.on_path) continue;
+      RekeyMessage message = detail::base_message(
+          RekeyKind::kLeave, StrategyKind::kKeyOriented);
+      // {K'_i}_{K_child} then the chain up to the root.
+      message.blobs.push_back(encryptor.wrap(
+          child.key, std::span(&record.path[i].new_key, 1)));
+      for (std::size_t l = i; l >= 1; --l) {
+        message.blobs.push_back(chain[l]);
+      }
+      out.push_back(OutboundRekey{Recipient::to_subgroup(child.node),
+                                  std::move(message)});
+    }
+  }
+  return out;
+}
+
+}  // namespace keygraphs::rekey

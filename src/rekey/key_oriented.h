@@ -1,0 +1,27 @@
+// Key-oriented rekeying (paper Section 3.3/3.4, Figures 6 and 8).
+//
+// Each new key is encrypted individually (so each ciphertext is computed
+// once and shared across the messages that carry it), and all items a given
+// subgroup needs are combined into one message. Server cost drops to
+// 2(h-1) encryptions per join and d(h-1) per leave, while keeping the
+// per-user message tailored (clients decrypt only what they need).
+#pragma once
+
+#include "rekey/strategy.h"
+
+namespace keygraphs::rekey {
+
+class KeyOrientedStrategy final : public RekeyStrategy {
+ public:
+  [[nodiscard]] StrategyKind kind() const noexcept override {
+    return StrategyKind::kKeyOriented;
+  }
+
+  [[nodiscard]] std::vector<OutboundRekey> plan_join(
+      const JoinRecord& record, RekeyEncryptor& encryptor) const override;
+
+  [[nodiscard]] std::vector<OutboundRekey> plan_leave(
+      const LeaveRecord& record, RekeyEncryptor& encryptor) const override;
+};
+
+}  // namespace keygraphs::rekey

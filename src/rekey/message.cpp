@@ -1,0 +1,117 @@
+#include "rekey/message.h"
+
+#include "common/error.h"
+#include "common/io.h"
+
+namespace keygraphs::rekey {
+
+namespace {
+
+constexpr std::uint8_t kBodyMagic = 0x52;  // 'R'
+constexpr std::uint8_t kBodyVersion = 1;
+constexpr std::uint8_t kDatagramMagic = 0x47;  // 'G'
+
+}  // namespace
+
+std::string strategy_name(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kUserOriented:
+      return "user-oriented";
+    case StrategyKind::kKeyOriented:
+      return "key-oriented";
+    case StrategyKind::kGroupOriented:
+      return "group-oriented";
+    case StrategyKind::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+Bytes RekeyMessage::serialize_body() const {
+  ByteWriter writer;
+  writer.u8(kBodyMagic);
+  writer.u8(kBodyVersion);
+  writer.u8(static_cast<std::uint8_t>(kind));
+  writer.u8(static_cast<std::uint8_t>(strategy));
+  writer.u32(group);
+  writer.u64(epoch);
+  writer.u64(timestamp_us);
+  writer.u16(static_cast<std::uint16_t>(obsolete.size()));
+  for (KeyId id : obsolete) writer.u64(id);
+  writer.u16(static_cast<std::uint16_t>(blobs.size()));
+  for (const KeyBlob& blob : blobs) {
+    writer.u64(blob.wrap.id);
+    writer.u32(blob.wrap.version);
+    writer.u16(static_cast<std::uint16_t>(blob.targets.size()));
+    for (const KeyRef& target : blob.targets) {
+      writer.u64(target.id);
+      writer.u32(target.version);
+    }
+    writer.var_bytes(blob.ciphertext);
+  }
+  return writer.take();
+}
+
+RekeyMessage RekeyMessage::parse_body(BytesView data) {
+  ByteReader reader(data);
+  if (reader.u8() != kBodyMagic) throw ParseError("rekey: bad magic");
+  if (reader.u8() != kBodyVersion) throw ParseError("rekey: bad version");
+  RekeyMessage message;
+  message.kind = static_cast<RekeyKind>(reader.u8());
+  if (message.kind != RekeyKind::kJoin &&
+      message.kind != RekeyKind::kLeave &&
+      message.kind != RekeyKind::kBatch) {
+    throw ParseError("rekey: bad kind");
+  }
+  message.strategy = static_cast<StrategyKind>(reader.u8());
+  message.group = reader.u32();
+  message.epoch = reader.u64();
+  message.timestamp_us = reader.u64();
+  const std::uint16_t obsolete_count = reader.u16();
+  message.obsolete.reserve(obsolete_count);
+  for (std::uint16_t i = 0; i < obsolete_count; ++i) {
+    message.obsolete.push_back(reader.u64());
+  }
+  const std::uint16_t blob_count = reader.u16();
+  message.blobs.reserve(blob_count);
+  for (std::uint16_t i = 0; i < blob_count; ++i) {
+    KeyBlob blob;
+    blob.wrap.id = reader.u64();
+    blob.wrap.version = reader.u32();
+    const std::uint16_t target_count = reader.u16();
+    blob.targets.reserve(target_count);
+    for (std::uint16_t j = 0; j < target_count; ++j) {
+      KeyRef target;
+      target.id = reader.u64();
+      target.version = reader.u32();
+      blob.targets.push_back(target);
+    }
+    blob.ciphertext = reader.var_bytes();
+    message.blobs.push_back(std::move(blob));
+  }
+  reader.expect_done();
+  return message;
+}
+
+Bytes Datagram::encode() const {
+  ByteWriter writer;
+  writer.u8(kDatagramMagic);
+  writer.u8(static_cast<std::uint8_t>(type));
+  writer.raw(payload);
+  return writer.take();
+}
+
+Datagram Datagram::decode(BytesView data) {
+  ByteReader reader(data);
+  if (reader.u8() != kDatagramMagic) throw ParseError("datagram: bad magic");
+  Datagram datagram;
+  datagram.type = static_cast<MessageType>(reader.u8());
+  if (datagram.type < MessageType::kJoinRequest ||
+      datagram.type > MessageType::kResyncRequest) {
+    throw ParseError("datagram: bad type");
+  }
+  datagram.payload = reader.raw(reader.remaining());
+  return datagram;
+}
+
+}  // namespace keygraphs::rekey

@@ -1,0 +1,60 @@
+#include "rekey/user_oriented.h"
+
+namespace keygraphs::rekey {
+
+std::vector<OutboundRekey> UserOrientedStrategy::plan_join(
+    const JoinRecord& record, RekeyEncryptor& encryptor) const {
+  std::vector<OutboundRekey> out;
+  const std::size_t j = record.path.size() - 1;
+
+  // Figure 6's recipient structure with fully packed payloads: the users in
+  // userset(K_i) - userset(K_{i+1}) need exactly the new keys K'_0 .. K'_i,
+  // and all of them hold the old K_i, which wraps the whole bundle.
+  for (std::size_t i = 0; i <= j; ++i) {
+    const PathChange& change = record.path[i];
+    if (!change.old_key.has_value()) continue;  // nobody held this key yet
+    const std::vector<SymmetricKey> targets =
+        detail::new_keys_upto(record.path, i);
+    RekeyMessage message =
+        detail::base_message(RekeyKind::kJoin, StrategyKind::kUserOriented);
+    message.blobs.push_back(encryptor.wrap(*change.old_key, targets));
+    std::optional<KeyId> exclude;
+    if (i < j && record.path[i + 1].old_key.has_value()) {
+      exclude = record.path[i + 1].old_key->id;
+    }
+    out.push_back(OutboundRekey{
+        Recipient::to_subgroup(change.old_key->id, exclude),
+        std::move(message)});
+  }
+
+  // The joining user gets every new key under its individual key.
+  RekeyMessage welcome =
+      detail::base_message(RekeyKind::kJoin, StrategyKind::kUserOriented);
+  welcome.blobs.push_back(encryptor.wrap(
+      record.individual_key, detail::new_keys_upto(record.path, j)));
+  out.push_back(
+      OutboundRekey{Recipient::to_user(record.user), std::move(welcome)});
+  return out;
+}
+
+std::vector<OutboundRekey> UserOrientedStrategy::plan_leave(
+    const LeaveRecord& record, RekeyEncryptor& encryptor) const {
+  std::vector<OutboundRekey> out;
+  // One message per unchanged child subtree of each path node: the subtree
+  // under child y needs K'_i .. K'_0 and shares y's key, which wraps them.
+  for (std::size_t i = 0; i < record.path.size(); ++i) {
+    const std::vector<SymmetricKey> targets =
+        detail::new_keys_upto(record.path, i);
+    for (const ChildKey& child : record.children[i]) {
+      if (child.on_path) continue;
+      RekeyMessage message = detail::base_message(
+          RekeyKind::kLeave, StrategyKind::kUserOriented);
+      message.blobs.push_back(encryptor.wrap(child.key, targets));
+      out.push_back(OutboundRekey{Recipient::to_subgroup(child.node),
+                                  std::move(message)});
+    }
+  }
+  return out;
+}
+
+}  // namespace keygraphs::rekey

@@ -1,0 +1,27 @@
+// User-oriented rekeying (paper Section 3.3/3.4).
+//
+// For each user, build a message containing precisely the new keys that
+// user needs, all encrypted together under one key the user already holds.
+// Cheapest for clients (smallest messages, one decryption gets everything),
+// most expensive for the server: h(h+1)/2 - 1 key encryptions per join and
+// (d-1)h(h-1)/2 per leave.
+#pragma once
+
+#include "rekey/strategy.h"
+
+namespace keygraphs::rekey {
+
+class UserOrientedStrategy final : public RekeyStrategy {
+ public:
+  [[nodiscard]] StrategyKind kind() const noexcept override {
+    return StrategyKind::kUserOriented;
+  }
+
+  [[nodiscard]] std::vector<OutboundRekey> plan_join(
+      const JoinRecord& record, RekeyEncryptor& encryptor) const override;
+
+  [[nodiscard]] std::vector<OutboundRekey> plan_leave(
+      const LeaveRecord& record, RekeyEncryptor& encryptor) const override;
+};
+
+}  // namespace keygraphs::rekey

@@ -1,0 +1,68 @@
+#include "server/access_control.h"
+
+#include "common/io.h"
+
+namespace keygraphs::server {
+
+AccessControl AccessControl::allow_all() { return AccessControl(true); }
+
+AccessControl AccessControl::allow_list(std::vector<UserId> users) {
+  AccessControl acl(false);
+  for (UserId user : users) acl.allowed_.insert(user);
+  return acl;
+}
+
+bool AccessControl::authorizes(UserId user) const {
+  return open_ || allowed_.contains(user);
+}
+
+void AccessControl::grant(UserId user) { allowed_.insert(user); }
+
+void AccessControl::revoke(UserId user) { allowed_.erase(user); }
+
+AuthService::AuthService(Bytes master_secret)
+    : hmac_(crypto::DigestAlgorithm::kSha256, master_secret) {}
+
+Bytes AuthService::derive(const char* label, UserId user) const {
+  ByteWriter writer;
+  writer.var_string(label);
+  writer.u64(user);
+  return hmac_.mac(writer.data());
+}
+
+Bytes AuthService::individual_key(UserId user, std::size_t key_size) const {
+  Bytes derived = derive("individual-key", user);
+  // Expand if a cipher ever needs more than one HMAC block of key material.
+  while (derived.size() < key_size) {
+    const Bytes more = hmac_.mac(derived);
+    derived.insert(derived.end(), more.begin(), more.end());
+  }
+  derived.resize(key_size);
+  return derived;
+}
+
+Bytes AuthService::join_token(UserId user) const {
+  return derive("join-token", user);
+}
+
+bool AuthService::verify_join_token(UserId user, BytesView token) const {
+  return constant_time_equal(join_token(user), token);
+}
+
+Bytes AuthService::leave_token(UserId user) const {
+  return derive("leave-token", user);
+}
+
+bool AuthService::verify_leave_token(UserId user, BytesView token) const {
+  return constant_time_equal(leave_token(user), token);
+}
+
+Bytes AuthService::resync_token(UserId user) const {
+  return derive("resync-token", user);
+}
+
+bool AuthService::verify_resync_token(UserId user, BytesView token) const {
+  return constant_time_equal(resync_token(user), token);
+}
+
+}  // namespace keygraphs::server

@@ -1,0 +1,75 @@
+// Group access control and the simulated authentication service.
+//
+// The paper assumes (a) the group server enforces an access control list
+// provided by the group initiator, and (b) an authentication exchange —
+// Kerberos-style, external to the measured system — that leaves the client
+// and server sharing a session key used as the client's individual key.
+// AccessControl implements (a) directly. AuthService simulates (b): both
+// sides hold a pre-shared master secret (as if obtained from the
+// authentication service) and derive the individual key and request tokens
+// from it with HMAC-SHA256. The paper excludes authentication costs from
+// every measurement (Section 5, footnote 9), so this substitution does not
+// affect any reproduced number; it exists so the join/leave protocol can
+// run end to end over a real socket.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "crypto/hmac.h"
+#include "keygraph/key.h"
+
+namespace keygraphs::server {
+
+/// Allow-list (or allow-all) group admission policy.
+class AccessControl {
+ public:
+  /// Admits everyone. The experiment harness uses this.
+  static AccessControl allow_all();
+
+  /// Admits only listed users (the paper's initiator-provided ACL).
+  static AccessControl allow_list(std::vector<UserId> users);
+
+  [[nodiscard]] bool authorizes(UserId user) const;
+
+  void grant(UserId user);
+  void revoke(UserId user);
+
+ private:
+  explicit AccessControl(bool open) : open_(open) {}
+
+  bool open_;
+  std::unordered_set<UserId> allowed_;
+};
+
+/// Simulated authentication service (see file comment).
+class AuthService {
+ public:
+  explicit AuthService(Bytes master_secret);
+
+  /// The session key the authentication exchange would have produced,
+  /// truncated to the group cipher's key size.
+  [[nodiscard]] Bytes individual_key(UserId user, std::size_t key_size) const;
+
+  /// Proof of identity accompanying a join request.
+  [[nodiscard]] Bytes join_token(UserId user) const;
+  [[nodiscard]] bool verify_join_token(UserId user, BytesView token) const;
+
+  /// The paper's {leave-request}_{k_u}: a leave must be authenticated with
+  /// the individual key so nobody can evict someone else.
+  [[nodiscard]] Bytes leave_token(UserId user) const;
+  [[nodiscard]] bool verify_leave_token(UserId user, BytesView token) const;
+
+  /// Authenticates a keyset-resync request (a replay of the member's
+  /// current keys must only ever go to the member itself).
+  [[nodiscard]] Bytes resync_token(UserId user) const;
+  [[nodiscard]] bool verify_resync_token(UserId user, BytesView token) const;
+
+ private:
+  [[nodiscard]] Bytes derive(const char* label, UserId user) const;
+
+  crypto::Hmac hmac_;
+};
+
+}  // namespace keygraphs::server

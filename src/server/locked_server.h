@@ -1,0 +1,96 @@
+// Thread-safe facade over GroupKeyServer.
+//
+// The core server is single-threaded by design (the paper's prototype
+// serves one UDP socket). Deployments that accept requests from several
+// threads (e.g. one per TCP connection) wrap it in this facade: one mutex
+// serializes all membership operations and state reads. Coarse locking is
+// deliberate — a join/leave mutates the whole tree path, and the measured
+// cost of an operation (Figure 10: well under a millisecond unsigned) makes
+// finer-grained locking complexity without a payoff.
+#pragma once
+
+#include <mutex>
+
+#include "server/server.h"
+
+namespace keygraphs::server {
+
+class LockedGroupKeyServer {
+ public:
+  LockedGroupKeyServer(ServerConfig config,
+                       transport::ServerTransport& transport,
+                       AccessControl acl = AccessControl::allow_all())
+      : server_(std::move(config), transport, std::move(acl)) {}
+
+  JoinResult join(UserId user) {
+    const std::lock_guard lock(mutex_);
+    return server_.join(user);
+  }
+
+  JoinResult join_with_token(UserId user, BytesView token) {
+    const std::lock_guard lock(mutex_);
+    return server_.join_with_token(user, token);
+  }
+
+  void leave(UserId user) {
+    const std::lock_guard lock(mutex_);
+    server_.leave(user);
+  }
+
+  bool leave_with_token(UserId user, BytesView token) {
+    const std::lock_guard lock(mutex_);
+    return server_.leave_with_token(user, token);
+  }
+
+  std::vector<UserId> batch(const std::vector<UserId>& join_users,
+                            const std::vector<UserId>& leave_users) {
+    const std::lock_guard lock(mutex_);
+    return server_.batch(join_users, leave_users);
+  }
+
+  [[nodiscard]] Bytes snapshot() const {
+    const std::lock_guard lock(mutex_);
+    return server_.snapshot();
+  }
+
+  void restore(BytesView snapshot) {
+    const std::lock_guard lock(mutex_);
+    server_.restore(snapshot);
+  }
+
+  [[nodiscard]] std::size_t member_count() const {
+    const std::lock_guard lock(mutex_);
+    return server_.tree().user_count();
+  }
+
+  [[nodiscard]] bool has_member(UserId user) const {
+    const std::lock_guard lock(mutex_);
+    return server_.tree().has_user(user);
+  }
+
+  [[nodiscard]] SymmetricKey group_key() const {
+    const std::lock_guard lock(mutex_);
+    return server_.tree().group_key();
+  }
+
+  [[nodiscard]] std::uint64_t epoch() const {
+    const std::lock_guard lock(mutex_);
+    return server_.epoch();
+  }
+
+  /// Runs `fn(const GroupKeyServer&)` under the lock for compound reads.
+  template <typename Fn>
+  auto with_server(Fn&& fn) const {
+    const std::lock_guard lock(mutex_);
+    return fn(static_cast<const GroupKeyServer&>(server_));
+  }
+
+  /// The auth service is immutable after construction: safe unlocked.
+  [[nodiscard]] const AuthService& auth() const { return server_.auth(); }
+
+ private:
+  mutable std::mutex mutex_;
+  GroupKeyServer server_;
+};
+
+}  // namespace keygraphs::server

@@ -1,0 +1,245 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "common/io.h"
+#include "rekey/batch.h"
+
+namespace keygraphs::server {
+
+namespace {
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ServerConfig ServerConfig::star(ServerConfig base) {
+  base.tree_degree = std::numeric_limits<int>::max();
+  return base;
+}
+
+ServerConfig ServerConfig::star() { return star(ServerConfig{}); }
+
+GroupKeyServer::GroupKeyServer(ServerConfig config,
+                               transport::ServerTransport& transport,
+                               AccessControl acl)
+    : config_(config),
+      transport_(transport),
+      acl_(std::move(acl)),
+      auth_(config.auth_master),
+      rng_(config.rng_seed == 0 ? crypto::SecureRandom()
+                                : crypto::SecureRandom(config.rng_seed)),
+      encryptor_(config.suite.cipher, rng_) {
+  tree_ = std::make_unique<KeyTree>(config_.tree_degree,
+                                    config_.suite.key_size(), rng_);
+  strategy_ = rekey::make_strategy(config_.strategy);
+  set_signing_mode(config_.signing);
+}
+
+void GroupKeyServer::set_signing_mode(rekey::SigningMode mode) {
+  if (mode == rekey::SigningMode::kPerMessage ||
+      mode == rekey::SigningMode::kBatch) {
+    if (!config_.suite.signs()) {
+      throw ProtocolError("server: signing mode set but suite has no RSA");
+    }
+    if (!signer_) {
+      signer_ = std::make_unique<crypto::RsaPrivateKey>(
+          crypto::RsaPrivateKey::generate(
+              rng_,
+              crypto::signature_modulus_bits(config_.suite.signature)));
+    }
+  }
+  config_.signing = mode;
+  sealer_ = std::make_unique<rekey::RekeySealer>(
+      mode, config_.suite.signing_digest(), signer_.get());
+}
+
+JoinResult GroupKeyServer::join(UserId user) {
+  if (!acl_.authorizes(user)) return JoinResult::kDenied;
+  if (tree_->has_user(user)) return JoinResult::kDuplicate;
+
+  // Authentication happened before this point (and is excluded from the
+  // measured processing time, as in the paper); the individual key is the
+  // session key that exchange produced.
+  Bytes individual_key =
+      auth_.individual_key(user, config_.suite.key_size());
+
+  const auto started = std::chrono::steady_clock::now();
+  JoinRecord record = tree_->join(user, std::move(individual_key));
+  encryptor_.reset_counters();
+  std::vector<rekey::OutboundRekey> messages =
+      strategy_->plan_join(record, encryptor_);
+
+  OpRecord op;
+  op.kind = rekey::RekeyKind::kJoin;
+  dispatch(std::move(messages), rekey::RekeyKind::kJoin,
+           record.removed_nodes, op, started);
+  return JoinResult::kGranted;
+}
+
+JoinResult GroupKeyServer::join_with_token(UserId user, BytesView token) {
+  if (!auth_.verify_join_token(user, token)) return JoinResult::kDenied;
+  return join(user);
+}
+
+void GroupKeyServer::leave(UserId user) {
+  const auto started = std::chrono::steady_clock::now();
+  LeaveRecord record = tree_->leave(user);  // throws for non-members
+  encryptor_.reset_counters();
+  std::vector<rekey::OutboundRekey> messages =
+      strategy_->plan_leave(record, encryptor_);
+
+  OpRecord op;
+  op.kind = rekey::RekeyKind::kLeave;
+  dispatch(std::move(messages), rekey::RekeyKind::kLeave,
+           record.removed_nodes, op, started);
+}
+
+std::vector<UserId> GroupKeyServer::batch(
+    const std::vector<UserId>& join_users,
+    const std::vector<UserId>& leave_users) {
+  std::vector<std::pair<UserId, Bytes>> joins;
+  std::vector<UserId> admitted;
+  for (UserId user : join_users) {
+    if (!acl_.authorizes(user) || tree_->has_user(user)) continue;
+    joins.emplace_back(user,
+                       auth_.individual_key(user, config_.suite.key_size()));
+    admitted.push_back(user);
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  BatchRecord record = tree_->batch_update(joins, leave_users);
+  encryptor_.reset_counters();
+  std::vector<rekey::OutboundRekey> messages =
+      rekey::plan_batch(record, encryptor_);
+
+  OpRecord op;
+  op.kind = rekey::RekeyKind::kBatch;
+  dispatch(std::move(messages), rekey::RekeyKind::kBatch,
+           record.removed_nodes, op, started);
+  return admitted;
+}
+
+bool GroupKeyServer::leave_with_token(UserId user, BytesView token) {
+  if (!auth_.verify_leave_token(user, token)) return false;
+  if (!tree_->has_user(user)) return false;
+  leave(user);
+  return true;
+}
+
+void GroupKeyServer::resync(UserId user) {
+  const std::vector<SymmetricKey> keys = tree_->keyset(user);  // may throw
+  rekey::RekeyMessage message;
+  message.group = config_.group;
+  message.epoch = epoch_;  // replay of current state, not a new operation
+  message.timestamp_us = now_us();
+  message.kind = rekey::RekeyKind::kJoin;  // welcome-shaped
+  message.strategy = config_.strategy;
+  if (keys.size() > 1) {
+    const std::vector<SymmetricKey> path(keys.begin() + 1, keys.end());
+    message.blobs.push_back(encryptor_.wrap(keys.front(), path));
+  }
+  const std::vector<Bytes> wire = sealer_->seal(std::span(&message, 1));
+  const Bytes datagram =
+      rekey::Datagram{rekey::MessageType::kRekey, wire.front()}.encode();
+  const rekey::Recipient to = rekey::Recipient::to_user(user);
+  transport_.deliver(to, datagram,
+                     [user] { return std::vector<UserId>{user}; });
+}
+
+bool GroupKeyServer::resync_with_token(UserId user, BytesView token) {
+  if (!auth_.verify_resync_token(user, token)) return false;
+  if (!tree_->has_user(user)) return false;
+  resync(user);
+  return true;
+}
+
+Bytes GroupKeyServer::snapshot() const {
+  ByteWriter writer;
+  writer.u64(epoch_);
+  writer.var_bytes(tree_->serialize());
+  return writer.take();
+}
+
+void GroupKeyServer::restore(BytesView snapshot) {
+  ByteReader reader(snapshot);
+  const std::uint64_t epoch = reader.u64();
+  const Bytes tree_bytes = reader.var_bytes();
+  reader.expect_done();
+  std::unique_ptr<KeyTree> restored =
+      KeyTree::deserialize(tree_bytes, rng_);  // throws before any change
+  tree_ = std::move(restored);
+  epoch_ = epoch;
+}
+
+std::vector<UserId> GroupKeyServer::resolve_subgroup(
+    KeyId include, std::optional<KeyId> exclude) const {
+  std::vector<UserId> included;
+  try {
+    included = tree_->users_under(include);
+  } catch (const ProtocolError&) {
+    return {};  // the k-node vanished in the same operation
+  }
+  if (!exclude.has_value()) return included;
+  std::vector<UserId> excluded;
+  try {
+    excluded = tree_->users_under(*exclude);
+  } catch (const ProtocolError&) {
+    return included;
+  }
+  std::vector<UserId> out;
+  std::set_difference(included.begin(), included.end(), excluded.begin(),
+                      excluded.end(), std::back_inserter(out));
+  return out;
+}
+
+void GroupKeyServer::dispatch(
+    std::vector<rekey::OutboundRekey> messages, rekey::RekeyKind kind,
+    const std::vector<KeyId>& obsolete, OpRecord& op,
+    std::chrono::steady_clock::time_point started) {
+  ++epoch_;
+  const std::uint64_t timestamp = now_us();
+  std::vector<rekey::RekeyMessage> bodies;
+  bodies.reserve(messages.size());
+  for (rekey::OutboundRekey& outbound : messages) {
+    outbound.message.group = config_.group;
+    outbound.message.epoch = epoch_;
+    outbound.message.timestamp_us = timestamp;
+    outbound.message.kind = kind;
+    outbound.message.obsolete = obsolete;
+    bodies.push_back(outbound.message);
+  }
+  const std::vector<Bytes> wire = sealer_->seal(bodies);
+
+  op.key_encryptions = encryptor_.key_encryptions();
+  op.signatures = sealer_->signatures_for(wire.size());
+  op.messages = wire.size();
+  op.min_message = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    const Bytes datagram =
+        rekey::Datagram{rekey::MessageType::kRekey, wire[i]}.encode();
+    op.bytes += datagram.size();
+    op.min_message = std::min(op.min_message, datagram.size());
+    op.max_message = std::max(op.max_message, datagram.size());
+    const rekey::Recipient& to = messages[i].to;
+    transport_.deliver(to, datagram, [this, to] {
+      return to.kind == rekey::Recipient::Kind::kUser
+                 ? std::vector<UserId>{to.user}
+                 : resolve_subgroup(to.include, to.exclude);
+    });
+  }
+  if (op.messages == 0) op.min_message = 0;
+  op.processing_us = std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - started)
+                         .count();
+  stats_.record(op);
+}
+
+}  // namespace keygraphs::server

@@ -1,0 +1,150 @@
+// The group key server (paper Sections 3 and 5).
+//
+// Owns the key tree, executes the join/leave protocols under a configured
+// rekeying strategy and signing mode, sends the resulting rekey messages
+// through a ServerTransport, and measures itself the way the paper's
+// prototype did: processing time per request covering request handling,
+// tree update, key generation, encryption, digest/signature computation,
+// serialization and handoff to the send path — but never authentication.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "crypto/random.h"
+#include "crypto/rsa.h"
+#include "crypto/suite.h"
+#include "keygraph/key_tree.h"
+#include "rekey/codec.h"
+#include "rekey/strategy.h"
+#include "server/access_control.h"
+#include "server/stats.h"
+#include "transport/transport.h"
+
+namespace keygraphs::server {
+
+struct ServerConfig {
+  GroupId group = 1;
+  /// Key tree degree d. The paper found d = 4 optimal. Use
+  /// StarConfig() below for the star baseline.
+  int tree_degree = 4;
+  crypto::CryptoSuite suite;
+  rekey::StrategyKind strategy = rekey::StrategyKind::kGroupOriented;
+  rekey::SigningMode signing = rekey::SigningMode::kNone;
+  /// 0 = seed from the OS; anything else gives a reproducible run (the
+  /// paper replays the same request sequences across configurations).
+  std::uint64_t rng_seed = 0;
+  /// Master secret shared with the simulated authentication service.
+  Bytes auth_master = bytes_of("keygraph");
+
+  /// Star baseline: unbounded degree.
+  static ServerConfig star(ServerConfig base);
+  static ServerConfig star();
+};
+
+/// Outcome of a join request.
+enum class JoinResult : std::uint8_t {
+  kGranted = 1,
+  kDenied = 2,     // ACL rejection ("join-denied" in the paper)
+  kDuplicate = 3,  // already a member
+};
+
+class GroupKeyServer {
+ public:
+  GroupKeyServer(ServerConfig config, transport::ServerTransport& transport,
+                 AccessControl acl = AccessControl::allow_all());
+
+  /// Grants or denies a join. On grant, runs the configured join protocol:
+  /// tree update, rekey message construction, sealing, sending.
+  JoinResult join(UserId user);
+
+  /// Join with an authentication token (the datagram path). The token must
+  /// verify against the auth service or the request is denied.
+  JoinResult join_with_token(UserId user, BytesView token);
+
+  /// Runs the leave protocol. Throws ProtocolError for non-members.
+  void leave(UserId user);
+
+  /// Authenticated leave (the paper's {leave-request}_{k_u}).
+  bool leave_with_token(UserId user, BytesView token);
+
+  /// Batched membership update (periodic rekeying): admits every
+  /// authorized joiner and removes every member in `leave_users`, rekeying
+  /// each affected k-node exactly once and sending one multicast plus one
+  /// welcome unicast per joiner. Returns the users actually joined (ACL
+  /// rejections and duplicates are skipped). Throws ProtocolError if a
+  /// leave targets a non-member or a user appears on both lists.
+  std::vector<UserId> batch(const std::vector<UserId>& join_users,
+                            const std::vector<UserId>& leave_users);
+
+  /// Switches the signing mode at runtime. The experiment harness builds
+  /// the initial group unsigned (the paper never measures the build phase)
+  /// and then turns signing on for the measured churn. Requires the suite
+  /// to carry an RSA algorithm if `mode` signs.
+  void set_signing_mode(rekey::SigningMode mode);
+
+  [[nodiscard]] const KeyTree& tree() const noexcept { return *tree_; }
+  [[nodiscard]] ServerStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ServerConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const AuthService& auth() const noexcept { return auth_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Public verification key; null when the server does not sign.
+  [[nodiscard]] const crypto::RsaPublicKey* public_key() const noexcept {
+    return signer_ ? &signer_->public_key() : nullptr;
+  }
+
+  /// The root k-node id — clients use it to identify the group key.
+  [[nodiscard]] KeyId root_id() const noexcept { return tree_->root_id(); }
+
+  /// Replays a member's current keyset as a welcome-style unicast rekey
+  /// message (all its path keys wrapped under its individual key, at the
+  /// current epoch). Recovery path for clients that missed a rekey on a
+  /// lossy transport. Does not advance the epoch or touch any key. Throws
+  /// ProtocolError for non-members.
+  void resync(UserId user);
+
+  /// Authenticated resync (requires the auth service's resync token).
+  bool resync_with_token(UserId user, BytesView token);
+
+  /// Serializes the server's replicable state (epoch + full key tree with
+  /// key material) for the standby-replica path Section 6 sketches. As
+  /// sensitive as the server's memory; transfer over a secure channel only.
+  [[nodiscard]] Bytes snapshot() const;
+
+  /// Replaces this server's group state with a snapshot taken from another
+  /// server with the same configuration. Clients notice nothing: node ids,
+  /// versions and key material are identical. Throws ParseError on
+  /// malformed snapshots (state is unchanged on failure).
+  void restore(BytesView snapshot);
+
+  /// userset(include) - userset(exclude) on the current tree; the unicast
+  /// fan-out transport uses this as its Resolver.
+  [[nodiscard]] std::vector<UserId> resolve_subgroup(
+      KeyId include, std::optional<KeyId> exclude) const;
+
+ private:
+  void dispatch(std::vector<rekey::OutboundRekey> messages,
+                rekey::RekeyKind kind, const std::vector<KeyId>& obsolete,
+                OpRecord& record,
+                std::chrono::steady_clock::time_point started);
+
+  ServerConfig config_;
+  transport::ServerTransport& transport_;
+  AccessControl acl_;
+  AuthService auth_;
+  crypto::SecureRandom rng_;
+  std::unique_ptr<crypto::RsaPrivateKey> signer_;
+  std::unique_ptr<KeyTree> tree_;
+  std::unique_ptr<rekey::RekeyStrategy> strategy_;
+  rekey::RekeyEncryptor encryptor_;
+  std::unique_ptr<rekey::RekeySealer> sealer_;
+  ServerStats stats_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace keygraphs::server

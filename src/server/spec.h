@@ -1,0 +1,51 @@
+// Server specification files (paper Section 5: "The server is initialized
+// from a specification file which determines the initial group size, the
+// rekeying strategy, the key tree degree, the encryption algorithm, the
+// message digest algorithm, the digital signature algorithm, etc.").
+//
+// Plain key = value lines, '#' comments. Recognized keys:
+//   degree        = 4 | star
+//   strategy      = user | key | group | hybrid
+//   cipher        = des | 3des | aes128
+//   digest        = none | md5 | sha1 | sha256
+//   signature     = none | rsa512 | rsa768 | rsa1024 | rsa2048
+//   signing       = none | digest | per-message | batch
+//   group         = <u32 group id>
+//   seed          = <u64; 0 = OS entropy>
+//   auth_master   = <hex shared secret for the simulated auth service>
+//   initial_size  = <users to admit at startup (user ids 1..n)>
+//   port          = <udp port for the daemon; 0 = ephemeral>
+//   acl           = all | <comma-separated user ids>
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "server/server.h"
+
+namespace keygraphs::server {
+
+/// A parsed specification: the server configuration plus daemon-level
+/// settings that are not part of ServerConfig proper.
+struct ServerSpec {
+  ServerConfig config;
+  std::size_t initial_size = 0;
+  std::uint16_t port = 0;
+  /// nullopt = allow all; otherwise the explicit allow list.
+  std::optional<std::vector<UserId>> acl;
+
+  [[nodiscard]] AccessControl access_control() const {
+    return acl.has_value() ? AccessControl::allow_list(*acl)
+                           : AccessControl::allow_all();
+  }
+};
+
+/// Parses specification text. Unknown keys and malformed values throw
+/// ProtocolError naming the offending line.
+ServerSpec parse_server_spec(std::string_view text);
+
+/// Convenience: read and parse a file. Throws Error if unreadable.
+ServerSpec load_server_spec(const std::string& path);
+
+}  // namespace keygraphs::server

@@ -1,0 +1,65 @@
+#include "server/stats.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+namespace keygraphs::server {
+
+namespace {
+
+Summary summarize_records(const std::vector<OpRecord>& records,
+                          std::optional<rekey::RekeyKind> kind) {
+  Summary summary;
+  double processing_us = 0.0;
+  std::size_t messages = 0, encryptions = 0, signatures = 0, bytes = 0;
+  summary.min_messages = std::numeric_limits<std::size_t>::max();
+  summary.min_message_bytes = std::numeric_limits<std::size_t>::max();
+  for (const OpRecord& record : records) {
+    if (kind.has_value() && record.kind != *kind) continue;
+    ++summary.operations;
+    processing_us += record.processing_us;
+    messages += record.messages;
+    encryptions += record.key_encryptions;
+    signatures += record.signatures;
+    bytes += record.bytes;
+    summary.min_messages = std::min(summary.min_messages, record.messages);
+    summary.max_messages = std::max(summary.max_messages, record.messages);
+    if (record.messages > 0) {
+      summary.min_message_bytes =
+          std::min(summary.min_message_bytes, record.min_message);
+      summary.max_message_bytes =
+          std::max(summary.max_message_bytes, record.max_message);
+    }
+  }
+  if (summary.operations == 0) {
+    summary.min_messages = 0;
+    summary.min_message_bytes = 0;
+    return summary;
+  }
+  const auto ops = static_cast<double>(summary.operations);
+  summary.avg_processing_ms = processing_us / ops / 1000.0;
+  summary.avg_messages = static_cast<double>(messages) / ops;
+  summary.avg_encryptions = static_cast<double>(encryptions) / ops;
+  summary.avg_signatures = static_cast<double>(signatures) / ops;
+  summary.avg_total_bytes = static_cast<double>(bytes) / ops;
+  summary.avg_message_bytes =
+      messages == 0 ? 0.0
+                    : static_cast<double>(bytes) / static_cast<double>(messages);
+  if (summary.min_message_bytes == std::numeric_limits<std::size_t>::max()) {
+    summary.min_message_bytes = 0;
+  }
+  return summary;
+}
+
+}  // namespace
+
+Summary ServerStats::summarize(rekey::RekeyKind kind) const {
+  return summarize_records(records_, kind);
+}
+
+Summary ServerStats::summarize_all() const {
+  return summarize_records(records_, std::nullopt);
+}
+
+}  // namespace keygraphs::server

@@ -1,0 +1,64 @@
+// Server-side measurement (paper Section 5).
+//
+// The paper reports, per join/leave request: server processing time, the
+// number of rekey messages sent, their sizes (ave/min/max), encryption
+// counts, and signature counts. ServerStats records one entry per operation
+// and computes exactly the aggregates Tables 4-5 and Figures 10-11 need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rekey/message.h"
+
+namespace keygraphs::server {
+
+/// One join or leave operation's measurements.
+struct OpRecord {
+  rekey::RekeyKind kind = rekey::RekeyKind::kJoin;
+  std::size_t key_encryptions = 0;
+  std::size_t signatures = 0;
+  std::size_t messages = 0;        // rekey messages sent (logical sends)
+  std::size_t bytes = 0;           // total wire bytes across those messages
+  std::size_t min_message = 0;     // smallest message, bytes
+  std::size_t max_message = 0;     // largest message, bytes
+  double processing_us = 0.0;      // server processing time, microseconds
+};
+
+/// Aggregate over one experiment run.
+struct Summary {
+  std::size_t operations = 0;
+  double avg_processing_ms = 0.0;
+  double avg_messages = 0.0;
+  std::size_t min_messages = 0;
+  std::size_t max_messages = 0;
+  double avg_message_bytes = 0.0;  // averaged over messages, like Table 5
+  std::size_t min_message_bytes = 0;
+  std::size_t max_message_bytes = 0;
+  double avg_encryptions = 0.0;
+  double avg_signatures = 0.0;
+  double avg_total_bytes = 0.0;    // per operation
+};
+
+class ServerStats {
+ public:
+  void record(const OpRecord& record) { records_.push_back(record); }
+  void reset() { records_.clear(); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const std::vector<OpRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Aggregate over all operations of `kind`.
+  [[nodiscard]] Summary summarize(rekey::RekeyKind kind) const;
+
+  /// Aggregate over everything (the figures' "averaged over joins and
+  /// leaves" series).
+  [[nodiscard]] Summary summarize_all() const;
+
+ private:
+  std::vector<OpRecord> records_;
+};
+
+}  // namespace keygraphs::server

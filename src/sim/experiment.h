@@ -1,0 +1,55 @@
+// Experiment driver (paper Section 5 methodology, end to end).
+//
+// One experiment = build an initial group of n users, reset all counters,
+// then drive a randomly generated sequence of join/leave requests (1:1 by
+// default) against the configured strategy/degree/crypto suite, measuring
+// server-side stats always and client-side stats when clients are attached.
+// The build phase is never measured, matching the paper.
+#pragma once
+
+#include "server/server.h"
+#include "sim/simulator.h"
+#include "sim/workload.h"
+
+namespace keygraphs::sim {
+
+struct ExperimentConfig {
+  std::size_t initial_size = 1024;
+  std::size_t requests = 1000;
+  double join_fraction = 0.5;  // the paper's 1:1 join/leave ratio
+  int degree = 4;
+  rekey::StrategyKind strategy = rekey::StrategyKind::kGroupOriented;
+  rekey::SigningMode signing = rekey::SigningMode::kNone;
+  crypto::CryptoSuite suite = crypto::CryptoSuite::paper_plain();
+  std::uint64_t seed = 1;
+  /// Attach simulated clients (needed for Table 6 / Figure 12; adds the
+  /// delivery and client processing work to the run's wall time but not to
+  /// the server's measured processing time).
+  bool with_clients = false;
+  bool clients_verify = false;
+  /// Star baseline instead of a tree.
+  bool star = false;
+  /// Build the initial group without signatures, then enable the configured
+  /// signing mode for the measured churn. The paper never measures the
+  /// build phase; this just makes large signed experiments affordable.
+  bool build_unsigned = true;
+};
+
+struct ExperimentResult {
+  server::Summary join;
+  server::Summary leave;
+  server::Summary all;
+  // Client side (zero unless with_clients):
+  double client_avg_messages_per_request = 0.0;
+  double client_avg_key_changes = 0.0;
+  double client_avg_join_message_bytes = 0.0;
+  double client_avg_leave_message_bytes = 0.0;
+  // Final structure:
+  std::size_t final_size = 0;
+  std::size_t final_height = 0;
+  std::size_t final_keys = 0;
+};
+
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace keygraphs::sim

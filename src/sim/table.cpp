@@ -1,0 +1,45 @@
+#include "sim/table.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace keygraphs::sim {
+
+TablePrinter::TablePrinter(std::vector<Column> columns, std::ostream& out)
+    : columns_(std::move(columns)), out_(out) {}
+
+void TablePrinter::header() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const Column& column : columns_) names.push_back(column.name);
+  row(names);
+  rule();
+}
+
+void TablePrinter::rule() const {
+  std::size_t total = 0;
+  for (const Column& column : columns_) {
+    total += static_cast<std::size_t>(column.width) + 2;
+  }
+  out_ << std::string(total, '-') << '\n';
+}
+
+void TablePrinter::row(const std::vector<std::string>& cells) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+    out_ << std::setw(columns_[i].width) << cell << "  ";
+  }
+  out_ << '\n';
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  std::ostringstream stream;
+  stream << std::fixed << std::setprecision(precision) << value;
+  return stream.str();
+}
+
+std::string TablePrinter::num(std::size_t value) {
+  return std::to_string(value);
+}
+
+}  // namespace keygraphs::sim

@@ -1,0 +1,34 @@
+// Fixed-width table rendering for the benchmark binaries, which print the
+// paper's tables with "paper" and "measured" columns side by side.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace keygraphs::sim {
+
+class TablePrinter {
+ public:
+  struct Column {
+    std::string name;
+    int width = 12;
+  };
+
+  explicit TablePrinter(std::vector<Column> columns,
+                        std::ostream& out = std::cout);
+
+  void header() const;
+  void row(const std::vector<std::string>& cells) const;
+  void rule() const;
+
+  /// Fixed-precision number formatting ("12.3").
+  static std::string num(double value, int precision = 1);
+  static std::string num(std::size_t value);
+
+ private:
+  std::vector<Column> columns_;
+  std::ostream& out_;
+};
+
+}  // namespace keygraphs::sim

@@ -1,0 +1,40 @@
+#include "sim/workload.h"
+
+namespace keygraphs::sim {
+
+WorkloadGenerator::WorkloadGenerator(std::uint64_t seed) : rng_(seed) {}
+
+std::vector<Request> WorkloadGenerator::initial_joins(std::size_t n) {
+  std::vector<Request> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Request{RequestKind::kJoin, next_user_});
+    members_.push_back(next_user_);
+    ++next_user_;
+  }
+  return out;
+}
+
+std::vector<Request> WorkloadGenerator::churn(std::size_t count,
+                                              double join_fraction) {
+  std::vector<Request> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool join =
+        members_.empty() || rng_.uniform_unit() < join_fraction;
+    if (join) {
+      out.push_back(Request{RequestKind::kJoin, next_user_});
+      members_.push_back(next_user_);
+      ++next_user_;
+    } else {
+      const std::size_t victim =
+          static_cast<std::size_t>(rng_.uniform(members_.size()));
+      out.push_back(Request{RequestKind::kLeave, members_[victim]});
+      members_[victim] = members_.back();
+      members_.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace keygraphs::sim

@@ -1,0 +1,48 @@
+// Workload generation (paper Section 5 methodology).
+//
+// Each experiment sends n initial join requests to build the group, then a
+// randomly generated sequence of join/leave requests at a given ratio (the
+// paper uses 1000 requests at 1:1). Sequences are deterministic functions
+// of the seed, so "the same three sequences" can be replayed across
+// strategies, degrees and crypto suites exactly as the paper did for fair
+// comparison.
+#pragma once
+
+#include <vector>
+
+#include "crypto/random.h"
+#include "keygraph/key.h"
+
+namespace keygraphs::sim {
+
+enum class RequestKind : std::uint8_t { kJoin = 1, kLeave = 2 };
+
+struct Request {
+  RequestKind kind = RequestKind::kJoin;
+  UserId user = 0;
+};
+
+/// Stateful generator tracking the member population it has produced.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(std::uint64_t seed);
+
+  /// n join requests for fresh users (the group build phase).
+  std::vector<Request> initial_joins(std::size_t n);
+
+  /// `count` churn requests: each is a join (fresh user) with probability
+  /// `join_fraction`, otherwise a leave of a uniformly random current
+  /// member. Falls back to a join when the group is empty.
+  std::vector<Request> churn(std::size_t count, double join_fraction = 0.5);
+
+  [[nodiscard]] const std::vector<UserId>& members() const noexcept {
+    return members_;
+  }
+
+ private:
+  crypto::SecureRandom rng_;
+  std::vector<UserId> members_;
+  UserId next_user_ = 1;
+};
+
+}  // namespace keygraphs::sim

@@ -1,0 +1,28 @@
+#include "transport/address.h"
+
+#include <arpa/inet.h>
+
+#include "common/error.h"
+
+namespace keygraphs::transport {
+
+Address Address::parse(const std::string& host, std::uint16_t port) {
+  in_addr parsed{};
+  if (inet_pton(AF_INET, host.c_str(), &parsed) != 1) {
+    throw TransportError("Address: cannot parse '" + host + "'");
+  }
+  return Address{ntohl(parsed.s_addr), port};
+}
+
+Address Address::loopback(std::uint16_t port) {
+  return Address{0x7f000001u, port};
+}
+
+std::string Address::to_string() const {
+  return std::to_string((ip >> 24) & 0xff) + "." +
+         std::to_string((ip >> 16) & 0xff) + "." +
+         std::to_string((ip >> 8) & 0xff) + "." + std::to_string(ip & 0xff) +
+         ":" + std::to_string(port);
+}
+
+}  // namespace keygraphs::transport

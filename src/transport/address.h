@@ -1,0 +1,35 @@
+// IPv4/UDP endpoint value type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace keygraphs::transport {
+
+/// An IPv4 address + UDP port, host byte order. Value type; hashable for
+/// use as a peer-registry key.
+struct Address {
+  std::uint32_t ip = 0;  // host byte order
+  std::uint16_t port = 0;
+
+  /// Parses dotted-quad text ("127.0.0.1"). Throws TransportError on junk.
+  static Address parse(const std::string& host, std::uint16_t port);
+
+  /// 127.0.0.1:port
+  static Address loopback(std::uint16_t port);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Address&, const Address&) = default;
+};
+
+}  // namespace keygraphs::transport
+
+template <>
+struct std::hash<keygraphs::transport::Address> {
+  std::size_t operator()(
+      const keygraphs::transport::Address& address) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(address.ip) << 16) | address.port);
+  }
+};

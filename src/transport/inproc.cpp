@@ -1,0 +1,108 @@
+#include "transport/inproc.h"
+
+#include "common/error.h"
+
+namespace keygraphs::transport {
+
+void InProcNetwork::attach_server(ServerHandler handler) {
+  server_handler_ = std::move(handler);
+}
+
+void InProcNetwork::attach_client(UserId user, ClientHandler handler) {
+  if (!clients_.emplace(user, std::move(handler)).second) {
+    throw TransportError("InProcNetwork: client already attached");
+  }
+}
+
+void InProcNetwork::detach_client(UserId user) {
+  auto it = subscriptions_.find(user);
+  if (it != subscriptions_.end()) {
+    for (KeyId key : it->second) {
+      auto group = subgroups_.find(key);
+      if (group != subgroups_.end()) {
+        group->second.erase(user);
+        if (group->second.empty()) subgroups_.erase(group);
+      }
+    }
+    subscriptions_.erase(it);
+  }
+  clients_.erase(user);
+}
+
+void InProcNetwork::subscribe(UserId user, KeyId key) {
+  if (!clients_.contains(user)) {
+    throw TransportError("InProcNetwork: subscribe before attach");
+  }
+  subgroups_[key].insert(user);
+  subscriptions_[user].insert(key);
+}
+
+void InProcNetwork::unsubscribe(UserId user, KeyId key) {
+  auto group = subgroups_.find(key);
+  if (group != subgroups_.end()) {
+    group->second.erase(user);
+    if (group->second.empty()) subgroups_.erase(group);
+  }
+  auto subs = subscriptions_.find(user);
+  if (subs != subscriptions_.end()) subs->second.erase(key);
+}
+
+void InProcNetwork::resubscribe(UserId user,
+                                const std::vector<KeyId>& keys) {
+  // Drop stale subscriptions, add new ones; no-ops stay untouched.
+  auto& current = subscriptions_[user];
+  std::unordered_set<KeyId> wanted(keys.begin(), keys.end());
+  for (auto it = current.begin(); it != current.end();) {
+    if (!wanted.contains(*it)) {
+      auto group = subgroups_.find(*it);
+      if (group != subgroups_.end()) {
+        group->second.erase(user);
+        if (group->second.empty()) subgroups_.erase(group);
+      }
+      it = current.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (KeyId key : wanted) {
+    if (current.insert(key).second) subgroups_[key].insert(user);
+  }
+}
+
+void InProcNetwork::send_to_server(UserId from, BytesView datagram) {
+  if (!server_handler_) throw TransportError("InProcNetwork: no server");
+  server_handler_(from, datagram);
+}
+
+void InProcNetwork::deliver_to(UserId user, BytesView datagram) {
+  auto it = clients_.find(user);
+  if (it == clients_.end()) return;  // raced with a departure; drop
+  ++deliveries_;
+  delivered_bytes_ += datagram.size();
+  it->second(datagram);
+}
+
+void InProcNetwork::deliver(const rekey::Recipient& to, BytesView datagram,
+                            const Resolver& resolve) {
+  (void)resolve;  // native multicast: membership is subscription state
+  if (to.kind == rekey::Recipient::Kind::kUser) {
+    deliver_to(to.user, datagram);
+    return;
+  }
+  auto group = subgroups_.find(to.include);
+  if (group == subgroups_.end()) return;
+  const std::set<UserId>* excluded = nullptr;
+  if (to.exclude.has_value()) {
+    auto ex = subgroups_.find(*to.exclude);
+    if (ex != subgroups_.end()) excluded = &ex->second;
+  }
+  // Copy: handlers may resubscribe (mutating subgroups_) during delivery.
+  const std::vector<UserId> members(group->second.begin(),
+                                    group->second.end());
+  for (UserId user : members) {
+    if (excluded != nullptr && excluded->contains(user)) continue;
+    deliver_to(user, datagram);
+  }
+}
+
+}  // namespace keygraphs::transport

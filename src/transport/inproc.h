@@ -1,0 +1,75 @@
+// In-process network with true subgroup multicast.
+//
+// Models the paper's ideal network: a multicast address per k-node
+// subgroup. Clients subscribe to the key ids they hold; a subgroup delivery
+// reaches holders of `include` minus holders of `exclude` — exactly the
+// paper's userset(K_i) - userset(K_{i+1}) recipient sets — without the
+// server enumerating members. Synchronous: delivery invokes the receiving
+// handler inline (the experiment harness controls ordering).
+#pragma once
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "transport/transport.h"
+
+namespace keygraphs::transport {
+
+class InProcNetwork final : public ServerTransport {
+ public:
+  using ClientHandler = std::function<void(BytesView datagram)>;
+  using ServerHandler =
+      std::function<void(UserId from, BytesView datagram)>;
+
+  /// Registers/replaces the server-side inbound handler.
+  void attach_server(ServerHandler handler);
+
+  /// Registers a client endpoint. Throws TransportError on duplicates.
+  void attach_client(UserId user, ClientHandler handler);
+
+  /// Removes a client and all its subscriptions (a departing member stops
+  /// listening; Table 6 counts only messages received by members).
+  void detach_client(UserId user);
+
+  /// Declares that `user` holds key `key` (joins that subgroup's multicast
+  /// address). Idempotent.
+  void subscribe(UserId user, KeyId key);
+  void unsubscribe(UserId user, KeyId key);
+
+  /// Replaces a client's subscription set in one call.
+  void resubscribe(UserId user, const std::vector<KeyId>& keys);
+
+  /// Client -> server datagram.
+  void send_to_server(UserId from, BytesView datagram);
+
+  // ServerTransport: server -> clients.
+  void deliver(const rekey::Recipient& to, BytesView datagram,
+               const Resolver& resolve) override;
+
+  /// Delivery counters (Table 6: messages/bytes received per client).
+  [[nodiscard]] std::size_t deliveries() const noexcept {
+    return deliveries_;
+  }
+  [[nodiscard]] std::size_t delivered_bytes() const noexcept {
+    return delivered_bytes_;
+  }
+  void reset_counters() noexcept { deliveries_ = delivered_bytes_ = 0; }
+
+  [[nodiscard]] std::size_t client_count() const noexcept {
+    return clients_.size();
+  }
+
+ private:
+  void deliver_to(UserId user, BytesView datagram);
+
+  ServerHandler server_handler_;
+  std::unordered_map<UserId, ClientHandler> clients_;
+  std::unordered_map<KeyId, std::set<UserId>> subgroups_;
+  std::unordered_map<UserId, std::unordered_set<KeyId>> subscriptions_;
+  std::size_t deliveries_ = 0;
+  std::size_t delivered_bytes_ = 0;
+};
+
+}  // namespace keygraphs::transport

@@ -1,0 +1,232 @@
+#include "transport/tcp.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.h"
+
+namespace keygraphs::transport {
+
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw TransportError(std::string("tcp: ") + what + ": " +
+                       std::strerror(errno));
+}
+
+sockaddr_in loopback_sockaddr(std::uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(0x7f000001u);
+  sa.sin_port = htons(port);
+  return sa;
+}
+
+Address address_of_fd(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    fail("getsockname()");
+  }
+  return Address{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+// Reads exactly n bytes; false on orderly EOF at a frame boundary start.
+bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::read(fd, out + done, n - done);
+    if (got == 0) {
+      if (done == 0) return false;
+      throw TransportError("tcp: peer closed mid-frame");
+    }
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      fail("read()");
+    }
+    done += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t sent = ::write(fd, data + done, n - done);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      fail("write()");
+    }
+    done += static_cast<std::size_t>(sent);
+  }
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return false;
+    fail("poll()");
+  }
+  return ready > 0;
+}
+
+}  // namespace
+
+TcpConnection TcpConnection::connect(const Address& to) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket()");
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(to.ip);
+  sa.sin_port = htons(to.port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    fail("connect()");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(fd);
+}
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+TcpConnection::~TcpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpConnection::send(BytesView message) {
+  if (fd_ < 0) throw TransportError("tcp: send on closed connection");
+  if (message.size() > kMaxFrame) {
+    throw TransportError("tcp: frame too large");
+  }
+  std::uint8_t prefix[4];
+  const auto size = static_cast<std::uint32_t>(message.size());
+  for (int i = 0; i < 4; ++i) {
+    prefix[i] = static_cast<std::uint8_t>(size >> (8 * i));
+  }
+  write_all(fd_, prefix, 4);
+  write_all(fd_, message.data(), message.size());
+}
+
+std::optional<Bytes> TcpConnection::receive(int timeout_ms) {
+  if (fd_ < 0) throw TransportError("tcp: receive on closed connection");
+  if (!wait_readable(fd_, timeout_ms)) return std::nullopt;
+  std::uint8_t prefix[4];
+  if (!read_exact(fd_, prefix, 4)) return std::nullopt;  // orderly EOF
+  std::uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+  }
+  if (size > kMaxFrame) throw TransportError("tcp: oversized frame");
+  Bytes message(size);
+  if (size > 0 && !read_exact(fd_, message.data(), size)) {
+    throw TransportError("tcp: peer closed mid-frame");
+  }
+  return message;
+}
+
+Address TcpConnection::local_address() const { return address_of_fd(fd_); }
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket()");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const sockaddr_in sa = loopback_sockaddr(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("bind()");
+  }
+  if (::listen(fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("listen()");
+  }
+}
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<TcpConnection> TcpListener::accept(int timeout_ms) {
+  if (!wait_readable(fd_, timeout_ms)) return std::nullopt;
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) fail("accept()");
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(fd);
+}
+
+Address TcpListener::local_address() const { return address_of_fd(fd_); }
+
+void TcpServerTransport::register_user(UserId user,
+                                       TcpConnection connection) {
+  connections_.insert_or_assign(user, std::move(connection));
+}
+
+void TcpServerTransport::unregister_user(UserId user) {
+  connections_.erase(user);
+}
+
+TcpConnection* TcpServerTransport::connection_of(UserId user) {
+  auto it = connections_.find(user);
+  return it == connections_.end() ? nullptr : &it->second;
+}
+
+void TcpServerTransport::send_to_user(UserId user, BytesView message) {
+  auto it = connections_.find(user);
+  if (it == connections_.end()) return;
+  try {
+    it->second.send(message);
+    ++messages_sent_;
+  } catch (const TransportError&) {
+    connections_.erase(it);  // the peer is gone; drop the connection
+  }
+}
+
+void TcpServerTransport::deliver(const rekey::Recipient& to,
+                                 BytesView message, const Resolver& resolve) {
+  if (to.kind == rekey::Recipient::Kind::kUser) {
+    send_to_user(to.user, message);
+    return;
+  }
+  for (UserId user : resolve()) send_to_user(user, message);
+}
+
+}  // namespace keygraphs::transport

@@ -1,0 +1,140 @@
+#include "transport/udp.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace keygraphs::transport {
+
+namespace {
+
+sockaddr_in to_sockaddr(const Address& address) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(address.ip);
+  sa.sin_port = htons(address.port);
+  return sa;
+}
+
+Address from_sockaddr(const sockaddr_in& sa) {
+  return Address{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+}  // namespace
+
+UdpSocket::UdpSocket() { bind_loopback(0); }
+
+UdpSocket::UdpSocket(std::uint16_t port) { bind_loopback(port); }
+
+void UdpSocket::bind_loopback(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    throw TransportError(std::string("UdpSocket: socket(): ") +
+                         std::strerror(errno));
+  }
+  const sockaddr_in sa = to_sockaddr(Address::loopback(port));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw TransportError(std::string("UdpSocket: bind(): ") +
+                         std::strerror(saved));
+  }
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpSocket::send_to(const Address& to, BytesView datagram) {
+  const sockaddr_in sa = to_sockaddr(to);
+  const ssize_t sent =
+      ::sendto(fd_, datagram.data(), datagram.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  if (sent < 0 || static_cast<std::size_t>(sent) != datagram.size()) {
+    throw TransportError(std::string("UdpSocket: sendto(): ") +
+                         std::strerror(errno));
+  }
+}
+
+std::optional<std::pair<Address, Bytes>> UdpSocket::receive(int timeout_ms) {
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return std::nullopt;  // signal: let the caller's
+                                              // loop observe its stop flag
+    throw TransportError(std::string("UdpSocket: poll(): ") +
+                         std::strerror(errno));
+  }
+  if (ready == 0) return std::nullopt;
+
+  Bytes buffer(65536);
+  sockaddr_in sa{};
+  socklen_t sa_len = sizeof(sa);
+  const ssize_t received =
+      ::recvfrom(fd_, buffer.data(), buffer.size(), 0,
+                 reinterpret_cast<sockaddr*>(&sa), &sa_len);
+  if (received < 0) {
+    throw TransportError(std::string("UdpSocket: recvfrom(): ") +
+                         std::strerror(errno));
+  }
+  buffer.resize(static_cast<std::size_t>(received));
+  return std::make_pair(from_sockaddr(sa), std::move(buffer));
+}
+
+Address UdpSocket::local_address() const {
+  sockaddr_in sa{};
+  socklen_t sa_len = sizeof(sa);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &sa_len) != 0) {
+    throw TransportError(std::string("UdpSocket: getsockname(): ") +
+                         std::strerror(errno));
+  }
+  return from_sockaddr(sa);
+}
+
+void UdpServerTransport::register_user(UserId user, const Address& address) {
+  peers_[user] = address;
+}
+
+void UdpServerTransport::unregister_user(UserId user) { peers_.erase(user); }
+
+void UdpServerTransport::deliver(const rekey::Recipient& to,
+                                 BytesView datagram,
+                                 const Resolver& resolve) {
+  if (to.kind == rekey::Recipient::Kind::kUser) {
+    auto it = peers_.find(to.user);
+    if (it != peers_.end()) {
+      socket_.send_to(it->second, datagram);
+      ++datagrams_sent_;
+    }
+    return;
+  }
+  // No subgroup multicast on the wire: fan out as unicast to the resolved
+  // membership (paper Section 7's no-multicast fallback).
+  for (UserId user : resolve()) {
+    auto it = peers_.find(user);
+    if (it != peers_.end()) {
+      socket_.send_to(it->second, datagram);
+      ++datagrams_sent_;
+    }
+  }
+}
+
+}  // namespace keygraphs::transport

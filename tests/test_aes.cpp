@@ -1,0 +1,101 @@
+// AES-128 against FIPS 197: the appendix C known-answer test, round trips,
+// and avalanche behaviour.
+#include "crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/random.h"
+
+namespace keygraphs::crypto {
+namespace {
+
+Bytes encrypt_one(const Aes128& aes, const Bytes& plaintext) {
+  Bytes out(Aes128::kBlockSize);
+  aes.encrypt_block(plaintext.data(), out.data());
+  return out;
+}
+
+Bytes decrypt_one(const Aes128& aes, const Bytes& ciphertext) {
+  Bytes out(Aes128::kBlockSize);
+  aes.decrypt_block(ciphertext.data(), out.data());
+  return out;
+}
+
+TEST(Aes128, Fips197AppendixC) {
+  const Aes128 aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  EXPECT_EQ(to_hex(encrypt_one(aes, from_hex("00112233445566778899aabbccddeeff"))),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, DecryptInvertsAppendixC) {
+  const Aes128 aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  EXPECT_EQ(to_hex(decrypt_one(aes, from_hex("69c4e0d86a7b0430d8cdb78070b4c55a"))),
+            "00112233445566778899aabbccddeeff");
+}
+
+TEST(Aes128, RejectsWrongKeySize) {
+  EXPECT_THROW(Aes128(from_hex("00")), CryptoError);
+  EXPECT_THROW(Aes128(Bytes(24, 0)), CryptoError);
+  EXPECT_THROW(Aes128(Bytes(32, 0)), CryptoError);
+}
+
+TEST(Aes128, Accessors) {
+  const Aes128 aes(Bytes(16, 0));
+  EXPECT_EQ(aes.block_size(), 16u);
+  EXPECT_EQ(aes.key_size(), 16u);
+  EXPECT_EQ(aes.name(), "AES-128");
+}
+
+TEST(Aes128, InPlaceAliasing) {
+  const Aes128 aes(from_hex("000102030405060708090a0b0c0d0e0f"));
+  Bytes buffer = from_hex("00112233445566778899aabbccddeeff");
+  aes.encrypt_block(buffer.data(), buffer.data());
+  EXPECT_EQ(to_hex(buffer), "69c4e0d86a7b0430d8cdb78070b4c55a");
+  aes.decrypt_block(buffer.data(), buffer.data());
+  EXPECT_EQ(to_hex(buffer), "00112233445566778899aabbccddeeff");
+}
+
+TEST(Aes128, AllZeroKeyVector) {
+  // NIST AESAVS KAT: AES-128(key=0, pt=0).
+  const Aes128 aes(Bytes(16, 0x00));
+  EXPECT_EQ(to_hex(encrypt_one(aes, Bytes(16, 0x00))),
+            "66e94bd4ef8a2c3b884cfa59ca342b2e");
+}
+
+class AesProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AesProperty, DecryptInvertsEncrypt) {
+  SecureRandom rng(GetParam());
+  const Aes128 aes(rng.bytes(16));
+  for (int i = 0; i < 32; ++i) {
+    const Bytes pt = rng.bytes(16);
+    EXPECT_EQ(decrypt_one(aes, encrypt_one(aes, pt)), pt);
+  }
+}
+
+TEST_P(AesProperty, SingleBitAvalanche) {
+  // Flipping one plaintext bit must change roughly half the output; at the
+  // very least the outputs must differ in more than a quarter of the bits.
+  SecureRandom rng(GetParam() * 3 + 1);
+  const Aes128 aes(rng.bytes(16));
+  const Bytes pt = rng.bytes(16);
+  Bytes pt_flipped = pt;
+  pt_flipped[static_cast<std::size_t>(rng.uniform(16))] ^=
+      static_cast<std::uint8_t>(1 << rng.uniform(8));
+
+  const Bytes a = encrypt_one(aes, pt);
+  const Bytes b = encrypt_one(aes, pt_flipped);
+  int differing_bits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differing_bits += std::popcount(static_cast<unsigned>(a[i] ^ b[i]));
+  }
+  EXPECT_GT(differing_bits, 32);
+  EXPECT_LT(differing_bits, 96);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AesProperty,
+                         ::testing::Values(10, 20, 30, 40, 50));
+
+}  // namespace
+}  // namespace keygraphs::crypto

@@ -1,0 +1,96 @@
+// Analytic cost model against the exact entries of the paper's Tables 1-3.
+#include "analysis/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace keygraphs::analysis {
+namespace {
+
+TEST(Table1, StarCounts) {
+  EXPECT_DOUBLE_EQ(star_key_counts(100).total_keys, 101.0);
+  EXPECT_DOUBLE_EQ(star_key_counts(100).keys_per_user, 2.0);
+}
+
+TEST(Table1, TreeCounts) {
+  // d/(d-1) * n keys; users hold h keys.
+  const KeyCounts counts = tree_key_counts(64, 4);
+  EXPECT_NEAR(counts.total_keys, 64.0 * 4 / 3, 1e-9);
+  EXPECT_NEAR(counts.keys_per_user, 4.0, 1e-9);  // h = log4(64)+1 = 4
+}
+
+TEST(Table1, CompleteCounts) {
+  EXPECT_DOUBLE_EQ(complete_key_counts(10).total_keys, 1023.0);
+  EXPECT_DOUBLE_EQ(complete_key_counts(10).keys_per_user, 512.0);
+}
+
+TEST(TreeHeight, MatchesLogarithm) {
+  EXPECT_NEAR(tree_height(8192, 4), std::log2(8192.0) / 2 + 1, 1e-9);
+  EXPECT_DOUBLE_EQ(tree_height(1, 4), 1.0);
+  EXPECT_NEAR(tree_height(16, 2), 5.0, 1e-9);
+}
+
+TEST(Table2, RequestingUser) {
+  EXPECT_DOUBLE_EQ(star_requesting_cost(100).join, 1.0);
+  EXPECT_DOUBLE_EQ(star_requesting_cost(100).leave, 0.0);
+  EXPECT_NEAR(tree_requesting_cost(64, 4).join, 3.0, 1e-9);  // h-1
+  EXPECT_DOUBLE_EQ(tree_requesting_cost(64, 4).leave, 0.0);
+  EXPECT_DOUBLE_EQ(complete_requesting_cost(8).join, 256.0);  // 2^n
+}
+
+TEST(Table2, NonRequestingUser) {
+  EXPECT_DOUBLE_EQ(star_nonrequesting_cost(50).join, 1.0);
+  EXPECT_NEAR(tree_nonrequesting_cost(64, 4).join, 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(tree_nonrequesting_cost(64, 4).leave, 4.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(complete_nonrequesting_cost(8).join, 128.0);  // 2^(n-1)
+  EXPECT_DOUBLE_EQ(complete_nonrequesting_cost(8).leave, 0.0);
+}
+
+TEST(Table2, Server) {
+  EXPECT_DOUBLE_EQ(star_server_cost(100).join, 2.0);
+  EXPECT_DOUBLE_EQ(star_server_cost(100).leave, 99.0);  // n - 1
+  EXPECT_NEAR(tree_server_cost(64, 4).join, 6.0, 1e-9);   // 2(h-1)
+  EXPECT_NEAR(tree_server_cost(64, 4).leave, 12.0, 1e-9); // d(h-1)
+  EXPECT_DOUBLE_EQ(complete_server_cost(8).join, 512.0);  // 2^(n+1)
+  EXPECT_DOUBLE_EQ(complete_server_cost(8).leave, 0.0);
+}
+
+TEST(Table2, UserOrientedServerCosts) {
+  // h(h+1)/2 - 1 and (d-1)h(h-1)/2 at n=64, d=4 (h=4): 9 and 18.
+  const JoinLeaveCost cost = tree_server_cost_user_oriented(64, 4);
+  EXPECT_NEAR(cost.join, 9.0, 1e-9);
+  EXPECT_NEAR(cost.leave, 18.0, 1e-9);
+}
+
+TEST(Table3, Averages) {
+  EXPECT_DOUBLE_EQ(star_avg_server_cost(100), 50.0);  // n/2
+  // (d+2)(h-1)/2 at n=64, d=4: 6*3/2 = 9.
+  EXPECT_NEAR(tree_avg_server_cost(64, 4), 9.0, 1e-9);
+  EXPECT_DOUBLE_EQ(complete_avg_server_cost(8), 256.0);  // 2^n
+  EXPECT_NEAR(tree_avg_user_cost(4), 4.0 / 3.0, 1e-9);
+  EXPECT_NEAR(tree_avg_user_cost(2), 2.0, 1e-9);
+}
+
+TEST(Table3, OptimalDegreeIsFour) {
+  // The paper: server cost (d+2)log_d(n)/2 is minimized around d = 4.
+  const std::size_t n = 8192;
+  const double at4 = tree_avg_server_cost(n, 4);
+  for (int d : {2, 3, 5, 6, 8, 12, 16, 32}) {
+    EXPECT_GE(tree_avg_server_cost(n, d), at4 * 0.999)
+        << "degree " << d << " beat 4";
+  }
+}
+
+TEST(Analysis, CostsGrowLogarithmically) {
+  // Figure 10's shape: doubling n adds a constant to the tree cost.
+  const double delta1 =
+      tree_avg_server_cost(2048, 4) - tree_avg_server_cost(1024, 4);
+  const double delta2 =
+      tree_avg_server_cost(4096, 4) - tree_avg_server_cost(2048, 4);
+  EXPECT_NEAR(delta1, delta2, 1e-9);
+  EXPECT_GT(delta1, 0.0);
+}
+
+}  // namespace
+}  // namespace keygraphs::analysis

@@ -1,0 +1,86 @@
+// Byte-buffer helpers: hex codecs, constant-time compare, concat, wipe.
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace keygraphs {
+namespace {
+
+TEST(Hex, RoundTripsArbitraryBytes) {
+  const Bytes data = {0x00, 0x01, 0x7f, 0x80, 0xff, 0xde, 0xad};
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(Hex, EncodesLowercase) {
+  EXPECT_EQ(to_hex(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+}
+
+TEST(Hex, EmptyInputGivesEmptyOutput) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, AcceptsUppercase) {
+  EXPECT_EQ(from_hex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(BytesOf, CopiesText) {
+  EXPECT_EQ(bytes_of("ab"), (Bytes{0x61, 0x62}));
+  EXPECT_TRUE(bytes_of("").empty());
+}
+
+TEST(ConstantTimeEqual, EqualBuffers) {
+  EXPECT_TRUE(constant_time_equal(bytes_of("secret"), bytes_of("secret")));
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+TEST(ConstantTimeEqual, DifferentContent) {
+  EXPECT_FALSE(constant_time_equal(bytes_of("secret"), bytes_of("secreu")));
+}
+
+TEST(ConstantTimeEqual, DifferentLength) {
+  EXPECT_FALSE(constant_time_equal(bytes_of("secret"), bytes_of("secret!")));
+}
+
+TEST(ConstantTimeEqual, SingleBitFlipAnywhere) {
+  const Bytes base = from_hex("a1b2c3d4e5f60718");
+  for (std::size_t byte = 0; byte < base.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes flipped = base;
+      flipped[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_FALSE(constant_time_equal(base, flipped));
+    }
+  }
+}
+
+TEST(Concat, JoinsInOrder) {
+  EXPECT_EQ(concat(bytes_of("ab"), bytes_of("cd")), bytes_of("abcd"));
+  EXPECT_EQ(concat(Bytes{}, bytes_of("x")), bytes_of("x"));
+  EXPECT_EQ(concat(bytes_of("x"), Bytes{}), bytes_of("x"));
+}
+
+TEST(SecureWipe, ZeroesEveryByte) {
+  Bytes secret = from_hex("ffffffffffffffff");
+  secure_wipe(secret);
+  EXPECT_EQ(secret, Bytes(8, 0x00));
+}
+
+TEST(SecureWipe, EmptyBufferIsFine) {
+  Bytes empty;
+  secure_wipe(empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+}  // namespace
+}  // namespace keygraphs

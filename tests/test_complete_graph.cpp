@@ -1,0 +1,135 @@
+// CompleteGraph: 2^n - 1 keys, exponential join cost, free leaves, and the
+// structural forward secrecy the paper credits this class with.
+#include "keygraph/complete_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace keygraphs {
+namespace {
+
+crypto::SecureRandom& rng() {
+  static crypto::SecureRandom instance(55);
+  return instance;
+}
+
+CompleteGraph make(std::size_t n) {
+  CompleteGraph graph(crypto::CipherAlgorithm::kDes, rng());
+  for (UserId user = 1; user <= n; ++user) graph.join(user);
+  return graph;
+}
+
+TEST(CompleteGraph, KeyCountIsTwoToTheNMinusOne) {
+  for (std::size_t n : {1u, 2u, 3u, 4u, 5u}) {
+    const CompleteGraph graph = make(n);
+    EXPECT_EQ(graph.key_count(), (std::size_t{1} << n) - 1) << "n=" << n;
+  }
+}
+
+TEST(CompleteGraph, EachUserHoldsTwoToTheNMinusOneKeys) {
+  const std::size_t n = 5;
+  const CompleteGraph graph = make(n);
+  for (UserId user = 1; user <= n; ++user) {
+    EXPECT_EQ(graph.keyset(user).size(), std::size_t{1} << (n - 1));
+  }
+}
+
+TEST(CompleteGraph, JoinCostsMatchTable2Shape) {
+  CompleteGraph graph(crypto::CipherAlgorithm::kDes, rng());
+  graph.join(1);
+  // Joining user u into a group of k existing members: the server encrypts
+  // 2^k - 1 fresh subset keys plus 2^k - 1 keys for u: ~2^(k+1).
+  for (std::size_t existing = 1; existing <= 6; ++existing) {
+    const CompleteOpCost cost = graph.join(existing + 1);
+    const auto two_k = static_cast<double>(std::size_t{1} << existing);
+    EXPECT_EQ(cost.server_encryptions, 2 * (std::size_t{1} << existing) - 2);
+    EXPECT_EQ(cost.requesting_user_decryptions,
+              (std::size_t{1} << existing) - 1);
+    EXPECT_NEAR(cost.non_requesting_user_decryptions, two_k / 2.0,
+                two_k / 2.0 * 0.5);
+  }
+}
+
+TEST(CompleteGraph, LeaveIsFree) {
+  CompleteGraph graph = make(5);
+  const CompleteOpCost cost = graph.leave(3);
+  EXPECT_EQ(cost.server_encryptions, 0u);             // Table 2(c): 0
+  EXPECT_EQ(cost.requesting_user_decryptions, 0u);    // Table 2(a): 0
+  EXPECT_EQ(cost.non_requesting_user_decryptions, 0.0);
+}
+
+TEST(CompleteGraph, LeaveDropsAllSubsetsContainingLeaver) {
+  CompleteGraph graph = make(4);
+  graph.leave(2);
+  EXPECT_EQ(graph.user_count(), 3u);
+  // 2^3 - 1 keys remain for the surviving subsets.
+  EXPECT_EQ(graph.key_count(), 7u);
+  EXPECT_THROW(graph.keyset(2), ProtocolError);
+}
+
+TEST(CompleteGraph, GroupKeySharedByAllAfterChurn) {
+  CompleteGraph graph = make(5);
+  graph.leave(4);
+  graph.join(10);
+  const SymmetricKey group = graph.group_key();
+  for (UserId user : {1u, 2u, 3u, 5u, 10u}) {
+    EXPECT_TRUE(graph.member_holds(user, group.secret)) << "user " << user;
+  }
+}
+
+TEST(CompleteGraph, ForwardSecrecyStructural) {
+  CompleteGraph graph = make(4);
+  // Snapshot the leaver's keys, then leave: none may remain live.
+  const std::vector<SymmetricKey> leaver_keys = graph.keyset(2);
+  graph.leave(2);
+  const SymmetricKey group = graph.group_key();
+  for (const SymmetricKey& key : leaver_keys) {
+    EXPECT_NE(key.secret, group.secret);
+    for (UserId survivor : {1u, 3u, 4u}) {
+      for (const SymmetricKey& live : graph.keyset(survivor)) {
+        EXPECT_NE(key.secret, live.secret);
+      }
+    }
+  }
+}
+
+TEST(CompleteGraph, BackwardSecrecyStructural) {
+  CompleteGraph graph = make(3);
+  // Snapshot all keys before the join; the joiner must hold none of them.
+  std::vector<Bytes> before;
+  for (UserId user = 1; user <= 3; ++user) {
+    for (const SymmetricKey& key : graph.keyset(user)) {
+      before.push_back(key.secret);
+    }
+  }
+  graph.join(9);
+  for (const SymmetricKey& key : graph.keyset(9)) {
+    for (const Bytes& old : before) EXPECT_NE(key.secret, old);
+  }
+}
+
+TEST(CompleteGraph, GuardsAndErrors) {
+  CompleteGraph graph(crypto::CipherAlgorithm::kDes, rng());
+  EXPECT_THROW(graph.join(0), ProtocolError);
+  graph.join(1);
+  EXPECT_THROW(graph.join(1), ProtocolError);
+  EXPECT_THROW(graph.leave(99), ProtocolError);
+  EXPECT_THROW(graph.keyset(99), ProtocolError);
+}
+
+TEST(CompleteGraph, SlotExhaustionIsExplicit) {
+  CompleteGraph graph(crypto::CipherAlgorithm::kDes, rng());
+  for (UserId user = 1; user <= CompleteGraph::kMaxUsers; ++user) {
+    graph.join(user);
+  }
+  EXPECT_THROW(graph.join(999), ProtocolError);
+}
+
+TEST(CompleteGraph, EmptyGroupHasNoGroupKey) {
+  CompleteGraph graph(crypto::CipherAlgorithm::kDes, rng());
+  EXPECT_THROW(graph.group_key(), ProtocolError);
+}
+
+}  // namespace
+}  // namespace keygraphs

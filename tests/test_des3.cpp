@@ -1,0 +1,88 @@
+// Triple-DES (EDE3): degeneration to single DES with equal subkeys, round
+// trips, known-answer consistency with the DES vector, and registry wiring.
+#include "crypto/des3.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/cbc.h"
+#include "crypto/suite.h"
+#include "crypto/random.h"
+
+namespace keygraphs::crypto {
+namespace {
+
+TEST(Des3, EqualSubkeysDegenerateToSingleDes) {
+  // E_k(D_k(E_k(P))) = E_k(P): 3DES with k1=k2=k3 must equal DES.
+  const Bytes k = from_hex("133457799bbcdff1");
+  Bytes triple_key;
+  for (int i = 0; i < 3; ++i) {
+    triple_key.insert(triple_key.end(), k.begin(), k.end());
+  }
+  const Des3 des3(triple_key);
+  const Bytes pt = from_hex("0123456789abcdef");
+  Bytes out(8);
+  des3.encrypt_block(pt.data(), out.data());
+  EXPECT_EQ(to_hex(out), "85e813540f0ab405");  // the single-DES vector
+}
+
+TEST(Des3, RejectsWrongKeySize) {
+  EXPECT_THROW(Des3(Bytes(8, 0)), CryptoError);
+  EXPECT_THROW(Des3(Bytes(16, 0)), CryptoError);
+  EXPECT_THROW(Des3(Bytes(23, 0)), CryptoError);
+}
+
+TEST(Des3, Accessors) {
+  const Des3 des3(Bytes(24, 0x01));
+  EXPECT_EQ(des3.block_size(), 8u);
+  EXPECT_EQ(des3.key_size(), 24u);
+  EXPECT_EQ(des3.name(), "3DES");
+}
+
+TEST(Des3, RoundTripsWithDistinctSubkeys) {
+  SecureRandom rng(3);
+  const Des3 des3(rng.bytes(24));
+  for (int i = 0; i < 32; ++i) {
+    const Bytes pt = rng.bytes(8);
+    Bytes ct(8), back(8);
+    des3.encrypt_block(pt.data(), ct.data());
+    des3.decrypt_block(ct.data(), back.data());
+    EXPECT_EQ(back, pt);
+    EXPECT_NE(ct, pt);
+  }
+}
+
+TEST(Des3, DiffersFromSingleDesWithDistinctSubkeys) {
+  SecureRandom rng(4);
+  const Bytes key = rng.bytes(24);
+  const Des3 des3(key);
+  const Des single(BytesView(key.data(), 8));
+  const Bytes pt = rng.bytes(8);
+  Bytes a(8), b(8);
+  des3.encrypt_block(pt.data(), a.data());
+  single.encrypt_block(pt.data(), b.data());
+  EXPECT_NE(a, b);
+}
+
+TEST(Des3, RegisteredInCipherFactory) {
+  SecureRandom rng(5);
+  EXPECT_EQ(cipher_key_size(CipherAlgorithm::kDes3), 24u);
+  EXPECT_EQ(cipher_name(CipherAlgorithm::kDes3), "3DES");
+  const auto cipher = make_cipher(CipherAlgorithm::kDes3, rng.bytes(24));
+  EXPECT_EQ(cipher->name(), "3DES");
+
+  const CbcCipher cbc(make_cipher(CipherAlgorithm::kDes3, rng.bytes(24)));
+  const Bytes pt = bytes_of("wrapped key material");
+  EXPECT_EQ(cbc.decrypt(cbc.encrypt(pt, rng)), pt);
+}
+
+TEST(Des3, WholeSuiteWorksWithTripleDes) {
+  // A group server configured with 3DES must run end to end.
+  const CryptoSuite suite{CipherAlgorithm::kDes3, DigestAlgorithm::kSha1,
+                          SignatureAlgorithm::kNone};
+  EXPECT_EQ(suite.key_size(), 24u);
+  EXPECT_EQ(suite.label(), "3DES/SHA-1/none");
+}
+
+}  // namespace
+}  // namespace keygraphs::crypto

@@ -1,0 +1,164 @@
+// MD5 / SHA-1 / SHA-256 against the RFC 1321 and FIPS 180-4 test vectors,
+// plus streaming-equivalence and reuse-after-finish properties that the
+// server relies on (it reuses one digest object across thousands of rekey
+// messages).
+#include "crypto/digest.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/md5.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace keygraphs::crypto {
+namespace {
+
+std::string hex_digest(DigestAlgorithm algorithm, const std::string& text) {
+  return to_hex(digest_of(algorithm, bytes_of(text)));
+}
+
+// --- RFC 1321 Appendix A.5 test suite -------------------------------------
+
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(hex_digest(DigestAlgorithm::kMd5, ""),
+            "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(hex_digest(DigestAlgorithm::kMd5, "a"),
+            "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(hex_digest(DigestAlgorithm::kMd5, "abc"),
+            "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(hex_digest(DigestAlgorithm::kMd5, "message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(hex_digest(DigestAlgorithm::kMd5, "abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+}
+
+// --- FIPS 180-4 vectors -----------------------------------------------------
+
+TEST(Sha1, StandardVectors) {
+  EXPECT_EQ(hex_digest(DigestAlgorithm::kSha1, ""),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(hex_digest(DigestAlgorithm::kSha1, "abc"),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(hex_digest(DigestAlgorithm::kSha1,
+                       "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                       "nopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha256, StandardVectors) {
+  EXPECT_EQ(hex_digest(DigestAlgorithm::kSha256, ""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(hex_digest(DigestAlgorithm::kSha256, "abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(hex_digest(DigestAlgorithm::kSha256,
+                       "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                       "nopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Digests, MillionAs) {
+  // The classic long-message vector, exercising multi-block streaming.
+  const Bytes chunk(1000, 'a');
+  auto md5 = make_digest(DigestAlgorithm::kMd5);
+  auto sha1 = make_digest(DigestAlgorithm::kSha1);
+  auto sha256 = make_digest(DigestAlgorithm::kSha256);
+  for (int i = 0; i < 1000; ++i) {
+    md5->update(chunk);
+    sha1->update(chunk);
+    sha256->update(chunk);
+  }
+  EXPECT_EQ(to_hex(md5->finish()), "7707d6ae4e027c70eea2a935c2296f21");
+  EXPECT_EQ(to_hex(sha1->finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+  EXPECT_EQ(to_hex(sha256->finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// --- Interface behaviour ----------------------------------------------------
+
+TEST(Digests, SizesAndNames) {
+  EXPECT_EQ(make_digest(DigestAlgorithm::kMd5)->digest_size(), 16u);
+  EXPECT_EQ(make_digest(DigestAlgorithm::kSha1)->digest_size(), 20u);
+  EXPECT_EQ(make_digest(DigestAlgorithm::kSha256)->digest_size(), 32u);
+  EXPECT_EQ(make_digest(DigestAlgorithm::kMd5)->block_size(), 64u);
+  EXPECT_EQ(digest_size(DigestAlgorithm::kNone), 0u);
+  EXPECT_EQ(digest_name(DigestAlgorithm::kSha256), "SHA-256");
+}
+
+TEST(Digests, MakeDigestRejectsNone) {
+  EXPECT_THROW(make_digest(DigestAlgorithm::kNone), CryptoError);
+}
+
+TEST(Digests, FinishResetsForReuse) {
+  Md5 md5;
+  md5.update(bytes_of("abc"));
+  const Bytes first = md5.finish();
+  md5.update(bytes_of("abc"));
+  EXPECT_EQ(md5.finish(), first);
+}
+
+TEST(Digests, CloneStartsFresh) {
+  Sha256 digest;
+  digest.update(bytes_of("partial input"));
+  auto fresh = digest.clone();
+  fresh->update(bytes_of("abc"));
+  EXPECT_EQ(to_hex(fresh->finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// Streaming equivalence: hashing in chunks of any size equals one-shot.
+class ChunkedDigest
+    : public ::testing::TestWithParam<std::tuple<DigestAlgorithm, int>> {};
+
+TEST_P(ChunkedDigest, MatchesOneShot) {
+  const auto [algorithm, chunk_size] = GetParam();
+  Bytes message(997);  // prime length: exercises every buffer boundary
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<std::uint8_t>(i * 31 + 7);
+  }
+  const Bytes expected = digest_of(algorithm, message);
+
+  auto digest = make_digest(algorithm);
+  for (std::size_t offset = 0; offset < message.size();
+       offset += static_cast<std::size_t>(chunk_size)) {
+    const std::size_t len = std::min<std::size_t>(
+        static_cast<std::size_t>(chunk_size), message.size() - offset);
+    digest->update(BytesView(message.data() + offset, len));
+  }
+  EXPECT_EQ(digest->finish(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithmsAndChunks, ChunkedDigest,
+    ::testing::Combine(::testing::Values(DigestAlgorithm::kMd5,
+                                         DigestAlgorithm::kSha1,
+                                         DigestAlgorithm::kSha256),
+                       ::testing::Values(1, 3, 63, 64, 65, 128, 997)));
+
+// Exactly-one-block and padding-boundary lengths (55/56/57 trigger the
+// length-field split across blocks).
+class PaddingBoundary
+    : public ::testing::TestWithParam<std::tuple<DigestAlgorithm, int>> {};
+
+TEST_P(PaddingBoundary, ChunkedStillMatches) {
+  const auto [algorithm, size] = GetParam();
+  const Bytes message(static_cast<std::size_t>(size), 0x61);
+  const Bytes expected = digest_of(algorithm, message);
+  auto digest = make_digest(algorithm);
+  for (const std::uint8_t byte : message) {
+    digest->update(BytesView(&byte, 1));
+  }
+  EXPECT_EQ(digest->finish(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, PaddingBoundary,
+    ::testing::Combine(::testing::Values(DigestAlgorithm::kMd5,
+                                         DigestAlgorithm::kSha1,
+                                         DigestAlgorithm::kSha256),
+                       ::testing::Values(0, 1, 55, 56, 57, 63, 64, 65, 119,
+                                         120, 128)));
+
+}  // namespace
+}  // namespace keygraphs::crypto

@@ -1,0 +1,155 @@
+// Experiment driver: the paper's methodology end to end at reduced scale,
+// checking that measured quantities land on the analytic formulas.
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/cost_model.h"
+
+namespace keygraphs::sim {
+namespace {
+
+ExperimentConfig small(rekey::StrategyKind strategy, bool with_clients) {
+  ExperimentConfig config;
+  config.initial_size = 64;
+  config.requests = 120;
+  config.degree = 4;
+  config.strategy = strategy;
+  config.with_clients = with_clients;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Experiment, ServerOnlyRunProducesStats) {
+  const ExperimentResult result =
+      run_experiment(small(rekey::StrategyKind::kGroupOriented, false));
+  EXPECT_EQ(result.join.operations + result.leave.operations, 120u);
+  EXPECT_GT(result.join.avg_encryptions, 0.0);
+  EXPECT_GT(result.leave.avg_message_bytes, 0.0);
+  EXPECT_GT(result.final_size, 0u);
+  EXPECT_EQ(result.client_avg_messages_per_request, 0.0);  // no clients
+}
+
+TEST(Experiment, EncryptionCostsTrackAnalyticModel) {
+  // n=64, d=4: paper h = 4; key/group-oriented join cost 2(h-1) = 6,
+  // leave cost ~ d(h-1) = 12. Churn keeps the tree near-balanced, so the
+  // measured averages should be within ~25% of the formulas.
+  for (auto strategy : {rekey::StrategyKind::kKeyOriented,
+                        rekey::StrategyKind::kGroupOriented}) {
+    const ExperimentResult result = run_experiment(small(strategy, false));
+    const auto tree_costs = analysis::tree_server_cost(64, 4);
+    EXPECT_NEAR(result.join.avg_encryptions, tree_costs.join,
+                tree_costs.join * 0.25);
+    EXPECT_NEAR(result.leave.avg_encryptions, tree_costs.leave,
+                tree_costs.leave * 0.3);
+  }
+}
+
+TEST(Experiment, UserOrientedCostsHigherOnServer) {
+  const ExperimentResult user =
+      run_experiment(small(rekey::StrategyKind::kUserOriented, false));
+  const ExperimentResult key =
+      run_experiment(small(rekey::StrategyKind::kKeyOriented, false));
+  EXPECT_GT(user.all.avg_encryptions, key.all.avg_encryptions);
+}
+
+TEST(Experiment, GroupOrientedSendsOneLeaveMessage) {
+  const ExperimentResult result =
+      run_experiment(small(rekey::StrategyKind::kGroupOriented, false));
+  EXPECT_DOUBLE_EQ(result.leave.avg_messages, 1.0);
+  EXPECT_EQ(result.leave.min_messages, 1u);
+  EXPECT_EQ(result.leave.max_messages, 1u);
+}
+
+TEST(Experiment, ClientsReceiveExactlyOneMessagePerRequest) {
+  // Table 6's headline: every strategy delivers exactly one rekey message
+  // per request to each member.
+  for (auto strategy :
+       {rekey::StrategyKind::kUserOriented, rekey::StrategyKind::kKeyOriented,
+        rekey::StrategyKind::kGroupOriented, rekey::StrategyKind::kHybrid}) {
+    const ExperimentResult result = run_experiment(small(strategy, true));
+    EXPECT_NEAR(result.client_avg_messages_per_request, 1.0, 0.01)
+        << rekey::strategy_name(strategy);
+  }
+}
+
+TEST(Experiment, KeyChangesPerClientNearAnalytic) {
+  // Figure 12: measured average ~ d/(d-1).
+  const ExperimentResult result =
+      run_experiment(small(rekey::StrategyKind::kGroupOriented, true));
+  EXPECT_NEAR(result.client_avg_key_changes,
+              analysis::tree_avg_user_cost(4), 0.15);
+}
+
+TEST(Experiment, GroupOrientedLeaveMessagesLargerThanJoin) {
+  // Table 5/6: the single leave message is ~d times the join message.
+  const ExperimentResult result =
+      run_experiment(small(rekey::StrategyKind::kGroupOriented, true));
+  EXPECT_GT(result.client_avg_leave_message_bytes,
+            result.client_avg_join_message_bytes * 1.5);
+}
+
+TEST(Experiment, StarBaselineLeaveCostLinear) {
+  ExperimentConfig config = small(rekey::StrategyKind::kKeyOriented, false);
+  config.star = true;
+  const ExperimentResult result = run_experiment(config);
+  // Star leave ~ n - 1 = 63 encryptions at n=64 (group size drifts a bit
+  // during churn).
+  EXPECT_GT(result.leave.avg_encryptions, 40.0);
+  EXPECT_LT(result.leave.avg_encryptions, 90.0);
+  // Join stays constant at 2.
+  EXPECT_NEAR(result.join.avg_encryptions, 2.0, 0.01);
+}
+
+TEST(Experiment, EncryptionCostGrowsLogarithmically) {
+  // Figure 10's shape, in the deterministic cost unit: each 8x growth in
+  // group size adds a roughly constant number of key encryptions per
+  // operation (log-linear), rather than multiplying it (linear).
+  auto encryptions_at = [](std::size_t n) {
+    ExperimentConfig config = small(rekey::StrategyKind::kKeyOriented,
+                                    false);
+    config.initial_size = n;
+    config.requests = 200;
+    return run_experiment(config).all.avg_encryptions;
+  };
+  const double at64 = encryptions_at(64);
+  const double at512 = encryptions_at(512);
+  const double at4096 = encryptions_at(4096);
+  const double first_step = at512 - at64;
+  const double second_step = at4096 - at512;
+  EXPECT_GT(first_step, 0.5);
+  EXPECT_GT(second_step, 0.5);
+  EXPECT_NEAR(first_step, second_step, 2.0);  // constant increment
+  // Strongly sub-linear: 64x the users costs far less than 64x the work.
+  EXPECT_LT(at4096, at64 * 4.0);
+}
+
+TEST(Experiment, ReproducibleAcrossRuns) {
+  const ExperimentConfig config = small(rekey::StrategyKind::kKeyOriented,
+                                        false);
+  const ExperimentResult a = run_experiment(config);
+  const ExperimentResult b = run_experiment(config);
+  EXPECT_EQ(a.join.avg_encryptions, b.join.avg_encryptions);
+  EXPECT_EQ(a.all.avg_total_bytes, b.all.avg_total_bytes);
+  EXPECT_EQ(a.final_size, b.final_size);
+}
+
+TEST(Experiment, SignedRunsProduceSignatures) {
+  ExperimentConfig config = small(rekey::StrategyKind::kKeyOriented, false);
+  config.initial_size = 32;
+  config.requests = 30;
+  config.suite = crypto::CryptoSuite::paper_signed();
+  config.signing = rekey::SigningMode::kBatch;
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_DOUBLE_EQ(result.all.avg_signatures, 1.0);  // one per operation
+  // Batch signing appends signature + auth path to every message.
+  ExperimentConfig plain = config;
+  plain.suite = crypto::CryptoSuite::paper_plain();
+  plain.signing = rekey::SigningMode::kNone;
+  const ExperimentResult unsigned_result = run_experiment(plain);
+  EXPECT_GT(result.all.avg_message_bytes,
+            unsigned_result.all.avg_message_bytes + 64);
+}
+
+}  // namespace
+}  // namespace keygraphs::sim

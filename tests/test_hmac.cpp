@@ -1,0 +1,99 @@
+// HMAC against the RFC 2202 test vectors plus verify/tamper behaviour.
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+namespace keygraphs::crypto {
+namespace {
+
+TEST(HmacMd5, Rfc2202Case1) {
+  const Hmac hmac(DigestAlgorithm::kMd5, Bytes(16, 0x0b));
+  EXPECT_EQ(to_hex(hmac.mac(bytes_of("Hi There"))),
+            "9294727a3638bb1c13f48ef8158bfc9d");
+}
+
+TEST(HmacMd5, Rfc2202Case2) {
+  const Hmac hmac(DigestAlgorithm::kMd5, bytes_of("Jefe"));
+  EXPECT_EQ(to_hex(hmac.mac(bytes_of("what do ya want for nothing?"))),
+            "750c783e6ab0b503eaa86e310a5db738");
+}
+
+TEST(HmacMd5, Rfc2202Case3) {
+  const Hmac hmac(DigestAlgorithm::kMd5, Bytes(16, 0xaa));
+  EXPECT_EQ(to_hex(hmac.mac(Bytes(50, 0xdd))),
+            "56be34521d144c88dbb8c733f0e8b3f6");
+}
+
+TEST(HmacSha1, Rfc2202Case1) {
+  const Hmac hmac(DigestAlgorithm::kSha1, Bytes(20, 0x0b));
+  EXPECT_EQ(to_hex(hmac.mac(bytes_of("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1, Rfc2202Case2) {
+  const Hmac hmac(DigestAlgorithm::kSha1, bytes_of("Jefe"));
+  EXPECT_EQ(to_hex(hmac.mac(bytes_of("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Hmac hmac(DigestAlgorithm::kSha256, Bytes(20, 0x0b));
+  EXPECT_EQ(to_hex(hmac.mac(bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, KeyLongerThanBlockIsHashedFirst) {
+  // RFC 2202 case 6: 80-byte key (block size is 64).
+  const Hmac hmac(DigestAlgorithm::kMd5, Bytes(80, 0xaa));
+  EXPECT_EQ(to_hex(hmac.mac(bytes_of(
+                "Test Using Larger Than Block-Size Key - Hash Key First"))),
+            "6b1ab7fe4bd7bf8f0b62e6ce61b9d0cd");
+}
+
+TEST(Hmac, VerifyAcceptsValidTag) {
+  const Hmac hmac(DigestAlgorithm::kSha256, bytes_of("key"));
+  const Bytes tag = hmac.mac(bytes_of("message"));
+  EXPECT_TRUE(hmac.verify(bytes_of("message"), tag));
+}
+
+TEST(Hmac, VerifyRejectsTamperedTag) {
+  const Hmac hmac(DigestAlgorithm::kSha256, bytes_of("key"));
+  Bytes tag = hmac.mac(bytes_of("message"));
+  tag[0] ^= 1;
+  EXPECT_FALSE(hmac.verify(bytes_of("message"), tag));
+}
+
+TEST(Hmac, VerifyRejectsTamperedMessage) {
+  const Hmac hmac(DigestAlgorithm::kSha256, bytes_of("key"));
+  const Bytes tag = hmac.mac(bytes_of("message"));
+  EXPECT_FALSE(hmac.verify(bytes_of("messagf"), tag));
+}
+
+TEST(Hmac, VerifyRejectsTruncatedTag) {
+  const Hmac hmac(DigestAlgorithm::kSha256, bytes_of("key"));
+  Bytes tag = hmac.mac(bytes_of("message"));
+  tag.pop_back();
+  EXPECT_FALSE(hmac.verify(bytes_of("message"), tag));
+}
+
+TEST(Hmac, DifferentKeysGiveDifferentTags) {
+  const Hmac a(DigestAlgorithm::kMd5, bytes_of("key-a"));
+  const Hmac b(DigestAlgorithm::kMd5, bytes_of("key-b"));
+  EXPECT_NE(a.mac(bytes_of("same message")), b.mac(bytes_of("same message")));
+}
+
+TEST(Hmac, TagSizeFollowsDigest) {
+  EXPECT_EQ(Hmac(DigestAlgorithm::kMd5, bytes_of("k")).tag_size(), 16u);
+  EXPECT_EQ(Hmac(DigestAlgorithm::kSha1, bytes_of("k")).tag_size(), 20u);
+  EXPECT_EQ(Hmac(DigestAlgorithm::kSha256, bytes_of("k")).tag_size(), 32u);
+}
+
+TEST(Hmac, EmptyMessage) {
+  const Hmac hmac(DigestAlgorithm::kSha256, bytes_of("key"));
+  const Bytes tag = hmac.mac(Bytes{});
+  EXPECT_EQ(tag.size(), 32u);
+  EXPECT_TRUE(hmac.verify(Bytes{}, tag));
+}
+
+}  // namespace
+}  // namespace keygraphs::crypto

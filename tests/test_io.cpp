@@ -1,0 +1,120 @@
+// ByteWriter/ByteReader: little-endian layout, round trips, and the
+// truncation/trailing-bytes guarantees the network decoders depend on.
+#include "common/io.h"
+
+#include <gtest/gtest.h>
+
+namespace keygraphs {
+namespace {
+
+TEST(ByteWriter, LittleEndianLayout) {
+  ByteWriter writer;
+  writer.u8(0x01);
+  writer.u16(0x0203);
+  writer.u32(0x04050607);
+  writer.u64(0x08090a0b0c0d0e0full);
+  EXPECT_EQ(to_hex(writer.data()),
+            "01"
+            "0302"
+            "07060504"
+            "0f0e0d0c0b0a0908");
+}
+
+TEST(ByteWriter, VarBytesPrefixesLength) {
+  ByteWriter writer;
+  writer.var_bytes(bytes_of("hi"));
+  EXPECT_EQ(to_hex(writer.data()), "020000006869");
+}
+
+TEST(ByteWriter, VarStringMatchesVarBytes) {
+  ByteWriter a, b;
+  a.var_string("hello");
+  b.var_bytes(bytes_of("hello"));
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(RoundTrip, AllPrimitiveTypes) {
+  ByteWriter writer;
+  writer.u8(0xab);
+  writer.u16(0xbeef);
+  writer.u32(0xdeadbeef);
+  writer.u64(0x0123456789abcdefull);
+  writer.var_bytes(from_hex("cafe"));
+  writer.var_string("text");
+  writer.raw(from_hex("00ff"));
+
+  ByteReader reader(writer.data());
+  EXPECT_EQ(reader.u8(), 0xab);
+  EXPECT_EQ(reader.u16(), 0xbeef);
+  EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+  EXPECT_EQ(reader.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(reader.var_bytes(), from_hex("cafe"));
+  EXPECT_EQ(reader.var_string(), "text");
+  EXPECT_EQ(reader.raw(2), from_hex("00ff"));
+  EXPECT_TRUE(reader.done());
+  EXPECT_NO_THROW(reader.expect_done());
+}
+
+TEST(ByteReader, ThrowsOnTruncatedPrimitive) {
+  const Bytes data = {0x01, 0x02};
+  ByteReader reader(data);
+  EXPECT_THROW(reader.u32(), ParseError);
+}
+
+TEST(ByteReader, ThrowsOnTruncatedVarBytes) {
+  // Length prefix claims 100 bytes; only 1 present.
+  ByteWriter writer;
+  writer.u32(100);
+  writer.u8(0xaa);
+  ByteReader reader(writer.data());
+  EXPECT_THROW(reader.var_bytes(), ParseError);
+}
+
+TEST(ByteReader, ThrowsOnOverRead) {
+  ByteReader reader(BytesView{});
+  EXPECT_THROW(reader.u8(), ParseError);
+}
+
+TEST(ByteReader, ExpectDoneRejectsTrailingBytes) {
+  const Bytes data = {0x01, 0x02};
+  ByteReader reader(data);
+  (void)reader.u8();
+  EXPECT_THROW(reader.expect_done(), ParseError);
+}
+
+TEST(ByteReader, RemainingTracksPosition) {
+  const Bytes data = {1, 2, 3, 4};
+  ByteReader reader(data);
+  EXPECT_EQ(reader.remaining(), 4u);
+  (void)reader.u16();
+  EXPECT_EQ(reader.remaining(), 2u);
+  (void)reader.raw(2);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(ByteReader, EmptyVarBytesOk) {
+  ByteWriter writer;
+  writer.var_bytes(Bytes{});
+  ByteReader reader(writer.data());
+  EXPECT_TRUE(reader.var_bytes().empty());
+  EXPECT_TRUE(reader.done());
+}
+
+// Width-parameterized round trip: any u64 value survives.
+class U64RoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(U64RoundTrip, Survives) {
+  ByteWriter writer;
+  writer.u64(GetParam());
+  ByteReader reader(writer.data());
+  EXPECT_EQ(reader.u64(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, U64RoundTrip,
+                         ::testing::Values(0ull, 1ull, 0xffull, 0x100ull,
+                                           0xffffffffull, 0x100000000ull,
+                                           ~0ull));
+
+}  // namespace
+}  // namespace keygraphs

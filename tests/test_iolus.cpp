@@ -1,0 +1,151 @@
+// The Iolus baseline (paper Section 6): local-only rekeying, per-message
+// agent work, end-to-end confidentiality, and the forward/backward secrecy
+// it provides at subgroup granularity.
+#include "iolus/iolus.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace keygraphs::iolus {
+namespace {
+
+IolusNetwork populated(std::size_t agents, std::size_t members,
+                       std::uint64_t seed = 1) {
+  IolusNetwork network(
+      IolusConfig{agents, crypto::CipherAlgorithm::kDes, seed});
+  for (UserId user = 1; user <= members; ++user) network.join(user);
+  return network;
+}
+
+TEST(Iolus, ConfigValidation) {
+  EXPECT_THROW(IolusNetwork(IolusConfig{0, crypto::CipherAlgorithm::kDes, 1}),
+               ProtocolError);
+}
+
+TEST(Iolus, MembershipBookkeeping) {
+  IolusNetwork network = populated(4, 12);
+  EXPECT_EQ(network.member_count(), 12u);
+  EXPECT_EQ(network.agent_count(), 4u);
+  EXPECT_EQ(network.trusted_entities(), 5u);  // agents + the GSC
+  EXPECT_THROW(network.join(5), ProtocolError);
+  network.leave(5);
+  EXPECT_EQ(network.member_count(), 11u);
+  EXPECT_THROW(network.leave(5), ProtocolError);
+}
+
+TEST(Iolus, JoinCostIsConstant) {
+  IolusNetwork network = populated(4, 100);
+  const IolusCost cost = network.join(1000);
+  // One multicast under the old subgroup key + one unicast: 2 encryptions
+  // regardless of group size.
+  EXPECT_EQ(cost.key_encryptions, 2u);
+}
+
+TEST(Iolus, LeaveCostIsSubgroupLocal) {
+  // 8 agents, 80 members => ~10 per subgroup. A leave must cost about the
+  // subgroup size, NOT the group size: the "1 does not equal n" fix.
+  IolusNetwork network = populated(8, 80);
+  const IolusCost cost = network.leave(40);
+  EXPECT_GE(cost.key_encryptions, 5u);
+  EXPECT_LE(cost.key_encryptions, 15u);  // ~subgroup size, not ~80
+}
+
+TEST(Iolus, LeaveDoesNotRekeyOtherSubgroups) {
+  IolusNetwork network = populated(4, 16);
+  // Find a member in a different subgroup than user 1.
+  const SymmetricKey before_other = network.subgroup_key_of(2);
+  const SymmetricKey before_own = network.subgroup_key_of(1);
+  ASSERT_NE(before_other.id, before_own.id);  // round-robin put them apart
+  network.leave(1);
+  EXPECT_EQ(network.subgroup_key_of(2).version, before_other.version);
+}
+
+TEST(Iolus, DataMessageReadableByEveryMember) {
+  IolusNetwork network = populated(3, 9);
+  IolusCost cost;
+  const IolusDataMessage message =
+      network.send(4, bytes_of("to everyone"), &cost);
+  for (UserId user = 1; user <= 9; ++user) {
+    EXPECT_EQ(network.read(user, message), bytes_of("to everyone"))
+        << "user " << user;
+  }
+}
+
+TEST(Iolus, SendCostScalesWithAgentsNotMembers) {
+  // The "1 affects n" problem moved to the data path: each occupied agent
+  // performs an unwrap + re-wrap per message.
+  IolusNetwork small_agents = populated(2, 64, 7);
+  IolusNetwork many_agents = populated(16, 64, 7);
+  IolusCost small_cost, many_cost;
+  (void)small_agents.send(1, bytes_of("x"), &small_cost);
+  (void)many_agents.send(1, bytes_of("x"), &many_cost);
+  EXPECT_GT(many_cost.key_encryptions, small_cost.key_encryptions);
+  // Exact model: sender 2 wraps + origin agent 1 + (occupied agents - 1).
+  EXPECT_EQ(many_cost.key_encryptions, 2u + 1u + 15u);
+  EXPECT_EQ(small_cost.key_encryptions, 2u + 1u + 1u);
+}
+
+TEST(Iolus, ForwardSecrecyWithinSubgroup) {
+  IolusNetwork network = populated(2, 8);
+  // Snapshot the leaver's subgroup key, then leave; a message sent later
+  // must not decrypt under the stale key.
+  const SymmetricKey stale = network.subgroup_key_of(3);
+  const std::size_t stale_subgroup_id = stale.id;
+  network.leave(3);
+  IolusCost cost;
+  const IolusDataMessage message = network.send(1, bytes_of("new"), &cost);
+  // Find the wrapped key copy for the leaver's old subgroup and attack it.
+  for (const auto& [subgroup, wrapped] : message.wrapped_message_key) {
+    if (subgroup == IolusDataMessage::kTopSubgroup) continue;
+    // Try decrypting with the stale key: must fail or yield a wrong key.
+    try {
+      const crypto::CbcCipher cbc(
+          crypto::make_cipher(crypto::CipherAlgorithm::kDes, stale.secret));
+      const Bytes guessed_key = cbc.decrypt(wrapped);
+      const crypto::CbcCipher payload_cipher(crypto::make_cipher(
+          crypto::CipherAlgorithm::kDes, guessed_key));
+      EXPECT_NE(payload_cipher.decrypt(message.payload_ciphertext),
+                bytes_of("new"));
+    } catch (const Error&) {
+      // Clean failure is the expected outcome.
+    }
+  }
+  (void)stale_subgroup_id;
+}
+
+TEST(Iolus, BackwardSecrecyMessageBeforeJoinUnreadable) {
+  IolusNetwork network = populated(2, 6);
+  IolusCost cost;
+  const IolusDataMessage old_message =
+      network.send(1, bytes_of("history"), &cost);
+  network.join(99);
+  // The newcomer's subgroup key is fresh; the old message's wrapped copies
+  // were made under pre-join keys. Decryption must fail or yield garbage.
+  try {
+    EXPECT_NE(network.read(99, old_message), bytes_of("history"));
+  } catch (const Error&) {
+    // Clean rejection (bad padding) is the common outcome.
+  }
+}
+
+TEST(Iolus, RekeyTotalsAccumulate) {
+  IolusNetwork network = populated(4, 20);
+  const IolusCost before = network.rekey_totals();
+  network.leave(10);
+  network.join(200);
+  const IolusCost after = network.rekey_totals();
+  EXPECT_GT(after.key_encryptions, before.key_encryptions);
+  EXPECT_GT(after.messages, before.messages);
+}
+
+TEST(Iolus, SendByNonMemberRejected) {
+  IolusNetwork network = populated(2, 4);
+  IolusCost cost;
+  EXPECT_THROW((void)network.send(77, bytes_of("x"), &cost), ProtocolError);
+  const IolusDataMessage message = network.send(1, bytes_of("ok"), &cost);
+  EXPECT_THROW((void)network.read(77, message), ProtocolError);
+}
+
+}  // namespace
+}  // namespace keygraphs::iolus

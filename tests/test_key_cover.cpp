@@ -1,0 +1,147 @@
+// Key covering (paper Section 2.1): the greedy approximation against the
+// exact solver on instances small enough to brute force, plus the
+// impossibility and confidentiality-constraint cases.
+#include "keygraph/key_cover.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace keygraphs {
+namespace {
+
+// A two-level tree over six users: subgroup keys {1,2}, {3,4}, {5,6} (ids
+// 12, 34, 56), root 100.
+KeyGraph tree6() {
+  KeyGraph graph;
+  for (UserId user = 1; user <= 6; ++user) {
+    graph.add_user(user);
+    graph.add_key(user);
+    graph.add_user_edge(user, user);
+  }
+  graph.add_key(12);
+  graph.add_key(34);
+  graph.add_key(56);
+  graph.add_key(100);
+  graph.add_key_edge(1, 12);
+  graph.add_key_edge(2, 12);
+  graph.add_key_edge(3, 34);
+  graph.add_key_edge(4, 34);
+  graph.add_key_edge(5, 56);
+  graph.add_key_edge(6, 56);
+  graph.add_key_edge(12, 100);
+  graph.add_key_edge(34, 100);
+  graph.add_key_edge(56, 100);
+  return graph;
+}
+
+TEST(KeyCover, LeaveScenarioFromTheIntroduction) {
+  // The paper's Section 1.1 example: u1 leaves a 3x3 group; the new group
+  // key must reach everyone but u1. Here: cover {2,3,4,5,6} after user 1
+  // leaves — optimal is {k2, k3-or-34...}: {2, 34, 56} (3 keys).
+  const KeyGraph graph = tree6();
+  const std::set<UserId> target{2, 3, 4, 5, 6};
+  const KeyCover greedy = greedy_key_cover(graph, target);
+  ASSERT_TRUE(greedy.covered);
+  EXPECT_EQ(graph.userset(std::set<KeyId>(greedy.keys.begin(),
+                                          greedy.keys.end())),
+            target);
+  const auto exact = exact_key_cover(graph, target);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->size(), 3u);
+  EXPECT_EQ(greedy.keys.size(), 3u);  // greedy is optimal on trees
+}
+
+TEST(KeyCover, FullGroupUsesTheRoot) {
+  const KeyGraph graph = tree6();
+  const std::set<UserId> everyone{1, 2, 3, 4, 5, 6};
+  const KeyCover cover = greedy_key_cover(graph, everyone);
+  ASSERT_TRUE(cover.covered);
+  EXPECT_EQ(cover.keys, (std::vector<KeyId>{100}));
+}
+
+TEST(KeyCover, NeverUsesKeysLeakingOutsideTarget) {
+  const KeyGraph graph = tree6();
+  // Target {1,2,3}: key 34 would leak to user 4, so the cover must be
+  // {12, 3} exactly.
+  const std::set<UserId> target{1, 2, 3};
+  const KeyCover cover = greedy_key_cover(graph, target);
+  ASSERT_TRUE(cover.covered);
+  for (KeyId key : cover.keys) {
+    const std::set<UserId> holders = graph.userset(key);
+    for (UserId holder : holders) EXPECT_TRUE(target.contains(holder));
+  }
+  EXPECT_EQ(cover.keys.size(), 2u);
+}
+
+TEST(KeyCover, SingleUserCoveredByIndividualKey) {
+  const KeyGraph graph = tree6();
+  const KeyCover cover = greedy_key_cover(graph, {4});
+  ASSERT_TRUE(cover.covered);
+  EXPECT_EQ(cover.keys, (std::vector<KeyId>{4}));
+}
+
+TEST(KeyCover, EmptyTargetIsTriviallyCovered) {
+  const KeyGraph graph = tree6();
+  const KeyCover cover = greedy_key_cover(graph, {});
+  EXPECT_TRUE(cover.covered);
+  EXPECT_TRUE(cover.keys.empty());
+}
+
+TEST(KeyCover, ImpossibleWhenUserHasNoPrivateKey) {
+  // Two users sharing only one key: covering just one of them is
+  // impossible without leaking to the other.
+  KeyGraph graph;
+  graph.add_user(1);
+  graph.add_user(2);
+  graph.add_key(7);
+  graph.add_user_edge(1, 7);
+  graph.add_user_edge(2, 7);
+  const KeyCover cover = greedy_key_cover(graph, {1});
+  EXPECT_FALSE(cover.covered);
+  EXPECT_EQ(exact_key_cover(graph, {1}), std::nullopt);
+}
+
+TEST(KeyCover, GreedyWithinLogFactorOfExactOnOverlappingSets) {
+  // A non-tree instance where subsets overlap: greedy may be suboptimal
+  // but must stay within the ln(n)+1 bound and always be a valid cover.
+  KeyGraph graph;
+  for (UserId user = 1; user <= 8; ++user) {
+    graph.add_user(user);
+    graph.add_key(user);
+    graph.add_user_edge(user, user);
+  }
+  auto add_subset = [&graph](KeyId id, std::initializer_list<UserId> users) {
+    graph.add_key(id);
+    for (UserId user : users) graph.add_key_edge(user, id);
+  };
+  add_subset(100, {1, 2, 3, 4});
+  add_subset(200, {5, 6, 7, 8});
+  add_subset(300, {1, 2, 5, 6});
+  add_subset(400, {3, 4, 7, 8});
+  add_subset(500, {2, 3, 6, 7});
+
+  const std::set<UserId> target{1, 2, 3, 4, 5, 6, 7, 8};
+  const KeyCover greedy = greedy_key_cover(graph, target);
+  ASSERT_TRUE(greedy.covered);
+  EXPECT_EQ(graph.userset(std::set<KeyId>(greedy.keys.begin(),
+                                          greedy.keys.end())),
+            target);
+  const auto exact = exact_key_cover(graph, target);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->size(), 2u);  // {100, 200}
+  EXPECT_LE(greedy.keys.size(), 4u);
+}
+
+TEST(KeyCover, ExactSolverGuardsAgainstBlowup) {
+  KeyGraph graph;
+  graph.add_user(1);
+  for (KeyId key = 1; key <= 30; ++key) {
+    graph.add_key(key);
+    graph.add_user_edge(1, key);
+  }
+  EXPECT_THROW(exact_key_cover(graph, {1}), Error);
+}
+
+}  // namespace
+}  // namespace keygraphs

@@ -1,0 +1,119 @@
+// General key graphs: the paper's Figure 1 example reproduced node for
+// node, reachability-defined userset/keyset, cycle rejection, validation.
+#include "keygraph/key_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace keygraphs {
+namespace {
+
+// Figure 1: users u1..u4; keys k1..k4 (individual), k234, k1234.
+// Edges: each ui -> ki; u2,u3,u4 reach k234; everyone reaches k1234.
+KeyGraph figure1() {
+  KeyGraph graph;
+  for (UserId user = 1; user <= 4; ++user) graph.add_user(user);
+  for (KeyId key = 1; key <= 4; ++key) graph.add_key(key);
+  const KeyId k234 = 234, k1234 = 1234;
+  graph.add_key(k234);
+  graph.add_key(k1234);
+  for (UserId user = 1; user <= 4; ++user) {
+    graph.add_user_edge(user, user);  // ui -> ki
+  }
+  graph.add_key_edge(1, k1234);
+  for (KeyId key = 2; key <= 4; ++key) graph.add_key_edge(key, k234);
+  graph.add_key_edge(k234, k1234);
+  return graph;
+}
+
+TEST(KeyGraph, Figure1Keysets) {
+  const KeyGraph graph = figure1();
+  EXPECT_EQ(graph.keyset(1), (std::set<KeyId>{1, 1234}));
+  EXPECT_EQ(graph.keyset(2), (std::set<KeyId>{2, 234, 1234}));
+  EXPECT_EQ(graph.keyset(3), (std::set<KeyId>{3, 234, 1234}));
+  EXPECT_EQ(graph.keyset(4), (std::set<KeyId>{4, 234, 1234}));
+}
+
+TEST(KeyGraph, Figure1Usersets) {
+  const KeyGraph graph = figure1();
+  EXPECT_EQ(graph.userset(1234), (std::set<UserId>{1, 2, 3, 4}));
+  EXPECT_EQ(graph.userset(234), (std::set<UserId>{2, 3, 4}));
+  EXPECT_EQ(graph.userset(1), (std::set<UserId>{1}));
+  EXPECT_EQ(graph.userset(4), (std::set<UserId>{4}));
+}
+
+TEST(KeyGraph, GeneralizedUsersetIsUnion) {
+  const KeyGraph graph = figure1();
+  EXPECT_EQ(graph.userset(std::set<KeyId>{1, 234}),
+            (std::set<UserId>{1, 2, 3, 4}));
+  EXPECT_EQ(graph.userset(std::set<KeyId>{2, 3}), (std::set<UserId>{2, 3}));
+  EXPECT_TRUE(graph.userset(std::set<KeyId>{}).empty());
+}
+
+TEST(KeyGraph, RootsAreKeysWithoutOutgoingEdges) {
+  const KeyGraph graph = figure1();
+  EXPECT_EQ(graph.roots(), (std::vector<KeyId>{1234}));
+}
+
+TEST(KeyGraph, MultipleRootsAllowed) {
+  KeyGraph graph;
+  graph.add_user(1);
+  graph.add_key(10);
+  graph.add_key(20);
+  graph.add_user_edge(1, 10);
+  graph.add_user_edge(1, 20);
+  EXPECT_EQ(graph.roots().size(), 2u);
+  graph.validate();
+}
+
+TEST(KeyGraph, DuplicateNodesRejected) {
+  KeyGraph graph;
+  graph.add_user(1);
+  EXPECT_THROW(graph.add_user(1), ProtocolError);
+  graph.add_key(5);
+  EXPECT_THROW(graph.add_key(5), ProtocolError);
+}
+
+TEST(KeyGraph, EdgesRequireExistingEndpoints) {
+  KeyGraph graph;
+  graph.add_user(1);
+  graph.add_key(5);
+  EXPECT_THROW(graph.add_user_edge(2, 5), ProtocolError);
+  EXPECT_THROW(graph.add_user_edge(1, 6), ProtocolError);
+  EXPECT_THROW(graph.add_key_edge(5, 6), ProtocolError);
+}
+
+TEST(KeyGraph, CyclesRejected) {
+  KeyGraph graph;
+  graph.add_key(1);
+  graph.add_key(2);
+  graph.add_key(3);
+  graph.add_key_edge(1, 2);
+  graph.add_key_edge(2, 3);
+  EXPECT_THROW(graph.add_key_edge(3, 1), ProtocolError);  // long cycle
+  EXPECT_THROW(graph.add_key_edge(1, 1), ProtocolError);  // self loop
+}
+
+TEST(KeyGraph, ValidateCatchesDanglingNodes) {
+  KeyGraph graph;
+  graph.add_user(1);
+  EXPECT_THROW(graph.validate(), Error);  // u-node with no outgoing edge
+
+  KeyGraph graph2;
+  graph2.add_key(9);
+  EXPECT_THROW(graph2.validate(), Error);  // k-node held by nobody
+}
+
+TEST(KeyGraph, Figure1Validates) {
+  EXPECT_NO_THROW(figure1().validate());
+}
+
+TEST(KeyGraph, QueriesOnMissingNodesThrow) {
+  const KeyGraph graph = figure1();
+  EXPECT_THROW(graph.keyset(99), ProtocolError);
+  EXPECT_THROW(graph.userset(KeyId{999999}), ProtocolError);
+}
+
+}  // namespace
+}  // namespace keygraphs

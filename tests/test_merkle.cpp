@@ -1,0 +1,181 @@
+// Merkle digest tree and batch signing (paper Section 4): root recomputation
+// from every leaf's auth path, tamper rejection, the paper's four-message
+// worked example, and the one-signature property.
+#include "merkle/batch_signer.h"
+#include "merkle/digest_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "crypto/random.h"
+
+namespace keygraphs::merkle {
+namespace {
+
+using crypto::DigestAlgorithm;
+
+std::vector<Bytes> leaf_digests(DigestAlgorithm algorithm, std::size_t n) {
+  std::vector<Bytes> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(
+        crypto::digest_of(algorithm, bytes_of("message " + std::to_string(i))));
+  }
+  return leaves;
+}
+
+TEST(DigestTree, EmptyRejected) {
+  EXPECT_THROW(DigestTree(DigestAlgorithm::kMd5, {}), Error);
+}
+
+TEST(DigestTree, SingleLeafIsItsOwnRoot) {
+  const Bytes leaf = crypto::digest_of(DigestAlgorithm::kMd5, bytes_of("m"));
+  const DigestTree tree(DigestAlgorithm::kMd5, {leaf});
+  EXPECT_EQ(tree.root(), leaf);
+  const AuthPath path = tree.path(0);
+  EXPECT_TRUE(path.siblings.empty());
+  EXPECT_EQ(DigestTree::root_from_path(DigestAlgorithm::kMd5, leaf, path),
+            leaf);
+}
+
+TEST(DigestTree, PaperFourMessageExample) {
+  // Section 4: d12 = h(d1||d2), d34 = h(d3||d4), root = h(d12||d34).
+  const auto leaves = leaf_digests(DigestAlgorithm::kMd5, 4);
+  auto digest = crypto::make_digest(DigestAlgorithm::kMd5);
+  digest->update(leaves[0]);
+  digest->update(leaves[1]);
+  const Bytes d12 = digest->finish();
+  digest->update(leaves[2]);
+  digest->update(leaves[3]);
+  const Bytes d34 = digest->finish();
+  digest->update(d12);
+  digest->update(d34);
+  const Bytes expected_root = digest->finish();
+
+  const DigestTree tree(DigestAlgorithm::kMd5, leaves);
+  EXPECT_EQ(tree.root(), expected_root);
+
+  // The user that needs M4 gets d3 and d12 — exactly a 2-element path.
+  const AuthPath path = tree.path(3);
+  ASSERT_EQ(path.siblings.size(), 2u);
+  EXPECT_EQ(path.siblings[0], leaves[2]);
+  EXPECT_EQ(path.siblings[1], d12);
+}
+
+TEST(DigestTree, PathOutOfRangeThrows) {
+  const DigestTree tree(DigestAlgorithm::kMd5,
+                        leaf_digests(DigestAlgorithm::kMd5, 3));
+  EXPECT_THROW(tree.path(3), Error);
+}
+
+TEST(AuthPath, SerializationRoundTrip) {
+  const DigestTree tree(DigestAlgorithm::kSha256,
+                        leaf_digests(DigestAlgorithm::kSha256, 7));
+  const AuthPath path = tree.path(5);
+  const AuthPath parsed = AuthPath::deserialize(path.serialize());
+  EXPECT_EQ(parsed.index, path.index);
+  EXPECT_EQ(parsed.leaf_count, path.leaf_count);
+  EXPECT_EQ(parsed.siblings, path.siblings);
+  EXPECT_EQ(path.serialize().size(), path.wire_size());
+}
+
+class TreeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeSizes, EveryLeafPathRecomputesRoot) {
+  for (auto algorithm : {DigestAlgorithm::kMd5, DigestAlgorithm::kSha256}) {
+    const auto leaves = leaf_digests(algorithm, GetParam());
+    const DigestTree tree(algorithm, leaves);
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      EXPECT_EQ(
+          DigestTree::root_from_path(algorithm, leaves[i], tree.path(i)),
+          tree.root())
+          << "leaf " << i << " of " << GetParam();
+    }
+  }
+}
+
+TEST_P(TreeSizes, WrongLeafFailsToRecomputeRoot) {
+  const auto leaves = leaf_digests(DigestAlgorithm::kMd5, GetParam());
+  if (leaves.size() < 2) return;
+  const DigestTree tree(DigestAlgorithm::kMd5, leaves);
+  // Use leaf 0's digest with leaf 1's path: must not reach the root.
+  EXPECT_NE(
+      DigestTree::root_from_path(DigestAlgorithm::kMd5, leaves[0],
+                                 tree.path(1)),
+      tree.root());
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, TreeSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 16, 19,
+                                           31, 33));
+
+TEST(BatchSign, AllMessagesVerify) {
+  crypto::SecureRandom rng(5);
+  const auto key = crypto::RsaPrivateKey::generate(rng, 512);
+  std::vector<Bytes> messages;
+  for (int i = 0; i < 7; ++i) {
+    messages.push_back(bytes_of("rekey #" + std::to_string(i)));
+  }
+  const auto items = batch_sign(key, DigestAlgorithm::kMd5, messages);
+  ASSERT_EQ(items.size(), messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_TRUE(batch_verify(key.public_key(), DigestAlgorithm::kMd5,
+                             messages[i], items[i]));
+  }
+}
+
+TEST(BatchSign, OneSignatureForTheWholeBatch) {
+  crypto::SecureRandom rng(6);
+  const auto key = crypto::RsaPrivateKey::generate(rng, 512);
+  std::vector<Bytes> messages;
+  for (int i = 0; i < 5; ++i) messages.push_back(bytes_of(std::to_string(i)));
+  const auto items = batch_sign(key, DigestAlgorithm::kMd5, messages);
+  for (const auto& item : items) {
+    EXPECT_EQ(item.signature, items[0].signature);
+  }
+}
+
+TEST(BatchSign, TamperedMessageRejected) {
+  crypto::SecureRandom rng(7);
+  const auto key = crypto::RsaPrivateKey::generate(rng, 512);
+  std::vector<Bytes> messages = {bytes_of("aa"), bytes_of("bb"),
+                                 bytes_of("cc")};
+  const auto items = batch_sign(key, DigestAlgorithm::kMd5, messages);
+  EXPECT_FALSE(batch_verify(key.public_key(), DigestAlgorithm::kMd5,
+                            bytes_of("aX"), items[0]));
+}
+
+TEST(BatchSign, SwappedPathsRejected) {
+  crypto::SecureRandom rng(8);
+  const auto key = crypto::RsaPrivateKey::generate(rng, 512);
+  std::vector<Bytes> messages = {bytes_of("first"), bytes_of("second")};
+  const auto items = batch_sign(key, DigestAlgorithm::kMd5, messages);
+  // Message 0 presented with message 1's auth path must fail.
+  EXPECT_FALSE(batch_verify(key.public_key(), DigestAlgorithm::kMd5,
+                            messages[0], items[1]));
+}
+
+TEST(BatchSign, TamperedSiblingRejected) {
+  crypto::SecureRandom rng(9);
+  const auto key = crypto::RsaPrivateKey::generate(rng, 512);
+  std::vector<Bytes> messages = {bytes_of("one"), bytes_of("two"),
+                                 bytes_of("three"), bytes_of("four")};
+  auto items = batch_sign(key, DigestAlgorithm::kMd5, messages);
+  items[2].path.siblings[0][0] ^= 1;
+  EXPECT_FALSE(batch_verify(key.public_key(), DigestAlgorithm::kMd5,
+                            messages[2], items[2]));
+}
+
+TEST(BatchSign, WorksWithSha256) {
+  crypto::SecureRandom rng(10);
+  const auto key = crypto::RsaPrivateKey::generate(rng, 1024);
+  std::vector<Bytes> messages = {bytes_of("m1"), bytes_of("m2"),
+                                 bytes_of("m3")};
+  const auto items = batch_sign(key, DigestAlgorithm::kSha256, messages);
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_TRUE(batch_verify(key.public_key(), DigestAlgorithm::kSha256,
+                             messages[i], items[i]));
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs::merkle

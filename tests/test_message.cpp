@@ -1,0 +1,149 @@
+// Rekey message and datagram wire format: round trips, field preservation,
+// and rejection of malformed input (a network-facing parser must never
+// crash or over-read).
+#include "rekey/message.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace keygraphs::rekey {
+namespace {
+
+RekeyMessage sample_message() {
+  RekeyMessage message;
+  message.group = 7;
+  message.epoch = 123456789;
+  message.timestamp_us = 1715000000000000ull;
+  message.kind = RekeyKind::kLeave;
+  message.strategy = StrategyKind::kKeyOriented;
+  message.obsolete = {individual_key_id(42), 17};
+  KeyBlob blob1;
+  blob1.wrap = {10, 3};
+  blob1.targets = {{1, 4}, {2, 9}};
+  blob1.ciphertext = from_hex("00112233445566778899aabbccddeeff");
+  KeyBlob blob2;
+  blob2.wrap = {individual_key_id(42), 1};
+  blob2.targets = {{1, 4}};
+  blob2.ciphertext = from_hex("cafebabe00000000");
+  message.blobs = {blob1, blob2};
+  return message;
+}
+
+TEST(RekeyMessage, BodyRoundTrip) {
+  const RekeyMessage original = sample_message();
+  const RekeyMessage parsed =
+      RekeyMessage::parse_body(original.serialize_body());
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(RekeyMessage, EmptyMessageRoundTrips) {
+  RekeyMessage message;
+  message.kind = RekeyKind::kJoin;
+  message.strategy = StrategyKind::kGroupOriented;
+  EXPECT_EQ(RekeyMessage::parse_body(message.serialize_body()), message);
+}
+
+TEST(RekeyMessage, SerializationIsDeterministic) {
+  EXPECT_EQ(sample_message().serialize_body(),
+            sample_message().serialize_body());
+}
+
+TEST(RekeyMessage, ParseRejectsBadMagic) {
+  Bytes body = sample_message().serialize_body();
+  body[0] ^= 0xff;
+  EXPECT_THROW(RekeyMessage::parse_body(body), ParseError);
+}
+
+TEST(RekeyMessage, ParseRejectsBadVersion) {
+  Bytes body = sample_message().serialize_body();
+  body[1] = 99;
+  EXPECT_THROW(RekeyMessage::parse_body(body), ParseError);
+}
+
+TEST(RekeyMessage, ParseRejectsBadKind) {
+  Bytes body = sample_message().serialize_body();
+  body[2] = 77;
+  EXPECT_THROW(RekeyMessage::parse_body(body), ParseError);
+}
+
+TEST(RekeyMessage, ParseRejectsTruncation) {
+  const Bytes body = sample_message().serialize_body();
+  // Every proper prefix must be rejected, never crash or over-read.
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    EXPECT_THROW(RekeyMessage::parse_body(BytesView(body.data(), len)),
+                 ParseError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(RekeyMessage, ParseRejectsTrailingGarbage) {
+  Bytes body = sample_message().serialize_body();
+  body.push_back(0x00);
+  EXPECT_THROW(RekeyMessage::parse_body(body), ParseError);
+}
+
+TEST(StrategyNames, AllDistinct) {
+  EXPECT_EQ(strategy_name(StrategyKind::kUserOriented), "user-oriented");
+  EXPECT_EQ(strategy_name(StrategyKind::kKeyOriented), "key-oriented");
+  EXPECT_EQ(strategy_name(StrategyKind::kGroupOriented), "group-oriented");
+  EXPECT_EQ(strategy_name(StrategyKind::kHybrid), "hybrid");
+}
+
+TEST(Recipient, Factories) {
+  const Recipient user = Recipient::to_user(9);
+  EXPECT_EQ(user.kind, Recipient::Kind::kUser);
+  EXPECT_EQ(user.user, 9u);
+
+  const Recipient subgroup = Recipient::to_subgroup(5, 6);
+  EXPECT_EQ(subgroup.kind, Recipient::Kind::kSubgroup);
+  EXPECT_EQ(subgroup.include, 5u);
+  ASSERT_TRUE(subgroup.exclude.has_value());
+  EXPECT_EQ(*subgroup.exclude, 6u);
+
+  const Recipient plain = Recipient::to_subgroup(5);
+  EXPECT_FALSE(plain.exclude.has_value());
+}
+
+TEST(Datagram, EncodeDecodeRoundTrip) {
+  const Datagram original{MessageType::kRekey, from_hex("a1b2c3")};
+  const Datagram decoded = Datagram::decode(original.encode());
+  EXPECT_EQ(decoded.type, original.type);
+  EXPECT_EQ(decoded.payload, original.payload);
+}
+
+TEST(Datagram, EmptyPayloadOk) {
+  const Datagram original{MessageType::kLeaveAck, {}};
+  const Datagram decoded = Datagram::decode(original.encode());
+  EXPECT_EQ(decoded.type, MessageType::kLeaveAck);
+  EXPECT_TRUE(decoded.payload.empty());
+}
+
+TEST(Datagram, RejectsBadMagicAndType) {
+  EXPECT_THROW(Datagram::decode(from_hex("ff01")), ParseError);
+  EXPECT_THROW(Datagram::decode(from_hex("4700")), ParseError);  // type 0
+  EXPECT_THROW(Datagram::decode(from_hex("4799")), ParseError);  // type 153
+  EXPECT_THROW(Datagram::decode(Bytes{}), ParseError);
+  EXPECT_THROW(Datagram::decode(from_hex("47")), ParseError);
+}
+
+class AllKindsRoundTrip
+    : public ::testing::TestWithParam<std::tuple<RekeyKind, StrategyKind>> {};
+
+TEST_P(AllKindsRoundTrip, Survives) {
+  RekeyMessage message = sample_message();
+  message.kind = std::get<0>(GetParam());
+  message.strategy = std::get<1>(GetParam());
+  EXPECT_EQ(RekeyMessage::parse_body(message.serialize_body()), message);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndStrategies, AllKindsRoundTrip,
+    ::testing::Combine(::testing::Values(RekeyKind::kJoin, RekeyKind::kLeave),
+                       ::testing::Values(StrategyKind::kUserOriented,
+                                         StrategyKind::kKeyOriented,
+                                         StrategyKind::kGroupOriented,
+                                         StrategyKind::kHybrid)));
+
+}  // namespace
+}  // namespace keygraphs::rekey

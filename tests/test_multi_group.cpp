@@ -1,0 +1,137 @@
+// Multi-group key graphs (paper Section 7): several trees over one user
+// population sharing individual keys, and the exported merged DAG.
+#include "keygraph/multi_group.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace keygraphs {
+namespace {
+
+crypto::SecureRandom& rng() {
+  static crypto::SecureRandom instance(77);
+  return instance;
+}
+
+TEST(MultiGroup, SharedIndividualKeyAcrossGroups) {
+  MultiGroupGraph service(4, 8, rng());
+  const GroupId a = service.create_group();
+  const GroupId b = service.create_group();
+  service.join(a, 1);
+  service.join(b, 1);
+  // One individual key for the service, reused in both trees.
+  EXPECT_EQ(service.tree(a).keyset(1).front().secret,
+            service.tree(b).keyset(1).front().secret);
+  EXPECT_EQ(service.individual_secret(1),
+            service.tree(a).keyset(1).front().secret);
+}
+
+TEST(MultiGroup, GroupsOfTracksMemberships) {
+  MultiGroupGraph service(4, 8, rng());
+  const GroupId a = service.create_group();
+  const GroupId b = service.create_group();
+  const GroupId c = service.create_group();
+  service.join(a, 5);
+  service.join(c, 5);
+  EXPECT_EQ(service.groups_of(5), (std::vector<GroupId>{a, c}));
+  service.leave(a, 5);
+  EXPECT_EQ(service.groups_of(5), (std::vector<GroupId>{c}));
+  (void)b;
+}
+
+TEST(MultiGroup, LeaveOneGroupKeepsOthersIntact) {
+  MultiGroupGraph service(4, 8, rng());
+  const GroupId a = service.create_group();
+  const GroupId b = service.create_group();
+  for (UserId user = 1; user <= 6; ++user) {
+    service.join(a, user);
+    service.join(b, user);
+  }
+  const SymmetricKey group_b_before = service.tree(b).group_key();
+  service.leave(a, 3);
+  // Group a rekeyed, group b untouched — the "1 affects n" scope is one
+  // tree only.
+  EXPECT_FALSE(service.tree(a).has_user(3));
+  EXPECT_TRUE(service.tree(b).has_user(3));
+  EXPECT_EQ(service.tree(b).group_key().secret, group_b_before.secret);
+}
+
+TEST(MultiGroup, IndividualKeySurvivesLeave) {
+  MultiGroupGraph service(4, 8, rng());
+  const GroupId a = service.create_group();
+  service.join(a, 9);
+  const Bytes secret = service.individual_secret(9);
+  service.leave(a, 9);
+  EXPECT_EQ(service.individual_secret(9), secret);
+  // Rejoining reuses it.
+  const JoinRecord record = service.join(a, 9);
+  EXPECT_EQ(record.individual_key.secret, secret);
+}
+
+TEST(MultiGroup, ErrorsOnUnknownGroupOrUser) {
+  MultiGroupGraph service(4, 8, rng());
+  EXPECT_THROW(service.join(99, 1), ProtocolError);
+  EXPECT_THROW(service.leave(99, 1), ProtocolError);
+  EXPECT_THROW((void)service.tree(99), ProtocolError);
+  EXPECT_THROW((void)service.individual_secret(42), ProtocolError);
+  EXPECT_TRUE(service.groups_of(42).empty());
+}
+
+TEST(MultiGroup, MergedGraphStructure) {
+  MultiGroupGraph service(2, 8, rng());
+  const GroupId a = service.create_group();
+  const GroupId b = service.create_group();
+  // Users 1,2,3 in group a; users 2,3,4 in group b.
+  for (UserId user : {1u, 2u, 3u}) service.join(a, user);
+  for (UserId user : {2u, 3u, 4u}) service.join(b, user);
+
+  const KeyGraph merged = service.merged_graph();
+  merged.validate();
+  EXPECT_EQ(merged.user_count(), 4u);
+  EXPECT_EQ(merged.roots().size(), 2u);  // one root per group
+
+  // User 2's keyset spans both trees through one individual k-node.
+  const std::set<KeyId> keys2 = merged.keyset(2);
+  EXPECT_TRUE(keys2.contains(2));  // the shared individual key node
+  const KeyId root_a =
+      (static_cast<KeyId>(a) + 1) * MultiGroupGraph::kGroupIdStride +
+      service.tree(a).root_id();
+  const KeyId root_b =
+      (static_cast<KeyId>(b) + 1) * MultiGroupGraph::kGroupIdStride +
+      service.tree(b).root_id();
+  EXPECT_TRUE(keys2.contains(root_a));
+  EXPECT_TRUE(keys2.contains(root_b));
+
+  // User 1 reaches only group a's root; user 4 only group b's.
+  EXPECT_TRUE(merged.keyset(1).contains(root_a));
+  EXPECT_FALSE(merged.keyset(1).contains(root_b));
+  EXPECT_TRUE(merged.keyset(4).contains(root_b));
+  EXPECT_FALSE(merged.keyset(4).contains(root_a));
+
+  // userset of each root is that group's membership.
+  EXPECT_EQ(merged.userset(root_a), (std::set<UserId>{1, 2, 3}));
+  EXPECT_EQ(merged.userset(root_b), (std::set<UserId>{2, 3, 4}));
+}
+
+TEST(MultiGroup, ManyGroupsChurn) {
+  MultiGroupGraph service(3, 8, rng());
+  std::vector<GroupId> groups;
+  for (int i = 0; i < 4; ++i) groups.push_back(service.create_group());
+  for (UserId user = 1; user <= 12; ++user) {
+    for (GroupId group : groups) {
+      if (rng().uniform(2) == 0) service.join(group, user);
+    }
+  }
+  for (GroupId group : groups) service.tree(group).check_invariants();
+  const KeyGraph merged = service.merged_graph();
+  // Every user in some group appears exactly once.
+  for (UserId user = 1; user <= 12; ++user) {
+    if (!service.groups_of(user).empty()) {
+      EXPECT_TRUE(merged.has_user(user));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs

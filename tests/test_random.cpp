@@ -1,0 +1,125 @@
+// ChaCha20 core and the SecureRandom DRBG: RFC 7539 quarter-round vector,
+// determinism, stream-position independence, and uniform() statistics.
+#include "crypto/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "crypto/chacha20.h"
+
+namespace keygraphs::crypto {
+namespace {
+
+TEST(ChaCha20, Rfc7539QuarterRound) {
+  std::uint32_t a = 0x11111111, b = 0x01020304, c = 0x9b8d6f43,
+                d = 0x01234567;
+  ChaCha20::quarter_round(a, b, c, d);
+  EXPECT_EQ(a, 0xea2a92f4u);
+  EXPECT_EQ(b, 0xcb1cf8ceu);
+  EXPECT_EQ(c, 0x4581472eu);
+  EXPECT_EQ(d, 0x5881c4bbu);
+}
+
+TEST(ChaCha20, RejectsBadKeyOrNonce) {
+  EXPECT_THROW(ChaCha20(Bytes(31, 0), Bytes(12, 0)), CryptoError);
+  EXPECT_THROW(ChaCha20(Bytes(32, 0), Bytes(11, 0)), CryptoError);
+}
+
+TEST(ChaCha20, BlocksAdvanceAndDiffer) {
+  ChaCha20 stream(Bytes(32, 0x42), Bytes(12, 0x24));
+  std::uint8_t block1[64], block2[64];
+  stream.next_block(block1);
+  stream.next_block(block2);
+  EXPECT_NE(Bytes(block1, block1 + 64), Bytes(block2, block2 + 64));
+}
+
+TEST(ChaCha20, SameKeyNonceCounterSameStream) {
+  ChaCha20 a(Bytes(32, 1), Bytes(12, 2), 5);
+  ChaCha20 b(Bytes(32, 1), Bytes(12, 2), 5);
+  std::uint8_t block_a[64], block_b[64];
+  a.next_block(block_a);
+  b.next_block(block_b);
+  EXPECT_EQ(Bytes(block_a, block_a + 64), Bytes(block_b, block_b + 64));
+}
+
+TEST(Drbg, EmptySeedRejected) {
+  EXPECT_THROW(ChaCha20Drbg(Bytes{}), CryptoError);
+}
+
+TEST(SecureRandom, DeterministicFromSeed) {
+  SecureRandom a(1234), b(1234);
+  EXPECT_EQ(a.bytes(64), b.bytes(64));
+  EXPECT_EQ(a.uniform(1000), b.uniform(1000));
+}
+
+TEST(SecureRandom, DifferentSeedsDiffer) {
+  SecureRandom a(1), b(2);
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(SecureRandom, SplitReadsMatchBulkRead) {
+  SecureRandom a(99), b(99);
+  Bytes bulk = a.bytes(100);
+  Bytes split = b.bytes(37);
+  const Bytes rest = b.bytes(63);
+  split.insert(split.end(), rest.begin(), rest.end());
+  EXPECT_EQ(bulk, split);
+}
+
+TEST(SecureRandom, UniformStaysInRange) {
+  SecureRandom rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(SecureRandom, UniformBoundOneAlwaysZero) {
+  SecureRandom rng(8);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(SecureRandom, UniformZeroBoundThrows) {
+  SecureRandom rng(9);
+  EXPECT_THROW((void)rng.uniform(0), Error);
+}
+
+TEST(SecureRandom, UniformCoversSmallRange) {
+  SecureRandom rng(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.uniform(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(SecureRandom, UniformUnitInHalfOpenInterval) {
+  SecureRandom rng(11);
+  double sum = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform_unit();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 2000.0, 0.5, 0.05);  // crude mean check
+}
+
+TEST(SecureRandom, ByteFrequenciesRoughlyUniform) {
+  SecureRandom rng(12);
+  const Bytes data = rng.bytes(65536);
+  std::array<int, 256> counts{};
+  for (std::uint8_t b : data) ++counts[b];
+  // Expected 256 per bucket; allow generous +-50% slack.
+  for (int count : counts) {
+    EXPECT_GT(count, 128);
+    EXPECT_LT(count, 384);
+  }
+}
+
+TEST(SecureRandom, OsSeededInstancesDiffer) {
+  SecureRandom a, b;
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+}  // namespace
+}  // namespace keygraphs::crypto

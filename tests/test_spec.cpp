@@ -1,0 +1,123 @@
+// Server specification file parser (the paper's server-initialization
+// mechanism): full configuration round trip, defaults, and error reporting.
+#include "server/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace keygraphs::server {
+namespace {
+
+TEST(Spec, EmptyTextGivesDefaults) {
+  const ServerSpec spec = parse_server_spec("");
+  EXPECT_EQ(spec.config.tree_degree, 4);
+  EXPECT_EQ(spec.config.strategy, rekey::StrategyKind::kGroupOriented);
+  EXPECT_EQ(spec.config.suite.cipher, crypto::CipherAlgorithm::kDes);
+  EXPECT_EQ(spec.initial_size, 0u);
+  EXPECT_FALSE(spec.acl.has_value());
+}
+
+TEST(Spec, FullConfiguration) {
+  const ServerSpec spec = parse_server_spec(R"(
+# the paper's measured configuration
+degree       = 4
+strategy     = key
+cipher       = des
+digest       = md5
+signature    = rsa512
+signing      = batch
+group        = 7
+seed         = 42
+auth_master  = deadbeefcafe
+initial_size = 8192
+port         = 9999
+acl          = 1, 2, 3, 10
+)");
+  EXPECT_EQ(spec.config.tree_degree, 4);
+  EXPECT_EQ(spec.config.strategy, rekey::StrategyKind::kKeyOriented);
+  EXPECT_EQ(spec.config.suite.cipher, crypto::CipherAlgorithm::kDes);
+  EXPECT_EQ(spec.config.suite.digest, crypto::DigestAlgorithm::kMd5);
+  EXPECT_EQ(spec.config.suite.signature, crypto::SignatureAlgorithm::kRsa512);
+  EXPECT_EQ(spec.config.signing, rekey::SigningMode::kBatch);
+  EXPECT_EQ(spec.config.group, 7u);
+  EXPECT_EQ(spec.config.rng_seed, 42u);
+  EXPECT_EQ(spec.config.auth_master, from_hex("deadbeefcafe"));
+  EXPECT_EQ(spec.initial_size, 8192u);
+  EXPECT_EQ(spec.port, 9999u);
+  ASSERT_TRUE(spec.acl.has_value());
+  EXPECT_EQ(*spec.acl, (std::vector<UserId>{1, 2, 3, 10}));
+  EXPECT_TRUE(spec.access_control().authorizes(10));
+  EXPECT_FALSE(spec.access_control().authorizes(11));
+}
+
+TEST(Spec, StarDegreeAndModernSuite) {
+  const ServerSpec spec = parse_server_spec(
+      "degree = star\ncipher = aes128\ndigest = sha256\n"
+      "signature = rsa2048\nsigning = per-message\n");
+  EXPECT_GT(spec.config.tree_degree, 1000000);
+  EXPECT_EQ(spec.config.suite.cipher, crypto::CipherAlgorithm::kAes128);
+  EXPECT_EQ(spec.config.suite.digest, crypto::DigestAlgorithm::kSha256);
+}
+
+TEST(Spec, TripleDesAccepted) {
+  const ServerSpec spec = parse_server_spec("cipher = 3des\n");
+  EXPECT_EQ(spec.config.suite.cipher, crypto::CipherAlgorithm::kDes3);
+}
+
+TEST(Spec, AclAllIsOpen) {
+  const ServerSpec spec = parse_server_spec("acl = all\n");
+  EXPECT_FALSE(spec.acl.has_value());
+  EXPECT_TRUE(spec.access_control().authorizes(123456));
+}
+
+TEST(Spec, CommentsAndBlankLinesIgnored) {
+  const ServerSpec spec = parse_server_spec(
+      "\n   \n# comment\n  degree = 8  \n\n# another\n");
+  EXPECT_EQ(spec.config.tree_degree, 8);
+}
+
+TEST(Spec, ErrorsNameTheLine) {
+  try {
+    parse_server_spec("degree = 4\nstrategy = bogus\n");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Spec, RejectsMalformedInput) {
+  EXPECT_THROW(parse_server_spec("no equals sign here\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("unknown_key = 1\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("degree = 1\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("degree = banana\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("port = 70000\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("auth_master = xyz\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("auth_master =\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("cipher = rot13\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("signing = maybe\n"), ProtocolError);
+}
+
+TEST(Spec, SigningRequiresSignatureAlgorithm) {
+  EXPECT_THROW(parse_server_spec("signing = batch\n"), ProtocolError);
+  EXPECT_NO_THROW(
+      parse_server_spec("signing = batch\nsignature = rsa512\n"));
+}
+
+TEST(Spec, LoadFromMissingFileThrows) {
+  EXPECT_THROW(load_server_spec("/nonexistent/spec.conf"), Error);
+}
+
+TEST(Spec, ParsedSpecBootsAServer) {
+  const ServerSpec spec = parse_server_spec(
+      "degree = 3\nstrategy = hybrid\nseed = 5\ninitial_size = 9\n");
+  transport::NullTransport transport;
+  GroupKeyServer server(spec.config, transport, spec.access_control());
+  for (UserId user = 1; user <= spec.initial_size; ++user) {
+    EXPECT_EQ(server.join(user), JoinResult::kGranted);
+  }
+  EXPECT_EQ(server.tree().user_count(), 9u);
+}
+
+}  // namespace
+}  // namespace keygraphs::server

@@ -1,0 +1,93 @@
+// ServerStats aggregation — the numbers behind every reproduced table.
+#include "server/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace keygraphs::server {
+namespace {
+
+OpRecord op(rekey::RekeyKind kind, std::size_t encryptions,
+            std::size_t messages, std::size_t bytes, std::size_t min_msg,
+            std::size_t max_msg, double us) {
+  OpRecord record;
+  record.kind = kind;
+  record.key_encryptions = encryptions;
+  record.messages = messages;
+  record.bytes = bytes;
+  record.min_message = min_msg;
+  record.max_message = max_msg;
+  record.processing_us = us;
+  return record;
+}
+
+TEST(Stats, EmptySummaryIsZeros) {
+  const ServerStats stats;
+  const Summary summary = stats.summarize_all();
+  EXPECT_EQ(summary.operations, 0u);
+  EXPECT_EQ(summary.avg_messages, 0.0);
+  EXPECT_EQ(summary.min_messages, 0u);
+  EXPECT_EQ(summary.min_message_bytes, 0u);
+}
+
+TEST(Stats, SplitsByKind) {
+  ServerStats stats;
+  stats.record(op(rekey::RekeyKind::kJoin, 6, 2, 500, 200, 300, 1000));
+  stats.record(op(rekey::RekeyKind::kJoin, 8, 2, 700, 300, 400, 3000));
+  stats.record(op(rekey::RekeyKind::kLeave, 12, 1, 900, 900, 900, 2000));
+
+  const Summary joins = stats.summarize(rekey::RekeyKind::kJoin);
+  EXPECT_EQ(joins.operations, 2u);
+  EXPECT_DOUBLE_EQ(joins.avg_encryptions, 7.0);
+  EXPECT_DOUBLE_EQ(joins.avg_processing_ms, 2.0);
+  EXPECT_DOUBLE_EQ(joins.avg_total_bytes, 600.0);
+  EXPECT_DOUBLE_EQ(joins.avg_message_bytes, 300.0);  // 1200 B / 4 messages
+  EXPECT_EQ(joins.min_message_bytes, 200u);
+  EXPECT_EQ(joins.max_message_bytes, 400u);
+
+  const Summary leaves = stats.summarize(rekey::RekeyKind::kLeave);
+  EXPECT_EQ(leaves.operations, 1u);
+  EXPECT_DOUBLE_EQ(leaves.avg_messages, 1.0);
+
+  const Summary all = stats.summarize_all();
+  EXPECT_EQ(all.operations, 3u);
+  EXPECT_EQ(all.max_messages, 2u);
+  EXPECT_EQ(all.min_messages, 1u);
+}
+
+TEST(Stats, MessageAverageWeightsByMessageNotByOperation) {
+  // Table 5 averages sizes over messages: 1 op with 10 small messages and
+  // 1 op with 1 big message must not average to (small+big)/2.
+  ServerStats stats;
+  stats.record(op(rekey::RekeyKind::kLeave, 1, 10, 1000, 100, 100, 1));
+  stats.record(op(rekey::RekeyKind::kLeave, 1, 1, 1000, 1000, 1000, 1));
+  const Summary summary = stats.summarize(rekey::RekeyKind::kLeave);
+  EXPECT_DOUBLE_EQ(summary.avg_message_bytes, 2000.0 / 11.0);
+}
+
+TEST(Stats, ZeroMessageOperationsHandled) {
+  ServerStats stats;
+  stats.record(op(rekey::RekeyKind::kLeave, 0, 0, 0, 0, 0, 5));
+  const Summary summary = stats.summarize_all();
+  EXPECT_EQ(summary.operations, 1u);
+  EXPECT_EQ(summary.avg_message_bytes, 0.0);
+  EXPECT_EQ(summary.min_messages, 0u);
+}
+
+TEST(Stats, ResetClears) {
+  ServerStats stats;
+  stats.record(op(rekey::RekeyKind::kJoin, 1, 1, 1, 1, 1, 1));
+  EXPECT_EQ(stats.size(), 1u);
+  stats.reset();
+  EXPECT_EQ(stats.size(), 0u);
+  EXPECT_EQ(stats.summarize_all().operations, 0u);
+}
+
+TEST(Stats, BatchKindSeparate) {
+  ServerStats stats;
+  stats.record(op(rekey::RekeyKind::kBatch, 20, 3, 2000, 400, 1200, 100));
+  EXPECT_EQ(stats.summarize(rekey::RekeyKind::kBatch).operations, 1u);
+  EXPECT_EQ(stats.summarize(rekey::RekeyKind::kJoin).operations, 0u);
+}
+
+}  // namespace
+}  // namespace keygraphs::server

@@ -1,0 +1,185 @@
+// InProcNetwork subgroup-multicast semantics and the NullTransport counters.
+#include "transport/inproc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace keygraphs::transport {
+namespace {
+
+using rekey::Recipient;
+
+struct Inbox {
+  std::vector<Bytes> messages;
+  InProcNetwork::ClientHandler handler() {
+    return [this](BytesView data) {
+      messages.emplace_back(data.begin(), data.end());
+    };
+  }
+};
+
+ServerTransport::Resolver no_resolver() {
+  return []() -> std::vector<UserId> {
+    ADD_FAILURE() << "InProcNetwork must not resolve subgroups";
+    return {};
+  };
+}
+
+TEST(InProc, UnicastReachesExactlyThatClient) {
+  InProcNetwork network;
+  Inbox a, b;
+  network.attach_client(1, a.handler());
+  network.attach_client(2, b.handler());
+  network.deliver(Recipient::to_user(1), bytes_of("hi"), no_resolver());
+  EXPECT_EQ(a.messages.size(), 1u);
+  EXPECT_TRUE(b.messages.empty());
+}
+
+TEST(InProc, UnicastToUnknownUserDropsSilently) {
+  InProcNetwork network;
+  EXPECT_NO_THROW(
+      network.deliver(Recipient::to_user(9), bytes_of("x"), no_resolver()));
+}
+
+TEST(InProc, SubgroupMulticastBySubscription) {
+  InProcNetwork network;
+  Inbox a, b, c;
+  network.attach_client(1, a.handler());
+  network.attach_client(2, b.handler());
+  network.attach_client(3, c.handler());
+  network.subscribe(1, 100);
+  network.subscribe(2, 100);
+  // 3 not subscribed.
+  network.deliver(Recipient::to_subgroup(100), bytes_of("sub"),
+                  no_resolver());
+  EXPECT_EQ(a.messages.size(), 1u);
+  EXPECT_EQ(b.messages.size(), 1u);
+  EXPECT_TRUE(c.messages.empty());
+}
+
+TEST(InProc, ExcludeImplementsUsersetDifference) {
+  // The paper's userset(K_i) - userset(K_{i+1}) recipient sets.
+  InProcNetwork network;
+  Inbox a, b;
+  network.attach_client(1, a.handler());
+  network.attach_client(2, b.handler());
+  network.subscribe(1, 100);
+  network.subscribe(2, 100);
+  network.subscribe(2, 50);  // user 2 also holds the deeper key
+  network.deliver(Recipient::to_subgroup(100, 50), bytes_of("diff"),
+                  no_resolver());
+  EXPECT_EQ(a.messages.size(), 1u);
+  EXPECT_TRUE(b.messages.empty());
+}
+
+TEST(InProc, UnsubscribeStopsDelivery) {
+  InProcNetwork network;
+  Inbox a;
+  network.attach_client(1, a.handler());
+  network.subscribe(1, 100);
+  network.unsubscribe(1, 100);
+  network.deliver(Recipient::to_subgroup(100), bytes_of("x"), no_resolver());
+  EXPECT_TRUE(a.messages.empty());
+}
+
+TEST(InProc, ResubscribeReplacesSet) {
+  InProcNetwork network;
+  Inbox a;
+  network.attach_client(1, a.handler());
+  network.subscribe(1, 100);
+  network.resubscribe(1, {200, 300});
+  network.deliver(Recipient::to_subgroup(100), bytes_of("old"),
+                  no_resolver());
+  network.deliver(Recipient::to_subgroup(200), bytes_of("new"),
+                  no_resolver());
+  ASSERT_EQ(a.messages.size(), 1u);
+  EXPECT_EQ(a.messages[0], bytes_of("new"));
+}
+
+TEST(InProc, DetachRemovesClientAndSubscriptions) {
+  InProcNetwork network;
+  Inbox a;
+  network.attach_client(1, a.handler());
+  network.subscribe(1, 100);
+  network.detach_client(1);
+  network.deliver(Recipient::to_subgroup(100), bytes_of("x"), no_resolver());
+  network.deliver(Recipient::to_user(1), bytes_of("y"), no_resolver());
+  EXPECT_TRUE(a.messages.empty());
+  EXPECT_EQ(network.client_count(), 0u);
+}
+
+TEST(InProc, DuplicateAttachRejected) {
+  InProcNetwork network;
+  Inbox a;
+  network.attach_client(1, a.handler());
+  EXPECT_THROW(network.attach_client(1, a.handler()), TransportError);
+}
+
+TEST(InProc, SubscribeBeforeAttachRejected) {
+  InProcNetwork network;
+  EXPECT_THROW(network.subscribe(1, 100), TransportError);
+}
+
+TEST(InProc, ClientToServerPath) {
+  InProcNetwork network;
+  std::vector<std::pair<UserId, Bytes>> received;
+  network.attach_server([&received](UserId from, BytesView data) {
+    received.emplace_back(from, Bytes(data.begin(), data.end()));
+  });
+  network.send_to_server(42, bytes_of("join please"));
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].first, 42u);
+  EXPECT_EQ(received[0].second, bytes_of("join please"));
+}
+
+TEST(InProc, SendToServerWithoutHandlerThrows) {
+  InProcNetwork network;
+  EXPECT_THROW(network.send_to_server(1, bytes_of("x")), TransportError);
+}
+
+TEST(InProc, HandlerMayResubscribeDuringDelivery) {
+  // Clients resubscribe from inside their delivery handler (the simulator
+  // does this after every rekey); the network must tolerate mutation
+  // mid-multicast.
+  InProcNetwork network;
+  int delivered = 0;
+  network.attach_client(1, [&](BytesView) {
+    ++delivered;
+    network.resubscribe(1, {200});
+  });
+  network.attach_client(2, [&](BytesView) {
+    ++delivered;
+    network.resubscribe(2, {200});
+  });
+  network.subscribe(1, 100);
+  network.subscribe(2, 100);
+  network.deliver(Recipient::to_subgroup(100), bytes_of("x"), no_resolver());
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(InProc, CountersTrackDeliveries) {
+  InProcNetwork network;
+  Inbox a;
+  network.attach_client(1, a.handler());
+  network.subscribe(1, 100);
+  network.deliver(Recipient::to_subgroup(100), Bytes(10, 0), no_resolver());
+  network.deliver(Recipient::to_user(1), Bytes(5, 0), no_resolver());
+  EXPECT_EQ(network.deliveries(), 2u);
+  EXPECT_EQ(network.delivered_bytes(), 15u);
+  network.reset_counters();
+  EXPECT_EQ(network.deliveries(), 0u);
+}
+
+TEST(NullTransport, CountsWithoutDelivering) {
+  NullTransport transport;
+  transport.deliver(Recipient::to_subgroup(1), Bytes(100, 0), no_resolver());
+  transport.deliver(Recipient::to_user(2), Bytes(20, 0), no_resolver());
+  EXPECT_EQ(transport.datagrams(), 2u);
+  EXPECT_EQ(transport.bytes(), 120u);
+  transport.reset();
+  EXPECT_EQ(transport.bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace keygraphs::transport

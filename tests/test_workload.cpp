@@ -1,0 +1,102 @@
+// WorkloadGenerator: determinism, ratio control, and membership tracking.
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace keygraphs::sim {
+namespace {
+
+TEST(Workload, InitialJoinsAreSequentialFreshUsers) {
+  WorkloadGenerator generator(1);
+  const std::vector<Request> joins = generator.initial_joins(10);
+  ASSERT_EQ(joins.size(), 10u);
+  for (std::size_t i = 0; i < joins.size(); ++i) {
+    EXPECT_EQ(joins[i].kind, RequestKind::kJoin);
+    EXPECT_EQ(joins[i].user, i + 1);
+  }
+  EXPECT_EQ(generator.members().size(), 10u);
+}
+
+TEST(Workload, SameSeedSameSequence) {
+  WorkloadGenerator a(42), b(42);
+  a.initial_joins(50);
+  b.initial_joins(50);
+  const std::vector<Request> churn_a = a.churn(200);
+  const std::vector<Request> churn_b = b.churn(200);
+  ASSERT_EQ(churn_a.size(), churn_b.size());
+  for (std::size_t i = 0; i < churn_a.size(); ++i) {
+    EXPECT_EQ(churn_a[i].kind, churn_b[i].kind);
+    EXPECT_EQ(churn_a[i].user, churn_b[i].user);
+  }
+}
+
+TEST(Workload, DifferentSeedsDiffer) {
+  WorkloadGenerator a(1), b(2);
+  a.initial_joins(50);
+  b.initial_joins(50);
+  const auto churn_a = a.churn(100);
+  const auto churn_b = b.churn(100);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < churn_a.size(); ++i) {
+    if (churn_a[i].kind != churn_b[i].kind ||
+        churn_a[i].user != churn_b[i].user) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Workload, OneToOneRatioIsRoughlyBalanced) {
+  WorkloadGenerator generator(7);
+  generator.initial_joins(500);
+  const std::vector<Request> churn = generator.churn(1000, 0.5);
+  const auto joins = static_cast<std::size_t>(
+      std::count_if(churn.begin(), churn.end(), [](const Request& r) {
+        return r.kind == RequestKind::kJoin;
+      }));
+  EXPECT_GT(joins, 400u);
+  EXPECT_LT(joins, 600u);
+}
+
+TEST(Workload, JoinFractionExtremes) {
+  WorkloadGenerator all_joins(8);
+  all_joins.initial_joins(10);
+  for (const Request& request : all_joins.churn(100, 1.0)) {
+    EXPECT_EQ(request.kind, RequestKind::kJoin);
+  }
+  WorkloadGenerator all_leaves(9);
+  all_leaves.initial_joins(100);
+  const auto churn = all_leaves.churn(100, 0.0);
+  for (const Request& request : churn) {
+    EXPECT_EQ(request.kind, RequestKind::kLeave);
+  }
+  EXPECT_TRUE(all_leaves.members().empty());
+}
+
+TEST(Workload, LeavesTargetCurrentMembersOnly) {
+  WorkloadGenerator generator(10);
+  generator.initial_joins(20);
+  std::set<UserId> members;
+  for (UserId user = 1; user <= 20; ++user) members.insert(user);
+  for (const Request& request : generator.churn(200, 0.5)) {
+    if (request.kind == RequestKind::kJoin) {
+      EXPECT_TRUE(members.insert(request.user).second)
+          << "join reused an id";
+    } else {
+      EXPECT_TRUE(members.erase(request.user) == 1)
+          << "leave of a non-member";
+    }
+  }
+}
+
+TEST(Workload, EmptyGroupFallsBackToJoin) {
+  WorkloadGenerator generator(11);
+  const std::vector<Request> churn = generator.churn(5, 0.0);
+  EXPECT_EQ(churn[0].kind, RequestKind::kJoin);  // nothing to leave yet
+}
+
+}  // namespace
+}  // namespace keygraphs::sim

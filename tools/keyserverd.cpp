@@ -1,0 +1,139 @@
+// keyserverd — the group key server as a standalone UDP daemon, initialized
+// from a specification file exactly like the paper's prototype.
+//
+// Usage:
+//   keyserverd <spec-file>
+//
+// Example spec (see src/server/spec.h for the full grammar):
+//   degree      = 4
+//   strategy    = group
+//   cipher      = des
+//   digest      = md5
+//   signature   = rsa512
+//   signing     = batch
+//   auth_master = deadbeefcafe
+//   port        = 4747
+//
+// Protocol (all datagrams use the library wire format):
+//   client -> server : kJoinRequest  { u64 user, var token }
+//   client -> server : kLeaveRequest { u64 user, var token }
+//   server -> client : kRekey / kJoinDenied / kLeaveAck
+//
+// The daemon prints one line per handled request and a stats summary every
+// 64 operations. Stop with Ctrl-C.
+#include <csignal>
+#include <cstdio>
+
+#include "common/error.h"
+#include "common/io.h"
+#include "server/spec.h"
+#include "transport/udp.h"
+
+using namespace keygraphs;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+void print_stats(const server::GroupKeyServer& server) {
+  const server::Summary joins =
+      server.stats().summarize(rekey::RekeyKind::kJoin);
+  const server::Summary leaves =
+      server.stats().summarize(rekey::RekeyKind::kLeave);
+  std::printf("[stats] members=%zu height=%zu epoch=%llu | joins=%zu "
+              "(%.2f ms, %.1f enc) leaves=%zu (%.2f ms, %.1f enc)\n",
+              server.tree().user_count(), server.tree().height(),
+              static_cast<unsigned long long>(server.epoch()),
+              joins.operations, joins.avg_processing_ms,
+              joins.avg_encryptions, leaves.operations,
+              leaves.avg_processing_ms, leaves.avg_encryptions);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <spec-file>\n", argv[0]);
+    return 2;
+  }
+
+  server::ServerSpec spec;
+  try {
+    spec = server::load_server_spec(argv[1]);
+  } catch (const Error& error) {
+    std::fprintf(stderr, "keyserverd: %s\n", error.what());
+    return 2;
+  }
+
+  transport::UdpSocket socket =
+      spec.port != 0 ? transport::UdpSocket(spec.port)
+                     : transport::UdpSocket();
+  transport::UdpServerTransport transport(socket);
+  server::GroupKeyServer server(spec.config, transport,
+                                spec.access_control());
+
+  for (UserId user = 1; user <= spec.initial_size; ++user) {
+    server.join(user);
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::printf("keyserverd: %s rekeying, %s, listening on %s "
+              "(initial size %zu)\n",
+              rekey::strategy_name(spec.config.strategy).c_str(),
+              spec.config.suite.label().c_str(),
+              socket.local_address().to_string().c_str(),
+              spec.initial_size);
+
+  std::size_t handled = 0;
+  while (!g_stop) {
+    const auto received = socket.receive(250);
+    if (!received.has_value()) continue;
+    const auto& [from, data] = *received;
+    try {
+      const rekey::Datagram datagram = rekey::Datagram::decode(data);
+      ByteReader reader(datagram.payload);
+      const UserId user = reader.u64();
+      const Bytes token = reader.var_bytes();
+      if (datagram.type == rekey::MessageType::kJoinRequest) {
+        transport.register_user(user, from);
+        const server::JoinResult result = server.join_with_token(user, token);
+        if (result != server::JoinResult::kGranted) {
+          transport.unregister_user(user);
+          socket.send_to(from,
+                         rekey::Datagram{rekey::MessageType::kJoinDenied, {}}
+                             .encode());
+        }
+        std::printf("join %llu from %s -> %s\n",
+                    static_cast<unsigned long long>(user),
+                    from.to_string().c_str(),
+                    result == server::JoinResult::kGranted ? "granted"
+                                                           : "denied");
+      } else if (datagram.type == rekey::MessageType::kResyncRequest) {
+        const bool ok = server.resync_with_token(user, token);
+        std::printf("resync %llu -> %s\n",
+                    static_cast<unsigned long long>(user),
+                    ok ? "replayed" : "denied");
+      } else if (datagram.type == rekey::MessageType::kLeaveRequest) {
+        const bool granted = server.leave_with_token(user, token);
+        if (granted) transport.unregister_user(user);
+        socket.send_to(from,
+                       rekey::Datagram{rekey::MessageType::kLeaveAck, {}}
+                           .encode());
+        std::printf("leave %llu -> %s\n",
+                    static_cast<unsigned long long>(user),
+                    granted ? "granted" : "denied");
+      }
+      if (++handled % 64 == 0) print_stats(server);
+    } catch (const Error& error) {
+      std::fprintf(stderr, "bad datagram from %s: %s\n",
+                   from.to_string().c_str(), error.what());
+    }
+  }
+
+  std::printf("\nkeyserverd: shutting down\n");
+  print_stats(server);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// kgclient — a command-line group member for keyserverd.
+//
+// Usage:
+//   kgclient <host:port> <user-id> <auth-master-hex> session <seconds>
+//
+// Joins the group, prints every rekey event it receives for <seconds>,
+// then leaves. The auth master must match the server's spec; the client
+// derives its individual key and request tokens from it exactly as the
+// (simulated) authentication service would have provisioned them.
+//
+// Note: the client cannot verify server signatures in this standalone tool
+// (the server's public key is distributed out of band in the library API);
+// it runs with verification off, like the paper's measurement clients.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "client/client.h"
+#include "common/error.h"
+#include "common/io.h"
+#include "server/access_control.h"
+#include "transport/udp.h"
+
+using namespace keygraphs;
+
+namespace {
+
+transport::Address parse_endpoint(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos) {
+    throw Error("endpoint must be host:port");
+  }
+  return transport::Address::parse(
+      text.substr(0, colon),
+      static_cast<std::uint16_t>(std::stoul(text.substr(colon + 1))));
+}
+
+Bytes request_datagram(rekey::MessageType type, UserId user,
+                       const Bytes& token) {
+  ByteWriter writer;
+  writer.u64(user);
+  writer.var_bytes(token);
+  return rekey::Datagram{type, writer.take()}.encode();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 6 || std::string(argv[4]) != "session") {
+    std::fprintf(stderr,
+                 "usage: %s <host:port> <user-id> <auth-master-hex> "
+                 "session <seconds>\n",
+                 argv[0]);
+    return 2;
+  }
+  try {
+    const transport::Address server_address = parse_endpoint(argv[1]);
+    const UserId user = std::strtoull(argv[2], nullptr, 10);
+    const server::AuthService auth{from_hex(argv[3])};
+    const int seconds = std::atoi(argv[5]);
+
+    // The key tree's root is always the first allocated node id.
+    client::ClientConfig config;
+    config.user = user;
+    config.suite = crypto::CryptoSuite::paper_plain();
+    config.root = 1;
+    config.verify = false;
+    client::GroupClient client(config, nullptr);
+    client.install_individual_key(SymmetricKey{
+        individual_key_id(user), 1,
+        auth.individual_key(user, config.suite.key_size())});
+
+    transport::UdpSocket socket;
+    socket.send_to(server_address,
+                   request_datagram(rekey::MessageType::kJoinRequest, user,
+                                    auth.join_token(user)));
+    std::printf("kgclient: join request sent for user %llu\n",
+                static_cast<unsigned long long>(user));
+
+    const auto deadline = seconds * 4;  // 250 ms polls
+    for (int tick = 0; tick < deadline; ++tick) {
+      const auto received = socket.receive(250);
+      if (!received.has_value()) continue;
+      const rekey::Datagram datagram =
+          rekey::Datagram::decode(received->second);
+      if (datagram.type == rekey::MessageType::kJoinDenied) {
+        std::printf("kgclient: join DENIED\n");
+        return 1;
+      }
+      if (datagram.type != rekey::MessageType::kRekey) continue;
+      const client::RekeyOutcome outcome =
+          client.handle_rekey(datagram.payload);
+      if (outcome.keys_changed > 0) {
+        const auto group = client.group_key();
+        std::printf("rekey: %zu new key(s); group key v%u, holding %zu "
+                    "keys\n", outcome.keys_changed,
+                    group ? group->version : 0, client.key_count());
+      } else if (outcome.stale) {
+        std::printf("rekey: stale message ignored\n");
+      }
+    }
+
+    socket.send_to(server_address,
+                   request_datagram(rekey::MessageType::kLeaveRequest, user,
+                                    auth.leave_token(user)));
+    std::printf("kgclient: leave request sent; bye\n");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "kgclient: %s\n", error.what());
+    return 1;
+  }
+}
