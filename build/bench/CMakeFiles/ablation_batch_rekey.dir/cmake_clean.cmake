@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_batch_rekey.dir/ablation_batch_rekey.cpp.o"
+  "CMakeFiles/ablation_batch_rekey.dir/ablation_batch_rekey.cpp.o.d"
+  "ablation_batch_rekey"
+  "ablation_batch_rekey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_rekey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

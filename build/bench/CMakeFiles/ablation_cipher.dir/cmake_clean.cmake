@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cipher.dir/ablation_cipher.cpp.o"
+  "CMakeFiles/ablation_cipher.dir/ablation_cipher.cpp.o.d"
+  "ablation_cipher"
+  "ablation_cipher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cipher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

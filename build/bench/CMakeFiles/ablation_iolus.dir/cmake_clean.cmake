@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iolus.dir/ablation_iolus.cpp.o"
+  "CMakeFiles/ablation_iolus.dir/ablation_iolus.cpp.o.d"
+  "ablation_iolus"
+  "ablation_iolus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iolus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

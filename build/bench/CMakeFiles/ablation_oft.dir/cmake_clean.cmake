@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_oft.dir/ablation_oft.cpp.o"
+  "CMakeFiles/ablation_oft.dir/ablation_oft.cpp.o.d"
+  "ablation_oft"
+  "ablation_oft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_star_crossover.dir/ablation_star_crossover.cpp.o"
+  "CMakeFiles/ablation_star_crossover.dir/ablation_star_crossover.cpp.o.d"
+  "ablation_star_crossover"
+  "ablation_star_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_star_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_degree.dir/fig11_degree.cpp.o"
+  "CMakeFiles/fig11_degree.dir/fig11_degree.cpp.o.d"
+  "fig11_degree"
+  "fig11_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_key_changes.dir/fig12_key_changes.cpp.o"
+  "CMakeFiles/fig12_key_changes.dir/fig12_key_changes.cpp.o.d"
+  "fig12_key_changes"
+  "fig12_key_changes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_key_changes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_operation_costs.dir/table2_operation_costs.cpp.o"
+  "CMakeFiles/table2_operation_costs.dir/table2_operation_costs.cpp.o.d"
+  "table2_operation_costs"
+  "table2_operation_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_operation_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_average_costs.dir/table3_average_costs.cpp.o"
+  "CMakeFiles/table3_average_costs.dir/table3_average_costs.cpp.o.d"
+  "table3_average_costs"
+  "table3_average_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_average_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_signing.dir/table4_signing.cpp.o"
+  "CMakeFiles/table4_signing.dir/table4_signing.cpp.o.d"
+  "table4_signing"
+  "table4_signing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_signing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

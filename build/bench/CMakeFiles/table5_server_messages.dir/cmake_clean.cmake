@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_server_messages.dir/table5_server_messages.cpp.o"
+  "CMakeFiles/table5_server_messages.dir/table5_server_messages.cpp.o.d"
+  "table5_server_messages"
+  "table5_server_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_server_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_client_messages.dir/table6_client_messages.cpp.o"
+  "CMakeFiles/table6_client_messages.dir/table6_client_messages.cpp.o.d"
+  "table6_client_messages"
+  "table6_client_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_client_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_client_messages.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_group.dir/multi_group.cpp.o"
+  "CMakeFiles/example_multi_group.dir/multi_group.cpp.o.d"
+  "multi_group"
+  "multi_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

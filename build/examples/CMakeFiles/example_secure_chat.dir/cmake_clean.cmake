@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_secure_chat.dir/secure_chat.cpp.o"
+  "CMakeFiles/example_secure_chat.dir/secure_chat.cpp.o.d"
+  "secure_chat"
+  "secure_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_secure_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

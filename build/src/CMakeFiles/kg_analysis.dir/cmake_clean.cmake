@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_analysis.dir/analysis/cost_model.cpp.o"
+  "CMakeFiles/kg_analysis.dir/analysis/cost_model.cpp.o.d"
+  "libkg_analysis.a"
+  "libkg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_client.dir/client/client.cpp.o"
+  "CMakeFiles/kg_client.dir/client/client.cpp.o.d"
+  "libkg_client.a"
+  "libkg_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/kg_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/kg_common.dir/common/io.cpp.o"
+  "CMakeFiles/kg_common.dir/common/io.cpp.o.d"
+  "libkg_common.a"
+  "libkg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/bigint.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/bigint.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/bigint.cpp.o.d"
+  "/root/repo/src/crypto/cbc.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/cbc.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/cbc.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/chacha20.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/des.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/des.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/des.cpp.o.d"
+  "/root/repo/src/crypto/des3.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/des3.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/des3.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/md5.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/md5.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/md5.cpp.o.d"
+  "/root/repo/src/crypto/random.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/random.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/random.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/rsa.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/rsa.cpp.o.d"
+  "/root/repo/src/crypto/sha1.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/sha1.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/sha1.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/suite.cpp" "src/CMakeFiles/kg_crypto.dir/crypto/suite.cpp.o" "gcc" "src/CMakeFiles/kg_crypto.dir/crypto/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_crypto.dir/crypto/aes.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/aes.cpp.o.d"
+  "CMakeFiles/kg_crypto.dir/crypto/bigint.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/bigint.cpp.o.d"
+  "CMakeFiles/kg_crypto.dir/crypto/cbc.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/cbc.cpp.o.d"
+  "CMakeFiles/kg_crypto.dir/crypto/chacha20.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/chacha20.cpp.o.d"
+  "CMakeFiles/kg_crypto.dir/crypto/des.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/des.cpp.o.d"
+  "CMakeFiles/kg_crypto.dir/crypto/des3.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/des3.cpp.o.d"
+  "CMakeFiles/kg_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/kg_crypto.dir/crypto/md5.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/md5.cpp.o.d"
+  "CMakeFiles/kg_crypto.dir/crypto/random.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/random.cpp.o.d"
+  "CMakeFiles/kg_crypto.dir/crypto/rsa.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/rsa.cpp.o.d"
+  "CMakeFiles/kg_crypto.dir/crypto/sha1.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/sha1.cpp.o.d"
+  "CMakeFiles/kg_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/kg_crypto.dir/crypto/suite.cpp.o"
+  "CMakeFiles/kg_crypto.dir/crypto/suite.cpp.o.d"
+  "libkg_crypto.a"
+  "libkg_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

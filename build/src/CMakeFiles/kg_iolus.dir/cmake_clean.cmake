@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_iolus.dir/iolus/iolus.cpp.o"
+  "CMakeFiles/kg_iolus.dir/iolus/iolus.cpp.o.d"
+  "libkg_iolus.a"
+  "libkg_iolus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_iolus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

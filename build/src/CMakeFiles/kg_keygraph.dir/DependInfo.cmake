@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/keygraph/complete_graph.cpp" "src/CMakeFiles/kg_keygraph.dir/keygraph/complete_graph.cpp.o" "gcc" "src/CMakeFiles/kg_keygraph.dir/keygraph/complete_graph.cpp.o.d"
+  "/root/repo/src/keygraph/key.cpp" "src/CMakeFiles/kg_keygraph.dir/keygraph/key.cpp.o" "gcc" "src/CMakeFiles/kg_keygraph.dir/keygraph/key.cpp.o.d"
+  "/root/repo/src/keygraph/key_cover.cpp" "src/CMakeFiles/kg_keygraph.dir/keygraph/key_cover.cpp.o" "gcc" "src/CMakeFiles/kg_keygraph.dir/keygraph/key_cover.cpp.o.d"
+  "/root/repo/src/keygraph/key_graph.cpp" "src/CMakeFiles/kg_keygraph.dir/keygraph/key_graph.cpp.o" "gcc" "src/CMakeFiles/kg_keygraph.dir/keygraph/key_graph.cpp.o.d"
+  "/root/repo/src/keygraph/key_tree.cpp" "src/CMakeFiles/kg_keygraph.dir/keygraph/key_tree.cpp.o" "gcc" "src/CMakeFiles/kg_keygraph.dir/keygraph/key_tree.cpp.o.d"
+  "/root/repo/src/keygraph/multi_group.cpp" "src/CMakeFiles/kg_keygraph.dir/keygraph/multi_group.cpp.o" "gcc" "src/CMakeFiles/kg_keygraph.dir/keygraph/multi_group.cpp.o.d"
+  "/root/repo/src/keygraph/star_graph.cpp" "src/CMakeFiles/kg_keygraph.dir/keygraph/star_graph.cpp.o" "gcc" "src/CMakeFiles/kg_keygraph.dir/keygraph/star_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_keygraph.dir/keygraph/complete_graph.cpp.o"
+  "CMakeFiles/kg_keygraph.dir/keygraph/complete_graph.cpp.o.d"
+  "CMakeFiles/kg_keygraph.dir/keygraph/key.cpp.o"
+  "CMakeFiles/kg_keygraph.dir/keygraph/key.cpp.o.d"
+  "CMakeFiles/kg_keygraph.dir/keygraph/key_cover.cpp.o"
+  "CMakeFiles/kg_keygraph.dir/keygraph/key_cover.cpp.o.d"
+  "CMakeFiles/kg_keygraph.dir/keygraph/key_graph.cpp.o"
+  "CMakeFiles/kg_keygraph.dir/keygraph/key_graph.cpp.o.d"
+  "CMakeFiles/kg_keygraph.dir/keygraph/key_tree.cpp.o"
+  "CMakeFiles/kg_keygraph.dir/keygraph/key_tree.cpp.o.d"
+  "CMakeFiles/kg_keygraph.dir/keygraph/multi_group.cpp.o"
+  "CMakeFiles/kg_keygraph.dir/keygraph/multi_group.cpp.o.d"
+  "CMakeFiles/kg_keygraph.dir/keygraph/star_graph.cpp.o"
+  "CMakeFiles/kg_keygraph.dir/keygraph/star_graph.cpp.o.d"
+  "libkg_keygraph.a"
+  "libkg_keygraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_keygraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_merkle.dir/merkle/batch_signer.cpp.o"
+  "CMakeFiles/kg_merkle.dir/merkle/batch_signer.cpp.o.d"
+  "CMakeFiles/kg_merkle.dir/merkle/digest_tree.cpp.o"
+  "CMakeFiles/kg_merkle.dir/merkle/digest_tree.cpp.o.d"
+  "libkg_merkle.a"
+  "libkg_merkle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_merkle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

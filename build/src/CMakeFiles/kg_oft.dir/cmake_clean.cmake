@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_oft.dir/oft/oft.cpp.o"
+  "CMakeFiles/kg_oft.dir/oft/oft.cpp.o.d"
+  "libkg_oft.a"
+  "libkg_oft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_oft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rekey/batch.cpp" "src/CMakeFiles/kg_rekey.dir/rekey/batch.cpp.o" "gcc" "src/CMakeFiles/kg_rekey.dir/rekey/batch.cpp.o.d"
+  "/root/repo/src/rekey/codec.cpp" "src/CMakeFiles/kg_rekey.dir/rekey/codec.cpp.o" "gcc" "src/CMakeFiles/kg_rekey.dir/rekey/codec.cpp.o.d"
+  "/root/repo/src/rekey/group_oriented.cpp" "src/CMakeFiles/kg_rekey.dir/rekey/group_oriented.cpp.o" "gcc" "src/CMakeFiles/kg_rekey.dir/rekey/group_oriented.cpp.o.d"
+  "/root/repo/src/rekey/hybrid.cpp" "src/CMakeFiles/kg_rekey.dir/rekey/hybrid.cpp.o" "gcc" "src/CMakeFiles/kg_rekey.dir/rekey/hybrid.cpp.o.d"
+  "/root/repo/src/rekey/key_oriented.cpp" "src/CMakeFiles/kg_rekey.dir/rekey/key_oriented.cpp.o" "gcc" "src/CMakeFiles/kg_rekey.dir/rekey/key_oriented.cpp.o.d"
+  "/root/repo/src/rekey/message.cpp" "src/CMakeFiles/kg_rekey.dir/rekey/message.cpp.o" "gcc" "src/CMakeFiles/kg_rekey.dir/rekey/message.cpp.o.d"
+  "/root/repo/src/rekey/strategy.cpp" "src/CMakeFiles/kg_rekey.dir/rekey/strategy.cpp.o" "gcc" "src/CMakeFiles/kg_rekey.dir/rekey/strategy.cpp.o.d"
+  "/root/repo/src/rekey/user_oriented.cpp" "src/CMakeFiles/kg_rekey.dir/rekey/user_oriented.cpp.o" "gcc" "src/CMakeFiles/kg_rekey.dir/rekey/user_oriented.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kg_keygraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_rekey.dir/rekey/batch.cpp.o"
+  "CMakeFiles/kg_rekey.dir/rekey/batch.cpp.o.d"
+  "CMakeFiles/kg_rekey.dir/rekey/codec.cpp.o"
+  "CMakeFiles/kg_rekey.dir/rekey/codec.cpp.o.d"
+  "CMakeFiles/kg_rekey.dir/rekey/group_oriented.cpp.o"
+  "CMakeFiles/kg_rekey.dir/rekey/group_oriented.cpp.o.d"
+  "CMakeFiles/kg_rekey.dir/rekey/hybrid.cpp.o"
+  "CMakeFiles/kg_rekey.dir/rekey/hybrid.cpp.o.d"
+  "CMakeFiles/kg_rekey.dir/rekey/key_oriented.cpp.o"
+  "CMakeFiles/kg_rekey.dir/rekey/key_oriented.cpp.o.d"
+  "CMakeFiles/kg_rekey.dir/rekey/message.cpp.o"
+  "CMakeFiles/kg_rekey.dir/rekey/message.cpp.o.d"
+  "CMakeFiles/kg_rekey.dir/rekey/strategy.cpp.o"
+  "CMakeFiles/kg_rekey.dir/rekey/strategy.cpp.o.d"
+  "CMakeFiles/kg_rekey.dir/rekey/user_oriented.cpp.o"
+  "CMakeFiles/kg_rekey.dir/rekey/user_oriented.cpp.o.d"
+  "libkg_rekey.a"
+  "libkg_rekey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_rekey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

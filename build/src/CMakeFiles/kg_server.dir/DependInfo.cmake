@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/access_control.cpp" "src/CMakeFiles/kg_server.dir/server/access_control.cpp.o" "gcc" "src/CMakeFiles/kg_server.dir/server/access_control.cpp.o.d"
+  "/root/repo/src/server/server.cpp" "src/CMakeFiles/kg_server.dir/server/server.cpp.o" "gcc" "src/CMakeFiles/kg_server.dir/server/server.cpp.o.d"
+  "/root/repo/src/server/spec.cpp" "src/CMakeFiles/kg_server.dir/server/spec.cpp.o" "gcc" "src/CMakeFiles/kg_server.dir/server/spec.cpp.o.d"
+  "/root/repo/src/server/stats.cpp" "src/CMakeFiles/kg_server.dir/server/stats.cpp.o" "gcc" "src/CMakeFiles/kg_server.dir/server/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kg_rekey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_keygraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_server.dir/server/access_control.cpp.o"
+  "CMakeFiles/kg_server.dir/server/access_control.cpp.o.d"
+  "CMakeFiles/kg_server.dir/server/server.cpp.o"
+  "CMakeFiles/kg_server.dir/server/server.cpp.o.d"
+  "CMakeFiles/kg_server.dir/server/spec.cpp.o"
+  "CMakeFiles/kg_server.dir/server/spec.cpp.o.d"
+  "CMakeFiles/kg_server.dir/server/stats.cpp.o"
+  "CMakeFiles/kg_server.dir/server/stats.cpp.o.d"
+  "libkg_server.a"
+  "libkg_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/kg_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/kg_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/kg_sim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/kg_sim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/table.cpp" "src/CMakeFiles/kg_sim.dir/sim/table.cpp.o" "gcc" "src/CMakeFiles/kg_sim.dir/sim/table.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/kg_sim.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/kg_sim.dir/sim/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kg_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_rekey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_keygraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/kg_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/kg_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/kg_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/kg_sim.dir/sim/table.cpp.o"
+  "CMakeFiles/kg_sim.dir/sim/table.cpp.o.d"
+  "CMakeFiles/kg_sim.dir/sim/workload.cpp.o"
+  "CMakeFiles/kg_sim.dir/sim/workload.cpp.o.d"
+  "libkg_sim.a"
+  "libkg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

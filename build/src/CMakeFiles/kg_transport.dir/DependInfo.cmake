@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/address.cpp" "src/CMakeFiles/kg_transport.dir/transport/address.cpp.o" "gcc" "src/CMakeFiles/kg_transport.dir/transport/address.cpp.o.d"
+  "/root/repo/src/transport/inproc.cpp" "src/CMakeFiles/kg_transport.dir/transport/inproc.cpp.o" "gcc" "src/CMakeFiles/kg_transport.dir/transport/inproc.cpp.o.d"
+  "/root/repo/src/transport/tcp.cpp" "src/CMakeFiles/kg_transport.dir/transport/tcp.cpp.o" "gcc" "src/CMakeFiles/kg_transport.dir/transport/tcp.cpp.o.d"
+  "/root/repo/src/transport/udp.cpp" "src/CMakeFiles/kg_transport.dir/transport/udp.cpp.o" "gcc" "src/CMakeFiles/kg_transport.dir/transport/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kg_rekey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_keygraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_merkle.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

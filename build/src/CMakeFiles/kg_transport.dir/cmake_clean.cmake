@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_transport.dir/transport/address.cpp.o"
+  "CMakeFiles/kg_transport.dir/transport/address.cpp.o.d"
+  "CMakeFiles/kg_transport.dir/transport/inproc.cpp.o"
+  "CMakeFiles/kg_transport.dir/transport/inproc.cpp.o.d"
+  "CMakeFiles/kg_transport.dir/transport/tcp.cpp.o"
+  "CMakeFiles/kg_transport.dir/transport/tcp.cpp.o.d"
+  "CMakeFiles/kg_transport.dir/transport/udp.cpp.o"
+  "CMakeFiles/kg_transport.dir/transport/udp.cpp.o.d"
+  "libkg_transport.a"
+  "libkg_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

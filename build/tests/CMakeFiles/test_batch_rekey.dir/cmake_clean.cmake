@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batch_rekey.dir/test_batch_rekey.cpp.o"
+  "CMakeFiles/test_batch_rekey.dir/test_batch_rekey.cpp.o.d"
+  "test_batch_rekey"
+  "test_batch_rekey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batch_rekey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cbc.dir/test_cbc.cpp.o"
+  "CMakeFiles/test_cbc.dir/test_cbc.cpp.o.d"
+  "test_cbc"
+  "test_cbc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cbc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_complete_graph.dir/test_complete_graph.cpp.o"
+  "CMakeFiles/test_complete_graph.dir/test_complete_graph.cpp.o.d"
+  "test_complete_graph"
+  "test_complete_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_complete_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_des3.dir/test_des3.cpp.o"
+  "CMakeFiles/test_des3.dir/test_des3.cpp.o.d"
+  "test_des3"
+  "test_des3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_des3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

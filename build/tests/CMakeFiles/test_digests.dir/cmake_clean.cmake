@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_digests.dir/test_digests.cpp.o"
+  "CMakeFiles/test_digests.dir/test_digests.cpp.o.d"
+  "test_digests"
+  "test_digests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_digests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_digests.
+# This may be replaced when dependencies are built.

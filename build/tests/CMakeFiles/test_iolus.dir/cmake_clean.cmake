@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iolus.dir/test_iolus.cpp.o"
+  "CMakeFiles/test_iolus.dir/test_iolus.cpp.o.d"
+  "test_iolus"
+  "test_iolus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iolus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_key_tree.dir/test_key_tree.cpp.o"
+  "CMakeFiles/test_key_tree.dir/test_key_tree.cpp.o.d"
+  "test_key_tree"
+  "test_key_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_key_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_group.dir/test_multi_group.cpp.o"
+  "CMakeFiles/test_multi_group.dir/test_multi_group.cpp.o.d"
+  "test_multi_group"
+  "test_multi_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

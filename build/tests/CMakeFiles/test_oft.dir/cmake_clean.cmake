@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oft.dir/test_oft.cpp.o"
+  "CMakeFiles/test_oft.dir/test_oft.cpp.o.d"
+  "test_oft"
+  "test_oft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

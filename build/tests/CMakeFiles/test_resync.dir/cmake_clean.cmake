@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_resync.dir/test_resync.cpp.o"
+  "CMakeFiles/test_resync.dir/test_resync.cpp.o.d"
+  "test_resync"
+  "test_resync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_resync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_star_graph.dir/test_star_graph.cpp.o"
+  "CMakeFiles/test_star_graph.dir/test_star_graph.cpp.o.d"
+  "test_star_graph"
+  "test_star_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_star_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyserverd.dir/keyserverd.cpp.o"
+  "CMakeFiles/keyserverd.dir/keyserverd.cpp.o.d"
+  "keyserverd"
+  "keyserverd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyserverd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgclient.dir/kgclient.cpp.o"
+  "CMakeFiles/kgclient.dir/kgclient.cpp.o.d"
+  "kgclient"
+  "kgclient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
