@@ -7,14 +7,17 @@
 //   KG_SEEDS         request sequences averaged per data point (paper: 3)
 //   KG_GROUP_SIZE    initial group size for fixed-size tables (paper: 8192)
 //   KG_CLIENT_SIZE   initial size for client-attached runs (paper: 8192)
+//   KG_BENCH_JSON    file to append per-point JSON lines to (default stdout)
 #pragma once
 
 #include <array>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "sim/experiment.h"
 #include "sim/table.h"
+#include "telemetry/stage.h"
 
 namespace keygraphs::bench {
 
@@ -36,6 +39,21 @@ struct AveragedResult {
   double join_ms = 0.0;
   double leave_ms = 0.0;
   double all_ms = 0.0;
+  /// Per-stage self time in microseconds, averaged over ops and seeds.
+  telemetry::StageBreakdown stage_us{};
+
+  /// Sum of the measured stages (auth excluded — the paper's processing
+  /// time excludes authentication, Section 5).
+  [[nodiscard]] double stage_sum_us() const {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < telemetry::kStageCount; ++i) {
+      if (static_cast<telemetry::Stage>(i) == telemetry::Stage::kAuth) {
+        continue;
+      }
+      sum += stage_us[i];
+    }
+    return sum;
+  }
 };
 
 inline AveragedResult run_averaged(sim::ExperimentConfig config,
@@ -47,11 +65,15 @@ inline AveragedResult run_averaged(sim::ExperimentConfig config,
     averaged.join_ms += averaged.result.join.avg_processing_ms;
     averaged.leave_ms += averaged.result.leave.avg_processing_ms;
     averaged.all_ms += averaged.result.all.avg_processing_ms;
+    for (std::size_t i = 0; i < telemetry::kStageCount; ++i) {
+      averaged.stage_us[i] += averaged.result.all.avg_stage_us[i];
+    }
   }
   const auto n = static_cast<double>(seed_count);
   averaged.join_ms /= n;
   averaged.leave_ms /= n;
   averaged.all_ms /= n;
+  for (double& stage : averaged.stage_us) stage /= n;
   return averaged;
 }
 
@@ -67,6 +89,51 @@ inline const char* strategy_label(rekey::StrategyKind kind) {
       return "hybrid";
   }
   return "?";
+}
+
+/// Appends one JSON line describing a benchmark data point — the averaged
+/// processing time plus the per-stage breakdown — to $KG_BENCH_JSON, or to
+/// stdout when the variable is unset.
+inline void emit_point_json(const char* bench, bool signed_mode,
+                            const char* x_key, std::size_t x_value,
+                            rekey::StrategyKind strategy,
+                            const AveragedResult& averaged) {
+  std::string json = "{\"bench\":\"";
+  json += bench;
+  json += "\",\"signed\":";
+  json += signed_mode ? "true" : "false";
+  json += ",\"";
+  json += x_key;
+  json += "\":" + std::to_string(x_value);
+  json += ",\"strategy\":\"";
+  json += strategy_label(strategy);
+  json += "\"";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), ",\"avg_ms\":%.6f", averaged.all_ms);
+  json += buffer;
+  std::snprintf(buffer, sizeof(buffer), ",\"processing_us\":%.3f",
+                averaged.all_ms * 1000.0);
+  json += buffer;
+  json += ",\"stages_us\":{";
+  for (std::size_t i = 0; i < telemetry::kStageCount; ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%s\"%s\":%.3f", i == 0 ? "" : ",",
+                  telemetry::stage_name(static_cast<telemetry::Stage>(i)),
+                  averaged.stage_us[i]);
+    json += buffer;
+  }
+  std::snprintf(buffer, sizeof(buffer), "},\"stage_sum_us\":%.3f}\n",
+                averaged.stage_sum_us());
+  json += buffer;
+
+  const char* path = std::getenv("KG_BENCH_JSON");
+  if (path != nullptr && *path != '\0') {
+    if (std::FILE* file = std::fopen(path, "a")) {
+      std::fwrite(json.data(), 1, json.size(), file);
+      std::fclose(file);
+      return;
+    }
+  }
+  std::fwrite(json.data(), 1, json.size(), stdout);
 }
 
 inline const std::array<rekey::StrategyKind, 3> kPaperStrategies = {

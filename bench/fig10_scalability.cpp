@@ -36,6 +36,8 @@ void run_series(bool signed_mode) {
       const bench::AveragedResult averaged =
           bench::run_averaged(config, bench::seeds());
       row.push_back(sim::TablePrinter::num(averaged.all_ms, 4));
+      bench::emit_point_json("fig10", signed_mode, "n", n, strategy,
+                             averaged);
     }
     table.row(row);
   }

@@ -37,6 +37,9 @@ void run_series(bool signed_mode, std::size_t n) {
       const bench::AveragedResult averaged =
           bench::run_averaged(config, bench::seeds());
       row.push_back(sim::TablePrinter::num(averaged.all_ms, 4));
+      bench::emit_point_json("fig11", signed_mode, "degree",
+                             static_cast<std::size_t>(degree), strategy,
+                             averaged);
     }
     table.row(row);
   }

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/io.h"
+#include "telemetry/stage.h"
 
 namespace keygraphs {
 
@@ -28,8 +29,16 @@ KeyTree::Node* KeyTree::make_node(std::optional<KeyId> fixed_id) {
 void KeyTree::destroy_node(Node* node) { nodes_.erase(node->id); }
 
 void KeyTree::refresh_key(Node* node) {
+  // Attributes fresh key material to the keygen stage when an operation is
+  // being collected (join/leave/batch); inert otherwise (e.g. restore).
+  const telemetry::StageScope scope(telemetry::Stage::kKeygen);
   node->secret = rng_.bytes(key_size_);
   ++node->version;
+  if (telemetry::enabled()) {
+    static auto& generated =
+        telemetry::Registry::global().counter("keygraph.keys_generated");
+    generated.add(1);
+  }
 }
 
 void KeyTree::bump_counts(Node* from, std::ptrdiff_t delta) {

@@ -3,6 +3,7 @@
 #include "common/error.h"
 #include "common/io.h"
 #include "merkle/batch_signer.h"
+#include "telemetry/stage.h"
 
 namespace keygraphs::rekey {
 
@@ -38,6 +39,11 @@ KeyBlob RekeyEncryptor::wrap(const SymmetricKey& wrapping,
   const crypto::CbcCipher cbc(crypto::make_cipher(cipher_, wrapping.secret));
   blob.ciphertext = cbc.encrypt(plaintext, rng_);
   key_encryptions_ += targets.size();
+  if (telemetry::enabled()) {
+    static auto& encryptions =
+        telemetry::Registry::global().counter("rekey.key_encryptions");
+    encryptions.add(targets.size());
+  }
   secure_wipe(plaintext);
   return blob;
 }
@@ -67,17 +73,27 @@ std::size_t RekeySealer::signatures_for(std::size_t n) const {
 
 std::vector<Bytes> RekeySealer::seal(
     std::span<const RekeyMessage> messages) const {
+  using telemetry::Stage;
+  using telemetry::StageScope;
+
   std::vector<Bytes> bodies;
   bodies.reserve(messages.size());
-  for (const RekeyMessage& message : messages) {
-    bodies.push_back(message.serialize_body());
+  {
+    const StageScope scope(Stage::kSerialize);
+    for (const RekeyMessage& message : messages) {
+      bodies.push_back(message.serialize_body());
+    }
   }
 
   std::vector<merkle::BatchSignatureItem> batch;
   if (mode_ == SigningMode::kBatch && !bodies.empty()) {
+    const StageScope scope(Stage::kSign);
     batch = merkle::batch_sign(*signer_, digest_, bodies);
   }
 
+  // Envelope assembly is serialization; the digest/signature computations
+  // inside the loop charge the sign stage (nesting subtracts them here).
+  const StageScope envelope_scope(Stage::kSerialize);
   std::vector<Bytes> wire;
   wire.reserve(bodies.size());
   for (std::size_t i = 0; i < bodies.size(); ++i) {
@@ -87,16 +103,28 @@ std::vector<Bytes> RekeySealer::seal(
       case SigningMode::kNone:
         writer.u8(static_cast<std::uint8_t>(AuthKind::kNone));
         break;
-      case SigningMode::kDigestOnly:
+      case SigningMode::kDigestOnly: {
         writer.u8(static_cast<std::uint8_t>(AuthKind::kDigest));
         writer.u8(static_cast<std::uint8_t>(digest_));
-        writer.var_bytes(crypto::digest_of(digest_, bodies[i]));
+        Bytes digest;
+        {
+          const StageScope scope(Stage::kSign);
+          digest = crypto::digest_of(digest_, bodies[i]);
+        }
+        writer.var_bytes(digest);
         break;
-      case SigningMode::kPerMessage:
+      }
+      case SigningMode::kPerMessage: {
         writer.u8(static_cast<std::uint8_t>(AuthKind::kSignature));
         writer.u8(static_cast<std::uint8_t>(digest_));
-        writer.var_bytes(signer_->sign(digest_, bodies[i]));
+        Bytes signature;
+        {
+          const StageScope scope(Stage::kSign);
+          signature = signer_->sign(digest_, bodies[i]);
+        }
+        writer.var_bytes(signature);
         break;
+      }
       case SigningMode::kBatch:
         writer.u8(static_cast<std::uint8_t>(AuthKind::kBatchSignature));
         writer.u8(static_cast<std::uint8_t>(digest_));

@@ -5,6 +5,7 @@
 #include "rekey/hybrid.h"
 #include "rekey/key_oriented.h"
 #include "rekey/user_oriented.h"
+#include "telemetry/metrics.h"
 
 namespace keygraphs::rekey {
 
@@ -35,6 +36,17 @@ std::vector<SymmetricKey> new_keys_upto(const std::vector<PathChange>& path,
 }
 
 RekeyMessage base_message(RekeyKind kind, StrategyKind strategy) {
+  // Every strategy builds each of its rekey messages through here, so this
+  // is the one chokepoint for the per-strategy message counters.
+  if (telemetry::enabled()) {
+    static std::array<telemetry::Counter*, 4> counters = {
+        &telemetry::Registry::global().counter("rekey.messages.user"),
+        &telemetry::Registry::global().counter("rekey.messages.key"),
+        &telemetry::Registry::global().counter("rekey.messages.group"),
+        &telemetry::Registry::global().counter("rekey.messages.hybrid"),
+    };
+    counters[static_cast<std::size_t>(strategy) - 1]->add(1);
+  }
   RekeyMessage message;
   message.kind = kind;
   message.strategy = strategy;

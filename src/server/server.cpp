@@ -6,8 +6,13 @@
 #include "common/error.h"
 #include "common/io.h"
 #include "rekey/batch.h"
+#include "telemetry/stage.h"
 
 namespace keygraphs::server {
+
+using telemetry::Stage;
+using telemetry::StageCollector;
+using telemetry::StageScope;
 
 namespace {
 
@@ -62,68 +67,104 @@ void GroupKeyServer::set_signing_mode(rekey::SigningMode mode) {
 }
 
 JoinResult GroupKeyServer::join(UserId user) {
-  if (!acl_.authorizes(user)) return JoinResult::kDenied;
-  if (tree_->has_user(user)) return JoinResult::kDuplicate;
-
-  // Authentication happened before this point (and is excluded from the
-  // measured processing time, as in the paper); the individual key is the
-  // session key that exchange produced.
-  Bytes individual_key =
-      auth_.individual_key(user, config_.suite.key_size());
+  StageCollector stages;
+  Bytes individual_key;
+  {
+    // Authentication/admission is excluded from the measured processing
+    // time, as in the paper, but attributed to the auth stage; the
+    // individual key is the session key that exchange produced.
+    const StageScope scope(Stage::kAuth);
+    if (!acl_.authorizes(user)) return JoinResult::kDenied;
+    if (tree_->has_user(user)) return JoinResult::kDuplicate;
+    individual_key = auth_.individual_key(user, config_.suite.key_size());
+  }
 
   const auto started = std::chrono::steady_clock::now();
-  JoinRecord record = tree_->join(user, std::move(individual_key));
+  std::optional<JoinRecord> record;
+  {
+    const StageScope scope(Stage::kTreeUpdate);  // keygen nests inside
+    record.emplace(tree_->join(user, std::move(individual_key)));
+  }
   encryptor_.reset_counters();
-  std::vector<rekey::OutboundRekey> messages =
-      strategy_->plan_join(record, encryptor_);
+  std::vector<rekey::OutboundRekey> messages;
+  {
+    const StageScope scope(Stage::kEncrypt);
+    messages = strategy_->plan_join(*record, encryptor_);
+  }
 
   OpRecord op;
   op.kind = rekey::RekeyKind::kJoin;
   dispatch(std::move(messages), rekey::RekeyKind::kJoin,
-           record.removed_nodes, op, started);
+           record->removed_nodes, op, started);
   return JoinResult::kGranted;
 }
 
 JoinResult GroupKeyServer::join_with_token(UserId user, BytesView token) {
-  if (!auth_.verify_join_token(user, token)) return JoinResult::kDenied;
+  if (!auth_.verify_join_token(user, token)) {
+    if (telemetry::enabled()) {
+      static auto& denied =
+          telemetry::Registry::global().counter("server.auth_denied");
+      denied.add(1);
+    }
+    return JoinResult::kDenied;
+  }
   return join(user);
 }
 
 void GroupKeyServer::leave(UserId user) {
+  StageCollector stages;
   const auto started = std::chrono::steady_clock::now();
-  LeaveRecord record = tree_->leave(user);  // throws for non-members
+  std::optional<LeaveRecord> record;
+  {
+    const StageScope scope(Stage::kTreeUpdate);
+    record.emplace(tree_->leave(user));  // throws for non-members
+  }
   encryptor_.reset_counters();
-  std::vector<rekey::OutboundRekey> messages =
-      strategy_->plan_leave(record, encryptor_);
+  std::vector<rekey::OutboundRekey> messages;
+  {
+    const StageScope scope(Stage::kEncrypt);
+    messages = strategy_->plan_leave(*record, encryptor_);
+  }
 
   OpRecord op;
   op.kind = rekey::RekeyKind::kLeave;
   dispatch(std::move(messages), rekey::RekeyKind::kLeave,
-           record.removed_nodes, op, started);
+           record->removed_nodes, op, started);
 }
 
 std::vector<UserId> GroupKeyServer::batch(
     const std::vector<UserId>& join_users,
     const std::vector<UserId>& leave_users) {
+  StageCollector stages;
   std::vector<std::pair<UserId, Bytes>> joins;
   std::vector<UserId> admitted;
-  for (UserId user : join_users) {
-    if (!acl_.authorizes(user) || tree_->has_user(user)) continue;
-    joins.emplace_back(user,
-                       auth_.individual_key(user, config_.suite.key_size()));
-    admitted.push_back(user);
+  {
+    const StageScope scope(Stage::kAuth);
+    for (UserId user : join_users) {
+      if (!acl_.authorizes(user) || tree_->has_user(user)) continue;
+      joins.emplace_back(
+          user, auth_.individual_key(user, config_.suite.key_size()));
+      admitted.push_back(user);
+    }
   }
 
   const auto started = std::chrono::steady_clock::now();
-  BatchRecord record = tree_->batch_update(joins, leave_users);
+  std::optional<BatchRecord> record;
+  {
+    const StageScope scope(Stage::kTreeUpdate);
+    record.emplace(tree_->batch_update(joins, leave_users));
+  }
   encryptor_.reset_counters();
-  std::vector<rekey::OutboundRekey> messages =
-      rekey::plan_batch(record, encryptor_);
+  std::vector<rekey::OutboundRekey> messages;
+  {
+    const StageScope scope(Stage::kEncrypt);
+    messages = rekey::plan_batch(*record, encryptor_);
+  }
 
   OpRecord op;
   op.kind = rekey::RekeyKind::kBatch;
   dispatch(std::move(messages), rekey::RekeyKind::kBatch,
-           record.removed_nodes, op, started);
+           record->removed_nodes, op, started);
   return admitted;
 }
 
@@ -152,6 +193,11 @@ void GroupKeyServer::resync(UserId user) {
   const rekey::Recipient to = rekey::Recipient::to_user(user);
   transport_.deliver(to, datagram,
                      [user] { return std::vector<UserId>{user}; });
+  if (telemetry::enabled()) {
+    static auto& resyncs =
+        telemetry::Registry::global().counter("server.resyncs");
+    resyncs.add(1);
+  }
 }
 
 bool GroupKeyServer::resync_with_token(UserId user, BytesView token) {
@@ -208,13 +254,16 @@ void GroupKeyServer::dispatch(
   const std::uint64_t timestamp = now_us();
   std::vector<rekey::RekeyMessage> bodies;
   bodies.reserve(messages.size());
-  for (rekey::OutboundRekey& outbound : messages) {
-    outbound.message.group = config_.group;
-    outbound.message.epoch = epoch_;
-    outbound.message.timestamp_us = timestamp;
-    outbound.message.kind = kind;
-    outbound.message.obsolete = obsolete;
-    bodies.push_back(outbound.message);
+  {
+    const StageScope scope(Stage::kSerialize);  // header stamping + copies
+    for (rekey::OutboundRekey& outbound : messages) {
+      outbound.message.group = config_.group;
+      outbound.message.epoch = epoch_;
+      outbound.message.timestamp_us = timestamp;
+      outbound.message.kind = kind;
+      outbound.message.obsolete = obsolete;
+      bodies.push_back(outbound.message);
+    }
   }
   const std::vector<Bytes> wire = sealer_->seal(bodies);
 
@@ -223,12 +272,16 @@ void GroupKeyServer::dispatch(
   op.messages = wire.size();
   op.min_message = std::numeric_limits<std::size_t>::max();
   for (std::size_t i = 0; i < wire.size(); ++i) {
-    const Bytes datagram =
-        rekey::Datagram{rekey::MessageType::kRekey, wire[i]}.encode();
+    Bytes datagram;
+    {
+      const StageScope scope(Stage::kSerialize);
+      datagram = rekey::Datagram{rekey::MessageType::kRekey, wire[i]}.encode();
+    }
     op.bytes += datagram.size();
     op.min_message = std::min(op.min_message, datagram.size());
     op.max_message = std::max(op.max_message, datagram.size());
     const rekey::Recipient& to = messages[i].to;
+    const StageScope scope(Stage::kSend);
     transport_.deliver(to, datagram, [this, to] {
       return to.kind == rekey::Recipient::Kind::kUser
                  ? std::vector<UserId>{to.user}
@@ -239,6 +292,9 @@ void GroupKeyServer::dispatch(
   op.processing_us = std::chrono::duration<double, std::micro>(
                          std::chrono::steady_clock::now() - started)
                          .count();
+  if (const StageCollector* stages = StageCollector::current()) {
+    op.stage_us = stages->breakdown();
+  }
   stats_.record(op);
 }
 

@@ -162,6 +162,21 @@ ServerSpec parse_server_spec(std::string_view text) {
         }
         spec.acl = std::move(users);
       }
+    } else if (key == "telemetry") {
+      if (value == "off") {
+        spec.telemetry = TelemetryFormat::kOff;
+      } else if (value == "json") {
+        spec.telemetry = TelemetryFormat::kJson;
+      } else if (value == "prom") {
+        spec.telemetry = TelemetryFormat::kPrometheus;
+      } else {
+        fail(line_number,
+             "unknown telemetry format '" + std::string(value) + "'");
+      }
+    } else if (key == "telemetry_period") {
+      const std::uint64_t period = parse_number(value, line_number);
+      if (period > 86400) fail(line_number, "bad telemetry_period");
+      spec.telemetry_period_s = static_cast<std::uint32_t>(period);
     } else {
       fail(line_number, "unknown key '" + std::string(key) + "'");
     }

@@ -16,6 +16,8 @@
 //   initial_size  = <users to admit at startup (user ids 1..n)>
 //   port          = <udp port for the daemon; 0 = ephemeral>
 //   acl           = all | <comma-separated user ids>
+//   telemetry     = off | json | prom   (periodic metrics dump format)
+//   telemetry_period = <seconds between dumps; 0 = only on SIGUSR1>
 #pragma once
 
 #include <optional>
@@ -26,6 +28,13 @@
 
 namespace keygraphs::server {
 
+/// How (and whether) the daemon dumps telemetry snapshots.
+enum class TelemetryFormat {
+  kOff,         ///< telemetry disabled entirely (zero-cost hot paths)
+  kJson,        ///< JSON-lines snapshots on stderr
+  kPrometheus,  ///< Prometheus text exposition on stderr
+};
+
 /// A parsed specification: the server configuration plus daemon-level
 /// settings that are not part of ServerConfig proper.
 struct ServerSpec {
@@ -34,6 +43,10 @@ struct ServerSpec {
   std::uint16_t port = 0;
   /// nullopt = allow all; otherwise the explicit allow list.
   std::optional<std::vector<UserId>> acl;
+  TelemetryFormat telemetry = TelemetryFormat::kOff;
+  /// Seconds between periodic dumps; 0 disables the timer (SIGUSR1 still
+  /// triggers a dump whenever telemetry != off).
+  std::uint32_t telemetry_period_s = 10;
 
   [[nodiscard]] AccessControl access_control() const {
     return acl.has_value() ? AccessControl::allow_list(*acl)

@@ -4,6 +4,8 @@
 #include <limits>
 #include <optional>
 
+#include "telemetry/metrics.h"
+
 namespace keygraphs::server {
 
 namespace {
@@ -12,6 +14,7 @@ Summary summarize_records(const std::vector<OpRecord>& records,
                           std::optional<rekey::RekeyKind> kind) {
   Summary summary;
   double processing_us = 0.0;
+  telemetry::StageBreakdown stage_us{};
   std::size_t messages = 0, encryptions = 0, signatures = 0, bytes = 0;
   summary.min_messages = std::numeric_limits<std::size_t>::max();
   summary.min_message_bytes = std::numeric_limits<std::size_t>::max();
@@ -19,6 +22,9 @@ Summary summarize_records(const std::vector<OpRecord>& records,
     if (kind.has_value() && record.kind != *kind) continue;
     ++summary.operations;
     processing_us += record.processing_us;
+    for (std::size_t i = 0; i < telemetry::kStageCount; ++i) {
+      stage_us[i] += record.stage_us[i];
+    }
     messages += record.messages;
     encryptions += record.key_encryptions;
     signatures += record.signatures;
@@ -26,8 +32,13 @@ Summary summarize_records(const std::vector<OpRecord>& records,
     summary.min_messages = std::min(summary.min_messages, record.messages);
     summary.max_messages = std::max(summary.max_messages, record.messages);
     if (record.messages > 0) {
-      summary.min_message_bytes =
-          std::min(summary.min_message_bytes, record.min_message);
+      // min_message == 0 means the producer never filled the field (a real
+      // encoded datagram is never empty); folding it in would make the
+      // minimum report 0 from unset fields.
+      if (record.min_message > 0) {
+        summary.min_message_bytes =
+            std::min(summary.min_message_bytes, record.min_message);
+      }
       summary.max_message_bytes =
           std::max(summary.max_message_bytes, record.max_message);
     }
@@ -39,6 +50,9 @@ Summary summarize_records(const std::vector<OpRecord>& records,
   }
   const auto ops = static_cast<double>(summary.operations);
   summary.avg_processing_ms = processing_us / ops / 1000.0;
+  for (std::size_t i = 0; i < telemetry::kStageCount; ++i) {
+    summary.avg_stage_us[i] = stage_us[i] / ops;
+  }
   summary.avg_messages = static_cast<double>(messages) / ops;
   summary.avg_encryptions = static_cast<double>(encryptions) / ops;
   summary.avg_signatures = static_cast<double>(signatures) / ops;
@@ -52,7 +66,61 @@ Summary summarize_records(const std::vector<OpRecord>& records,
   return summary;
 }
 
+const char* op_counter_name(rekey::RekeyKind kind) {
+  switch (kind) {
+    case rekey::RekeyKind::kJoin:
+      return "server.ops.join";
+    case rekey::RekeyKind::kLeave:
+      return "server.ops.leave";
+    case rekey::RekeyKind::kBatch:
+      return "server.ops.batch";
+  }
+  return "server.ops.other";
+}
+
+/// Mirrors one operation into the global registry so the JSON/Prometheus
+/// exporters track the same series the paper tables aggregate.
+void publish(const OpRecord& record) {
+  namespace tm = keygraphs::telemetry;
+  auto& registry = tm::Registry::global();
+  registry.counter(op_counter_name(record.kind)).add(1);
+  static auto& processing = registry.histogram("server.processing_ns");
+  static auto& per_op_messages = registry.histogram("server.messages_per_op");
+  static auto& message_bytes = registry.histogram("server.message_bytes");
+  static auto& rekey_messages = registry.counter("server.rekey_messages");
+  static auto& rekey_bytes = registry.counter("server.rekey_bytes");
+  static auto& encryptions = registry.counter("server.key_encryptions");
+  static auto& signatures = registry.counter("server.signatures");
+  processing.record(
+      static_cast<std::uint64_t>(record.processing_us * 1000.0));
+  per_op_messages.record(record.messages);
+  if (record.messages > 0) {
+    message_bytes.record(record.min_message);
+    if (record.max_message != record.min_message) {
+      message_bytes.record(record.max_message);
+    }
+  }
+  rekey_messages.add(record.messages);
+  rekey_bytes.add(record.bytes);
+  encryptions.add(record.key_encryptions);
+  signatures.add(record.signatures);
+}
+
 }  // namespace
+
+double Summary::measured_stage_us() const noexcept {
+  double total = 0.0;
+  for (std::size_t i = 0; i < telemetry::kStageCount; ++i) {
+    if (static_cast<telemetry::Stage>(i) == telemetry::Stage::kAuth) continue;
+    total += avg_stage_us[i];
+  }
+  return total;
+}
+
+void ServerStats::record(const OpRecord& record) {
+  records_.push_back(record);
+  if (telemetry::enabled()) publish(record);
+}
 
 Summary ServerStats::summarize(rekey::RekeyKind kind) const {
   return summarize_records(records_, kind);

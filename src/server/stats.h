@@ -4,12 +4,18 @@
 // number of rekey messages sent, their sizes (ave/min/max), encryption
 // counts, and signature counts. ServerStats records one entry per operation
 // and computes exactly the aggregates Tables 4-5 and Figures 10-11 need.
+//
+// The per-operation record now also carries a per-stage time breakdown
+// (telemetry::StageBreakdown), and record() mirrors every operation into
+// the global telemetry registry (server.ops.*, server.processing_ns, ...),
+// so the live exporters see the same numbers the paper tables aggregate.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "rekey/message.h"
+#include "telemetry/stage.h"
 
 namespace keygraphs::server {
 
@@ -23,6 +29,9 @@ struct OpRecord {
   std::size_t min_message = 0;     // smallest message, bytes
   std::size_t max_message = 0;     // largest message, bytes
   double processing_us = 0.0;      // server processing time, microseconds
+  /// Self-time per stage, microseconds (auth is measured but excluded from
+  /// processing_us, matching the paper's exclusion of authentication).
+  telemetry::StageBreakdown stage_us{};
 };
 
 /// Aggregate over one experiment run.
@@ -38,11 +47,18 @@ struct Summary {
   double avg_encryptions = 0.0;
   double avg_signatures = 0.0;
   double avg_total_bytes = 0.0;    // per operation
+  /// Mean self-time per stage per operation, microseconds.
+  telemetry::StageBreakdown avg_stage_us{};
+
+  /// Sum of the stages inside the measured processing window (everything
+  /// but auth) — comparable against avg_processing_ms * 1000.
+  [[nodiscard]] double measured_stage_us() const noexcept;
 };
 
 class ServerStats {
  public:
-  void record(const OpRecord& record) { records_.push_back(record); }
+  /// Stores the record and mirrors it into the telemetry registry.
+  void record(const OpRecord& record);
   void reset() { records_.clear(); }
 
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }

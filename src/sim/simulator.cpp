@@ -1,8 +1,29 @@
 #include "sim/simulator.h"
 
 #include "common/error.h"
+#include "telemetry/trace.h"
 
 namespace keygraphs::sim {
+
+namespace {
+
+// Per-request latency as the simulator sees it: client detach/attach plus the
+// full server round trip (rekey fan-out included, since inproc is synchronous).
+telemetry::Histogram& request_histogram(RequestKind kind) {
+  auto& registry = telemetry::Registry::global();
+  static auto& join_ns = registry.histogram("sim.request_ns.join");
+  static auto& leave_ns = registry.histogram("sim.request_ns.leave");
+  return kind == RequestKind::kJoin ? join_ns : leave_ns;
+}
+
+telemetry::Counter& request_counter(RequestKind kind) {
+  auto& registry = telemetry::Registry::global();
+  static auto& joins = registry.counter("sim.requests.join");
+  static auto& leaves = registry.counter("sim.requests.leave");
+  return kind == RequestKind::kJoin ? joins : leaves;
+}
+
+}  // namespace
 
 ClientSimulator::ClientSimulator(server::GroupKeyServer& server,
                                  transport::InProcNetwork& network,
@@ -59,6 +80,9 @@ void ClientSimulator::materialize_from_tree() {
 }
 
 void ClientSimulator::apply(const Request& request) {
+  const bool telemetry_on = telemetry::enabled();
+  const std::uint64_t started =
+      telemetry_on ? telemetry::steady_now_ns() : 0;
   current_ = ClientOpRecord{};
   current_.kind = request.kind;
 
@@ -85,6 +109,11 @@ void ClientSimulator::apply(const Request& request) {
     clients_.erase(it);
     current_.members = clients_.size();
     server_.leave(request.user);
+  }
+  if (telemetry_on) {
+    request_counter(request.kind).add(1);
+    request_histogram(request.kind).record(telemetry::steady_now_ns() -
+                                           started);
   }
   records_.push_back(current_);
 }
@@ -114,6 +143,11 @@ void ClientSimulator::apply_batch(const std::vector<UserId>& join_users,
       server_.batch(join_users, leave_users);
   if (admitted.size() != join_users.size()) {
     throw ProtocolError("simulator: batch join rejected");
+  }
+  if (telemetry::enabled()) {
+    static auto& batches =
+        telemetry::Registry::global().counter("sim.requests.batch");
+    batches.add(1);
   }
   records_.push_back(current_);
 }

@@ -1,0 +1,140 @@
+#include "telemetry/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace keygraphs::telemetry {
+
+namespace {
+
+void append_format(std::string& out, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void append_format(std::string& out, const char* format, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, format);
+  const int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  if (written > 0) {
+    out.append(buffer, std::min(static_cast<std::size_t>(written),
+                                sizeof(buffer) - 1));
+  }
+}
+
+/// Metric names use '.', Prometheus wants [a-zA-Z0-9_:]. Everything is
+/// prefixed kg_ to namespace the exposition.
+std::string prometheus_name(const std::string& name) {
+  std::string out = "kg_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_jsonl(const Registry& registry) {
+  std::string out;
+  for (const auto& [name, counter] : registry.counters()) {
+    append_format(out,
+                  "{\"type\":\"counter\",\"name\":\"%s\",\"value\":%" PRIu64
+                  "}\n",
+                  name.c_str(), counter->value());
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    append_format(out,
+                  "{\"type\":\"gauge\",\"name\":\"%s\",\"value\":%" PRId64
+                  "}\n",
+                  name.c_str(), gauge->value());
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    append_format(
+        out,
+        "{\"type\":\"histogram\",\"name\":\"%s\",\"count\":%" PRIu64
+        ",\"sum\":%" PRIu64 ",\"min\":%" PRIu64 ",\"max\":%" PRIu64
+        ",\"mean\":%.3f,\"p50\":%" PRIu64 ",\"p90\":%" PRIu64
+        ",\"p99\":%" PRIu64 "}\n",
+        name.c_str(), histogram->count(), histogram->sum(),
+        histogram->min(), histogram->max(), histogram->mean(),
+        histogram->p50(), histogram->p90(), histogram->p99());
+  }
+  return out;
+}
+
+std::string render_prometheus(const Registry& registry) {
+  std::string out;
+  for (const auto& [name, counter] : registry.counters()) {
+    const std::string prom = prometheus_name(name);
+    append_format(out, "# TYPE %s counter\n%s %" PRIu64 "\n", prom.c_str(),
+                  prom.c_str(), counter->value());
+  }
+  for (const auto& [name, gauge] : registry.gauges()) {
+    const std::string prom = prometheus_name(name);
+    append_format(out, "# TYPE %s gauge\n%s %" PRId64 "\n", prom.c_str(),
+                  prom.c_str(), gauge->value());
+  }
+  for (const auto& [name, histogram] : registry.histograms()) {
+    const std::string prom = prometheus_name(name);
+    append_format(out, "# TYPE %s histogram\n", prom.c_str());
+    std::uint64_t cumulative = 0;
+    for (const Histogram::Bucket& bucket : histogram->buckets()) {
+      cumulative += bucket.count;
+      append_format(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                    prom.c_str(), bucket.upper, cumulative);
+    }
+    append_format(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", prom.c_str(),
+                  histogram->count());
+    append_format(out, "%s_sum %" PRIu64 "\n%s_count %" PRIu64 "\n",
+                  prom.c_str(), histogram->sum(), prom.c_str(),
+                  histogram->count());
+  }
+  return out;
+}
+
+std::string render_dump(const Registry& registry) {
+  std::string out;
+  const auto counters = registry.counters();
+  const auto gauges = registry.gauges();
+  const auto histograms = registry.histograms();
+  if (!counters.empty()) out += "counters:\n";
+  for (const auto& [name, counter] : counters) {
+    append_format(out, "  %-40s %12" PRIu64 "\n", name.c_str(),
+                  counter->value());
+  }
+  if (!gauges.empty()) out += "gauges:\n";
+  for (const auto& [name, gauge] : gauges) {
+    append_format(out, "  %-40s %12" PRId64 "\n", name.c_str(),
+                  gauge->value());
+  }
+  if (!histograms.empty()) out += "histograms:\n";
+  for (const auto& [name, histogram] : histograms) {
+    if (histogram->count() == 0) continue;
+    append_format(out,
+                  "  %-40s n=%-8" PRIu64 " mean=%-10.1f p50=%-8" PRIu64
+                  " p90=%-8" PRIu64 " p99=%-8" PRIu64 " max=%" PRIu64 "\n",
+                  name.c_str(), histogram->count(), histogram->mean(),
+                  histogram->p50(), histogram->p90(), histogram->p99(),
+                  histogram->max());
+  }
+  return out;
+}
+
+std::string render_trace_jsonl(const Tracer& tracer) {
+  std::string out;
+  for (const SpanRecord& span : tracer.snapshot()) {
+    append_format(out,
+                  "{\"span\":\"%s\",\"start_ns\":%" PRIu64
+                  ",\"duration_ns\":%" PRIu64
+                  ",\"depth\":%u,\"thread\":%u}\n",
+                  span.name, span.start_ns, span.duration_ns, span.depth,
+                  span.thread);
+  }
+  return out;
+}
+
+}  // namespace keygraphs::telemetry

@@ -1,0 +1,37 @@
+// Exporters: render a Registry (and optionally the Tracer ring) for
+// machines and humans.
+//
+//   - render_jsonl: one JSON object per metric per line — the format the
+//     benches append to BENCH_*.json files and keyserverd streams when
+//     `telemetry = json`.
+//   - render_prometheus: the Prometheus text exposition format (counters,
+//     gauges, histograms with cumulative `_bucket{le=...}` series) for
+//     `telemetry = prom`; scrape-ready when piped to an HTTP responder.
+//   - render_dump: an aligned human table (count, mean, p50/p90/p99, max)
+//     for SIGUSR1 dumps and shutdown summaries.
+//   - render_trace_jsonl: the span ring as JSON lines, oldest first.
+//
+// All renderers take a consistent snapshot per metric (atomic reads), not
+// across metrics — fine for monitoring, by design not a transaction.
+#pragma once
+
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace keygraphs::telemetry {
+
+[[nodiscard]] std::string render_jsonl(
+    const Registry& registry = Registry::global());
+
+[[nodiscard]] std::string render_prometheus(
+    const Registry& registry = Registry::global());
+
+[[nodiscard]] std::string render_dump(
+    const Registry& registry = Registry::global());
+
+[[nodiscard]] std::string render_trace_jsonl(
+    const Tracer& tracer = Tracer::global());
+
+}  // namespace keygraphs::telemetry

@@ -1,0 +1,181 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace keygraphs::telemetry {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+void fold_min(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void fold_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kLinearLimit) return static_cast<std::size_t>(value);
+  // 2^power <= value < 2^(power+1), power >= 4. The top kSubBuckets
+  // fractions of the octave pick the sub-bucket.
+  const int power = std::bit_width(value) - 1;
+  const auto sub = static_cast<std::size_t>(
+      (value >> (power - 4)) - kLinearLimit);
+  return static_cast<std::size_t>(kLinearLimit) +
+         static_cast<std::size_t>(power - 4) * kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) noexcept {
+  if (index < kLinearLimit) return index;
+  const std::size_t power = (index - kLinearLimit) / kSubBuckets + 4;
+  const std::size_t sub = (index - kLinearLimit) % kSubBuckets;
+  // Largest value whose top bits map to this sub-bucket.
+  return ((kLinearLimit + sub + 1) << (power - 4)) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  counts_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  fold_min(min_, value);
+  fold_max(max_, value);
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t value = min_.load(std::memory_order_relaxed);
+  return value == ~0ULL ? 0 : value;
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0
+               : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) return bucket_upper(i);
+  }
+  return max();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : counts_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ULL, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<Histogram::Bucket> Histogram::buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = counts_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.push_back(Bucket{bucket_upper(i), n});
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: metrics
+  return *instance;                            // may outlive static dtors
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<std::pair<std::string, const Counter*>> Registry::counters()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, metric] : counters_) {
+    out.emplace_back(name, metric.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Gauge*>> Registry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, metric] : gauges_) {
+    out.emplace_back(name, metric.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, metric] : histograms_) {
+    out.emplace_back(name, metric.get());
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, metric] : counters_) metric->reset();
+  for (auto& [name, metric] : gauges_) metric->reset();
+  for (auto& [name, metric] : histograms_) metric->reset();
+}
+
+}  // namespace keygraphs::telemetry

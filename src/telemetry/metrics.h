@@ -1,0 +1,164 @@
+// Low-overhead metrics for the key-graph hot paths.
+//
+// The paper's evaluation attributes server cost per join/leave to concrete
+// work (tree update, key generation, encryption, signing, sending); this
+// library is the substrate those attributions are recorded into. Three
+// primitives — monotonic Counter, Gauge, and a log-linear-bucket Histogram
+// with quantile estimation — live in a process-global Registry and are
+// safe to update from any thread with relaxed atomics. A global runtime
+// switch (`set_enabled(false)`) turns every instrumentation site into a
+// branch-and-skip so disabled runs measure the uninstrumented system.
+//
+// Hot-path idiom: resolve the metric once per call site, then update:
+//
+//   static auto& encryptions =
+//       telemetry::Registry::global().counter("rekey.key_encryptions");
+//   if (telemetry::enabled()) encryptions.add(n);
+//
+// Registered metrics are never destroyed or moved (the registry only
+// zeroes them on reset()), so cached references stay valid for the
+// process lifetime.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace keygraphs::telemetry {
+
+/// Global collection switch. Default on; `keyserverd` maps the spec key
+/// `telemetry = off` onto this. Checked by every instrumentation site.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Point-in-time signed value (group size, tree height, queue depth).
+class Gauge {
+ public:
+  void set(std::int64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log-linear-bucket histogram over non-negative integer samples
+/// (latencies in nanoseconds, sizes in bytes, counts).
+///
+/// Values below kLinearLimit land in exact one-value buckets; above that,
+/// each power of two splits into kSubBuckets sub-buckets, bounding the
+/// relative quantile error by 1/kSubBuckets (6.25%). Covers the full u64
+/// range in kBucketCount fixed slots, so record() is two relaxed
+/// fetch_adds plus two bounded CAS loops — no allocation, no locks.
+class Histogram {
+ public:
+  static constexpr std::uint64_t kLinearLimit = 16;
+  static constexpr std::size_t kSubBuckets = 16;
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(kLinearLimit) + (64 - 4) * kSubBuckets;
+
+  void record(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// 0 when empty.
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Smallest bucket upper bound covering at least q of the recorded
+  /// samples (q in [0, 1]). Exact below kLinearLimit; within 1/kSubBuckets
+  /// above. 0 when empty.
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+  [[nodiscard]] std::uint64_t p50() const noexcept { return quantile(0.50); }
+  [[nodiscard]] std::uint64_t p90() const noexcept { return quantile(0.90); }
+  [[nodiscard]] std::uint64_t p99() const noexcept { return quantile(0.99); }
+
+  void reset() noexcept;
+
+  /// Non-empty buckets, ascending by bound, for exporters.
+  struct Bucket {
+    std::uint64_t upper;  // inclusive upper bound of the bucket
+    std::uint64_t count;  // samples in this bucket (not cumulative)
+  };
+  [[nodiscard]] std::vector<Bucket> buckets() const;
+
+  /// Bucket layout (exposed for tests and exporters).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t index) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ULL};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Name -> metric map. Metrics are created on first lookup and live for
+/// the process; lookups take a mutex, so call sites cache the reference
+/// (function-local static) rather than resolving per event.
+class Registry {
+ public:
+  /// The process-wide registry every built-in instrumentation site uses.
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Sorted snapshots for exporters. Pointers stay valid forever.
+  [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
+  counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Gauge*>> gauges()
+      const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>>
+  histograms() const;
+
+  /// Zeroes every registered metric; registrations (and cached references)
+  /// survive. Benches use this between phases.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace keygraphs::telemetry

@@ -1,0 +1,87 @@
+#include "telemetry/stage.h"
+
+#include "telemetry/trace.h"
+
+namespace keygraphs::telemetry {
+
+namespace {
+
+thread_local StageCollector* t_collector = nullptr;
+thread_local StageScope* t_top_scope = nullptr;
+
+Histogram& stage_histogram(Stage stage) {
+  // One histogram per stage, resolved once per process.
+  static std::array<Histogram*, kStageCount>* slots = [] {
+    auto* out = new std::array<Histogram*, kStageCount>();
+    for (std::size_t i = 0; i < kStageCount; ++i) {
+      (*out)[i] = &Registry::global().histogram(
+          std::string("server.stage_ns.") +
+          stage_name(static_cast<Stage>(i)));
+    }
+    return out;
+  }();
+  return *(*slots)[static_cast<std::size_t>(stage)];
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kAuth:
+      return "auth";
+    case Stage::kTreeUpdate:
+      return "tree_update";
+    case Stage::kKeygen:
+      return "keygen";
+    case Stage::kEncrypt:
+      return "encrypt";
+    case Stage::kSign:
+      return "sign";
+    case Stage::kSerialize:
+      return "serialize";
+    case Stage::kSend:
+      return "send";
+  }
+  return "?";
+}
+
+StageCollector::StageCollector() noexcept : previous_(t_collector) {
+  t_collector = this;
+}
+
+StageCollector::~StageCollector() { t_collector = previous_; }
+
+double StageCollector::total_us() const noexcept {
+  double total = 0.0;
+  for (const double us : self_us_) total += us;
+  return total;
+}
+
+StageCollector* StageCollector::current() noexcept { return t_collector; }
+
+StageScope::StageScope(Stage stage) noexcept
+    : collector_(enabled() ? t_collector : nullptr),
+      parent_(nullptr),
+      stage_(stage) {
+  if (collector_ == nullptr) return;
+  parent_ = t_top_scope;
+  depth_ = parent_ == nullptr ? 0 : parent_->depth_ + 1;
+  t_top_scope = this;
+  start_ns_ = steady_now_ns();
+}
+
+StageScope::~StageScope() {
+  if (collector_ == nullptr) return;
+  const std::uint64_t total_ns = steady_now_ns() - start_ns_;
+  const std::uint64_t self_ns =
+      total_ns > child_ns_ ? total_ns - child_ns_ : 0;
+  t_top_scope = parent_;
+  if (parent_ != nullptr) parent_->child_ns_ += total_ns;
+  collector_->self_us_[static_cast<std::size_t>(stage_)] +=
+      static_cast<double>(self_ns) / 1000.0;
+  stage_histogram(stage_).record(self_ns);
+  Tracer::global().record(SpanRecord{stage_name(stage_), start_ns_,
+                                     total_ns, depth_, thread_ordinal()});
+}
+
+}  // namespace keygraphs::telemetry

@@ -1,0 +1,106 @@
+// Per-operation stage accounting — where does one join/leave spend its
+// time?
+//
+// The paper's server measurement covers tree update, key generation,
+// encryption, digest/signature computation, serialization and the send
+// handoff (Section 5); this header names those stages and provides the
+// machinery to attribute wall time to them without the layers knowing
+// about each other:
+//
+//   - The server installs a StageCollector (thread-local, RAII) for the
+//     duration of one operation.
+//   - Any code on the call path — KeyTree key refreshes, the sealer's
+//     signing, the transport send loop — opens a StageScope naming its
+//     stage. Scopes nest; each records its *self* time (child scope time
+//     is subtracted), so the per-stage numbers are disjoint and sum to the
+//     wall time of the outermost scopes.
+//   - When the operation finishes the server reads the breakdown off the
+//     collector into the OpRecord, and each scope has also fed the global
+//     `server.stage_ns.<stage>` histograms for the live exporters.
+//
+// With telemetry disabled, or with no collector installed (e.g. key
+// refreshes during snapshot restore), a StageScope is a thread-local load
+// and a branch — nothing is timed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "telemetry/metrics.h"
+
+namespace keygraphs::telemetry {
+
+/// The stage taxonomy. `kAuth` is measured but excluded from the paper's
+/// processing time (Section 5 footnote 9 excludes authentication), so
+/// breakdown consumers sum kTreeUpdate..kSend when comparing against
+/// `processing_us`.
+enum class Stage : std::uint8_t {
+  kAuth = 0,        // ACL check, token verify, individual-key derivation
+  kTreeUpdate = 1,  // KeyTree mutation minus key generation
+  kKeygen = 2,      // fresh key material (KeyTree::refresh_key)
+  kEncrypt = 3,     // strategy planning + key wrapping
+  kSign = 4,        // digest and RSA signature computation
+  kSerialize = 5,   // message bodies, envelopes, datagram framing
+  kSend = 6,        // transport deliver/sendto handoff
+};
+
+inline constexpr std::size_t kStageCount = 7;
+
+/// Lowercase snake_case stage name ("tree_update", ...), static lifetime.
+[[nodiscard]] const char* stage_name(Stage stage) noexcept;
+
+/// Self-time per stage, microseconds, indexed by Stage.
+using StageBreakdown = std::array<double, kStageCount>;
+
+/// Installs itself as the calling thread's active breakdown for its
+/// lifetime (stackable: a nested collector shadows the outer one, which
+/// resumes on destruction).
+class StageCollector {
+ public:
+  StageCollector() noexcept;
+  ~StageCollector();
+
+  StageCollector(const StageCollector&) = delete;
+  StageCollector& operator=(const StageCollector&) = delete;
+
+  [[nodiscard]] const StageBreakdown& breakdown() const noexcept {
+    return self_us_;
+  }
+  [[nodiscard]] double us(Stage stage) const noexcept {
+    return self_us_[static_cast<std::size_t>(stage)];
+  }
+  /// Sum over all stages (including kAuth).
+  [[nodiscard]] double total_us() const noexcept;
+
+  /// The calling thread's active collector, or nullptr.
+  [[nodiscard]] static StageCollector* current() noexcept;
+
+ private:
+  friend class StageScope;
+
+  StageBreakdown self_us_{};
+  StageCollector* previous_;
+};
+
+/// RAII stage attribution: adds this scope's self time (elapsed minus
+/// nested StageScope time) to the active collector and the global
+/// per-stage histograms, and emits a span to the tracer. Inert when
+/// telemetry is disabled or no collector is installed.
+class StageScope {
+ public:
+  explicit StageScope(Stage stage) noexcept;
+  ~StageScope();
+
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  StageCollector* collector_;  // nullptr = inert
+  StageScope* parent_;
+  Stage stage_;
+  std::uint32_t depth_ = 0;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t child_ns_ = 0;
+};
+
+}  // namespace keygraphs::telemetry

@@ -1,0 +1,82 @@
+#include "telemetry/trace.h"
+
+#include <chrono>
+
+namespace keygraphs::telemetry {
+
+namespace {
+
+thread_local std::uint32_t t_span_depth = 0;
+
+}  // namespace
+
+std::uint32_t thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // never destroyed, like Registry
+  return *instance;
+}
+
+void Tracer::record(const SpanRecord& span) noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ring_[next_ % ring_.size()] = span;
+  ++next_;
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanRecord> out;
+  const std::size_t capacity = ring_.size();
+  const std::size_t live = next_ < capacity
+                               ? static_cast<std::size_t>(next_)
+                               : capacity;
+  out.reserve(live);
+  const std::uint64_t first = next_ - live;
+  for (std::uint64_t i = first; i < next_; ++i) {
+    out.push_back(ring_[i % capacity]);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return next_;
+}
+
+void Tracer::clear() noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  next_ = 0;
+}
+
+ScopedSpan::ScopedSpan(const char* name, Histogram* latency) noexcept
+    : name_(name), latency_(latency), active_(enabled()) {
+  if (!active_) return;
+  ++t_span_depth;
+  start_ns_ = steady_now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const std::uint64_t duration = steady_now_ns() - start_ns_;
+  --t_span_depth;  // report the depth this span opened at
+  if (latency_ != nullptr) latency_->record(duration);
+  Tracer::global().record(SpanRecord{name_, start_ns_, duration,
+                                     t_span_depth, thread_ordinal()});
+}
+
+}  // namespace keygraphs::telemetry

@@ -1,0 +1,83 @@
+// Span tracing with a fixed-size ring buffer.
+//
+// A span is one named, timed region (a whole join, one RSA signature, one
+// sendto). ScopedSpan measures RAII-style and pushes a SpanRecord into the
+// global Tracer's ring, which keeps the most recent `capacity` spans and
+// overwrites the oldest — bounded memory no matter how long the server
+// runs. snapshot() returns the surviving spans oldest-first for the
+// JSON-lines exporter. Recording takes a mutex; spans are emitted at
+// operation/stage granularity (a handful per join/leave), so contention is
+// negligible next to the work being measured.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace keygraphs::telemetry {
+
+/// Nanoseconds on the steady clock (monotonic; comparable within a run).
+[[nodiscard]] std::uint64_t steady_now_ns() noexcept;
+
+/// Small dense ordinal for the calling thread (0, 1, 2, ... in first-use
+/// order); identifies threads in SpanRecords.
+[[nodiscard]] std::uint32_t thread_ordinal() noexcept;
+
+struct SpanRecord {
+  const char* name = "";        // static-lifetime string
+  std::uint64_t start_ns = 0;   // steady clock
+  std::uint64_t duration_ns = 0;
+  std::uint32_t depth = 0;      // nesting depth within the thread (0 = root)
+  std::uint32_t thread = 0;     // small per-thread ordinal
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// The process-wide tracer ScopedSpan records into.
+  static Tracer& global();
+
+  void record(const SpanRecord& span) noexcept;
+
+  /// Spans still in the ring, oldest first.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// Total spans ever recorded (>= snapshot().size(); the difference has
+  /// been overwritten).
+  [[nodiscard]] std::uint64_t recorded() const noexcept;
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.size();
+  }
+  void clear() noexcept;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::uint64_t next_ = 0;  // total recorded; next_ % capacity = write slot
+};
+
+/// RAII span: times its scope, pushes to Tracer::global(), and optionally
+/// records the duration into a latency histogram. Inert (two loads and a
+/// branch) when telemetry is disabled.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name,
+                      Histogram* latency = nullptr) noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* latency_;
+  std::uint64_t start_ns_ = 0;
+  bool active_;
+};
+
+}  // namespace keygraphs::telemetry

@@ -1,6 +1,7 @@
 #include "transport/inproc.h"
 
 #include "common/error.h"
+#include "telemetry/metrics.h"
 
 namespace keygraphs::transport {
 
@@ -75,10 +76,23 @@ void InProcNetwork::send_to_server(UserId from, BytesView datagram) {
 }
 
 void InProcNetwork::deliver_to(UserId user, BytesView datagram) {
+  static auto& deliveries =
+      telemetry::Registry::global().counter("transport.inproc.deliveries");
+  static auto& bytes =
+      telemetry::Registry::global().counter("transport.inproc.bytes");
+  static auto& drops =
+      telemetry::Registry::global().counter("transport.inproc.drops");
   auto it = clients_.find(user);
-  if (it == clients_.end()) return;  // raced with a departure; drop
+  if (it == clients_.end()) {
+    if (telemetry::enabled()) drops.add(1);
+    return;  // raced with a departure; drop
+  }
   ++deliveries_;
   delivered_bytes_ += datagram.size();
+  if (telemetry::enabled()) {
+    deliveries.add(1);
+    bytes.add(datagram.size());
+  }
   it->second(datagram);
 }
 

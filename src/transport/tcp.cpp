@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "telemetry/trace.h"
 
 namespace keygraphs::transport {
 
@@ -119,6 +120,9 @@ void TcpConnection::send(BytesView message) {
   if (message.size() > kMaxFrame) {
     throw TransportError("tcp: frame too large");
   }
+  static auto& send_ns =
+      telemetry::Registry::global().histogram("transport.tcp.send_ns");
+  const telemetry::ScopedSpan span("tcp.send", &send_ns);
   std::uint8_t prefix[4];
   const auto size = static_cast<std::uint32_t>(message.size());
   for (int i = 0; i < 4; ++i) {
@@ -126,6 +130,14 @@ void TcpConnection::send(BytesView message) {
   }
   write_all(fd_, prefix, 4);
   write_all(fd_, message.data(), message.size());
+  if (telemetry::enabled()) {
+    static auto& messages_sent =
+        telemetry::Registry::global().counter("transport.tcp.messages_sent");
+    static auto& bytes_sent =
+        telemetry::Registry::global().counter("transport.tcp.bytes_sent");
+    messages_sent.add(1);
+    bytes_sent.add(message.size() + sizeof(prefix));
+  }
 }
 
 std::optional<Bytes> TcpConnection::receive(int timeout_ms) {
@@ -210,13 +222,19 @@ TcpConnection* TcpServerTransport::connection_of(UserId user) {
 }
 
 void TcpServerTransport::send_to_user(UserId user, BytesView message) {
+  static auto& drops =
+      telemetry::Registry::global().counter("transport.tcp.drops");
   auto it = connections_.find(user);
-  if (it == connections_.end()) return;
+  if (it == connections_.end()) {
+    if (telemetry::enabled()) drops.add(1);
+    return;
+  }
   try {
     it->second.send(message);
     ++messages_sent_;
   } catch (const TransportError&) {
     connections_.erase(it);  // the peer is gone; drop the connection
+    if (telemetry::enabled()) drops.add(1);
   }
 }
 

@@ -9,10 +9,35 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "telemetry/trace.h"
 
 namespace keygraphs::transport {
 
 namespace {
+
+struct UdpMetrics {
+  telemetry::Counter& datagrams_sent;
+  telemetry::Counter& bytes_sent;
+  telemetry::Counter& send_errors;
+  telemetry::Counter& datagrams_received;
+  telemetry::Counter& bytes_received;
+  telemetry::Counter& peer_drops;  // deliveries to unregistered users
+  telemetry::Histogram& send_ns;
+
+  static UdpMetrics& get() {
+    auto& registry = telemetry::Registry::global();
+    static UdpMetrics* metrics = new UdpMetrics{
+        registry.counter("transport.udp.datagrams_sent"),
+        registry.counter("transport.udp.bytes_sent"),
+        registry.counter("transport.udp.send_errors"),
+        registry.counter("transport.udp.datagrams_received"),
+        registry.counter("transport.udp.bytes_received"),
+        registry.counter("transport.udp.peer_drops"),
+        registry.histogram("transport.udp.send_ns"),
+    };
+    return *metrics;
+  }
+};
 
 sockaddr_in to_sockaddr(const Address& address) {
   sockaddr_in sa{};
@@ -64,13 +89,23 @@ UdpSocket::~UdpSocket() {
 }
 
 void UdpSocket::send_to(const Address& to, BytesView datagram) {
+  const bool telemetry_on = telemetry::enabled();
+  const std::uint64_t started =
+      telemetry_on ? telemetry::steady_now_ns() : 0;
   const sockaddr_in sa = to_sockaddr(to);
   const ssize_t sent =
       ::sendto(fd_, datagram.data(), datagram.size(), 0,
                reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
   if (sent < 0 || static_cast<std::size_t>(sent) != datagram.size()) {
+    if (telemetry_on) UdpMetrics::get().send_errors.add(1);
     throw TransportError(std::string("UdpSocket: sendto(): ") +
                          std::strerror(errno));
+  }
+  if (telemetry_on) {
+    UdpMetrics& metrics = UdpMetrics::get();
+    metrics.datagrams_sent.add(1);
+    metrics.bytes_sent.add(datagram.size());
+    metrics.send_ns.record(telemetry::steady_now_ns() - started);
   }
 }
 
@@ -96,6 +131,11 @@ std::optional<std::pair<Address, Bytes>> UdpSocket::receive(int timeout_ms) {
                          std::strerror(errno));
   }
   buffer.resize(static_cast<std::size_t>(received));
+  if (telemetry::enabled()) {
+    UdpMetrics& metrics = UdpMetrics::get();
+    metrics.datagrams_received.add(1);
+    metrics.bytes_received.add(buffer.size());
+  }
   return std::make_pair(from_sockaddr(sa), std::move(buffer));
 }
 
@@ -123,6 +163,8 @@ void UdpServerTransport::deliver(const rekey::Recipient& to,
     if (it != peers_.end()) {
       socket_.send_to(it->second, datagram);
       ++datagrams_sent_;
+    } else if (telemetry::enabled()) {
+      UdpMetrics::get().peer_drops.add(1);
     }
     return;
   }
@@ -133,6 +175,8 @@ void UdpServerTransport::deliver(const rekey::Recipient& to,
     if (it != peers_.end()) {
       socket_.send_to(it->second, datagram);
       ++datagrams_sent_;
+    } else if (telemetry::enabled()) {
+      UdpMetrics::get().peer_drops.add(1);
     }
   }
 }

@@ -98,6 +98,34 @@ TEST(Spec, RejectsMalformedInput) {
   EXPECT_THROW(parse_server_spec("signing = maybe\n"), ProtocolError);
 }
 
+TEST(Spec, TelemetryDefaultsOff) {
+  const ServerSpec spec = parse_server_spec("degree = 4\n");
+  EXPECT_EQ(spec.telemetry, TelemetryFormat::kOff);
+  EXPECT_EQ(spec.telemetry_period_s, 10u);
+}
+
+TEST(Spec, ParsesTelemetryKeys) {
+  const ServerSpec spec = parse_server_spec(
+      "telemetry = json\ntelemetry_period = 30\n");
+  EXPECT_EQ(spec.telemetry, TelemetryFormat::kJson);
+  EXPECT_EQ(spec.telemetry_period_s, 30u);
+
+  EXPECT_EQ(parse_server_spec("telemetry = prom\n").telemetry,
+            TelemetryFormat::kPrometheus);
+  EXPECT_EQ(parse_server_spec("telemetry = off\n").telemetry,
+            TelemetryFormat::kOff);
+  EXPECT_EQ(parse_server_spec("telemetry_period = 0\n").telemetry_period_s,
+            0u);
+}
+
+TEST(Spec, RejectsBadTelemetryValues) {
+  EXPECT_THROW(parse_server_spec("telemetry = xml\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("telemetry_period = 100000\n"),
+               ProtocolError);
+  EXPECT_THROW(parse_server_spec("telemetry_period = soon\n"),
+               ProtocolError);
+}
+
 TEST(Spec, SigningRequiresSignatureAlgorithm) {
   EXPECT_THROW(parse_server_spec("signing = batch\n"), ProtocolError);
   EXPECT_NO_THROW(

@@ -73,6 +73,58 @@ TEST(Stats, ZeroMessageOperationsHandled) {
   EXPECT_EQ(summary.min_messages, 0u);
 }
 
+TEST(Stats, UnsetMinMessageFieldDoesNotPoisonMinimum) {
+  // Regression: an OpRecord whose messages were counted but whose
+  // min_message field was never filled in (left 0 — no real encoded
+  // datagram is 0 bytes) used to drag min_message_bytes down to 0.
+  ServerStats stats;
+  stats.record(op(rekey::RekeyKind::kLeave, 1, 2, 600, 250, 350, 1));
+  OpRecord unset = op(rekey::RekeyKind::kLeave, 1, 2, 800, 0, 400, 1);
+  stats.record(unset);
+  const Summary summary = stats.summarize_all();
+  EXPECT_EQ(summary.min_message_bytes, 250u);  // not 0
+  EXPECT_EQ(summary.max_message_bytes, 400u);  // max still folds
+}
+
+TEST(Stats, ZeroMessageOpDoesNotContributeExtremes) {
+  // A no-op rekey (0 messages) must leave min/max untouched rather than
+  // injecting its zeroed min/max fields.
+  ServerStats stats;
+  stats.record(op(rekey::RekeyKind::kJoin, 2, 3, 900, 200, 500, 1));
+  stats.record(op(rekey::RekeyKind::kJoin, 0, 0, 0, 0, 0, 1));
+  const Summary summary = stats.summarize_all();
+  EXPECT_EQ(summary.min_message_bytes, 200u);
+  EXPECT_EQ(summary.max_message_bytes, 500u);
+  EXPECT_EQ(summary.min_messages, 0u);  // message-count min still counts it
+}
+
+TEST(Stats, StageBreakdownAverages) {
+  ServerStats stats;
+  OpRecord first = op(rekey::RekeyKind::kJoin, 1, 1, 100, 100, 100, 10);
+  first.stage_us[static_cast<std::size_t>(telemetry::Stage::kEncrypt)] = 4.0;
+  OpRecord second = op(rekey::RekeyKind::kJoin, 1, 1, 100, 100, 100, 10);
+  second.stage_us[static_cast<std::size_t>(telemetry::Stage::kEncrypt)] = 8.0;
+  stats.record(first);
+  stats.record(second);
+  const Summary summary = stats.summarize(rekey::RekeyKind::kJoin);
+  EXPECT_DOUBLE_EQ(
+      summary.avg_stage_us[static_cast<std::size_t>(
+          telemetry::Stage::kEncrypt)],
+      6.0);
+  EXPECT_DOUBLE_EQ(summary.measured_stage_us(), 6.0);
+}
+
+TEST(Stats, MeasuredStageTimeExcludesAuth) {
+  ServerStats stats;
+  OpRecord record = op(rekey::RekeyKind::kJoin, 1, 1, 100, 100, 100, 10);
+  record.stage_us[static_cast<std::size_t>(telemetry::Stage::kAuth)] = 100.0;
+  record.stage_us[static_cast<std::size_t>(telemetry::Stage::kTreeUpdate)] =
+      3.0;
+  record.stage_us[static_cast<std::size_t>(telemetry::Stage::kSend)] = 2.0;
+  stats.record(record);
+  EXPECT_DOUBLE_EQ(stats.summarize_all().measured_stage_us(), 5.0);
+}
+
 TEST(Stats, ResetClears) {
   ServerStats stats;
   stats.record(op(rekey::RekeyKind::kJoin, 1, 1, 1, 1, 1, 1));

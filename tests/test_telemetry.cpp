@@ -1,0 +1,335 @@
+// Telemetry substrate: histogram quantile accuracy, span nesting, ring
+// wraparound, concurrent writers, disabled-mode overhead, and the
+// stage-sum-vs-processing-time consistency the benches rely on.
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
+#include "telemetry/stage.h"
+#include "telemetry/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace keygraphs::telemetry {
+namespace {
+
+// Tests that toggle the global switch restore it on exit.
+class EnabledGuard {
+ public:
+  EnabledGuard() : saved_(enabled()) {}
+  ~EnabledGuard() { set_enabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+void spin_for(std::chrono::microseconds duration) {
+  const auto until = std::chrono::steady_clock::now() + duration;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(Counter, AddsAndResets) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge gauge;
+  gauge.set(10);
+  gauge.add(-25);
+  EXPECT_EQ(gauge.value(), -15);
+  gauge.reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+TEST(Histogram, EmptyIsAllZeros) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0u);
+  EXPECT_EQ(histogram.min(), 0u);
+  EXPECT_EQ(histogram.max(), 0u);
+  EXPECT_EQ(histogram.mean(), 0.0);
+  EXPECT_EQ(histogram.p50(), 0u);
+  EXPECT_TRUE(histogram.buckets().empty());
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Below kLinearLimit every value has its own bucket, so quantiles of a
+  // known distribution are exact, not approximate.
+  Histogram histogram;
+  for (std::uint64_t v = 0; v < 10; ++v) histogram.record(v);  // 0..9
+  EXPECT_EQ(histogram.count(), 10u);
+  EXPECT_EQ(histogram.sum(), 45u);
+  EXPECT_EQ(histogram.min(), 0u);
+  EXPECT_EQ(histogram.max(), 9u);
+  EXPECT_DOUBLE_EQ(histogram.mean(), 4.5);
+  EXPECT_EQ(histogram.quantile(0.1), 0u);   // 1st of 10 samples
+  EXPECT_EQ(histogram.p50(), 4u);           // 5th of 10 samples
+  EXPECT_EQ(histogram.p90(), 8u);           // 9th of 10 samples
+  EXPECT_EQ(histogram.quantile(1.0), 9u);
+}
+
+TEST(Histogram, LargeValueQuantilesWithinRelativeErrorBound) {
+  Histogram histogram;
+  for (std::uint64_t v = 1; v <= 10000; ++v) histogram.record(v);
+  const struct {
+    double q;
+    double exact;
+  } cases[] = {{0.50, 5000.0}, {0.90, 9000.0}, {0.99, 9900.0}};
+  for (const auto& c : cases) {
+    const auto estimate = static_cast<double>(histogram.quantile(c.q));
+    // The estimate is a bucket upper bound: never below the exact value,
+    // and at most one sub-bucket (1/16 = 6.25%) above it.
+    EXPECT_GE(estimate, c.exact) << "q=" << c.q;
+    EXPECT_LE(estimate, c.exact * 1.0625) << "q=" << c.q;
+  }
+  EXPECT_EQ(histogram.min(), 1u);
+  EXPECT_EQ(histogram.max(), 10000u);
+}
+
+TEST(Histogram, BucketLayoutInvariants) {
+  // Every value maps to a bucket whose range contains it, and bucket upper
+  // bounds are strictly increasing with index.
+  const std::uint64_t probes[] = {0,   1,    15,   16,         17,
+                                  31,  32,   100,  1000,       4095,
+                                  1u << 20,  ~0ULL};
+  for (std::uint64_t value : probes) {
+    const std::size_t index = Histogram::bucket_index(value);
+    ASSERT_LT(index, Histogram::kBucketCount) << value;
+    EXPECT_LE(value, Histogram::bucket_upper(index)) << value;
+    if (index > 0) {
+      EXPECT_GT(value, Histogram::bucket_upper(index - 1)) << value;
+    }
+  }
+  for (std::size_t i = 1; i < Histogram::kBucketCount; ++i) {
+    ASSERT_LT(Histogram::bucket_upper(i - 1), Histogram::bucket_upper(i));
+  }
+}
+
+TEST(Histogram, BucketsReportNonEmptyAscending) {
+  Histogram histogram;
+  histogram.record(3);
+  histogram.record(3);
+  histogram.record(1000);
+  const std::vector<Histogram::Bucket> buckets = histogram.buckets();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].upper, 3u);
+  EXPECT_EQ(buckets[0].count, 2u);
+  EXPECT_GE(buckets[1].upper, 1000u);
+  EXPECT_EQ(buckets[1].count, 1u);
+}
+
+TEST(Registry, SameNameSameMetricAndResetKeepsReferences) {
+  Registry registry;
+  Counter& counter = registry.counter("a.counter");
+  EXPECT_EQ(&counter, &registry.counter("a.counter"));
+  counter.add(7);
+  registry.histogram("a.histogram").record(99);
+  registry.gauge("a.gauge").set(5);
+
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);  // cached reference still valid, zeroed
+  EXPECT_EQ(registry.histogram("a.histogram").count(), 0u);
+  EXPECT_EQ(registry.gauge("a.gauge").value(), 0);
+  EXPECT_EQ(registry.counters().size(), 1u);  // registration survived
+}
+
+TEST(Tracer, RingBufferWrapsKeepingNewestOldestFirst) {
+  Tracer tracer(8);
+  for (std::uint64_t i = 0; i < 2 * 8 + 3; ++i) {
+    SpanRecord span;
+    span.name = "span";
+    span.start_ns = i;
+    tracer.record(span);
+  }
+  EXPECT_EQ(tracer.recorded(), 19u);
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  // The surviving spans are the last 8 recorded (start_ns 11..18), oldest
+  // first.
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].start_ns, 11 + i);
+  }
+  tracer.clear();
+  EXPECT_TRUE(tracer.snapshot().empty());
+  EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST(Tracer, ScopedSpanNestingDepths) {
+  EnabledGuard guard;
+  set_enabled(true);
+  Tracer::global().clear();
+  {
+    ScopedSpan outer("outer");
+    {
+      ScopedSpan middle("middle");
+      ScopedSpan inner("inner");
+    }
+    ScopedSpan sibling("sibling");
+  }
+  const std::vector<SpanRecord> spans = Tracer::global().snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Spans are recorded at scope exit: inner, middle, sibling, outer.
+  EXPECT_STREQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].depth, 2u);
+  EXPECT_STREQ(spans[1].name, "middle");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_STREQ(spans[2].name, "sibling");
+  EXPECT_EQ(spans[2].depth, 1u);
+  EXPECT_STREQ(spans[3].name, "outer");
+  EXPECT_EQ(spans[3].depth, 0u);
+  EXPECT_EQ(spans[0].thread, spans[3].thread);
+}
+
+TEST(Stage, SelfTimeExcludesNestedScopes) {
+  EnabledGuard guard;
+  set_enabled(true);
+  StageCollector collector;
+  {
+    StageScope tree_update(Stage::kTreeUpdate);
+    spin_for(std::chrono::microseconds(300));
+    {
+      StageScope keygen(Stage::kKeygen);
+      spin_for(std::chrono::microseconds(300));
+    }
+    spin_for(std::chrono::microseconds(300));
+  }
+  const double tree_us = collector.us(Stage::kTreeUpdate);
+  const double keygen_us = collector.us(Stage::kKeygen);
+  EXPECT_GE(keygen_us, 250.0);
+  EXPECT_GE(tree_us, 500.0);
+  // Self time: the keygen spin must not be double-counted under
+  // tree_update (900us total wall, ~600us of it outside the nested scope).
+  EXPECT_LT(tree_us, 850.0);
+  EXPECT_NEAR(collector.total_us(), tree_us + keygen_us, 1e-9);
+}
+
+TEST(Stage, InertWithoutCollector) {
+  EnabledGuard guard;
+  set_enabled(true);
+  ASSERT_EQ(StageCollector::current(), nullptr);
+  StageScope scope(Stage::kEncrypt);  // must not crash or record
+}
+
+TEST(Stage, CollectorsStack) {
+  EnabledGuard guard;
+  set_enabled(true);
+  StageCollector outer;
+  {
+    StageCollector inner;
+    EXPECT_EQ(StageCollector::current(), &inner);
+    StageScope scope(Stage::kSign);
+    spin_for(std::chrono::microseconds(200));
+  }
+  EXPECT_EQ(StageCollector::current(), &outer);
+  EXPECT_EQ(outer.us(Stage::kSign), 0.0);  // inner swallowed the scope
+}
+
+TEST(Telemetry, ConcurrentWritersDoNotLoseUpdates) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  Registry registry;
+  Tracer tracer(256);
+  Counter& counter = registry.counter("t.counter");
+  Histogram& histogram = registry.histogram("t.histogram");
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add(1);
+        histogram.record(static_cast<std::uint64_t>(t * kPerThread + i));
+        if (i % 100 == 0) {
+          SpanRecord span;
+          span.name = "concurrent";
+          tracer.record(span);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const auto total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(counter.value(), total);
+  EXPECT_EQ(histogram.count(), total);
+  EXPECT_EQ(histogram.min(), 0u);
+  EXPECT_EQ(histogram.max(), total - 1);
+  EXPECT_EQ(tracer.recorded(),
+            static_cast<std::uint64_t>(kThreads) * (kPerThread / 100));
+  EXPECT_EQ(tracer.snapshot().size(), 256u);
+}
+
+TEST(Telemetry, DisabledInstrumentationIsNearZeroCost) {
+  EnabledGuard guard;
+  set_enabled(false);
+  constexpr int kIterations = 100000;
+  const std::uint64_t start = steady_now_ns();
+  for (int i = 0; i < kIterations; ++i) {
+    StageCollector collector;
+    StageScope scope(Stage::kEncrypt);
+    ScopedSpan span("disabled");
+  }
+  const std::uint64_t elapsed = steady_now_ns() - start;
+  // Generous bound: a disabled site is a relaxed load and a branch, so
+  // collector+scope+span must average far under a microsecond even on a
+  // loaded CI machine (typical: single-digit nanoseconds each).
+  EXPECT_LT(static_cast<double>(elapsed) / kIterations, 1000.0);
+}
+
+TEST(Exporters, RenderKnownMetrics) {
+  Registry registry;
+  registry.counter("demo.events").add(3);
+  registry.gauge("demo.depth").set(-2);
+  registry.histogram("demo.latency_ns").record(500);
+
+  const std::string jsonl = render_jsonl(registry);
+  EXPECT_NE(jsonl.find("\"name\":\"demo.events\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"value\":3"), std::string::npos);
+
+  const std::string prom = render_prometheus(registry);
+  EXPECT_NE(prom.find("kg_demo_events 3"), std::string::npos);
+  EXPECT_NE(prom.find("kg_demo_depth -2"), std::string::npos);
+  EXPECT_NE(prom.find("kg_demo_latency_ns_count 1"), std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+
+  const std::string dump = render_dump(registry);
+  EXPECT_NE(dump.find("demo.events"), std::string::npos);
+  EXPECT_NE(dump.find("demo.latency_ns"), std::string::npos);
+}
+
+TEST(Telemetry, StageSumTracksMeasuredProcessingTime) {
+  // The acceptance bar for the bench breakdowns: the disjoint stage times
+  // must account for the operation's measured processing time. Run a small
+  // signed experiment (ms-scale ops drown out timer noise) and compare.
+  EnabledGuard guard;
+  set_enabled(true);
+  sim::ExperimentConfig config;
+  config.initial_size = 32;
+  config.requests = 40;
+  config.suite = crypto::CryptoSuite::paper_signed();
+  config.signing = rekey::SigningMode::kBatch;
+  const sim::ExperimentResult result = sim::run_experiment(config);
+
+  const double processing_us = result.all.avg_processing_ms * 1000.0;
+  const double stage_sum_us = result.all.measured_stage_us();
+  ASSERT_GT(processing_us, 0.0);
+  ASSERT_GT(stage_sum_us, 0.0);
+  const double ratio = stage_sum_us / processing_us;
+  EXPECT_GT(ratio, 0.6) << "stages miss too much of the measured time";
+  EXPECT_LT(ratio, 1.1) << "stages double-count the measured time";
+}
+
+}  // namespace
+}  // namespace keygraphs::telemetry

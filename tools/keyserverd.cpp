@@ -13,20 +13,27 @@
 //   signing     = batch
 //   auth_master = deadbeefcafe
 //   port        = 4747
+//   telemetry   = json
 //
 // Protocol (all datagrams use the library wire format):
 //   client -> server : kJoinRequest  { u64 user, var token }
 //   client -> server : kLeaveRequest { u64 user, var token }
 //   server -> client : kRekey / kJoinDenied / kLeaveAck
 //
-// The daemon prints one line per handled request and a stats summary every
-// 64 operations. Stop with Ctrl-C.
+// The daemon prints one line per handled request. With `telemetry = json` or
+// `telemetry = prom` it dumps a metrics snapshot to stderr every
+// `telemetry_period` seconds and whenever it receives SIGUSR1; with
+// `telemetry = off` (the default) the instrumentation is disabled entirely.
+// Stop with Ctrl-C.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 
 #include "common/error.h"
 #include "common/io.h"
 #include "server/spec.h"
+#include "telemetry/export.h"
+#include "telemetry/metrics.h"
 #include "transport/udp.h"
 
 using namespace keygraphs;
@@ -34,8 +41,13 @@ using namespace keygraphs;
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void handle_signal(int) { g_stop = 1; }
+
+// Only sets a flag; the recv loop (250 ms poll timeout, EINTR-tolerant)
+// notices it on its next pass, so the dump never races request handling.
+void handle_dump_signal(int) { g_dump = 1; }
 
 void print_stats(const server::GroupKeyServer& server) {
   const server::Summary joins =
@@ -49,6 +61,15 @@ void print_stats(const server::GroupKeyServer& server) {
               joins.operations, joins.avg_processing_ms,
               joins.avg_encryptions, leaves.operations,
               leaves.avg_processing_ms, leaves.avg_encryptions);
+}
+
+void dump_telemetry(server::TelemetryFormat format) {
+  const std::string rendered =
+      format == server::TelemetryFormat::kPrometheus
+          ? telemetry::render_prometheus(telemetry::Registry::global())
+          : telemetry::render_jsonl(telemetry::Registry::global());
+  std::fwrite(rendered.data(), 1, rendered.size(), stderr);
+  std::fflush(stderr);
 }
 
 }  // namespace
@@ -67,6 +88,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const bool telemetry_on = spec.telemetry != server::TelemetryFormat::kOff;
+  telemetry::set_enabled(telemetry_on);
+
   transport::UdpSocket socket =
       spec.port != 0 ? transport::UdpSocket(spec.port)
                      : transport::UdpSocket();
@@ -80,6 +104,7 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGUSR1, handle_dump_signal);
   std::printf("keyserverd: %s rekeying, %s, listening on %s "
               "(initial size %zu)\n",
               rekey::strategy_name(spec.config.strategy).c_str(),
@@ -87,8 +112,25 @@ int main(int argc, char** argv) {
               socket.local_address().to_string().c_str(),
               spec.initial_size);
 
-  std::size_t handled = 0;
+  using Clock = std::chrono::steady_clock;
+  const auto period = std::chrono::seconds(spec.telemetry_period_s);
+  auto next_dump = Clock::now() + period;
+
   while (!g_stop) {
+    if (telemetry_on) {
+      const bool timer_due =
+          spec.telemetry_period_s > 0 && Clock::now() >= next_dump;
+      if (g_dump != 0 || timer_due) {
+        g_dump = 0;
+        print_stats(server);
+        dump_telemetry(spec.telemetry);
+        next_dump = Clock::now() + period;
+      }
+    } else if (g_dump != 0) {
+      g_dump = 0;
+      print_stats(server);  // SIGUSR1 still gives the plain summary
+    }
+
     const auto received = socket.receive(250);
     if (!received.has_value()) continue;
     const auto& [from, data] = *received;
@@ -126,7 +168,6 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(user),
                     granted ? "granted" : "denied");
       }
-      if (++handled % 64 == 0) print_stats(server);
     } catch (const Error& error) {
       std::fprintf(stderr, "bad datagram from %s: %s\n",
                    from.to_string().c_str(), error.what());
@@ -135,5 +176,6 @@ int main(int argc, char** argv) {
 
   std::printf("\nkeyserverd: shutting down\n");
   print_stats(server);
+  if (telemetry_on) dump_telemetry(spec.telemetry);
   return 0;
 }
