@@ -1,0 +1,94 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+namespace keygraphs {
+
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::work_on(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      const std::lock_guard lock(batch.mutex);
+      if (!batch.error) batch.error = std::current_exception();
+    }
+    if (batch.done.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.n) {
+      // Taking the batch mutex pairs with the waiter's predicate check so
+      // the notify cannot slip between its test and its sleep.
+      const std::lock_guard lock(batch.mutex);
+      batch.cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !batches_.empty(); });
+      if (stop_) return;
+      batch = batches_.front();
+      if (batch->next.load(std::memory_order_relaxed) >= batch->n) {
+        batches_.pop_front();  // exhausted; drop it and look again
+        continue;
+      }
+    }
+    work_on(*batch);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  batch->fn = &fn;
+  {
+    const std::lock_guard lock(mutex_);
+    batches_.push_back(batch);
+  }
+  work_cv_.notify_all();
+  work_on(*batch);
+  {
+    std::unique_lock lock(batch->mutex);
+    batch->cv.wait(lock, [&] {
+      return batch->done.load(std::memory_order_acquire) >= batch->n;
+    });
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace keygraphs

@@ -1,0 +1,58 @@
+// Fixed-size worker pool for fork-join loops (the rekey seal phase).
+//
+// parallel_for(n, fn) runs fn(0) .. fn(n-1) across the pool's workers *and*
+// the calling thread, returning once every index has completed. Several
+// threads may call parallel_for concurrently — each call forms its own
+// batch, workers drain batches in FIFO order, and the caller always
+// participates, so a pool shared by many pipelined rekey operations can
+// never deadlock: even if every worker is busy elsewhere, the caller drains
+// its own batch alone.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace keygraphs {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (0 is valid: parallel_for then runs inline).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Joins all workers. Must not race with in-flight parallel_for calls.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, n), distributing indices dynamically
+  /// over the workers plus the calling thread. The first exception thrown
+  /// by `fn` is rethrown here after the whole batch has drained (remaining
+  /// indices still run, so partial results stay index-consistent).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return threads_.size();
+  }
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  /// Claims and runs indices of `batch` until none remain.
+  static void work_on(Batch& batch);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::shared_ptr<Batch>> batches_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace keygraphs

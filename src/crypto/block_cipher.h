@@ -54,6 +54,9 @@ std::unique_ptr<BlockCipher> make_cipher(CipherAlgorithm algorithm,
 /// Key size in bytes required by `algorithm`.
 std::size_t cipher_key_size(CipherAlgorithm algorithm);
 
+/// Block (and IV) size in bytes of `algorithm`, without keying a cipher.
+std::size_t cipher_block_size(CipherAlgorithm algorithm);
+
 /// Name for logs and bench tables.
 std::string cipher_name(CipherAlgorithm algorithm);
 

@@ -13,7 +13,14 @@
 
 namespace keygraphs::crypto {
 
-/// ChaCha20-based generator. Not thread-safe; use one per thread.
+/// ChaCha20-based generator.
+///
+/// Thread-safety contract: an instance is NOT thread-safe — it is a single
+/// deterministic stream, and interleaved draws from several threads would
+/// both race on the DRBG state and destroy reproducibility. Use one
+/// instance per thread, or confine all draws to one phase: the rekey
+/// pipeline draws every IV and fresh key in the plan phase (under the
+/// server lock) so the parallel seal workers never touch the RNG.
 class SecureRandom {
  public:
   /// Seeded from the operating system (std::random_device).

@@ -35,6 +35,18 @@ std::size_t cipher_key_size(CipherAlgorithm algorithm) {
   throw CryptoError("cipher_key_size: unknown cipher algorithm");
 }
 
+std::size_t cipher_block_size(CipherAlgorithm algorithm) {
+  switch (algorithm) {
+    case CipherAlgorithm::kDes:
+      return Des::kBlockSize;
+    case CipherAlgorithm::kAes128:
+      return Aes128::kBlockSize;
+    case CipherAlgorithm::kDes3:
+      return Des3::kBlockSize;
+  }
+  throw CryptoError("cipher_block_size: unknown cipher algorithm");
+}
+
 std::string cipher_name(CipherAlgorithm algorithm) {
   switch (algorithm) {
     case CipherAlgorithm::kDes:

@@ -7,7 +7,18 @@ namespace keygraphs::merkle {
 std::vector<BatchSignatureItem> batch_sign(
     const crypto::RsaPrivateKey& key, crypto::DigestAlgorithm algorithm,
     std::span<const Bytes> messages) {
-  // One batch = one RSA signature amortized over messages.size() rekey
+  std::vector<Bytes> leaves;
+  leaves.reserve(messages.size());
+  for (const Bytes& message : messages) {
+    leaves.push_back(crypto::digest_of(algorithm, message));
+  }
+  return batch_sign_leaves(key, algorithm, std::move(leaves));
+}
+
+std::vector<BatchSignatureItem> batch_sign_leaves(
+    const crypto::RsaPrivateKey& key, crypto::DigestAlgorithm algorithm,
+    std::vector<Bytes> leaves) {
+  // One batch = one RSA signature amortized over leaves.size() rekey
   // messages; the batch-size and latency series show what Section 4 buys.
   static auto& batches =
       telemetry::Registry::global().counter("merkle.batches");
@@ -17,21 +28,17 @@ std::vector<BatchSignatureItem> batch_sign(
       telemetry::Registry::global().histogram("merkle.sign_ns");
   if (telemetry::enabled()) {
     batches.add(1);
-    batch_size.record(messages.size());
+    batch_size.record(leaves.size());
   }
   const telemetry::ScopedSpan span("merkle.batch_sign", &sign_ns);
 
-  std::vector<Bytes> leaves;
-  leaves.reserve(messages.size());
-  for (const Bytes& message : messages) {
-    leaves.push_back(crypto::digest_of(algorithm, message));
-  }
+  const std::size_t count = leaves.size();
   const DigestTree tree(algorithm, std::move(leaves));
   const Bytes signature = key.sign_digest(algorithm, tree.root());
 
   std::vector<BatchSignatureItem> items;
-  items.reserve(messages.size());
-  for (std::size_t i = 0; i < messages.size(); ++i) {
+  items.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
     items.push_back(BatchSignatureItem{signature, tree.path(i)});
   }
   return items;

@@ -27,6 +27,14 @@ std::vector<BatchSignatureItem> batch_sign(
     const crypto::RsaPrivateKey& key, crypto::DigestAlgorithm algorithm,
     std::span<const Bytes> messages);
 
+/// batch_sign() for callers that already hashed the messages: `leaves` are
+/// the per-message digests under `algorithm`, in message order. The rekey
+/// seal phase computes the leaves on its worker threads and funnels them
+/// through here for the tree build and the single root signature.
+std::vector<BatchSignatureItem> batch_sign_leaves(
+    const crypto::RsaPrivateKey& key, crypto::DigestAlgorithm algorithm,
+    std::vector<Bytes> leaves);
+
 /// Verifies one message against its batch signature item.
 [[nodiscard]] bool batch_verify(const crypto::RsaPublicKey& key,
                                 crypto::DigestAlgorithm algorithm,

@@ -4,9 +4,9 @@
 
 namespace keygraphs::rekey {
 
-std::vector<OutboundRekey> plan_batch(const BatchRecord& record,
-                                      RekeyEncryptor& encryptor) {
-  std::vector<OutboundRekey> out;
+std::vector<PlannedRekey> plan_batch(const BatchRecord& record,
+                                     RekeyPlanner& planner) {
+  std::vector<PlannedRekey> out;
   if (record.changes.empty()) return out;
 
   // The multicast: every changed node's new key wrapped under each of its
@@ -14,9 +14,10 @@ std::vector<OutboundRekey> plan_batch(const BatchRecord& record,
   // a group-oriented leave. Joiners' individual keys are leaves here too,
   // but joiners are served by their welcome unicasts (they are not yet on
   // the group's multicast address).
-  RekeyMessage broadcast =
+  PlannedRekey broadcast;
+  broadcast.header =
       detail::base_message(RekeyKind::kBatch, StrategyKind::kGroupOriented);
-  const KeyId root = record.changes.empty() ? 0 : [&record] {
+  const KeyId root = [&record] {
     // The root is the unique changed node that is nobody's child.
     std::set<KeyId> children;
     for (const BatchChange& change : record.changes) {
@@ -32,28 +33,36 @@ std::vector<OutboundRekey> plan_batch(const BatchRecord& record,
 
   for (const BatchChange& change : record.changes) {
     for (const ChildKey& child : change.children) {
-      broadcast.blobs.push_back(
-          encryptor.wrap(child.key, std::span(&change.new_key, 1)));
+      broadcast.ops.push_back(
+          planner.wrap(child.key, std::span(&change.new_key, 1)));
     }
   }
-  if (!broadcast.blobs.empty()) {
-    out.push_back(
-        OutboundRekey{Recipient::to_subgroup(root), std::move(broadcast)});
+  if (!broadcast.ops.empty()) {
+    broadcast.to = Recipient::to_subgroup(root);
+    out.push_back(std::move(broadcast));
   }
 
   for (const auto& [user, keyset] : record.joiner_keysets) {
-    RekeyMessage welcome =
+    PlannedRekey welcome;
+    welcome.header =
         detail::base_message(RekeyKind::kBatch, StrategyKind::kGroupOriented);
     // keyset is leaf-to-root; the leaf (individual key) wraps the rest.
     const SymmetricKey& individual = keyset.front();
     const std::vector<SymmetricKey> rest(keyset.begin() + 1, keyset.end());
     if (!rest.empty()) {
-      welcome.blobs.push_back(encryptor.wrap(individual, rest));
+      welcome.ops.push_back(planner.wrap(individual, rest));
     }
-    out.push_back(
-        OutboundRekey{Recipient::to_user(user), std::move(welcome)});
+    welcome.to = Recipient::to_user(user);
+    out.push_back(std::move(welcome));
   }
   return out;
+}
+
+std::vector<OutboundRekey> plan_batch(const BatchRecord& record,
+                                      RekeyEncryptor& encryptor) {
+  RekeyPlanner planner(encryptor.cipher(), encryptor.rng());
+  std::vector<PlannedRekey> messages = plan_batch(record, planner);
+  return materialize(planner.take(std::move(messages)), encryptor);
 }
 
 }  // namespace keygraphs::rekey

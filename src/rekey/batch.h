@@ -14,9 +14,13 @@
 
 namespace keygraphs::rekey {
 
-/// Builds the rekey messages for one batched membership update: a single
+/// Plans the rekey messages for one batched membership update: a single
 /// group multicast plus one unicast per joiner. Returns an empty vector
 /// for an empty batch.
+std::vector<PlannedRekey> plan_batch(const BatchRecord& record,
+                                     RekeyPlanner& planner);
+
+/// Eager form (plan + serial materialize), for tests and tools.
 std::vector<OutboundRekey> plan_batch(const BatchRecord& record,
                                       RekeyEncryptor& encryptor);
 

@@ -28,6 +28,17 @@ RekeyEncryptor::RekeyEncryptor(crypto::CipherAlgorithm cipher,
 KeyBlob RekeyEncryptor::wrap(const SymmetricKey& wrapping,
                              std::span<const SymmetricKey> targets) {
   if (targets.empty()) throw Error("RekeyEncryptor: empty target list");
+  // CbcCipher::encrypt(pt, rng) is exactly encrypt_with_iv(pt,
+  // rng.bytes(block)), so drawing the IV here keeps the RNG stream — and
+  // therefore every golden wire byte — identical to the eager path.
+  return wrap_with_iv(wrapping, targets,
+                      rng_.bytes(crypto::cipher_block_size(cipher_)));
+}
+
+KeyBlob RekeyEncryptor::wrap_with_iv(const SymmetricKey& wrapping,
+                                     std::span<const SymmetricKey> targets,
+                                     BytesView iv) {
+  if (targets.empty()) throw Error("RekeyEncryptor: empty target list");
   KeyBlob blob;
   blob.wrap = wrapping.ref();
   Bytes plaintext;
@@ -37,7 +48,7 @@ KeyBlob RekeyEncryptor::wrap(const SymmetricKey& wrapping,
                      target.secret.end());
   }
   const crypto::CbcCipher cbc(crypto::make_cipher(cipher_, wrapping.secret));
-  blob.ciphertext = cbc.encrypt(plaintext, rng_);
+  blob.ciphertext = cbc.encrypt_with_iv(plaintext, iv);
   key_encryptions_ += targets.size();
   if (telemetry::enabled()) {
     static auto& encryptions =
@@ -71,6 +82,60 @@ std::size_t RekeySealer::signatures_for(std::size_t n) const {
   }
 }
 
+std::vector<merkle::BatchSignatureItem> RekeySealer::batch_items_from_leaves(
+    std::vector<Bytes> leaves) const {
+  if (mode_ != SigningMode::kBatch) {
+    throw CryptoError("RekeySealer: batch items requested outside kBatch");
+  }
+  return merkle::batch_sign_leaves(*signer_, digest_, std::move(leaves));
+}
+
+Bytes RekeySealer::envelope(
+    const Bytes& body, const merkle::BatchSignatureItem* batch_item) const {
+  using telemetry::Stage;
+  using telemetry::StageScope;
+
+  ByteWriter writer;
+  writer.var_bytes(body);
+  switch (mode_) {
+    case SigningMode::kNone:
+      writer.u8(static_cast<std::uint8_t>(AuthKind::kNone));
+      break;
+    case SigningMode::kDigestOnly: {
+      writer.u8(static_cast<std::uint8_t>(AuthKind::kDigest));
+      writer.u8(static_cast<std::uint8_t>(digest_));
+      Bytes digest;
+      {
+        const StageScope scope(Stage::kSign);
+        digest = crypto::digest_of(digest_, body);
+      }
+      writer.var_bytes(digest);
+      break;
+    }
+    case SigningMode::kPerMessage: {
+      writer.u8(static_cast<std::uint8_t>(AuthKind::kSignature));
+      writer.u8(static_cast<std::uint8_t>(digest_));
+      Bytes signature;
+      {
+        const StageScope scope(Stage::kSign);
+        signature = signer_->sign(digest_, body);
+      }
+      writer.var_bytes(signature);
+      break;
+    }
+    case SigningMode::kBatch:
+      if (batch_item == nullptr) {
+        throw CryptoError("RekeySealer: kBatch envelope needs a batch item");
+      }
+      writer.u8(static_cast<std::uint8_t>(AuthKind::kBatchSignature));
+      writer.u8(static_cast<std::uint8_t>(digest_));
+      writer.var_bytes(batch_item->signature);
+      writer.var_bytes(batch_item->path.serialize());
+      break;
+  }
+  return writer.take();
+}
+
 std::vector<Bytes> RekeySealer::seal(
     std::span<const RekeyMessage> messages) const {
   using telemetry::Stage;
@@ -92,47 +157,12 @@ std::vector<Bytes> RekeySealer::seal(
   }
 
   // Envelope assembly is serialization; the digest/signature computations
-  // inside the loop charge the sign stage (nesting subtracts them here).
+  // inside envelope() charge the sign stage (nesting subtracts them here).
   const StageScope envelope_scope(Stage::kSerialize);
   std::vector<Bytes> wire;
   wire.reserve(bodies.size());
   for (std::size_t i = 0; i < bodies.size(); ++i) {
-    ByteWriter writer;
-    writer.var_bytes(bodies[i]);
-    switch (mode_) {
-      case SigningMode::kNone:
-        writer.u8(static_cast<std::uint8_t>(AuthKind::kNone));
-        break;
-      case SigningMode::kDigestOnly: {
-        writer.u8(static_cast<std::uint8_t>(AuthKind::kDigest));
-        writer.u8(static_cast<std::uint8_t>(digest_));
-        Bytes digest;
-        {
-          const StageScope scope(Stage::kSign);
-          digest = crypto::digest_of(digest_, bodies[i]);
-        }
-        writer.var_bytes(digest);
-        break;
-      }
-      case SigningMode::kPerMessage: {
-        writer.u8(static_cast<std::uint8_t>(AuthKind::kSignature));
-        writer.u8(static_cast<std::uint8_t>(digest_));
-        Bytes signature;
-        {
-          const StageScope scope(Stage::kSign);
-          signature = signer_->sign(digest_, bodies[i]);
-        }
-        writer.var_bytes(signature);
-        break;
-      }
-      case SigningMode::kBatch:
-        writer.u8(static_cast<std::uint8_t>(AuthKind::kBatchSignature));
-        writer.u8(static_cast<std::uint8_t>(digest_));
-        writer.var_bytes(batch[i].signature);
-        writer.var_bytes(batch[i].path.serialize());
-        break;
-    }
-    wire.push_back(writer.take());
+    wire.push_back(envelope(bodies[i], batch.empty() ? nullptr : &batch[i]));
   }
   return wire;
 }

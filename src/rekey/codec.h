@@ -13,6 +13,7 @@
 #include "crypto/random.h"
 #include "crypto/rsa.h"
 #include "crypto/suite.h"
+#include "merkle/batch_signer.h"
 #include "rekey/message.h"
 
 namespace keygraphs::rekey {
@@ -38,6 +39,13 @@ class RekeyEncryptor {
   [[nodiscard]] KeyBlob wrap(const SymmetricKey& wrapping,
                              std::span<const SymmetricKey> targets);
 
+  /// wrap() with a caller-supplied IV (exactly one cipher block). The
+  /// pipeline's materialization path uses this with IVs pre-drawn at plan
+  /// time; wrap() is this plus a fresh IV from the encryptor's RNG.
+  [[nodiscard]] KeyBlob wrap_with_iv(const SymmetricKey& wrapping,
+                                     std::span<const SymmetricKey> targets,
+                                     BytesView iv);
+
   [[nodiscard]] std::size_t key_encryptions() const noexcept {
     return key_encryptions_;
   }
@@ -46,6 +54,7 @@ class RekeyEncryptor {
   [[nodiscard]] crypto::CipherAlgorithm cipher() const noexcept {
     return cipher_;
   }
+  [[nodiscard]] crypto::SecureRandom& rng() noexcept { return rng_; }
 
  private:
   crypto::CipherAlgorithm cipher_;
@@ -68,6 +77,25 @@ class RekeySealer {
 
   /// Number of RSA signature operations seal() would use for `n` messages.
   [[nodiscard]] std::size_t signatures_for(std::size_t n) const;
+
+  [[nodiscard]] SigningMode mode() const noexcept { return mode_; }
+  [[nodiscard]] crypto::DigestAlgorithm digest() const noexcept {
+    return digest_;
+  }
+
+  /// Batch-signature items for pre-hashed message digests (kBatch mode
+  /// only; throws otherwise). The RekeyExecutor computes the leaf digests
+  /// in parallel and funnels them through here for the single root
+  /// signature.
+  [[nodiscard]] std::vector<merkle::BatchSignatureItem>
+  batch_items_from_leaves(std::vector<Bytes> leaves) const;
+
+  /// One message's wire envelope: length-prefixed body plus the auth
+  /// section for this sealer's mode. `batch_item` must be non-null exactly
+  /// when mode() == kBatch. Digest/signature work inside charges the sign
+  /// stage; the assembly around it is the caller's to attribute.
+  [[nodiscard]] Bytes envelope(
+      const Bytes& body, const merkle::BatchSignatureItem* batch_item) const;
 
  private:
   SigningMode mode_;

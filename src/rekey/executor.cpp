@@ -1,0 +1,113 @@
+#include "rekey/executor.h"
+
+#include "telemetry/stage.h"
+
+namespace keygraphs::rekey {
+
+using telemetry::Stage;
+using telemetry::StageScope;
+
+namespace {
+
+/// Resolves one WrapOp into its KeyBlob. Runs on any thread: reads only
+/// the immutable plan and bumps the (atomic) global encryption counter.
+KeyBlob seal_wrap(crypto::CipherAlgorithm cipher, const WrapOp& op,
+                  const KeySnapshot& keys) {
+  KeyBlob blob;
+  blob.wrap = op.wrap;
+  blob.targets = op.targets;
+  Bytes plaintext;
+  for (const KeyRef& target : op.targets) {
+    const Bytes& secret = keys.secret(target);
+    plaintext.insert(plaintext.end(), secret.begin(), secret.end());
+  }
+  const crypto::CbcCipher cbc(
+      crypto::make_cipher(cipher, keys.secret(op.wrap)));
+  blob.ciphertext = cbc.encrypt_with_iv(plaintext, op.iv);
+  if (telemetry::enabled()) {
+    static auto& encryptions =
+        telemetry::Registry::global().counter("rekey.key_encryptions");
+    encryptions.add(op.targets.size());
+  }
+  secure_wipe(plaintext);
+  return blob;
+}
+
+}  // namespace
+
+RekeyExecutor::RekeyExecutor(crypto::CipherAlgorithm cipher,
+                             std::size_t threads)
+    : cipher_(cipher), threads_(threads == 0 ? 1 : threads) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
+}
+
+void RekeyExecutor::run(std::size_t n,
+                        const std::function<void(std::size_t)>& fn) {
+  if (pool_ && n > 1) {
+    pool_->parallel_for(n, fn);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+std::vector<SealedRekey> RekeyExecutor::seal(const RekeyPlan& plan,
+                                             const RekeySealer& sealer) {
+  const std::size_t message_count = plan.messages.size();
+  std::vector<SealedRekey> out(message_count);
+  if (message_count == 0) return out;
+
+  // 1. Wrap ops -> blobs: the paper's dominant server cost, and
+  //    embarrassingly parallel. Shared ops (key-oriented chains, hybrid
+  //    path blobs) are computed once here and copied per message below.
+  std::vector<KeyBlob> blobs(plan.ops.size());
+  {
+    const StageScope scope(Stage::kEncrypt);
+    run(plan.ops.size(), [&](std::size_t i) {
+      const StageScope op_scope(Stage::kEncrypt);  // inert on pool workers
+      blobs[i] = seal_wrap(cipher_, plan.ops[i], plan.keys);
+    });
+  }
+
+  // 2. Message assembly + body serialization.
+  std::vector<Bytes> bodies(message_count);
+  {
+    const StageScope scope(Stage::kSerialize);
+    run(message_count, [&](std::size_t i) {
+      const StageScope body_scope(Stage::kSerialize);
+      RekeyMessage message = plan.messages[i].header;
+      message.blobs.reserve(plan.messages[i].ops.size());
+      for (const std::uint32_t op : plan.messages[i].ops) {
+        message.blobs.push_back(blobs[op]);
+      }
+      bodies[i] = message.serialize_body();
+    });
+  }
+
+  // 3. Batch signing: leaf digests in parallel, then the Merkle tree and
+  //    its one RSA root signature serially on this thread.
+  std::vector<merkle::BatchSignatureItem> batch;
+  if (sealer.mode() == SigningMode::kBatch) {
+    const StageScope scope(Stage::kSign);
+    std::vector<Bytes> leaves(message_count);
+    run(message_count, [&](std::size_t i) {
+      const StageScope leaf_scope(Stage::kSign);
+      leaves[i] = crypto::digest_of(sealer.digest(), bodies[i]);
+    });
+    batch = sealer.batch_items_from_leaves(std::move(leaves));
+  }
+
+  // 4. Envelopes. Per-message digests/signatures (kDigestOnly /
+  //    kPerMessage) happen inside envelope(), in parallel.
+  {
+    const StageScope scope(Stage::kSerialize);
+    run(message_count, [&](std::size_t i) {
+      const StageScope envelope_scope(Stage::kSerialize);
+      out[i].to = plan.messages[i].to;
+      out[i].wire =
+          sealer.envelope(bodies[i], batch.empty() ? nullptr : &batch[i]);
+    });
+  }
+  return out;
+}
+
+}  // namespace keygraphs::rekey

@@ -2,54 +2,55 @@
 
 namespace keygraphs::rekey {
 
-std::vector<OutboundRekey> GroupOrientedStrategy::plan_join(
-    const JoinRecord& record, RekeyEncryptor& encryptor) const {
-  std::vector<OutboundRekey> out;
+std::vector<PlannedRekey> GroupOrientedStrategy::plan_join(
+    const JoinRecord& record, RekeyPlanner& planner) const {
+  std::vector<PlannedRekey> out;
   const std::size_t j = record.path.size() - 1;
 
   // Figure 7 step (4): one multicast with {K'_i}_{K_i} for the whole path.
-  RekeyMessage broadcast =
+  PlannedRekey broadcast;
+  broadcast.header =
       detail::base_message(RekeyKind::kJoin, StrategyKind::kGroupOriented);
   for (const PathChange& change : record.path) {
     if (change.old_key.has_value()) {
-      broadcast.blobs.push_back(encryptor.wrap(
-          *change.old_key, std::span(&change.new_key, 1)));
+      broadcast.ops.push_back(
+          planner.wrap(*change.old_key, std::span(&change.new_key, 1)));
     }
   }
-  if (!broadcast.blobs.empty()) {
-    out.push_back(OutboundRekey{
-        Recipient::to_subgroup(record.path.front().node),
-        std::move(broadcast)});
+  if (!broadcast.ops.empty()) {
+    broadcast.to = Recipient::to_subgroup(record.path.front().node);
+    out.push_back(std::move(broadcast));
   }
 
   // Figure 7 step (5): unicast bundle for the joining user.
-  RekeyMessage welcome =
+  PlannedRekey welcome;
+  welcome.header =
       detail::base_message(RekeyKind::kJoin, StrategyKind::kGroupOriented);
-  welcome.blobs.push_back(encryptor.wrap(
-      record.individual_key, detail::new_keys_upto(record.path, j)));
-  out.push_back(
-      OutboundRekey{Recipient::to_user(record.user), std::move(welcome)});
+  const std::vector<SymmetricKey> keyset = detail::new_keys_upto(record.path, j);
+  welcome.ops.push_back(planner.wrap(record.individual_key, keyset));
+  welcome.to = Recipient::to_user(record.user);
+  out.push_back(std::move(welcome));
   return out;
 }
 
-std::vector<OutboundRekey> GroupOrientedStrategy::plan_leave(
-    const LeaveRecord& record, RekeyEncryptor& encryptor) const {
+std::vector<PlannedRekey> GroupOrientedStrategy::plan_leave(
+    const LeaveRecord& record, RekeyPlanner& planner) const {
   // Figure 9: one multicast carrying L_0, ..., L_j, where L_i holds K'_i
   // wrapped under the key of every child of x_i (including the on-path
   // child, whose key is itself new — clients decrypt to a fixpoint).
-  RekeyMessage broadcast =
+  PlannedRekey broadcast;
+  broadcast.header =
       detail::base_message(RekeyKind::kLeave, StrategyKind::kGroupOriented);
   for (std::size_t i = 0; i < record.path.size(); ++i) {
     for (const ChildKey& child : record.children[i]) {
-      broadcast.blobs.push_back(encryptor.wrap(
-          child.key, std::span(&record.path[i].new_key, 1)));
+      broadcast.ops.push_back(
+          planner.wrap(child.key, std::span(&record.path[i].new_key, 1)));
     }
   }
-  std::vector<OutboundRekey> out;
-  if (!broadcast.blobs.empty()) {
-    out.push_back(OutboundRekey{
-        Recipient::to_subgroup(record.path.front().node),
-        std::move(broadcast)});
+  std::vector<PlannedRekey> out;
+  if (!broadcast.ops.empty()) {
+    broadcast.to = Recipient::to_subgroup(record.path.front().node);
+    out.push_back(std::move(broadcast));
   }
   return out;
 }

@@ -2,31 +2,32 @@
 
 namespace keygraphs::rekey {
 
-std::vector<OutboundRekey> HybridStrategy::plan_join(
-    const JoinRecord& record, RekeyEncryptor& encryptor) const {
-  std::vector<OutboundRekey> out;
+std::vector<PlannedRekey> HybridStrategy::plan_join(
+    const JoinRecord& record, RekeyPlanner& planner) const {
+  std::vector<PlannedRekey> out;
   const std::size_t j = record.path.size() - 1;
 
-  // Path blobs {K'_i}_{K_i}, each encrypted once and shared across the
+  // Path blobs {K'_i}_{K_i}, each planned once and shared across the
   // subtree messages that need them.
-  std::vector<std::optional<KeyBlob>> path_blobs(record.path.size());
+  std::vector<std::optional<std::uint32_t>> path_ops(record.path.size());
   for (std::size_t i = 0; i <= j; ++i) {
     const PathChange& change = record.path[i];
     if (change.old_key.has_value()) {
-      path_blobs[i] = encryptor.wrap(
-          *change.old_key, std::span(&change.new_key, 1));
+      path_ops[i] =
+          planner.wrap(*change.old_key, std::span(&change.new_key, 1));
     }
   }
 
-  if (path_blobs[0].has_value()) {
+  if (path_ops[0].has_value()) {
     const KeyId join_subtree = j >= 1 ? record.path[1].node : 0;
     for (KeyId child : record.root_children) {
       if (child == record.individual_key.id) {
         continue;  // the joiner's own leaf: served by the unicast below
       }
-      RekeyMessage message =
+      PlannedRekey message;
+      message.header =
           detail::base_message(RekeyKind::kJoin, StrategyKind::kHybrid);
-      message.blobs.push_back(*path_blobs[0]);
+      message.ops.push_back(*path_ops[0]);
       // Existing members listen on the keys they *held before* this join,
       // so the subtree containing the joining point is addressed by its old
       // key id — which is the split leaf's individual key id when this join
@@ -34,54 +35,56 @@ std::vector<OutboundRekey> HybridStrategy::plan_join(
       KeyId address = child;
       if (child == join_subtree) {
         for (std::size_t i = 1; i <= j; ++i) {
-          if (path_blobs[i].has_value()) {
-            message.blobs.push_back(*path_blobs[i]);
+          if (path_ops[i].has_value()) {
+            message.ops.push_back(*path_ops[i]);
           }
         }
         if (record.path[1].old_key.has_value()) {
           address = record.path[1].old_key->id;
         }
       }
-      out.push_back(OutboundRekey{Recipient::to_subgroup(address),
-                                  std::move(message)});
+      message.to = Recipient::to_subgroup(address);
+      out.push_back(std::move(message));
     }
   }
 
-  RekeyMessage welcome =
+  PlannedRekey welcome;
+  welcome.header =
       detail::base_message(RekeyKind::kJoin, StrategyKind::kHybrid);
-  welcome.blobs.push_back(encryptor.wrap(
-      record.individual_key, detail::new_keys_upto(record.path, j)));
-  out.push_back(
-      OutboundRekey{Recipient::to_user(record.user), std::move(welcome)});
+  const std::vector<SymmetricKey> keyset = detail::new_keys_upto(record.path, j);
+  welcome.ops.push_back(planner.wrap(record.individual_key, keyset));
+  welcome.to = Recipient::to_user(record.user);
+  out.push_back(std::move(welcome));
   return out;
 }
 
-std::vector<OutboundRekey> HybridStrategy::plan_leave(
-    const LeaveRecord& record, RekeyEncryptor& encryptor) const {
-  std::vector<OutboundRekey> out;
+std::vector<PlannedRekey> HybridStrategy::plan_leave(
+    const LeaveRecord& record, RekeyPlanner& planner) const {
+  std::vector<PlannedRekey> out;
   const std::size_t levels = record.path.size();
 
   // Group-oriented payloads for levels below the root, reused verbatim in
   // the one subtree message that needs them.
-  std::vector<KeyBlob> deep_blobs;
+  std::vector<std::uint32_t> deep_ops;
   for (std::size_t i = 1; i < levels; ++i) {
     for (const ChildKey& child : record.children[i]) {
-      deep_blobs.push_back(encryptor.wrap(
-          child.key, std::span(&record.path[i].new_key, 1)));
+      deep_ops.push_back(
+          planner.wrap(child.key, std::span(&record.path[i].new_key, 1)));
     }
   }
 
   for (const ChildKey& child : record.children[0]) {
-    RekeyMessage message =
+    PlannedRekey message;
+    message.header =
         detail::base_message(RekeyKind::kLeave, StrategyKind::kHybrid);
-    message.blobs.push_back(encryptor.wrap(
-        child.key, std::span(&record.path[0].new_key, 1)));
+    message.ops.push_back(
+        planner.wrap(child.key, std::span(&record.path[0].new_key, 1)));
     if (child.on_path) {
-      message.blobs.insert(message.blobs.end(), deep_blobs.begin(),
-                           deep_blobs.end());
+      message.ops.insert(message.ops.end(), deep_ops.begin(),
+                         deep_ops.end());
     }
-    out.push_back(OutboundRekey{Recipient::to_subgroup(child.node),
-                                std::move(message)});
+    message.to = Recipient::to_subgroup(child.node);
+    out.push_back(std::move(message));
   }
   return out;
 }

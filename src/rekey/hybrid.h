@@ -20,11 +20,14 @@ class HybridStrategy final : public RekeyStrategy {
     return StrategyKind::kHybrid;
   }
 
-  [[nodiscard]] std::vector<OutboundRekey> plan_join(
-      const JoinRecord& record, RekeyEncryptor& encryptor) const override;
+  using RekeyStrategy::plan_join;
+  using RekeyStrategy::plan_leave;
 
-  [[nodiscard]] std::vector<OutboundRekey> plan_leave(
-      const LeaveRecord& record, RekeyEncryptor& encryptor) const override;
+  [[nodiscard]] std::vector<PlannedRekey> plan_join(
+      const JoinRecord& record, RekeyPlanner& planner) const override;
+
+  [[nodiscard]] std::vector<PlannedRekey> plan_leave(
+      const LeaveRecord& record, RekeyPlanner& planner) const override;
 };
 
 }  // namespace keygraphs::rekey

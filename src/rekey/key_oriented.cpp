@@ -2,74 +2,78 @@
 
 namespace keygraphs::rekey {
 
-std::vector<OutboundRekey> KeyOrientedStrategy::plan_join(
-    const JoinRecord& record, RekeyEncryptor& encryptor) const {
-  std::vector<OutboundRekey> out;
+std::vector<PlannedRekey> KeyOrientedStrategy::plan_join(
+    const JoinRecord& record, RekeyPlanner& planner) const {
+  std::vector<PlannedRekey> out;
   const std::size_t j = record.path.size() - 1;
 
-  // {K'_i}_{K_i}, each computed exactly once (the 2(h-1) cost bound relies
+  // {K'_i}_{K_i}, each planned exactly once (the 2(h-1) cost bound relies
   // on this reuse), then combined per Figure 6 step (4).
-  std::vector<std::optional<KeyBlob>> path_blobs(record.path.size());
+  std::vector<std::optional<std::uint32_t>> path_ops(record.path.size());
   for (std::size_t i = 0; i <= j; ++i) {
     const PathChange& change = record.path[i];
     if (change.old_key.has_value()) {
-      path_blobs[i] = encryptor.wrap(
-          *change.old_key, std::span(&change.new_key, 1));
+      path_ops[i] =
+          planner.wrap(*change.old_key, std::span(&change.new_key, 1));
     }
   }
 
   for (std::size_t i = 0; i <= j; ++i) {
-    if (!path_blobs[i].has_value()) continue;
-    RekeyMessage message =
+    if (!path_ops[i].has_value()) continue;
+    PlannedRekey message;
+    message.header =
         detail::base_message(RekeyKind::kJoin, StrategyKind::kKeyOriented);
     for (std::size_t l = 0; l <= i; ++l) {
-      if (path_blobs[l].has_value()) message.blobs.push_back(*path_blobs[l]);
+      if (path_ops[l].has_value()) message.ops.push_back(*path_ops[l]);
     }
     std::optional<KeyId> exclude;
     if (i < j && record.path[i + 1].old_key.has_value()) {
       exclude = record.path[i + 1].old_key->id;
     }
-    out.push_back(OutboundRekey{
-        Recipient::to_subgroup(record.path[i].old_key->id, exclude),
-        std::move(message)});
+    message.to =
+        Recipient::to_subgroup(record.path[i].old_key->id, exclude);
+    out.push_back(std::move(message));
   }
 
   // Figure 6 step (5): all new keys in one bundle for the joining user.
-  RekeyMessage welcome =
+  PlannedRekey welcome;
+  welcome.header =
       detail::base_message(RekeyKind::kJoin, StrategyKind::kKeyOriented);
-  welcome.blobs.push_back(encryptor.wrap(
-      record.individual_key, detail::new_keys_upto(record.path, j)));
-  out.push_back(
-      OutboundRekey{Recipient::to_user(record.user), std::move(welcome)});
+  const std::vector<SymmetricKey> keyset = detail::new_keys_upto(record.path, j);
+  welcome.ops.push_back(planner.wrap(record.individual_key, keyset));
+  welcome.to = Recipient::to_user(record.user);
+  out.push_back(std::move(welcome));
   return out;
 }
 
-std::vector<OutboundRekey> KeyOrientedStrategy::plan_leave(
-    const LeaveRecord& record, RekeyEncryptor& encryptor) const {
-  std::vector<OutboundRekey> out;
+std::vector<PlannedRekey> KeyOrientedStrategy::plan_leave(
+    const LeaveRecord& record, RekeyPlanner& planner) const {
+  std::vector<PlannedRekey> out;
   const std::size_t levels = record.path.size();
 
-  // Figure 8's chain {K'_{i-1}}_{K'_i}: each link encrypted once and reused
-  // in every message sent below level i.
-  std::vector<KeyBlob> chain(levels);  // chain[i] valid for i >= 1
+  // Figure 8's chain {K'_{i-1}}_{K'_i}: each link planned once and reused
+  // in every message sent below level i (one op, many references — the
+  // seal phase encrypts it a single time).
+  std::vector<std::uint32_t> chain(levels);  // chain[i] valid for i >= 1
   for (std::size_t i = 1; i < levels; ++i) {
-    chain[i] = encryptor.wrap(record.path[i].new_key,
-                              std::span(&record.path[i - 1].new_key, 1));
+    chain[i] = planner.wrap(record.path[i].new_key,
+                            std::span(&record.path[i - 1].new_key, 1));
   }
 
   for (std::size_t i = 0; i < levels; ++i) {
     for (const ChildKey& child : record.children[i]) {
       if (child.on_path) continue;
-      RekeyMessage message = detail::base_message(
-          RekeyKind::kLeave, StrategyKind::kKeyOriented);
+      PlannedRekey message;
+      message.header =
+          detail::base_message(RekeyKind::kLeave, StrategyKind::kKeyOriented);
       // {K'_i}_{K_child} then the chain up to the root.
-      message.blobs.push_back(encryptor.wrap(
-          child.key, std::span(&record.path[i].new_key, 1)));
+      message.ops.push_back(
+          planner.wrap(child.key, std::span(&record.path[i].new_key, 1)));
       for (std::size_t l = i; l >= 1; --l) {
-        message.blobs.push_back(chain[l]);
+        message.ops.push_back(chain[l]);
       }
-      out.push_back(OutboundRekey{Recipient::to_subgroup(child.node),
-                                  std::move(message)});
+      message.to = Recipient::to_subgroup(child.node);
+      out.push_back(std::move(message));
     }
   }
   return out;

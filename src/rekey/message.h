@@ -24,6 +24,11 @@ enum class RekeyKind : std::uint8_t {
   kJoin = 1,
   kLeave = 2,
   kBatch = 3,
+  /// Stats-only: a keyset replay for a member that missed a rekey. Never
+  /// serialized — on the wire a resync is a welcome-shaped kJoin message,
+  /// so parse_body() will never produce this value; it exists so OpRecords
+  /// can account recovery traffic separately from real joins.
+  kResync = 4,
 };
 
 /// The paper's three rekeying strategies plus the Section 7 hybrid.

@@ -1,0 +1,80 @@
+#include "rekey/plan.h"
+
+#include "common/error.h"
+#include "rekey/codec.h"
+
+namespace keygraphs::rekey {
+
+KeySnapshot::~KeySnapshot() {
+  for (auto& [ref, secret] : secrets_) secure_wipe(secret);
+}
+
+void KeySnapshot::add(const SymmetricKey& key) {
+  secrets_.try_emplace(key.ref(), key.secret);
+}
+
+const Bytes& KeySnapshot::secret(const KeyRef& ref) const {
+  const auto it = secrets_.find(ref);
+  if (it == secrets_.end()) {
+    throw Error("KeySnapshot: no secret for " + to_string(ref));
+  }
+  return it->second;
+}
+
+RekeyPlanner::RekeyPlanner(crypto::CipherAlgorithm cipher,
+                           crypto::SecureRandom& rng)
+    : block_size_(crypto::cipher_block_size(cipher)), rng_(rng) {}
+
+std::uint32_t RekeyPlanner::wrap(const SymmetricKey& wrapping,
+                                 std::span<const SymmetricKey> targets) {
+  if (targets.empty()) throw Error("RekeyPlanner: empty target list");
+  WrapOp op;
+  op.wrap = wrapping.ref();
+  plan_.keys.add(wrapping);
+  op.targets.reserve(targets.size());
+  for (const SymmetricKey& target : targets) {
+    op.targets.push_back(target.ref());
+    plan_.keys.add(target);
+  }
+  op.iv = rng_.bytes(block_size_);
+  key_encryptions_ += targets.size();
+  plan_.ops.push_back(std::move(op));
+  return static_cast<std::uint32_t>(plan_.ops.size() - 1);
+}
+
+RekeyPlan RekeyPlanner::take(std::vector<PlannedRekey> messages) {
+  plan_.messages = std::move(messages);
+  plan_.key_encryptions = key_encryptions_;
+  return std::move(plan_);
+}
+
+std::vector<OutboundRekey> materialize(const RekeyPlan& plan,
+                                       RekeyEncryptor& encryptor) {
+  std::vector<KeyBlob> blobs;
+  blobs.reserve(plan.ops.size());
+  for (const WrapOp& op : plan.ops) {
+    SymmetricKey wrapping{op.wrap.id, op.wrap.version,
+                          plan.keys.secret(op.wrap)};
+    std::vector<SymmetricKey> targets;
+    targets.reserve(op.targets.size());
+    for (const KeyRef& ref : op.targets) {
+      targets.push_back({ref.id, ref.version, plan.keys.secret(ref)});
+    }
+    blobs.push_back(encryptor.wrap_with_iv(wrapping, targets, op.iv));
+    secure_wipe(wrapping.secret);
+    for (SymmetricKey& target : targets) secure_wipe(target.secret);
+  }
+  std::vector<OutboundRekey> out;
+  out.reserve(plan.messages.size());
+  for (const PlannedRekey& planned : plan.messages) {
+    OutboundRekey outbound{planned.to, planned.header};
+    outbound.message.blobs.reserve(planned.ops.size());
+    for (const std::uint32_t op : planned.ops) {
+      outbound.message.blobs.push_back(blobs[op]);
+    }
+    out.push_back(std::move(outbound));
+  }
+  return out;
+}
+
+}  // namespace keygraphs::rekey

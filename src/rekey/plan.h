@@ -1,0 +1,115 @@
+// The intermediate representation between the rekey pipeline's phases.
+//
+// The plan phase (strategy code, running under the server lock) no longer
+// encrypts anything: it emits symbolic WrapOps — "targets' secrets under
+// this wrapping key" — plus the messages that reference them by index, and
+// snapshots every key secret an op needs. The seal phase (RekeyExecutor)
+// later resolves the ops against that immutable snapshot on any number of
+// worker threads. Because ops carry a pre-drawn IV, sealing is fully
+// deterministic and workers never touch the (single-threaded) SecureRandom.
+//
+// Blob sharing is first-class: a message lists op *indices*, so the
+// key-oriented leave chain of Figure 8 (each link encrypted once, reused in
+// every message below it) is one op referenced by many messages, and the
+// paper's encryption counts stay exact.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/block_cipher.h"
+#include "crypto/random.h"
+#include "rekey/message.h"
+
+namespace keygraphs::rekey {
+
+class RekeyEncryptor;
+
+/// One deferred key encryption: the concatenated secrets of `targets`
+/// CBC-encrypted under `wrap` with the pre-drawn `iv`.
+struct WrapOp {
+  KeyRef wrap;
+  std::vector<KeyRef> targets;
+  Bytes iv;  // exactly one cipher block, drawn in the plan phase
+};
+
+/// Immutable (id, version) -> secret map taken while planning. Old and new
+/// generations of the same node coexist (a join wraps K'_i under K_i).
+/// Secrets are wiped on destruction.
+class KeySnapshot {
+ public:
+  KeySnapshot() = default;
+  ~KeySnapshot();
+  KeySnapshot(KeySnapshot&&) noexcept = default;
+  KeySnapshot& operator=(KeySnapshot&&) noexcept = default;
+  KeySnapshot(const KeySnapshot&) = default;
+  KeySnapshot& operator=(const KeySnapshot&) = default;
+
+  void add(const SymmetricKey& key);
+  /// Throws Error for a ref that was never snapshotted.
+  [[nodiscard]] const Bytes& secret(const KeyRef& ref) const;
+  [[nodiscard]] std::size_t size() const noexcept { return secrets_.size(); }
+
+ private:
+  std::unordered_map<KeyRef, Bytes> secrets_;
+};
+
+/// One planned rekey message: destination, header (kind/strategy from the
+/// strategy; group/epoch/timestamp/obsolete stamped by the server) and the
+/// plan ops whose blobs it carries, in wire order. `header.blobs` stays
+/// empty until the seal phase fills it.
+struct PlannedRekey {
+  Recipient to;
+  RekeyMessage header;
+  std::vector<std::uint32_t> ops;
+};
+
+/// Everything the seal phase needs, detached from the live tree.
+struct RekeyPlan {
+  std::vector<WrapOp> ops;
+  KeySnapshot keys;
+  std::vector<PlannedRekey> messages;
+  /// Sum of targets per op — the paper's Section 3.5 server-cost unit,
+  /// counted at plan time so OpRecords do not wait for the seal.
+  std::size_t key_encryptions = 0;
+};
+
+/// The strategies' planning interface: records ops instead of encrypting.
+/// Draws each op's IV from `rng` immediately, in wrap-call order, so a
+/// planned-then-sealed run consumes the RNG stream exactly like the old
+/// eager path — and the seal phase needs no randomness at all.
+class RekeyPlanner {
+ public:
+  RekeyPlanner(crypto::CipherAlgorithm cipher, crypto::SecureRandom& rng);
+
+  /// Registers one wrap op and returns its index for message references.
+  /// Counts targets.size() key encryptions. Throws on an empty target list
+  /// (matching RekeyEncryptor::wrap).
+  [[nodiscard]] std::uint32_t wrap(const SymmetricKey& wrapping,
+                                   std::span<const SymmetricKey> targets);
+
+  [[nodiscard]] std::size_t key_encryptions() const noexcept {
+    return key_encryptions_;
+  }
+
+  /// Finalizes the plan around the given messages. The planner is spent
+  /// afterwards.
+  [[nodiscard]] RekeyPlan take(std::vector<PlannedRekey> messages);
+
+ private:
+  std::size_t block_size_;
+  crypto::SecureRandom& rng_;
+  RekeyPlan plan_;
+  std::size_t key_encryptions_ = 0;
+};
+
+/// Resolves a plan serially through `encryptor` (which counts the
+/// encryptions) into materialized messages — the pre-pipeline behavior.
+/// Tests and the compatibility overloads on RekeyStrategy use this; the
+/// server path uses RekeyExecutor instead.
+[[nodiscard]] std::vector<OutboundRekey> materialize(const RekeyPlan& plan,
+                                                     RekeyEncryptor& encryptor);
+
+}  // namespace keygraphs::rekey

@@ -1,11 +1,17 @@
 // Rekeying strategy interface (paper Section 3).
 //
 // A strategy is a pure planner: it consumes the tree-mutation record of one
-// join/leave and emits the rekey messages that operation requires, using a
-// RekeyEncryptor for the actual key wrapping (which also counts the key
-// encryptions, the paper's server-cost unit). The three strategies of the
-// paper plus the Section 7 hybrid all implement this interface, so the
-// server, the tests, and every benchmark treat them uniformly.
+// join/leave and emits PlannedRekey messages whose payloads are symbolic
+// WrapOps registered with a RekeyPlanner (which also counts the key
+// encryptions, the paper's server-cost unit — nothing is encrypted yet; the
+// RekeyExecutor seals the plan later, possibly on worker threads). The
+// three strategies of the paper plus the Section 7 hybrid all implement
+// this interface, so the server, the tests, and every benchmark treat them
+// uniformly.
+//
+// The non-virtual RekeyEncryptor overloads reproduce the pre-pipeline
+// eager behavior (plan + materialize in one call) for tests and tools that
+// want finished messages immediately.
 #pragma once
 
 #include <memory>
@@ -13,6 +19,7 @@
 #include "keygraph/key_tree.h"
 #include "rekey/codec.h"
 #include "rekey/message.h"
+#include "rekey/plan.h"
 
 namespace keygraphs::rekey {
 
@@ -24,12 +31,21 @@ class RekeyStrategy {
 
   /// Messages for a join: zero or more to existing members plus exactly one
   /// unicast to the joining user carrying its whole new keyset.
-  [[nodiscard]] virtual std::vector<OutboundRekey> plan_join(
-      const JoinRecord& record, RekeyEncryptor& encryptor) const = 0;
+  [[nodiscard]] virtual std::vector<PlannedRekey> plan_join(
+      const JoinRecord& record, RekeyPlanner& planner) const = 0;
 
   /// Messages for a leave (no message goes to the departed user).
-  [[nodiscard]] virtual std::vector<OutboundRekey> plan_leave(
-      const LeaveRecord& record, RekeyEncryptor& encryptor) const = 0;
+  [[nodiscard]] virtual std::vector<PlannedRekey> plan_leave(
+      const LeaveRecord& record, RekeyPlanner& planner) const = 0;
+
+  /// Eager form: plans against `encryptor`'s cipher and RNG, then
+  /// materializes the blobs serially through it (counting its encryptions),
+  /// byte-identical to the pre-pipeline path.
+  [[nodiscard]] std::vector<OutboundRekey> plan_join(
+      const JoinRecord& record, RekeyEncryptor& encryptor) const;
+
+  [[nodiscard]] std::vector<OutboundRekey> plan_leave(
+      const LeaveRecord& record, RekeyEncryptor& encryptor) const;
 };
 
 /// Factory for all four strategies.

@@ -2,9 +2,9 @@
 
 namespace keygraphs::rekey {
 
-std::vector<OutboundRekey> UserOrientedStrategy::plan_join(
-    const JoinRecord& record, RekeyEncryptor& encryptor) const {
-  std::vector<OutboundRekey> out;
+std::vector<PlannedRekey> UserOrientedStrategy::plan_join(
+    const JoinRecord& record, RekeyPlanner& planner) const {
+  std::vector<PlannedRekey> out;
   const std::size_t j = record.path.size() - 1;
 
   // Figure 6's recipient structure with fully packed payloads: the users in
@@ -15,31 +15,32 @@ std::vector<OutboundRekey> UserOrientedStrategy::plan_join(
     if (!change.old_key.has_value()) continue;  // nobody held this key yet
     const std::vector<SymmetricKey> targets =
         detail::new_keys_upto(record.path, i);
-    RekeyMessage message =
+    PlannedRekey message;
+    message.header =
         detail::base_message(RekeyKind::kJoin, StrategyKind::kUserOriented);
-    message.blobs.push_back(encryptor.wrap(*change.old_key, targets));
+    message.ops.push_back(planner.wrap(*change.old_key, targets));
     std::optional<KeyId> exclude;
     if (i < j && record.path[i + 1].old_key.has_value()) {
       exclude = record.path[i + 1].old_key->id;
     }
-    out.push_back(OutboundRekey{
-        Recipient::to_subgroup(change.old_key->id, exclude),
-        std::move(message)});
+    message.to = Recipient::to_subgroup(change.old_key->id, exclude);
+    out.push_back(std::move(message));
   }
 
   // The joining user gets every new key under its individual key.
-  RekeyMessage welcome =
+  PlannedRekey welcome;
+  welcome.header =
       detail::base_message(RekeyKind::kJoin, StrategyKind::kUserOriented);
-  welcome.blobs.push_back(encryptor.wrap(
-      record.individual_key, detail::new_keys_upto(record.path, j)));
-  out.push_back(
-      OutboundRekey{Recipient::to_user(record.user), std::move(welcome)});
+  const std::vector<SymmetricKey> keyset = detail::new_keys_upto(record.path, j);
+  welcome.ops.push_back(planner.wrap(record.individual_key, keyset));
+  welcome.to = Recipient::to_user(record.user);
+  out.push_back(std::move(welcome));
   return out;
 }
 
-std::vector<OutboundRekey> UserOrientedStrategy::plan_leave(
-    const LeaveRecord& record, RekeyEncryptor& encryptor) const {
-  std::vector<OutboundRekey> out;
+std::vector<PlannedRekey> UserOrientedStrategy::plan_leave(
+    const LeaveRecord& record, RekeyPlanner& planner) const {
+  std::vector<PlannedRekey> out;
   // One message per unchanged child subtree of each path node: the subtree
   // under child y needs K'_i .. K'_0 and shares y's key, which wraps them.
   for (std::size_t i = 0; i < record.path.size(); ++i) {
@@ -47,11 +48,12 @@ std::vector<OutboundRekey> UserOrientedStrategy::plan_leave(
         detail::new_keys_upto(record.path, i);
     for (const ChildKey& child : record.children[i]) {
       if (child.on_path) continue;
-      RekeyMessage message = detail::base_message(
-          RekeyKind::kLeave, StrategyKind::kUserOriented);
-      message.blobs.push_back(encryptor.wrap(child.key, targets));
-      out.push_back(OutboundRekey{Recipient::to_subgroup(child.node),
-                                  std::move(message)});
+      PlannedRekey message;
+      message.header =
+          detail::base_message(RekeyKind::kLeave, StrategyKind::kUserOriented);
+      message.ops.push_back(planner.wrap(child.key, targets));
+      message.to = Recipient::to_subgroup(child.node);
+      out.push_back(std::move(message));
     }
   }
   return out;

@@ -1,14 +1,30 @@
-// Thread-safe facade over GroupKeyServer.
+// Thread-safe facade over GroupKeyServer — crypto outside the lock.
 //
 // The core server is single-threaded by design (the paper's prototype
 // serves one UDP socket). Deployments that accept requests from several
-// threads (e.g. one per TCP connection) wrap it in this facade: one mutex
-// serializes all membership operations and state reads. Coarse locking is
-// deliberate — a join/leave mutates the whole tree path, and the measured
-// cost of an operation (Figure 10: well under a millisecond unsigned) makes
-// finer-grained locking complexity without a payoff.
+// threads (e.g. one per TCP connection) wrap it in this facade. The
+// pipeline split lets the facade hold its mutex only for the cheap phases:
+//
+//   plan      under mutex_ — tree mutation, symbolic planning, IV draws.
+//   seal      UNLOCKED      — all encryptions/digests/signatures; this is
+//                             where concurrent operations overlap, and
+//                             each seal may itself fan out across
+//                             seal_threads workers.
+//   dispatch  under mutex_  — send + stats, sequenced by ticket so
+//                             messages leave in epoch order even when a
+//                             later op finishes sealing first. Dispatch
+//                             also resolves subgroup recipients lazily
+//                             from the live tree, which is why it takes
+//                             the same mutex as the planners.
+//
+// Tickets are issued under mutex_ at plan time; the sequencer (its own
+// mutex_ + condvar) releases dispatchers in ticket order. Lock order is
+// always sequence_mutex_ -> mutex_, and planners never touch the
+// sequencer, so there is no cycle. An op whose seal throws still retires
+// its ticket, keeping the sequence live.
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 
 #include "server/server.h"
@@ -23,29 +39,92 @@ class LockedGroupKeyServer {
       : server_(std::move(config), transport, std::move(acl)) {}
 
   JoinResult join(UserId user) {
-    const std::lock_guard lock(mutex_);
-    return server_.join(user);
+    GroupKeyServer::PendingRekey pending;
+    std::uint64_t ticket = 0;
+    {
+      const std::lock_guard lock(mutex_);
+      const JoinResult result = server_.plan_join(user, pending);
+      if (result != JoinResult::kGranted) return result;
+      ticket = tickets_issued_++;
+    }
+    seal_and_dispatch(std::move(pending), ticket);
+    return JoinResult::kGranted;
   }
 
   JoinResult join_with_token(UserId user, BytesView token) {
-    const std::lock_guard lock(mutex_);
-    return server_.join_with_token(user, token);
+    GroupKeyServer::PendingRekey pending;
+    std::uint64_t ticket = 0;
+    {
+      const std::lock_guard lock(mutex_);
+      const JoinResult result =
+          server_.plan_join_with_token(user, token, pending);
+      if (result != JoinResult::kGranted) return result;
+      ticket = tickets_issued_++;
+    }
+    seal_and_dispatch(std::move(pending), ticket);
+    return JoinResult::kGranted;
   }
 
   void leave(UserId user) {
-    const std::lock_guard lock(mutex_);
-    server_.leave(user);
+    GroupKeyServer::PendingRekey pending;
+    std::uint64_t ticket = 0;
+    {
+      const std::lock_guard lock(mutex_);
+      server_.plan_leave(user, pending);  // throws before a ticket exists
+      ticket = tickets_issued_++;
+    }
+    seal_and_dispatch(std::move(pending), ticket);
   }
 
   bool leave_with_token(UserId user, BytesView token) {
-    const std::lock_guard lock(mutex_);
-    return server_.leave_with_token(user, token);
+    GroupKeyServer::PendingRekey pending;
+    std::uint64_t ticket = 0;
+    {
+      const std::lock_guard lock(mutex_);
+      if (!server_.plan_leave_with_token(user, token, pending)) return false;
+      ticket = tickets_issued_++;
+    }
+    seal_and_dispatch(std::move(pending), ticket);
+    return true;
   }
 
   std::vector<UserId> batch(const std::vector<UserId>& join_users,
                             const std::vector<UserId>& leave_users) {
-    const std::lock_guard lock(mutex_);
-    return server_.batch(join_users, leave_users);
+    GroupKeyServer::PendingRekey pending;
+    std::vector<UserId> admitted;
+    std::uint64_t ticket = 0;
+    {
+      const std::lock_guard lock(mutex_);
+      admitted = server_.plan_batch(join_users, leave_users, pending);
+      ticket = tickets_issued_++;
+    }
+    seal_and_dispatch(std::move(pending), ticket);
+    return admitted;
+  }
+
+  void resync(UserId user) {
+    GroupKeyServer::PendingRekey pending;
+    std::uint64_t ticket = 0;
+    {
+      const std::lock_guard lock(mutex_);
+      server_.plan_resync(user, pending);
+      ticket = tickets_issued_++;
+    }
+    seal_and_dispatch(std::move(pending), ticket);
+  }
+
+  bool resync_with_token(UserId user, BytesView token) {
+    GroupKeyServer::PendingRekey pending;
+    std::uint64_t ticket = 0;
+    {
+      const std::lock_guard lock(mutex_);
+      if (!server_.plan_resync_with_token(user, token, pending)) {
+        return false;
+      }
+      ticket = tickets_issued_++;
+    }
+    seal_and_dispatch(std::move(pending), ticket);
+    return true;
   }
 
   [[nodiscard]] Bytes snapshot() const {
@@ -79,6 +158,8 @@ class LockedGroupKeyServer {
   }
 
   /// Runs `fn(const GroupKeyServer&)` under the lock for compound reads.
+  /// Waits for no in-flight seals: the view is the planned state, which
+  /// snapshot()/stats() readers already expect.
   template <typename Fn>
   auto with_server(Fn&& fn) const {
     const std::lock_guard lock(mutex_);
@@ -89,7 +170,41 @@ class LockedGroupKeyServer {
   [[nodiscard]] const AuthService& auth() const { return server_.auth(); }
 
  private:
-  mutable std::mutex mutex_;
+  void seal_and_dispatch(GroupKeyServer::PendingRekey&& pending,
+                         std::uint64_t ticket) {
+    try {
+      server_.seal(pending);  // unlocked: overlaps with other ops' crypto
+    } catch (...) {
+      retire(ticket);
+      throw;
+    }
+    std::unique_lock order(sequence_mutex_);
+    sequence_cv_.wait(order, [&] { return next_dispatch_ == ticket; });
+    try {
+      const std::lock_guard lock(mutex_);
+      server_.dispatch(std::move(pending));
+    } catch (...) {
+      ++next_dispatch_;
+      sequence_cv_.notify_all();
+      throw;
+    }
+    ++next_dispatch_;
+    sequence_cv_.notify_all();
+  }
+
+  /// Advances the sequence past `ticket` without dispatching (seal threw).
+  void retire(std::uint64_t ticket) {
+    std::unique_lock order(sequence_mutex_);
+    sequence_cv_.wait(order, [&] { return next_dispatch_ == ticket; });
+    ++next_dispatch_;
+    sequence_cv_.notify_all();
+  }
+
+  mutable std::mutex mutex_;  // guards server_ state: plan + dispatch + reads
+  std::uint64_t tickets_issued_ = 0;  // guarded by mutex_
+  std::mutex sequence_mutex_;
+  std::condition_variable sequence_cv_;
+  std::uint64_t next_dispatch_ = 0;  // guarded by sequence_mutex_
   GroupKeyServer server_;
 };
 

@@ -14,17 +14,6 @@ using telemetry::Stage;
 using telemetry::StageCollector;
 using telemetry::StageScope;
 
-namespace {
-
-std::uint64_t now_us() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::system_clock::now().time_since_epoch())
-          .count());
-}
-
-}  // namespace
-
 ServerConfig ServerConfig::star(ServerConfig base) {
   base.tree_degree = std::numeric_limits<int>::max();
   return base;
@@ -35,17 +24,25 @@ ServerConfig ServerConfig::star() { return star(ServerConfig{}); }
 GroupKeyServer::GroupKeyServer(ServerConfig config,
                                transport::ServerTransport& transport,
                                AccessControl acl)
-    : config_(config),
+    : config_(std::move(config)),
       transport_(transport),
       acl_(std::move(acl)),
-      auth_(config.auth_master),
-      rng_(config.rng_seed == 0 ? crypto::SecureRandom()
-                                : crypto::SecureRandom(config.rng_seed)),
-      encryptor_(config.suite.cipher, rng_) {
+      auth_(config_.auth_master),
+      rng_(config_.rng_seed == 0 ? crypto::SecureRandom()
+                                 : crypto::SecureRandom(config_.rng_seed)),
+      executor_(config_.suite.cipher, config_.seal_threads) {
   tree_ = std::make_unique<KeyTree>(config_.tree_degree,
                                     config_.suite.key_size(), rng_);
   strategy_ = rekey::make_strategy(config_.strategy);
   set_signing_mode(config_.signing);
+}
+
+std::uint64_t GroupKeyServer::now_us() const {
+  if (config_.clock_us) return config_.clock_us();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
 }
 
 void GroupKeyServer::set_signing_mode(rekey::SigningMode mode) {
@@ -67,6 +64,90 @@ void GroupKeyServer::set_signing_mode(rekey::SigningMode mode) {
 }
 
 JoinResult GroupKeyServer::join(UserId user) {
+  PendingRekey pending;
+  const JoinResult result = plan_join(user, pending);
+  if (result != JoinResult::kGranted) return result;
+  seal(pending);
+  dispatch(std::move(pending));
+  return JoinResult::kGranted;
+}
+
+JoinResult GroupKeyServer::join_with_token(UserId user, BytesView token) {
+  PendingRekey pending;
+  const JoinResult result = plan_join_with_token(user, token, pending);
+  if (result != JoinResult::kGranted) return result;
+  seal(pending);
+  dispatch(std::move(pending));
+  return JoinResult::kGranted;
+}
+
+void GroupKeyServer::leave(UserId user) {
+  PendingRekey pending;
+  plan_leave(user, pending);
+  seal(pending);
+  dispatch(std::move(pending));
+}
+
+bool GroupKeyServer::leave_with_token(UserId user, BytesView token) {
+  PendingRekey pending;
+  if (!plan_leave_with_token(user, token, pending)) return false;
+  seal(pending);
+  dispatch(std::move(pending));
+  return true;
+}
+
+std::vector<UserId> GroupKeyServer::batch(
+    const std::vector<UserId>& join_users,
+    const std::vector<UserId>& leave_users) {
+  PendingRekey pending;
+  std::vector<UserId> admitted = plan_batch(join_users, leave_users, pending);
+  seal(pending);
+  dispatch(std::move(pending));
+  return admitted;
+}
+
+void GroupKeyServer::resync(UserId user) {
+  PendingRekey pending;
+  plan_resync(user, pending);
+  seal(pending);
+  dispatch(std::move(pending));
+}
+
+bool GroupKeyServer::resync_with_token(UserId user, BytesView token) {
+  PendingRekey pending;
+  if (!plan_resync_with_token(user, token, pending)) return false;
+  seal(pending);
+  dispatch(std::move(pending));
+  return true;
+}
+
+void GroupKeyServer::finish_plan(PendingRekey& pending,
+                                 rekey::RekeyPlanner& planner,
+                                 std::vector<rekey::PlannedRekey> messages,
+                                 rekey::RekeyKind op_kind,
+                                 rekey::RekeyKind wire_kind,
+                                 const std::vector<KeyId>& obsolete,
+                                 bool advance_epoch,
+                                 const StageCollector& stages) {
+  if (advance_epoch) ++epoch_;
+  const std::uint64_t timestamp = now_us();
+  {
+    const StageScope scope(Stage::kSerialize);  // header stamping
+    for (rekey::PlannedRekey& message : messages) {
+      message.header.group = config_.group;
+      message.header.epoch = epoch_;
+      message.header.timestamp_us = timestamp;
+      message.header.kind = wire_kind;
+      message.header.obsolete = obsolete;
+    }
+  }
+  pending.plan = planner.take(std::move(messages));
+  pending.op.kind = op_kind;
+  pending.op.key_encryptions = pending.plan.key_encryptions;
+  pending.stage_us = stages.breakdown();
+}
+
+JoinResult GroupKeyServer::plan_join(UserId user, PendingRekey& pending) {
   StageCollector stages;
   Bytes individual_key;
   {
@@ -79,27 +160,26 @@ JoinResult GroupKeyServer::join(UserId user) {
     individual_key = auth_.individual_key(user, config_.suite.key_size());
   }
 
-  const auto started = std::chrono::steady_clock::now();
+  pending.started = std::chrono::steady_clock::now();
   std::optional<JoinRecord> record;
   {
     const StageScope scope(Stage::kTreeUpdate);  // keygen nests inside
     record.emplace(tree_->join(user, std::move(individual_key)));
   }
-  encryptor_.reset_counters();
-  std::vector<rekey::OutboundRekey> messages;
+  rekey::RekeyPlanner planner(config_.suite.cipher, rng_);
+  std::vector<rekey::PlannedRekey> messages;
   {
-    const StageScope scope(Stage::kEncrypt);
-    messages = strategy_->plan_join(*record, encryptor_);
+    const StageScope scope(Stage::kEncrypt);  // symbolic wraps + IV draws
+    messages = strategy_->plan_join(*record, planner);
   }
-
-  OpRecord op;
-  op.kind = rekey::RekeyKind::kJoin;
-  dispatch(std::move(messages), rekey::RekeyKind::kJoin,
-           record->removed_nodes, op, started);
+  finish_plan(pending, planner, std::move(messages), rekey::RekeyKind::kJoin,
+              rekey::RekeyKind::kJoin, record->removed_nodes,
+              /*advance_epoch=*/true, stages);
   return JoinResult::kGranted;
 }
 
-JoinResult GroupKeyServer::join_with_token(UserId user, BytesView token) {
+JoinResult GroupKeyServer::plan_join_with_token(UserId user, BytesView token,
+                                                PendingRekey& pending) {
   if (!auth_.verify_join_token(user, token)) {
     if (telemetry::enabled()) {
       static auto& denied =
@@ -108,33 +188,39 @@ JoinResult GroupKeyServer::join_with_token(UserId user, BytesView token) {
     }
     return JoinResult::kDenied;
   }
-  return join(user);
+  return plan_join(user, pending);
 }
 
-void GroupKeyServer::leave(UserId user) {
+void GroupKeyServer::plan_leave(UserId user, PendingRekey& pending) {
   StageCollector stages;
-  const auto started = std::chrono::steady_clock::now();
+  pending.started = std::chrono::steady_clock::now();
   std::optional<LeaveRecord> record;
   {
     const StageScope scope(Stage::kTreeUpdate);
     record.emplace(tree_->leave(user));  // throws for non-members
   }
-  encryptor_.reset_counters();
-  std::vector<rekey::OutboundRekey> messages;
+  rekey::RekeyPlanner planner(config_.suite.cipher, rng_);
+  std::vector<rekey::PlannedRekey> messages;
   {
     const StageScope scope(Stage::kEncrypt);
-    messages = strategy_->plan_leave(*record, encryptor_);
+    messages = strategy_->plan_leave(*record, planner);
   }
-
-  OpRecord op;
-  op.kind = rekey::RekeyKind::kLeave;
-  dispatch(std::move(messages), rekey::RekeyKind::kLeave,
-           record->removed_nodes, op, started);
+  finish_plan(pending, planner, std::move(messages), rekey::RekeyKind::kLeave,
+              rekey::RekeyKind::kLeave, record->removed_nodes,
+              /*advance_epoch=*/true, stages);
 }
 
-std::vector<UserId> GroupKeyServer::batch(
+bool GroupKeyServer::plan_leave_with_token(UserId user, BytesView token,
+                                           PendingRekey& pending) {
+  if (!auth_.verify_leave_token(user, token)) return false;
+  if (!tree_->has_user(user)) return false;
+  plan_leave(user, pending);
+  return true;
+}
+
+std::vector<UserId> GroupKeyServer::plan_batch(
     const std::vector<UserId>& join_users,
-    const std::vector<UserId>& leave_users) {
+    const std::vector<UserId>& leave_users, PendingRekey& pending) {
   StageCollector stages;
   std::vector<std::pair<UserId, Bytes>> joins;
   std::vector<UserId> admitted;
@@ -148,51 +234,51 @@ std::vector<UserId> GroupKeyServer::batch(
     }
   }
 
-  const auto started = std::chrono::steady_clock::now();
+  pending.started = std::chrono::steady_clock::now();
   std::optional<BatchRecord> record;
   {
     const StageScope scope(Stage::kTreeUpdate);
     record.emplace(tree_->batch_update(joins, leave_users));
   }
-  encryptor_.reset_counters();
-  std::vector<rekey::OutboundRekey> messages;
+  rekey::RekeyPlanner planner(config_.suite.cipher, rng_);
+  std::vector<rekey::PlannedRekey> messages;
   {
     const StageScope scope(Stage::kEncrypt);
-    messages = rekey::plan_batch(*record, encryptor_);
+    messages = rekey::plan_batch(*record, planner);
   }
-
-  OpRecord op;
-  op.kind = rekey::RekeyKind::kBatch;
-  dispatch(std::move(messages), rekey::RekeyKind::kBatch,
-           record->removed_nodes, op, started);
+  finish_plan(pending, planner, std::move(messages), rekey::RekeyKind::kBatch,
+              rekey::RekeyKind::kBatch, record->removed_nodes,
+              /*advance_epoch=*/true, stages);
   return admitted;
 }
 
-bool GroupKeyServer::leave_with_token(UserId user, BytesView token) {
-  if (!auth_.verify_leave_token(user, token)) return false;
-  if (!tree_->has_user(user)) return false;
-  leave(user);
-  return true;
-}
-
-void GroupKeyServer::resync(UserId user) {
-  const std::vector<SymmetricKey> keys = tree_->keyset(user);  // may throw
-  rekey::RekeyMessage message;
-  message.group = config_.group;
-  message.epoch = epoch_;  // replay of current state, not a new operation
-  message.timestamp_us = now_us();
-  message.kind = rekey::RekeyKind::kJoin;  // welcome-shaped
-  message.strategy = config_.strategy;
-  if (keys.size() > 1) {
-    const std::vector<SymmetricKey> path(keys.begin() + 1, keys.end());
-    message.blobs.push_back(encryptor_.wrap(keys.front(), path));
+void GroupKeyServer::plan_resync(UserId user, PendingRekey& pending) {
+  StageCollector stages;
+  pending.started = std::chrono::steady_clock::now();
+  std::vector<SymmetricKey> keys;
+  {
+    const StageScope scope(Stage::kTreeUpdate);  // tree read, no mutation
+    keys = tree_->keyset(user);  // throws for non-members
   }
-  const std::vector<Bytes> wire = sealer_->seal(std::span(&message, 1));
-  const Bytes datagram =
-      rekey::Datagram{rekey::MessageType::kRekey, wire.front()}.encode();
-  const rekey::Recipient to = rekey::Recipient::to_user(user);
-  transport_.deliver(to, datagram,
-                     [user] { return std::vector<UserId>{user}; });
+  rekey::RekeyPlanner planner(config_.suite.cipher, rng_);
+  std::vector<rekey::PlannedRekey> messages;
+  {
+    const StageScope scope(Stage::kEncrypt);
+    rekey::PlannedRekey welcome;
+    welcome.header.strategy = config_.strategy;
+    if (keys.size() > 1) {
+      const std::vector<SymmetricKey> path(keys.begin() + 1, keys.end());
+      welcome.ops.push_back(planner.wrap(keys.front(), path));
+    }
+    welcome.to = rekey::Recipient::to_user(user);
+    messages.push_back(std::move(welcome));
+  }
+  // A replay of current state, not a new operation: no epoch advance, and
+  // the wire message stays welcome-shaped (kJoin) so clients need no new
+  // message kind. Only the OpRecord says kResync.
+  finish_plan(pending, planner, std::move(messages),
+              rekey::RekeyKind::kResync, rekey::RekeyKind::kJoin, {},
+              /*advance_epoch=*/false, stages);
   if (telemetry::enabled()) {
     static auto& resyncs =
         telemetry::Registry::global().counter("server.resyncs");
@@ -200,11 +286,56 @@ void GroupKeyServer::resync(UserId user) {
   }
 }
 
-bool GroupKeyServer::resync_with_token(UserId user, BytesView token) {
+bool GroupKeyServer::plan_resync_with_token(UserId user, BytesView token,
+                                            PendingRekey& pending) {
   if (!auth_.verify_resync_token(user, token)) return false;
   if (!tree_->has_user(user)) return false;
-  resync(user);
+  plan_resync(user, pending);
   return true;
+}
+
+void GroupKeyServer::seal(PendingRekey& pending) {
+  StageCollector stages;
+  pending.sealed = executor_.seal(pending.plan, *sealer_);
+  const telemetry::StageBreakdown& sealed_us = stages.breakdown();
+  for (std::size_t i = 0; i < telemetry::kStageCount; ++i) {
+    pending.stage_us[i] += sealed_us[i];
+  }
+}
+
+void GroupKeyServer::dispatch(PendingRekey&& pending) {
+  StageCollector stages;
+  OpRecord op = pending.op;
+  op.signatures = sealer_->signatures_for(pending.sealed.size());
+  op.messages = pending.sealed.size();
+  op.min_message = std::numeric_limits<std::size_t>::max();
+  for (const rekey::SealedRekey& sealed : pending.sealed) {
+    Bytes datagram;
+    {
+      const StageScope scope(Stage::kSerialize);
+      datagram =
+          rekey::Datagram{rekey::MessageType::kRekey, sealed.wire}.encode();
+    }
+    op.bytes += datagram.size();
+    op.min_message = std::min(op.min_message, datagram.size());
+    op.max_message = std::max(op.max_message, datagram.size());
+    const rekey::Recipient to = sealed.to;
+    const StageScope scope(Stage::kSend);
+    transport_.deliver(to, datagram, [this, to] {
+      return to.kind == rekey::Recipient::Kind::kUser
+                 ? std::vector<UserId>{to.user}
+                 : resolve_subgroup(to.include, to.exclude);
+    });
+  }
+  if (op.messages == 0) op.min_message = 0;
+  op.processing_us = std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - pending.started)
+                         .count();
+  const telemetry::StageBreakdown& dispatch_us = stages.breakdown();
+  for (std::size_t i = 0; i < telemetry::kStageCount; ++i) {
+    op.stage_us[i] = pending.stage_us[i] + dispatch_us[i];
+  }
+  stats_.record(op);
 }
 
 Bytes GroupKeyServer::snapshot() const {
@@ -244,58 +375,6 @@ std::vector<UserId> GroupKeyServer::resolve_subgroup(
   std::set_difference(included.begin(), included.end(), excluded.begin(),
                       excluded.end(), std::back_inserter(out));
   return out;
-}
-
-void GroupKeyServer::dispatch(
-    std::vector<rekey::OutboundRekey> messages, rekey::RekeyKind kind,
-    const std::vector<KeyId>& obsolete, OpRecord& op,
-    std::chrono::steady_clock::time_point started) {
-  ++epoch_;
-  const std::uint64_t timestamp = now_us();
-  std::vector<rekey::RekeyMessage> bodies;
-  bodies.reserve(messages.size());
-  {
-    const StageScope scope(Stage::kSerialize);  // header stamping + copies
-    for (rekey::OutboundRekey& outbound : messages) {
-      outbound.message.group = config_.group;
-      outbound.message.epoch = epoch_;
-      outbound.message.timestamp_us = timestamp;
-      outbound.message.kind = kind;
-      outbound.message.obsolete = obsolete;
-      bodies.push_back(outbound.message);
-    }
-  }
-  const std::vector<Bytes> wire = sealer_->seal(bodies);
-
-  op.key_encryptions = encryptor_.key_encryptions();
-  op.signatures = sealer_->signatures_for(wire.size());
-  op.messages = wire.size();
-  op.min_message = std::numeric_limits<std::size_t>::max();
-  for (std::size_t i = 0; i < wire.size(); ++i) {
-    Bytes datagram;
-    {
-      const StageScope scope(Stage::kSerialize);
-      datagram = rekey::Datagram{rekey::MessageType::kRekey, wire[i]}.encode();
-    }
-    op.bytes += datagram.size();
-    op.min_message = std::min(op.min_message, datagram.size());
-    op.max_message = std::max(op.max_message, datagram.size());
-    const rekey::Recipient& to = messages[i].to;
-    const StageScope scope(Stage::kSend);
-    transport_.deliver(to, datagram, [this, to] {
-      return to.kind == rekey::Recipient::Kind::kUser
-                 ? std::vector<UserId>{to.user}
-                 : resolve_subgroup(to.include, to.exclude);
-    });
-  }
-  if (op.messages == 0) op.min_message = 0;
-  op.processing_us = std::chrono::duration<double, std::micro>(
-                         std::chrono::steady_clock::now() - started)
-                         .count();
-  if (const StageCollector* stages = StageCollector::current()) {
-    op.stage_us = stages->breakdown();
-  }
-  stats_.record(op);
 }
 
 }  // namespace keygraphs::server

@@ -1,14 +1,31 @@
 // The group key server (paper Sections 3 and 5).
 //
-// Owns the key tree, executes the join/leave protocols under a configured
-// rekeying strategy and signing mode, sends the resulting rekey messages
-// through a ServerTransport, and measures itself the way the paper's
-// prototype did: processing time per request covering request handling,
-// tree update, key generation, encryption, digest/signature computation,
-// serialization and handoff to the send path — but never authentication.
+// Owns the key tree and executes the join/leave protocols under a
+// configured rekeying strategy and signing mode. Every membership
+// operation runs as a three-phase pipeline:
+//
+//   plan     — admission, tree mutation, symbolic rekey planning (WrapOps
+//              with pre-drawn IVs), epoch advance and header stamping.
+//              The only phase that touches mutable group state; under
+//              LockedGroupKeyServer this is the whole critical section.
+//   seal     — RekeyExecutor resolves the plan against its immutable key
+//              snapshot: all encryptions, digests and signatures, fanned
+//              across ServerConfig::seal_threads threads. Touches no
+//              server state besides the (immutable-after-construction)
+//              sealer, so concurrent seals are safe.
+//   dispatch — datagram framing, transport delivery in plan order, stats.
+//
+// join()/leave()/batch()/resync() run the three phases back to back; the
+// phase methods are public so a concurrent facade can overlap the seal
+// phases of different operations. The server measures itself the way the
+// paper's prototype did: processing time per request covering request
+// handling, tree update, key generation, encryption, digest/signature
+// computation, serialization and handoff to the send path — but never
+// authentication.
 #pragma once
 
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -17,6 +34,7 @@
 #include "crypto/suite.h"
 #include "keygraph/key_tree.h"
 #include "rekey/codec.h"
+#include "rekey/executor.h"
 #include "rekey/strategy.h"
 #include "server/access_control.h"
 #include "server/stats.h"
@@ -37,6 +55,15 @@ struct ServerConfig {
   std::uint64_t rng_seed = 0;
   /// Master secret shared with the simulated authentication service.
   Bytes auth_master = bytes_of("keygraph");
+  /// Seal-phase fan-out: 1 (default) seals serially on the calling
+  /// thread; N > 1 adds N - 1 pool workers. Output bytes are identical
+  /// for any value — work is index-keyed and all randomness is drawn in
+  /// the plan phase.
+  std::size_t seal_threads = 1;
+  /// Clock for rekey message timestamps (microseconds since the Unix
+  /// epoch); unset = system clock. Signatures cover the timestamp, so
+  /// byte-reproducibility tests pin this.
+  std::function<std::uint64_t()> clock_us;
 
   /// Star baseline: unbounded degree.
   static ServerConfig star(ServerConfig base);
@@ -52,6 +79,16 @@ enum class JoinResult : std::uint8_t {
 
 class GroupKeyServer {
  public:
+  /// One membership operation in flight between the pipeline phases.
+  struct PendingRekey {
+    rekey::RekeyPlan plan;
+    OpRecord op;
+    std::vector<rekey::SealedRekey> sealed;
+    /// Stage self-time accumulated across the phases so far.
+    telemetry::StageBreakdown stage_us{};
+    std::chrono::steady_clock::time_point started{};
+  };
+
   GroupKeyServer(ServerConfig config, transport::ServerTransport& transport,
                  AccessControl acl = AccessControl::allow_all());
 
@@ -78,10 +115,36 @@ class GroupKeyServer {
   std::vector<UserId> batch(const std::vector<UserId>& join_users,
                             const std::vector<UserId>& leave_users);
 
+  // --- Pipeline phases -----------------------------------------------
+  // plan_*() mutate group state and must be externally serialized; they
+  // leave `pending` ready for seal(). seal() touches no mutable server
+  // state (concurrent seals are fine). dispatch() sends and records; call
+  // it in plan order to preserve epoch-ordered delivery.
+
+  JoinResult plan_join(UserId user, PendingRekey& pending);
+  JoinResult plan_join_with_token(UserId user, BytesView token,
+                                  PendingRekey& pending);
+  /// Throws ProtocolError for non-members.
+  void plan_leave(UserId user, PendingRekey& pending);
+  bool plan_leave_with_token(UserId user, BytesView token,
+                             PendingRekey& pending);
+  std::vector<UserId> plan_batch(const std::vector<UserId>& join_users,
+                                 const std::vector<UserId>& leave_users,
+                                 PendingRekey& pending);
+  /// Plans a keyset replay at the current epoch (no tree mutation, no
+  /// epoch advance). Throws ProtocolError for non-members.
+  void plan_resync(UserId user, PendingRekey& pending);
+  bool plan_resync_with_token(UserId user, BytesView token,
+                              PendingRekey& pending);
+
+  void seal(PendingRekey& pending);
+  void dispatch(PendingRekey&& pending);
+
   /// Switches the signing mode at runtime. The experiment harness builds
   /// the initial group unsigned (the paper never measures the build phase)
   /// and then turns signing on for the measured churn. Requires the suite
-  /// to carry an RSA algorithm if `mode` signs.
+  /// to carry an RSA algorithm if `mode` signs. Not safe while an
+  /// operation is in flight between phases.
   void set_signing_mode(rekey::SigningMode mode);
 
   [[nodiscard]] const KeyTree& tree() const noexcept { return *tree_; }
@@ -104,7 +167,8 @@ class GroupKeyServer {
   /// Replays a member's current keyset as a welcome-style unicast rekey
   /// message (all its path keys wrapped under its individual key, at the
   /// current epoch). Recovery path for clients that missed a rekey on a
-  /// lossy transport. Does not advance the epoch or touch any key. Throws
+  /// lossy transport. Does not advance the epoch or touch any key; the
+  /// operation is recorded in stats as RekeyKind::kResync. Throws
   /// ProtocolError for non-members.
   void resync(UserId user);
 
@@ -128,10 +192,14 @@ class GroupKeyServer {
       KeyId include, std::optional<KeyId> exclude) const;
 
  private:
-  void dispatch(std::vector<rekey::OutboundRekey> messages,
-                rekey::RekeyKind kind, const std::vector<KeyId>& obsolete,
-                OpRecord& record,
-                std::chrono::steady_clock::time_point started);
+  /// Stamps headers (epoch/timestamp/kind/obsolete), finalizes the plan
+  /// and the OpRecord skeleton into `pending`.
+  void finish_plan(PendingRekey& pending, rekey::RekeyPlanner& planner,
+                   std::vector<rekey::PlannedRekey> messages,
+                   rekey::RekeyKind op_kind, rekey::RekeyKind wire_kind,
+                   const std::vector<KeyId>& obsolete, bool advance_epoch,
+                   const telemetry::StageCollector& stages);
+  [[nodiscard]] std::uint64_t now_us() const;
 
   ServerConfig config_;
   transport::ServerTransport& transport_;
@@ -141,7 +209,7 @@ class GroupKeyServer {
   std::unique_ptr<crypto::RsaPrivateKey> signer_;
   std::unique_ptr<KeyTree> tree_;
   std::unique_ptr<rekey::RekeyStrategy> strategy_;
-  rekey::RekeyEncryptor encryptor_;
+  rekey::RekeyExecutor executor_;
   std::unique_ptr<rekey::RekeySealer> sealer_;
   ServerStats stats_;
   std::uint64_t epoch_ = 0;

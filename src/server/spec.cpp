@@ -127,6 +127,10 @@ ServerSpec parse_server_spec(std::string_view text) {
           static_cast<GroupId>(parse_number(value, line_number));
     } else if (key == "seed") {
       spec.config.rng_seed = parse_number(value, line_number);
+    } else if (key == "seal_threads") {
+      const std::uint64_t threads = parse_number(value, line_number);
+      if (threads < 1 || threads > 256) fail(line_number, "bad seal_threads");
+      spec.config.seal_threads = static_cast<std::size_t>(threads);
     } else if (key == "auth_master") {
       try {
         spec.config.auth_master = from_hex(std::string(value));

@@ -12,6 +12,7 @@
 //   signing       = none | digest | per-message | batch
 //   group         = <u32 group id>
 //   seed          = <u64; 0 = OS entropy>
+//   seal_threads  = <1..256 threads for the seal (crypto) phase; 1 = serial>
 //   auth_master   = <hex shared secret for the simulated auth service>
 //   initial_size  = <users to admit at startup (user ids 1..n)>
 //   port          = <udp port for the daemon; 0 = ephemeral>

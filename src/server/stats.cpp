@@ -74,6 +74,8 @@ const char* op_counter_name(rekey::RekeyKind kind) {
       return "server.ops.leave";
     case rekey::RekeyKind::kBatch:
       return "server.ops.batch";
+    case rekey::RekeyKind::kResync:
+      return "server.ops.resync";
   }
   return "server.ops.other";
 }

@@ -107,6 +107,61 @@ TEST(LockedServer, ConcurrentMixedChurnStaysConsistent) {
                                 kThreads * 20 * 2));          // churn
 }
 
+// The pipeline's narrow critical section under real contention: 8 threads
+// mixing joins, leaves and resyncs while the seal phase itself fans out
+// across 4 pool threads. This is the TSan target for the plan/seal/dispatch
+// split — any server state touched outside the facade's mutex shows up here.
+TEST(LockedServer, EightThreadChurnWithParallelSeal) {
+  transport::NullTransport transport;
+  ServerConfig config;
+  config.rng_seed = 8;
+  config.seal_threads = 4;
+  config.suite = crypto::CryptoSuite::paper_signed();
+  config.signing = rekey::SigningMode::kBatch;
+  LockedGroupKeyServer server(config, transport);
+
+  constexpr int kThreads = 8;
+  constexpr int kUsersPerThread = 12;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kUsersPerThread; ++i) {
+      server.join(static_cast<UserId>(t) * 1000 + static_cast<UserId>(i) + 1);
+    }
+  }
+  const std::uint64_t epoch_before = server.epoch();
+
+  std::vector<std::thread> threads;
+  constexpr int kRounds = 10;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server, t] {
+      const UserId base = static_cast<UserId>(t) * 1000;
+      for (int round = 0; round < kRounds; ++round) {
+        const UserId user = base + static_cast<UserId>(round % 12) + 1;
+        server.resync(user);  // replay: must not advance the epoch
+        server.leave(user);
+        server.join(user);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(server.member_count(),
+            static_cast<std::size_t>(kThreads * kUsersPerThread));
+  server.with_server([](const GroupKeyServer& inner) {
+    inner.tree().check_invariants();
+    return 0;
+  });
+  // Leaves and joins each advance the epoch once; resyncs never do.
+  EXPECT_EQ(server.epoch(), epoch_before + kThreads * kRounds * 2);
+  // Every operation dispatched exactly once, in ticket order; the stats
+  // ledger must account all of them (initial joins + churn + resyncs).
+  server.with_server([&](const GroupKeyServer& inner) {
+    EXPECT_EQ(inner.stats().records().size(),
+              static_cast<std::size_t>(kThreads * kUsersPerThread +
+                                       kThreads * kRounds * 3));
+    return 0;
+  });
+}
+
 TEST(LockedServer, SnapshotWhileChurning) {
   transport::NullTransport transport;
   ServerConfig config;

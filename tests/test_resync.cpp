@@ -67,6 +67,36 @@ TEST(Resync, MissedRekeyDetectedAndRecovered) {
   EXPECT_EQ(victim.group_key()->version, server.tree().group_key().version);
 }
 
+TEST(Resync, RecordedInStatsWithoutAdvancingEpoch) {
+  server::ServerConfig config;
+  config.rng_seed = 95;
+  transport::NullTransport transport;
+  server::GroupKeyServer server(config, transport);
+  for (UserId user = 1; user <= 8; ++user) server.join(user);
+  const std::uint64_t epoch_before = server.epoch();
+  const std::size_t ops_before = server.stats().records().size();
+
+  server.resync(3);
+  server.resync(5);
+
+  EXPECT_EQ(server.epoch(), epoch_before);
+  ASSERT_EQ(server.stats().records().size(), ops_before + 2);
+  const server::OpRecord& record = server.stats().records().back();
+  EXPECT_EQ(record.kind, rekey::RekeyKind::kResync);
+  EXPECT_EQ(record.messages, 1u);  // one welcome-style unicast
+  // The replay wraps the member's non-individual path keys once each.
+  EXPECT_EQ(record.key_encryptions,
+            server.tree().keyset(5).size() - 1);
+  EXPECT_GT(record.bytes, 0u);
+  // Resyncs aggregate separately from joins: a kJoin summary is unchanged
+  // by resync traffic.
+  const server::Summary joins = server.stats().summarize(rekey::RekeyKind::kJoin);
+  const server::Summary resyncs =
+      server.stats().summarize(rekey::RekeyKind::kResync);
+  EXPECT_EQ(joins.operations, 8u);
+  EXPECT_EQ(resyncs.operations, 2u);
+}
+
 TEST(Resync, NonMemberRejected) {
   server::ServerConfig config;
   config.rng_seed = 92;

@@ -29,6 +29,7 @@ signature    = rsa512
 signing      = batch
 group        = 7
 seed         = 42
+seal_threads = 4
 auth_master  = deadbeefcafe
 initial_size = 8192
 port         = 9999
@@ -42,6 +43,7 @@ acl          = 1, 2, 3, 10
   EXPECT_EQ(spec.config.signing, rekey::SigningMode::kBatch);
   EXPECT_EQ(spec.config.group, 7u);
   EXPECT_EQ(spec.config.rng_seed, 42u);
+  EXPECT_EQ(spec.config.seal_threads, 4u);
   EXPECT_EQ(spec.config.auth_master, from_hex("deadbeefcafe"));
   EXPECT_EQ(spec.initial_size, 8192u);
   EXPECT_EQ(spec.port, 9999u);
@@ -63,6 +65,14 @@ TEST(Spec, StarDegreeAndModernSuite) {
 TEST(Spec, TripleDesAccepted) {
   const ServerSpec spec = parse_server_spec("cipher = 3des\n");
   EXPECT_EQ(spec.config.suite.cipher, crypto::CipherAlgorithm::kDes3);
+}
+
+TEST(Spec, SealThreadsDefaultsToSerial) {
+  EXPECT_EQ(parse_server_spec("").config.seal_threads, 1u);
+  EXPECT_EQ(parse_server_spec("seal_threads = 8\n").config.seal_threads, 8u);
+  EXPECT_THROW(parse_server_spec("seal_threads = 0\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("seal_threads = 300\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("seal_threads = many\n"), ProtocolError);
 }
 
 TEST(Spec, AclAllIsOpen) {

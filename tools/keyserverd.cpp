@@ -106,11 +106,11 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGUSR1, handle_dump_signal);
   std::printf("keyserverd: %s rekeying, %s, listening on %s "
-              "(initial size %zu)\n",
+              "(initial size %zu, seal threads %zu)\n",
               rekey::strategy_name(spec.config.strategy).c_str(),
               spec.config.suite.label().c_str(),
               socket.local_address().to_string().c_str(),
-              spec.initial_size);
+              spec.initial_size, spec.config.seal_threads);
 
   using Clock = std::chrono::steady_clock;
   const auto period = std::chrono::seconds(spec.telemetry_period_s);
