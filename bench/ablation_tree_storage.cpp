@@ -1,0 +1,249 @@
+// Ablation — key-tree storage: contiguous arena + epoch views vs the
+// pre-refactor pointer tree (per-node heap allocations behind an id map).
+//
+// Two questions:
+//   1. Traversal cost. The view stores nodes in preorder, so users_under()
+//      is a contiguous range scan and keyset() a parent-index walk; the
+//      pointer tree chases heap pointers for both. Measured at
+//      n = 1024..65536 members.
+//   2. Reader throughput under a concurrent writer. Readers acquire the
+//      current immutable view (RCU shared_ptr swap) and never lock, so a
+//      churning writer should not dent read throughput beyond core
+//      contention. Measured with the writer idle vs. churning.
+//
+//   KG_TREE_MAX     largest member count (default 65536)
+//   KG_TRAVERSALS   measured traversals per representation (default 200)
+//   KG_READ_MS      per-phase reader window, milliseconds (default 300)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "keygraph/key_tree.h"
+
+namespace keygraphs {
+namespace {
+
+// The historical representation, rebuilt from a view: one heap node per
+// k-node, children owned through unique_ptr, lookups through an id map.
+struct PtrNode {
+  KeyId id = 0;
+  Bytes secret;
+  PtrNode* parent = nullptr;
+  std::vector<std::unique_ptr<PtrNode>> children;
+  std::optional<UserId> user;
+};
+
+struct PointerTree {
+  std::unique_ptr<PtrNode> root;
+  std::unordered_map<KeyId, PtrNode*> by_id;
+  std::map<UserId, PtrNode*> leaves;
+
+  static PointerTree from_view(const TreeView& view) {
+    PointerTree tree;
+    const auto& nodes = view.nodes();
+    std::vector<PtrNode*> built(nodes.size());
+    for (std::uint32_t i = 0; i < nodes.size(); ++i) {
+      auto owned = std::make_unique<PtrNode>();
+      PtrNode* node = owned.get();
+      node->id = nodes[i].id;
+      const BytesView secret = view.secret_of(i);
+      node->secret.assign(secret.begin(), secret.end());
+      if (nodes[i].leaf) {
+        node->user = nodes[i].user;
+        tree.leaves.emplace(nodes[i].user, node);
+      }
+      built[i] = node;
+      tree.by_id.emplace(node->id, node);
+      if (nodes[i].parent == TreeView::kNilIndex) {
+        tree.root = std::move(owned);
+      } else {
+        PtrNode* parent = built[nodes[i].parent];
+        node->parent = parent;
+        parent->children.push_back(std::move(owned));
+      }
+    }
+    return tree;
+  }
+
+  [[nodiscard]] std::vector<UserId> users_under(KeyId id) const {
+    std::vector<UserId> out;
+    std::vector<const PtrNode*> stack{by_id.at(id)};
+    while (!stack.empty()) {
+      const PtrNode* node = stack.back();
+      stack.pop_back();
+      if (node->user) out.push_back(*node->user);
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Mirrors KeyTree::keyset's real work: ids plus copied key material.
+  [[nodiscard]] std::vector<std::pair<KeyId, Bytes>> keyset(
+      UserId user) const {
+    std::vector<std::pair<KeyId, Bytes>> out;
+    for (const PtrNode* node = leaves.at(user); node != nullptr;
+         node = node->parent) {
+      out.emplace_back(node->id, node->secret);
+    }
+    return out;
+  }
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void grow_to(KeyTree& tree, UserId first, UserId last) {
+  std::vector<std::pair<UserId, Bytes>> joins;
+  for (UserId u = first; u <= last; ++u) {
+    joins.emplace_back(u, Bytes(16, static_cast<std::uint8_t>(u * 37 + 1)));
+    if (joins.size() == 2048 || u == last) {
+      tree.batch_update(joins, {});
+      joins.clear();
+    }
+  }
+}
+
+void emit(const char* json) {
+  const char* path = std::getenv("KG_BENCH_JSON");
+  if (path == nullptr || *path == '\0') {
+    std::printf("%s\n", json);
+    return;
+  }
+  if (std::FILE* file = std::fopen(path, "a")) {
+    std::fprintf(file, "%s\n", json);
+    std::fclose(file);
+  }
+}
+
+void traversal_point(std::size_t n, std::size_t traversals) {
+  crypto::SecureRandom rng(7001);
+  KeyTree tree(4, 16, rng);
+  grow_to(tree, 1, n);
+  const TreeViewPtr view = tree.view();
+  const PointerTree pointer = PointerTree::from_view(*view);
+  const KeyId root = view->root_id();
+
+  // users_under(root): full-membership resolution, the dispatch-path read.
+  std::size_t sink = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < traversals; ++i) {
+    sink += view->users_under(root).size();
+  }
+  const double view_scan_ms = ms_since(start);
+  start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < traversals; ++i) {
+    sink += pointer.users_under(root).size();
+  }
+  const double pointer_scan_ms = ms_since(start);
+
+  // keyset(u): the per-user path walk (resync/welcome planning).
+  const std::size_t probes = std::min<std::size_t>(n, 512);
+  start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < traversals; ++i) {
+    for (std::size_t p = 1; p <= probes; ++p) {
+      sink += view->keyset(static_cast<UserId>(p * (n / probes))).size();
+    }
+  }
+  const double view_keyset_ms = ms_since(start);
+  start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < traversals; ++i) {
+    for (std::size_t p = 1; p <= probes; ++p) {
+      sink += pointer.keyset(static_cast<UserId>(p * (n / probes))).size();
+    }
+  }
+  const double pointer_keyset_ms = ms_since(start);
+  const volatile std::size_t keep = sink;
+  (void)keep;
+
+  char json[512];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\":\"tree_storage\",\"mode\":\"traversal\",\"n\":%zu,"
+      "\"users_under_arena_ms\":%.3f,\"users_under_pointer_ms\":%.3f,"
+      "\"keyset_arena_ms\":%.3f,\"keyset_pointer_ms\":%.3f,"
+      "\"users_under_speedup\":%.2f,\"keyset_speedup\":%.2f}",
+      n, view_scan_ms, pointer_scan_ms, view_keyset_ms, pointer_keyset_ms,
+      view_scan_ms > 0 ? pointer_scan_ms / view_scan_ms : 0.0,
+      view_keyset_ms > 0 ? pointer_keyset_ms / view_keyset_ms : 0.0);
+  emit(json);
+}
+
+/// Reads completed in `window_ms`, with an optional concurrent writer
+/// churning join/leave through the same tree.
+void reader_throughput_point(std::size_t n, double window_ms) {
+  crypto::SecureRandom rng(7002);
+  KeyTree tree(4, 16, rng);
+  grow_to(tree, 1, n);
+  const KeyId root = tree.view()->root_id();
+
+  const auto read_phase = [&](bool with_writer) -> std::uint64_t {
+    std::atomic<bool> stop{false};
+    std::thread writer;
+    if (with_writer) {
+      writer = std::thread([&tree, &stop, n] {
+        UserId next = static_cast<UserId>(n) + 1;
+        while (!stop.load(std::memory_order_acquire)) {
+          const UserId u = next++;
+          tree.join(u, Bytes(16, static_cast<std::uint8_t>(u)));
+          tree.leave(u);
+        }
+      });
+    }
+    std::uint64_t reads = 0;
+    std::size_t sink = 0;
+    const auto start = std::chrono::steady_clock::now();
+    while (ms_since(start) < window_ms) {
+      const TreeViewPtr view = tree.view();
+      sink += view->users_under(root).size();
+      ++reads;
+    }
+    const volatile std::size_t keep = sink;
+    (void)keep;
+    stop.store(true, std::memory_order_release);
+    if (writer.joinable()) writer.join();
+    return reads;
+  };
+
+  const std::uint64_t quiet = read_phase(false);
+  const std::uint64_t contended = read_phase(true);
+  char json[384];
+  std::snprintf(json, sizeof(json),
+                "{\"bench\":\"tree_storage\",\"mode\":\"reader_throughput\","
+                "\"n\":%zu,\"window_ms\":%.0f,\"reads_quiet\":%llu,"
+                "\"reads_with_writer\":%llu,\"retained_pct\":%.1f}",
+                n, window_ms, static_cast<unsigned long long>(quiet),
+                static_cast<unsigned long long>(contended),
+                quiet > 0 ? 100.0 * static_cast<double>(contended) /
+                                static_cast<double>(quiet)
+                          : 0.0);
+  emit(json);
+}
+
+}  // namespace
+}  // namespace keygraphs
+
+int main() {
+  using namespace keygraphs;
+  const std::size_t max_n = bench::env_size("KG_TREE_MAX", 65536);
+  const std::size_t traversals = bench::env_size("KG_TRAVERSALS", 200);
+  const double window_ms =
+      static_cast<double>(bench::env_size("KG_READ_MS", 300));
+  std::printf("hardware_concurrency=%u\n",
+              std::thread::hardware_concurrency());
+  for (std::size_t n = 1024; n <= max_n; n *= 4) {
+    traversal_point(n, traversals);
+  }
+  reader_throughput_point(4096, window_ms);
+  return 0;
+}

@@ -31,17 +31,21 @@ Bytes u64_seed(std::uint64_t seed) {
 
 }  // namespace
 
-SecureRandom::SecureRandom() : drbg_(os_seed()) {}
+SecureRandom::SecureRandom()
+    : drbg_(os_seed()), mutex_(std::make_unique<std::mutex>()) {}
 
-SecureRandom::SecureRandom(std::uint64_t seed) : drbg_(u64_seed(seed)) {}
+SecureRandom::SecureRandom(std::uint64_t seed)
+    : drbg_(u64_seed(seed)), mutex_(std::make_unique<std::mutex>()) {}
 
 Bytes SecureRandom::bytes(std::size_t n) {
   Bytes out(n);
+  const std::lock_guard<std::mutex> lock(*mutex_);
   drbg_.fill(out.data(), n);
   return out;
 }
 
 void SecureRandom::fill(std::uint8_t* out, std::size_t n) {
+  const std::lock_guard<std::mutex> lock(*mutex_);
   drbg_.fill(out, n);
 }
 
@@ -49,6 +53,7 @@ std::uint64_t SecureRandom::uniform(std::uint64_t bound) {
   if (bound == 0) throw Error("SecureRandom::uniform: zero bound");
   // Rejection sampling to avoid modulo bias.
   const std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % bound;
+  const std::lock_guard<std::mutex> lock(*mutex_);
   for (;;) {
     std::uint8_t raw[8];
     drbg_.fill(raw, 8);

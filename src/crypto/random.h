@@ -8,6 +8,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 
 #include "crypto/chacha20.h"
 
@@ -15,12 +17,15 @@ namespace keygraphs::crypto {
 
 /// ChaCha20-based generator.
 ///
-/// Thread-safety contract: an instance is NOT thread-safe — it is a single
-/// deterministic stream, and interleaved draws from several threads would
-/// both race on the DRBG state and destroy reproducibility. Use one
-/// instance per thread, or confine all draws to one phase: the rekey
-/// pipeline draws every IV and fresh key in the plan phase (under the
-/// server lock) so the parallel seal workers never touch the RNG.
+/// Thread-safety contract: each draw is atomic — an internal mutex guards
+/// the DRBG state, so concurrent callers never corrupt it. It is still a
+/// single deterministic stream: *interleaving* of draws across threads is
+/// scheduling-dependent, so reproducibility from a seed holds only for
+/// draws whose order is serialized by the caller. The rekey pipeline draws
+/// every fresh key and every mutation IV in the plan phase under the server
+/// lock; off-lock resync planning draws IVs from the same stream, which is
+/// safe but makes those IV values scheduling-dependent (they remain unique
+/// and unpredictable — all that IVs require).
 class SecureRandom {
  public:
   /// Seeded from the operating system (std::random_device).
@@ -43,6 +48,9 @@ class SecureRandom {
 
  private:
   ChaCha20Drbg drbg_;
+  /// Heap-held so the instance stays movable (a moved-from instance is
+  /// unusable, as standard for RAII handles).
+  std::unique_ptr<std::mutex> mutex_;
 };
 
 }  // namespace keygraphs::crypto

@@ -85,4 +85,14 @@ std::optional<std::vector<KeyId>> exact_key_cover(
   return best;
 }
 
+KeyCover greedy_key_cover(const TreeView& view,
+                          const std::set<UserId>& target) {
+  return greedy_key_cover(view.to_key_graph(), target);
+}
+
+std::optional<std::vector<KeyId>> exact_key_cover(
+    const TreeView& view, const std::set<UserId>& target) {
+  return exact_key_cover(view.to_key_graph(), target);
+}
+
 }  // namespace keygraphs

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "keygraph/key_graph.h"
+#include "keygraph/tree_view.h"
 
 namespace keygraphs {
 
@@ -34,5 +35,13 @@ KeyCover greedy_key_cover(const KeyGraph& graph,
 /// most ~20 candidate keys. Returns nullopt when no cover exists.
 std::optional<std::vector<KeyId>> exact_key_cover(
     const KeyGraph& graph, const std::set<UserId>& target);
+
+/// Convenience overloads on an immutable epoch view: the cover is computed
+/// against one consistent snapshot of the tree, so callers need not hold
+/// any lock while the writer mutates.
+KeyCover greedy_key_cover(const TreeView& view,
+                          const std::set<UserId>& target);
+std::optional<std::vector<KeyId>> exact_key_cover(
+    const TreeView& view, const std::set<UserId>& target);
 
 }  // namespace keygraphs

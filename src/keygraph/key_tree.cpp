@@ -1,6 +1,7 @@
 #include "keygraph/key_tree.h"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 
 #include "common/error.h"
@@ -13,27 +14,50 @@ KeyTree::KeyTree(int degree, std::size_t key_size, crypto::SecureRandom& rng)
     : degree_(degree), key_size_(key_size), rng_(rng) {
   if (degree < 2) throw ProtocolError("KeyTree: degree must be >= 2");
   if (key_size == 0) throw ProtocolError("KeyTree: key size must be > 0");
-  Node* root = make_node();
-  refresh_key(root);
-  root_ = root->id;
+  root_index_ = make_node();
+  refresh_key(at(root_index_));
+  root_ = at(root_index_).id;
+  publish(0);
 }
 
-KeyTree::Node* KeyTree::make_node(std::optional<KeyId> fixed_id) {
-  auto owned = std::make_unique<Node>();
-  owned->id = fixed_id.value_or(next_id_++);
-  Node* node = owned.get();
-  nodes_.emplace(node->id, std::move(owned));
-  return node;
+KeyTree::~KeyTree() {
+  for (Node& node : arena_) secure_wipe(node.secret);
 }
 
-void KeyTree::destroy_node(Node* node) { nodes_.erase(node->id); }
+KeyTree::NodeIndex KeyTree::make_node(std::optional<KeyId> fixed_id) {
+  NodeIndex index;
+  if (free_head_ != kNil) {
+    index = free_head_;
+    free_head_ = at(index).next_free;
+  } else {
+    index = static_cast<NodeIndex>(arena_.size());
+    arena_.emplace_back();
+  }
+  Node& node = at(index);
+  node = Node{};  // recycled slots carry stale free-list linkage
+  node.id = fixed_id.value_or(next_id_++);
+  node.in_use = true;
+  by_id_.emplace(node.id, index);
+  ++live_nodes_;
+  return index;
+}
 
-void KeyTree::refresh_key(Node* node) {
+void KeyTree::destroy_node(NodeIndex index) {
+  Node& node = at(index);
+  by_id_.erase(node.id);
+  secure_wipe(node.secret);
+  node = Node{};
+  node.next_free = free_head_;
+  free_head_ = index;
+  --live_nodes_;
+}
+
+void KeyTree::refresh_key(Node& node) {
   // Attributes fresh key material to the keygen stage when an operation is
   // being collected (join/leave/batch); inert otherwise (e.g. restore).
   const telemetry::StageScope scope(telemetry::Stage::kKeygen);
-  node->secret = rng_.bytes(key_size_);
-  ++node->version;
+  node.secret = rng_.bytes(key_size_);
+  ++node.version;
   if (telemetry::enabled()) {
     static auto& generated =
         telemetry::Registry::global().counter("keygraph.keys_generated");
@@ -41,28 +65,62 @@ void KeyTree::refresh_key(Node* node) {
   }
 }
 
-void KeyTree::bump_counts(Node* from, std::ptrdiff_t delta) {
-  for (Node* n = from; n != nullptr; n = n->parent) {
-    n->user_count = static_cast<std::size_t>(
-        static_cast<std::ptrdiff_t>(n->user_count) + delta);
+void KeyTree::bump_counts(NodeIndex from, std::ptrdiff_t delta) {
+  for (NodeIndex i = from; i != kNil; i = at(i).parent) {
+    at(i).user_count = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(at(i).user_count) + delta);
   }
 }
 
-KeyTree::Node* KeyTree::find_join_parent() {
+KeyTree::NodeIndex KeyTree::find_join_parent() const {
   // Descend toward the lightest subtree; attach at the first node with
   // spare capacity. Returns an internal node with < degree children, or a
   // full node whose lightest child is a leaf (caller splits that leaf).
-  Node* node = nodes_.at(root_).get();
+  NodeIndex index = root_index_;
   for (;;) {
-    if (static_cast<int>(node->children.size()) < degree_) return node;
-    Node* lightest = *std::min_element(
-        node->children.begin(), node->children.end(),
-        [](const Node* a, const Node* b) {
-          return a->user_count < b->user_count;
+    const Node& node = at(index);
+    if (static_cast<int>(node.children.size()) < degree_) return index;
+    const NodeIndex lightest = *std::min_element(
+        node.children.begin(), node.children.end(),
+        [this](NodeIndex a, NodeIndex b) {
+          return at(a).user_count < at(b).user_count;
         });
-    if (lightest->is_leaf()) return node;  // full everywhere: split a leaf
-    node = lightest;
+    if (at(lightest).is_leaf()) return index;  // full everywhere: split
+    index = lightest;
   }
+}
+
+std::pair<KeyTree::NodeIndex, std::optional<SymmetricKey>>
+KeyTree::attach_leaf(NodeIndex leaf) {
+  const NodeIndex target = find_join_parent();
+  NodeIndex attach_parent = target;
+  std::optional<SymmetricKey> split_leaf_key;
+
+  if (static_cast<int>(at(target).children.size()) >= degree_) {
+    // Split the lightest (leaf) child: a fresh intermediate k-node takes its
+    // place and adopts both the old leaf and the new user's leaf.
+    const auto& siblings = at(target).children;
+    const NodeIndex old_leaf = *std::min_element(
+        siblings.begin(), siblings.end(), [this](NodeIndex a, NodeIndex b) {
+          return at(a).user_count < at(b).user_count;
+        });
+    split_leaf_key = at(old_leaf).key();
+    const NodeIndex intermediate = make_node();  // may grow the arena
+    Node& parent = at(target);
+    *std::find(parent.children.begin(), parent.children.end(), old_leaf) =
+        intermediate;
+    Node& middle = at(intermediate);
+    middle.parent = target;
+    middle.user_count = at(old_leaf).user_count;
+    middle.children.push_back(old_leaf);
+    at(old_leaf).parent = intermediate;
+    attach_parent = intermediate;
+  }
+
+  at(attach_parent).children.push_back(leaf);
+  at(leaf).parent = attach_parent;
+  bump_counts(attach_parent, +1);
+  return {attach_parent, std::move(split_leaf_key)};
 }
 
 JoinRecord KeyTree::join(UserId user, Bytes individual_key) {
@@ -73,68 +131,50 @@ JoinRecord KeyTree::join(UserId user, Bytes individual_key) {
     throw ProtocolError("KeyTree: individual key has wrong size");
   }
 
-  Node* leaf = make_node(individual_key_id(user));
-  leaf->user = user;
-  leaf->secret = std::move(individual_key);
-  leaf->version = 1;
-  leaf->user_count = 1;
+  const NodeIndex leaf = make_node(individual_key_id(user));
+  {
+    Node& node = at(leaf);
+    node.user = user;
+    node.secret = std::move(individual_key);
+    node.version = 1;
+    node.user_count = 1;
+  }
   user_leaves_.emplace(user, leaf);
 
-  Node* target = find_join_parent();
-  Node* attach_parent = target;
-  std::optional<SymmetricKey> split_leaf_key;
-
-  if (static_cast<int>(target->children.size()) >= degree_) {
-    // Split the lightest (leaf) child: a fresh intermediate k-node takes its
-    // place and adopts both the old leaf and the new user's leaf.
-    Node* old_leaf = *std::min_element(
-        target->children.begin(), target->children.end(),
-        [](const Node* a, const Node* b) {
-          return a->user_count < b->user_count;
-        });
-    split_leaf_key = old_leaf->key();
-    Node* intermediate = make_node();
-    *std::find(target->children.begin(), target->children.end(), old_leaf) =
-        intermediate;
-    intermediate->parent = target;
-    intermediate->user_count = old_leaf->user_count;
-    intermediate->children.push_back(old_leaf);
-    old_leaf->parent = intermediate;
-    attach_parent = intermediate;
-  }
-
-  attach_parent->children.push_back(leaf);
-  leaf->parent = attach_parent;
-  bump_counts(attach_parent, +1);
+  const auto [attach_parent, split_leaf_key] = attach_leaf(leaf);
 
   // The pre-join key of every ancestor is what existing members hold; it
   // wraps the corresponding new key. Capture before refreshing.
   JoinRecord record;
   record.user = user;
-  record.individual_key = leaf->key();
+  record.individual_key = at(leaf).key();
 
-  std::vector<Node*> path;  // attach parent up to root
-  for (Node* n = attach_parent; n != nullptr; n = n->parent) path.push_back(n);
+  std::vector<NodeIndex> path;  // attach parent up to root
+  for (NodeIndex i = attach_parent; i != kNil; i = at(i).parent) {
+    path.push_back(i);
+  }
   std::reverse(path.begin(), path.end());  // root first
 
   const bool had_members = user_count() > 1;
-  for (Node* n : path) {
+  for (NodeIndex i : path) {
+    Node& node = at(i);
     PathChange change;
-    change.node = n->id;
-    if (split_leaf_key.has_value() && n == attach_parent) {
+    change.node = node.id;
+    if (split_leaf_key.has_value() && i == attach_parent) {
       // Brand-new intermediate: the only existing holder-to-be is the split
       // leaf's user, reachable through its individual key.
       change.old_key = split_leaf_key;
     } else if (had_members) {
-      change.old_key = n->key();
+      change.old_key = node.key();
     }
-    refresh_key(n);
-    change.new_key = n->key();
+    refresh_key(node);
+    change.new_key = node.key();
     record.path.push_back(std::move(change));
   }
-  for (const Node* child : nodes_.at(root_)->children) {
-    record.root_children.push_back(child->id);
+  for (NodeIndex child : at(root_index_).children) {
+    record.root_children.push_back(at(child).id);
   }
+  publish_next();
   return record;
 }
 
@@ -143,53 +183,57 @@ LeaveRecord KeyTree::leave(UserId user) {
   if (it == user_leaves_.end()) {
     throw ProtocolError("KeyTree: user not in group");
   }
-  Node* leaf = it->second;
-  Node* parent = leaf->parent;
+  const NodeIndex leaf = it->second;
+  const NodeIndex parent = at(leaf).parent;
   user_leaves_.erase(it);
 
   LeaveRecord record;
   record.user = user;
-  record.removed_nodes.push_back(leaf->id);
+  record.removed_nodes.push_back(at(leaf).id);
 
-  std::erase(parent->children, leaf);
+  std::erase(at(parent).children, leaf);
   bump_counts(parent, -1);
   destroy_node(leaf);
 
   // Splice out a non-root parent left with a single child: the child keeps
   // its own key and moves up one level, shrinking user keysets by one key.
-  Node* rekey_start = parent;
-  if (parent->parent != nullptr && parent->children.size() == 1) {
-    Node* child = parent->children.front();
-    Node* grandparent = parent->parent;
-    *std::find(grandparent->children.begin(), grandparent->children.end(),
-               parent) = child;
-    child->parent = grandparent;
-    record.removed_nodes.push_back(parent->id);
+  NodeIndex rekey_start = parent;
+  if (at(parent).parent != kNil && at(parent).children.size() == 1) {
+    const NodeIndex child = at(parent).children.front();
+    const NodeIndex grandparent = at(parent).parent;
+    auto& uncles = at(grandparent).children;
+    *std::find(uncles.begin(), uncles.end(), parent) = child;
+    at(child).parent = grandparent;
+    record.removed_nodes.push_back(at(parent).id);
     destroy_node(parent);
     rekey_start = grandparent;
   }
 
-  std::vector<Node*> path;  // rekey start up to root
-  for (Node* n = rekey_start; n != nullptr; n = n->parent) path.push_back(n);
+  std::vector<NodeIndex> path;  // rekey start up to root
+  for (NodeIndex i = rekey_start; i != kNil; i = at(i).parent) {
+    path.push_back(i);
+  }
   std::reverse(path.begin(), path.end());  // root first
 
-  for (Node* n : path) {
-    refresh_key(n);
+  for (NodeIndex i : path) {
+    Node& node = at(i);
+    refresh_key(node);
     PathChange change;
-    change.node = n->id;
-    change.new_key = n->key();  // old key is compromised; never recorded
+    change.node = node.id;
+    change.new_key = node.key();  // old key is compromised; never recorded
     record.path.push_back(std::move(change));
   }
   // Snapshot children after all refreshes so on-path children already carry
   // their new keys (Figure 8's {K'_{i-1}}_{K'_i} chain).
   record.children.resize(path.size());
   for (std::size_t i = 0; i < path.size(); ++i) {
-    const Node* next_on_path = i + 1 < path.size() ? path[i + 1] : nullptr;
-    for (const Node* child : path[i]->children) {
+    const NodeIndex next_on_path = i + 1 < path.size() ? path[i + 1] : kNil;
+    for (NodeIndex child : at(path[i]).children) {
       record.children[i].push_back(
-          ChildKey{child->id, child->key(), child == next_on_path});
+          ChildKey{at(child).id, at(child).key(), child == next_on_path});
     }
   }
+  publish_next();
   return record;
 }
 
@@ -226,83 +270,70 @@ BatchRecord KeyTree::batch_update(
 
   // Leaves first: free the slots, mark every path to the root.
   for (UserId user : leaves) {
-    Node* leaf = user_leaves_.at(user);
-    Node* parent = leaf->parent;
+    const NodeIndex leaf = user_leaves_.at(user);
+    const NodeIndex parent = at(leaf).parent;
     user_leaves_.erase(user);
-    record.removed_nodes.push_back(leaf->id);
+    record.removed_nodes.push_back(at(leaf).id);
     record.left.push_back(user);
-    std::erase(parent->children, leaf);
+    std::erase(at(parent).children, leaf);
     bump_counts(parent, -1);
     destroy_node(leaf);
 
-    Node* start = parent;
-    if (parent->parent != nullptr && parent->children.size() == 1) {
-      Node* child = parent->children.front();
-      Node* grandparent = parent->parent;
-      *std::find(grandparent->children.begin(), grandparent->children.end(),
-                 parent) = child;
-      child->parent = grandparent;
-      record.removed_nodes.push_back(parent->id);
-      changed.erase(parent->id);  // may have been marked by a prior leave
+    NodeIndex start = parent;
+    if (at(parent).parent != kNil && at(parent).children.size() == 1) {
+      const NodeIndex child = at(parent).children.front();
+      const NodeIndex grandparent = at(parent).parent;
+      auto& uncles = at(grandparent).children;
+      *std::find(uncles.begin(), uncles.end(), parent) = child;
+      at(child).parent = grandparent;
+      record.removed_nodes.push_back(at(parent).id);
+      changed.erase(at(parent).id);  // may be marked by a prior leave
       destroy_node(parent);
       start = grandparent;
     }
-    for (Node* n = start; n != nullptr; n = n->parent) changed.insert(n->id);
+    for (NodeIndex i = start; i != kNil; i = at(i).parent) {
+      changed.insert(at(i).id);
+    }
   }
 
   // Then joins: attach per the balance heuristic, mark the paths.
   for (const auto& [user, key] : joins) {
-    Node* leaf = make_node(individual_key_id(user));
-    leaf->user = user;
-    leaf->secret = key;
-    leaf->version = 1;
-    leaf->user_count = 1;
+    const NodeIndex leaf = make_node(individual_key_id(user));
+    {
+      Node& node = at(leaf);
+      node.user = user;
+      node.secret = key;
+      node.version = 1;
+      node.user_count = 1;
+    }
     user_leaves_.emplace(user, leaf);
 
-    Node* target = find_join_parent();
-    Node* attach_parent = target;
-    if (static_cast<int>(target->children.size()) >= degree_) {
-      Node* old_leaf = *std::min_element(
-          target->children.begin(), target->children.end(),
-          [](const Node* a, const Node* b) {
-            return a->user_count < b->user_count;
-          });
-      Node* intermediate = make_node();
-      *std::find(target->children.begin(), target->children.end(),
-                 old_leaf) = intermediate;
-      intermediate->parent = target;
-      intermediate->user_count = old_leaf->user_count;
-      intermediate->children.push_back(old_leaf);
-      old_leaf->parent = intermediate;
-      attach_parent = intermediate;
-    }
-    attach_parent->children.push_back(leaf);
-    leaf->parent = attach_parent;
-    bump_counts(attach_parent, +1);
-    for (Node* n = attach_parent; n != nullptr; n = n->parent) {
-      changed.insert(n->id);
+    const NodeIndex attach_parent = attach_leaf(leaf).first;
+    for (NodeIndex i = attach_parent; i != kNil; i = at(i).parent) {
+      changed.insert(at(i).id);
     }
     record.joined.push_back(user);
   }
 
   // Rekey every affected node exactly once — the whole point of batching.
-  for (KeyId id : changed) refresh_key(nodes_.at(id).get());
+  for (KeyId id : changed) refresh_key(at(by_id_.at(id)));
 
   // Snapshot after all refreshes so wrapped-under-child keys are current.
   for (KeyId id : changed) {
-    const Node* node = nodes_.at(id).get();
+    const Node& node = at(by_id_.at(id));
     BatchChange change;
     change.node = id;
-    change.new_key = node->key();
-    for (const Node* child : node->children) {
-      change.children.push_back(
-          ChildKey{child->id, child->key(), changed.contains(child->id)});
+    change.new_key = node.key();
+    for (NodeIndex child : node.children) {
+      change.children.push_back(ChildKey{at(child).id, at(child).key(),
+                                         changed.contains(at(child).id)});
     }
     record.changes.push_back(std::move(change));
   }
   for (const auto& [user, key] : joins) {
-    record.joiner_keysets.emplace_back(user, keyset(user));
+    record.joiner_keysets.emplace_back(user, arena_keyset(user));
   }
+  publish_next();
   return record;
 }
 
@@ -314,113 +345,212 @@ bool KeyTree::has_user(UserId user) const {
   return user_leaves_.contains(user);
 }
 
-std::size_t KeyTree::key_count() const noexcept { return nodes_.size(); }
+std::size_t KeyTree::key_count() const noexcept { return live_nodes_; }
 
-std::size_t KeyTree::height() const {
-  // Longest root-to-leaf path in edges, iteratively.
-  struct Frame {
-    const Node* node;
-    std::size_t depth;
-  };
-  std::size_t max_depth = 0;
-  std::vector<Frame> stack{{nodes_.at(root_).get(), 0}};
-  while (!stack.empty()) {
-    const Frame frame = stack.back();
-    stack.pop_back();
-    max_depth = std::max(max_depth, frame.depth);
-    for (const Node* child : frame.node->children) {
-      stack.push_back({child, frame.depth + 1});
-    }
-  }
-  return max_depth;
-}
+std::size_t KeyTree::height() const { return view()->height(); }
 
 SymmetricKey KeyTree::group_key() const {
-  const Node* root = nodes_.at(root_).get();
-  return SymmetricKey{root->id, root->version, root->secret};
+  const Node& root = at(root_index_);
+  return SymmetricKey{root.id, root.version, root.secret};
 }
 
 std::vector<UserId> KeyTree::users_under(KeyId node_id) const {
-  auto it = nodes_.find(node_id);
-  if (it == nodes_.end()) throw ProtocolError("KeyTree: no such k-node");
-  std::vector<UserId> out;
-  std::vector<const Node*> stack{it->second.get()};
-  while (!stack.empty()) {
-    const Node* node = stack.back();
-    stack.pop_back();
-    if (node->is_leaf()) out.push_back(*node->user);
-    for (const Node* child : node->children) stack.push_back(child);
-  }
-  std::sort(out.begin(), out.end());
-  return out;
+  return view()->users_under(node_id);
 }
 
 std::vector<SymmetricKey> KeyTree::keyset(UserId user) const {
+  return view()->keyset(user);
+}
+
+std::vector<SymmetricKey> KeyTree::arena_keyset(UserId user) const {
   auto it = user_leaves_.find(user);
   if (it == user_leaves_.end()) {
     throw ProtocolError("KeyTree: user not in group");
   }
   std::vector<SymmetricKey> out;
-  for (const Node* n = it->second; n != nullptr; n = n->parent) {
-    out.push_back(SymmetricKey{n->id, n->version, n->secret});
+  for (NodeIndex i = it->second; i != kNil; i = at(i).parent) {
+    const Node& node = at(i);
+    out.push_back(SymmetricKey{node.id, node.version, node.secret});
   }
   return out;
 }
 
-std::vector<UserId> KeyTree::users() const {
-  std::vector<UserId> out;
-  out.reserve(user_leaves_.size());
-  for (const auto& [user, leaf] : user_leaves_) out.push_back(user);
-  std::sort(out.begin(), out.end());
-  return out;
+std::vector<UserId> KeyTree::users() const { return view()->users(); }
+
+Bytes KeyTree::serialize() const { return view()->serialize(); }
+
+TreeViewPtr KeyTree::view() const {
+  // A leaf mutex held only for the pointer copy: readers pay one refcount
+  // increment here, then run entirely on the immutable snapshot. (GCC 12's
+  // std::atomic<shared_ptr> reads its pointer word outside any
+  // TSan-visible synchronization, so a plain mutex is the portable,
+  // sanitizer-clean publication primitive.)
+  const std::lock_guard lock(view_mutex_);
+  return view_;
 }
 
-namespace {
-constexpr std::uint8_t kTreeMagic = 0x4b;  // 'K'
-constexpr std::uint8_t kTreeVersion = 1;
-}  // namespace
+void KeyTree::stamp_next_epoch(std::uint64_t epoch) { stamped_epoch_ = epoch; }
 
-Bytes KeyTree::serialize() const {
-  ByteWriter writer;
-  writer.u8(kTreeMagic);
-  writer.u8(kTreeVersion);
-  writer.u32(static_cast<std::uint32_t>(degree_));
-  writer.u64(key_size_);
-  writer.u64(next_id_);
-  // Pre-order DFS; children counts make the structure self-describing.
-  std::vector<const Node*> stack{nodes_.at(root_).get()};
-  writer.u64(nodes_.size());
+void KeyTree::publish_view() {
+  // Re-label the current state (restore path); no mutation happened, so the
+  // epoch counter only moves if a stamp is pending.
+  view_epoch_ = stamped_epoch_.value_or(view_epoch_);
+  stamped_epoch_.reset();
+  publish(view_epoch_);
+}
+
+void KeyTree::publish_next() {
+  view_epoch_ = stamped_epoch_.value_or(view_epoch_ + 1);
+  stamped_epoch_.reset();
+  publish(view_epoch_);
+}
+
+void KeyTree::publish(std::uint64_t epoch) {
+  auto fresh = std::shared_ptr<TreeView>(new TreeView());
+  fresh->degree_ = degree_;
+  fresh->key_size_ = key_size_;
+  fresh->next_id_ = next_id_;
+  fresh->epoch_ = epoch;
+
+  const std::size_t count = live_nodes_;
+  fresh->nodes_.reserve(count);
+  fresh->children_.reserve(count > 0 ? count - 1 : 0);
+  fresh->secrets_.resize(count * key_size_);
+
+  // Preorder walk with reversed child pushes — the exact order the
+  // historical serialize() emitted, so the view's serialize() is a linear
+  // scan with identical bytes. `slot` is the child's cell in the parent's
+  // children block, assigned before the child is visited.
+  struct Frame {
+    NodeIndex arena;
+    std::uint32_t parent_view;
+    std::uint32_t slot;
+    std::uint32_t depth;
+  };
+  std::vector<std::uint32_t> arena_to_view(arena_.size(),
+                                           TreeView::kNilIndex);
+  std::vector<Frame> stack{{root_index_, TreeView::kNilIndex, 0, 0}};
+  KeyId max_internal = 0;
+  std::size_t height = 0;
   while (!stack.empty()) {
-    const Node* node = stack.back();
+    const Frame frame = stack.back();
     stack.pop_back();
-    writer.u64(node->id);
-    writer.u32(node->version);
-    writer.var_bytes(node->secret);
-    writer.u8(node->is_leaf() ? 1 : 0);
-    if (node->is_leaf()) writer.u64(*node->user);
-    writer.u16(static_cast<std::uint16_t>(node->children.size()));
-    for (auto it = node->children.rbegin(); it != node->children.rend();
-         ++it) {
-      stack.push_back(*it);  // reversed so pre-order pops left-to-right
+    const Node& src = at(frame.arena);
+    const auto v = static_cast<std::uint32_t>(fresh->nodes_.size());
+    arena_to_view[frame.arena] = v;
+    if (frame.parent_view != TreeView::kNilIndex) {
+      fresh->children_[frame.slot] = v;
+    }
+    height = std::max(height, static_cast<std::size_t>(frame.depth));
+
+    TreeView::Node out;
+    out.id = src.id;
+    out.version = src.version;
+    out.parent = frame.parent_view;
+    out.user_count = src.user_count;
+    out.leaf = src.is_leaf();
+    if (out.leaf) {
+      out.user = *src.user;
+    } else {
+      max_internal = std::max(max_internal, src.id);
+    }
+    out.first_child = static_cast<std::uint32_t>(fresh->children_.size());
+    out.child_count = static_cast<std::uint32_t>(src.children.size());
+    std::memcpy(fresh->secrets_.data() + std::size_t{v} * key_size_,
+                src.secret.data(), key_size_);
+    fresh->children_.resize(fresh->children_.size() + src.children.size(), 0);
+    for (std::size_t i = src.children.size(); i-- > 0;) {
+      stack.push_back({src.children[i], v,
+                       out.first_child + static_cast<std::uint32_t>(i),
+                       frame.depth + 1});
+    }
+    fresh->nodes_.push_back(out);
+  }
+  fresh->height_ = height;
+
+  // Reverse pass: in preorder, a parent's subtree ends where its last
+  // child's subtree ends.
+  for (std::size_t i = fresh->nodes_.size(); i-- > 0;) {
+    TreeView::Node& node = fresh->nodes_[i];
+    if (node.child_count == 0) {
+      node.subtree_end = static_cast<std::uint32_t>(i) + 1;
+    } else {
+      const std::uint32_t last =
+          fresh->children_[node.first_child + node.child_count - 1];
+      node.subtree_end = fresh->nodes_[last].subtree_end;
     }
   }
-  return writer.take();
+
+  // Internal-id lookup: dense table when the id range is close to the node
+  // count, sorted fallback when churn has made ids sparse.
+  if (max_internal + 1 <= 4 * count + 64) {
+    fresh->by_internal_id_.assign(static_cast<std::size_t>(max_internal) + 1,
+                                  TreeView::kNilIndex);
+    for (std::uint32_t i = 0; i < fresh->nodes_.size(); ++i) {
+      const TreeView::Node& node = fresh->nodes_[i];
+      if (!node.leaf) {
+        fresh->by_internal_id_[static_cast<std::size_t>(node.id)] = i;
+      }
+    }
+  } else {
+    fresh->by_internal_sparse_.reserve(count - user_leaves_.size());
+    for (std::uint32_t i = 0; i < fresh->nodes_.size(); ++i) {
+      if (!fresh->nodes_[i].leaf) {
+        fresh->by_internal_sparse_.emplace_back(fresh->nodes_[i].id, i);
+      }
+    }
+    std::sort(fresh->by_internal_sparse_.begin(),
+              fresh->by_internal_sparse_.end());
+  }
+
+  // user_leaves_ is an ordered map, so the by-user table comes out sorted.
+  fresh->by_user_.reserve(user_leaves_.size());
+  for (const auto& [user, arena_index] : user_leaves_) {
+    fresh->by_user_.emplace_back(user, arena_to_view[arena_index]);
+  }
+
+  if (telemetry::enabled()) {
+    auto& registry = telemetry::Registry::global();
+    static auto& users_gauge = registry.gauge("tree.users");
+    static auto& keys_gauge = registry.gauge("tree.keys");
+    static auto& height_gauge = registry.gauge("tree.height");
+    static auto& epoch_gauge = registry.gauge("tree.view_epoch");
+    users_gauge.set(static_cast<std::int64_t>(fresh->user_count()));
+    keys_gauge.set(static_cast<std::int64_t>(fresh->key_count()));
+    height_gauge.set(static_cast<std::int64_t>(fresh->height()));
+    epoch_gauge.set(static_cast<std::int64_t>(epoch));
+  }
+
+  {
+    const std::lock_guard lock(view_mutex_);
+    view_ = std::move(fresh);
+  }
 }
 
 std::unique_ptr<KeyTree> KeyTree::deserialize(BytesView data,
                                               crypto::SecureRandom& rng) {
   ByteReader reader(data);
-  if (reader.u8() != kTreeMagic) throw ParseError("KeyTree: bad magic");
-  if (reader.u8() != kTreeVersion) throw ParseError("KeyTree: bad version");
+  if (reader.u8() != detail::kTreeMagic) {
+    throw ParseError("KeyTree: bad magic");
+  }
+  if (reader.u8() != detail::kTreeVersion) {
+    throw ParseError("KeyTree: bad version");
+  }
   const int degree = static_cast<int>(reader.u32());
   const std::size_t key_size = reader.u64();
   if (degree < 2 || key_size == 0 || key_size > 1024) {
     throw ParseError("KeyTree: implausible parameters");
   }
   auto tree = std::make_unique<KeyTree>(degree, key_size, rng);
-  tree->nodes_.clear();
+  for (Node& node : tree->arena_) secure_wipe(node.secret);
+  tree->arena_.clear();
+  tree->by_id_.clear();
+  tree->user_leaves_.clear();
+  tree->free_head_ = kNil;
+  tree->live_nodes_ = 0;
+  tree->root_index_ = kNil;
   tree->root_ = 0;
-  tree->next_id_ = reader.u64();
+  const KeyId stored_next_id = reader.u64();
 
   const std::uint64_t node_count = reader.u64();
   if (node_count == 0 || node_count > data.size()) {
@@ -430,72 +560,90 @@ std::unique_ptr<KeyTree> KeyTree::deserialize(BytesView data,
   // Recursive-descent over the pre-order stream, iteratively: a stack of
   // (parent, remaining-children) frames.
   struct Frame {
-    Node* parent;
+    NodeIndex parent;
     std::uint16_t remaining;
   };
   std::vector<Frame> frames;
   std::uint64_t read_nodes = 0;
+  KeyId max_internal_id = 0;
   while (read_nodes < node_count) {
     const KeyId id = reader.u64();
-    if (tree->nodes_.contains(id)) {
+    if (tree->by_id_.contains(id)) {
       throw ParseError("KeyTree: duplicate node id");
     }
-    Node* node = tree->make_node(id);
+    const NodeIndex index = tree->make_node(id);
     ++read_nodes;
-    node->version = reader.u32();
-    node->secret = reader.var_bytes();
-    if (node->secret.size() != key_size) {
-      throw ParseError("KeyTree: key size mismatch");
+    {
+      Node& node = tree->at(index);
+      node.version = reader.u32();
+      node.secret = reader.var_bytes();
+      if (node.secret.size() != key_size) {
+        throw ParseError("KeyTree: key size mismatch");
+      }
     }
     if (reader.u8() != 0) {
       const UserId user = reader.u64();
-      node->user = user;
-      node->user_count = 1;
-      if (!tree->user_leaves_.emplace(user, node).second) {
+      Node& node = tree->at(index);
+      node.user = user;
+      node.user_count = 1;
+      if (node.id != individual_key_id(user)) {
+        throw ParseError("KeyTree: leaf id mismatch");
+      }
+      if (!tree->user_leaves_.emplace(user, index).second) {
         throw ParseError("KeyTree: duplicate user");
       }
+    } else if ((id >> 63) != 0) {
+      // The top bit is the individual-key namespace; an internal k-node
+      // there would be unreachable through the id tables.
+      throw ParseError("KeyTree: implausible internal id");
+    } else {
+      max_internal_id = std::max(max_internal_id, id);
     }
     const std::uint16_t children = reader.u16();
-    if (node->is_leaf() && children != 0) {
+    if (tree->at(index).is_leaf() && children != 0) {
       throw ParseError("KeyTree: leaf with children");
     }
 
     if (frames.empty()) {
-      if (tree->root_ != 0) throw ParseError("KeyTree: multiple roots");
-      tree->root_ = node->id;
+      if (tree->root_index_ != kNil) {
+        throw ParseError("KeyTree: multiple roots");
+      }
+      tree->root_index_ = index;
+      tree->root_ = id;
     } else {
       Frame& top = frames.back();
-      node->parent = top.parent;
-      top.parent->children.push_back(node);
+      tree->at(index).parent = top.parent;
+      tree->at(top.parent).children.push_back(index);
       if (--top.remaining == 0) frames.pop_back();
     }
-    if (children > 0) frames.push_back(Frame{node, children});
+    if (children > 0) frames.push_back(Frame{index, children});
   }
   reader.expect_done();
-  if (!frames.empty() || tree->root_ == 0) {
+  if (!frames.empty() || tree->root_index_ == kNil || tree->root_ == 0) {
     throw ParseError("KeyTree: truncated structure");
   }
 
   // Recompute user counts bottom-up, then let the invariant checker vet
   // everything else (arity, links, key sizes, leaf indexing).
   struct CountFrame {
-    Node* node;
+    NodeIndex node;
     std::size_t child_index;
   };
-  std::vector<CountFrame> walk{{tree->nodes_.at(tree->root_).get(), 0}};
+  std::vector<CountFrame> walk{{tree->root_index_, 0}};
   while (!walk.empty()) {
     CountFrame& frame = walk.back();
-    if (frame.node->is_leaf()) {
+    Node& node = tree->at(frame.node);
+    if (node.is_leaf()) {
       walk.pop_back();
       continue;
     }
-    if (frame.child_index < frame.node->children.size()) {
-      walk.push_back({frame.node->children[frame.child_index++], 0});
+    if (frame.child_index < node.children.size()) {
+      walk.push_back({node.children[frame.child_index++], 0});
       continue;
     }
-    frame.node->user_count = 0;
-    for (const Node* child : frame.node->children) {
-      frame.node->user_count += child->user_count;
+    node.user_count = 0;
+    for (NodeIndex child : node.children) {
+      node.user_count += tree->at(child).user_count;
     }
     walk.pop_back();
   }
@@ -505,48 +653,61 @@ std::unique_ptr<KeyTree> KeyTree::deserialize(BytesView data,
     throw ParseError(std::string("KeyTree: invalid snapshot: ") +
                      error.what());
   }
+  if (stored_next_id <= max_internal_id) {
+    throw ParseError("KeyTree: id counter behind live ids");
+  }
+  // make_node's default-id argument is evaluated even for fixed-id nodes,
+  // so parsing advanced the counter by node_count. Restore the serialized
+  // value: a replica must keep allocating from the primary's counter, and
+  // serialize -> deserialize -> serialize must round-trip byte-identically.
+  tree->next_id_ = stored_next_id;
+  tree->publish(0);
   return tree;
 }
 
 void KeyTree::check_invariants() const {
   std::size_t leaves_seen = 0;
   std::size_t nodes_seen = 0;
-  std::vector<const Node*> stack{nodes_.at(root_).get()};
+  std::vector<NodeIndex> stack{root_index_};
   while (!stack.empty()) {
-    const Node* node = stack.back();
+    const NodeIndex index = stack.back();
     stack.pop_back();
+    const Node& node = at(index);
     ++nodes_seen;
-    if (static_cast<int>(node->children.size()) > degree_) {
+    if (!node.in_use) {
+      throw Error("invariant: reachable node not marked live");
+    }
+    if (static_cast<int>(node.children.size()) > degree_) {
       throw Error("invariant: node arity exceeds degree");
     }
-    if (node->secret.size() != key_size_) {
+    if (node.secret.size() != key_size_) {
       throw Error("invariant: key size mismatch");
     }
-    if (node->is_leaf()) {
+    if (node.is_leaf()) {
       ++leaves_seen;
-      if (!node->children.empty()) {
+      if (!node.children.empty()) {
         throw Error("invariant: leaf with children");
       }
-      if (node->user_count != 1) {
+      if (node.user_count != 1) {
         throw Error("invariant: leaf user_count != 1");
       }
-      auto it = user_leaves_.find(*node->user);
-      if (it == user_leaves_.end() || it->second != node) {
+      auto it = user_leaves_.find(*node.user);
+      if (it == user_leaves_.end() || it->second != index) {
         throw Error("invariant: leaf not indexed by user");
       }
     } else {
       std::size_t sum = 0;
-      for (const Node* child : node->children) {
-        if (child->parent != node) {
+      for (NodeIndex child : node.children) {
+        if (at(child).parent != index) {
           throw Error("invariant: child/parent link broken");
         }
-        sum += child->user_count;
+        sum += at(child).user_count;
         stack.push_back(child);
       }
-      if (sum != node->user_count) {
+      if (sum != node.user_count) {
         throw Error("invariant: user_count mismatch");
       }
-      if (node->parent != nullptr && node->children.size() < 2) {
+      if (node.parent != kNil && node.children.size() < 2) {
         throw Error("invariant: non-root internal node with < 2 children");
       }
     }
@@ -554,8 +715,30 @@ void KeyTree::check_invariants() const {
   if (leaves_seen != user_leaves_.size()) {
     throw Error("invariant: leaf count != user count");
   }
-  if (nodes_seen != nodes_.size()) {
+  if (nodes_seen != live_nodes_) {
     throw Error("invariant: orphan k-nodes present");
+  }
+  // Arena accounting: every slot is live or on the free list, never both,
+  // and the id index maps exactly the live slots.
+  std::size_t free_seen = 0;
+  for (NodeIndex i = free_head_; i != kNil; i = at(i).next_free) {
+    if (++free_seen > arena_.size()) {
+      throw Error("invariant: free-list cycle");
+    }
+    if (at(i).in_use) {
+      throw Error("invariant: free slot marked live");
+    }
+  }
+  if (live_nodes_ + free_seen != arena_.size()) {
+    throw Error("invariant: arena slot accounting broken");
+  }
+  if (by_id_.size() != live_nodes_) {
+    throw Error("invariant: id index size mismatch");
+  }
+  for (const auto& [id, index] : by_id_) {
+    if (index >= arena_.size() || !at(index).in_use || at(index).id != id) {
+      throw Error("invariant: id index entry broken");
+    }
   }
 }
 

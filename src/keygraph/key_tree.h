@@ -10,16 +10,27 @@
 // descends toward the lightest subtree and attaches at the first node with
 // spare capacity (splitting a leaf when every node on the way is full), and
 // a leave splices out internal nodes left with a single child.
+//
+// Storage: nodes live in a contiguous arena (one std::vector<Node> slab
+// with integer indices and an intrusive free list) instead of per-node heap
+// allocations behind an id map — traversal walks a flat array. At the end
+// of every mutation the writer publishes an immutable TreeView snapshot
+// (shared_ptr swap); readers acquire views via view() and never block on or
+// race with the writer. The traversal-heavy read API (users_under, keyset,
+// users, height, serialize) answers from the current view.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "crypto/random.h"
 #include "keygraph/key.h"
+#include "keygraph/tree_view.h"
 
 namespace keygraphs {
 
@@ -98,7 +109,7 @@ class KeyTree {
 
   KeyTree(const KeyTree&) = delete;
   KeyTree& operator=(const KeyTree&) = delete;
-  virtual ~KeyTree() = default;  // StarGraph derives from KeyTree
+  virtual ~KeyTree();  // StarGraph derives from KeyTree
 
   /// Adds a user. The individual key is supplied by the caller (in the
   /// paper it comes out of the authentication exchange). Changes the keys on
@@ -130,7 +141,8 @@ class KeyTree {
   /// Number of edges on the longest root-to-leaf path. The paper's h counts
   /// one more edge (their paths end at u-nodes hanging below the individual
   /// keys), so paper-h = height() + 1 and a user at maximum depth holds
-  /// height() + 1 keys.
+  /// height() + 1 keys. Answered from the current view's precomputed value
+  /// — O(1), no traversal (it sits on the stats hot path).
   [[nodiscard]] std::size_t height() const;
 
   [[nodiscard]] int degree() const noexcept { return degree_; }
@@ -150,9 +162,28 @@ class KeyTree {
   /// Full user list (ascending ids).
   [[nodiscard]] std::vector<UserId> users() const;
 
+  // --- Epoch views -------------------------------------------------------
+
+  /// Acquires the current immutable snapshot. Safe from any thread at any
+  /// time; the returned view (and the key material it references) stays
+  /// valid for as long as the caller holds the pointer.
+  [[nodiscard]] TreeViewPtr view() const;
+
+  /// Labels the *next* published view with `epoch` instead of the internal
+  /// mutation counter. The group server stamps the about-to-be-advanced
+  /// group epoch here right before mutating, so view epochs always equal
+  /// group epochs. One-shot; overwritten by a subsequent stamp.
+  void stamp_next_epoch(std::uint64_t epoch);
+
+  /// Rebuilds and publishes a view of the current state. Mutations publish
+  /// automatically; this exists for the restore path (re-label a freshly
+  /// deserialized tree with the snapshot's epoch).
+  void publish_view();
+
   /// Structural invariants, asserted by tests after every operation:
   /// child/parent links consistent, arity <= degree, user counts correct,
-  /// exactly one leaf per user, no orphan nodes.
+  /// exactly one leaf per user, no orphan nodes, arena free list and
+  /// live-slot accounting consistent.
   void check_invariants() const;
 
   /// Serializes the complete tree — structure AND key material. This is
@@ -169,33 +200,69 @@ class KeyTree {
                                               crypto::SecureRandom& rng);
 
  private:
+  using NodeIndex = std::uint32_t;
+  static constexpr NodeIndex kNil = TreeView::kNilIndex;
+
+  /// One arena slot. `in_use` distinguishes live nodes from free-list
+  /// entries; free slots chain through `next_free`.
   struct Node {
     KeyId id = 0;
     KeyVersion version = 0;
     Bytes secret;
-    Node* parent = nullptr;
-    std::vector<Node*> children;
+    NodeIndex parent = kNil;
+    std::vector<NodeIndex> children;
     std::optional<UserId> user;      // set iff leaf (individual key)
     std::size_t user_count = 0;      // users in this subtree
+    bool in_use = false;
+    NodeIndex next_free = kNil;
 
     [[nodiscard]] bool is_leaf() const noexcept { return user.has_value(); }
     [[nodiscard]] SymmetricKey key() const { return {id, version, secret}; }
   };
 
-  Node* make_node(std::optional<KeyId> fixed_id = std::nullopt);
-  void destroy_node(Node* node);
-  void refresh_key(Node* node);
-  [[nodiscard]] Node* find_join_parent();
-  void bump_counts(Node* from, std::ptrdiff_t delta);
+  [[nodiscard]] Node& at(NodeIndex index) { return arena_[index]; }
+  [[nodiscard]] const Node& at(NodeIndex index) const {
+    return arena_[index];
+  }
+
+  NodeIndex make_node(std::optional<KeyId> fixed_id = std::nullopt);
+  void destroy_node(NodeIndex index);
+  void refresh_key(Node& node);
+  [[nodiscard]] NodeIndex find_join_parent() const;
+  void bump_counts(NodeIndex from, std::ptrdiff_t delta);
+  /// Attaches a (pre-made) leaf per the balance heuristic; returns the
+  /// attach parent and, when a full leaf had to be split, that leaf's
+  /// pre-split individual key. Shared by join() and batch_update().
+  std::pair<NodeIndex, std::optional<SymmetricKey>> attach_leaf(
+      NodeIndex leaf);
+  /// Writer-side keyset (live arena, mid-mutation safe).
+  [[nodiscard]] std::vector<SymmetricKey> arena_keyset(UserId user) const;
+  /// Builds a fresh immutable snapshot and swaps it in; refreshes the
+  /// tree-shape telemetry gauges.
+  void publish(std::uint64_t epoch);
+  /// publish() with the stamped/auto-incremented epoch label.
+  void publish_next();
 
   int degree_;
   std::size_t key_size_;
   crypto::SecureRandom& rng_;
   KeyId next_id_ = 1;
 
-  std::unordered_map<KeyId, std::unique_ptr<Node>> nodes_;
-  std::unordered_map<UserId, Node*> user_leaves_;
+  std::vector<Node> arena_;
+  NodeIndex free_head_ = kNil;
+  std::size_t live_nodes_ = 0;
+  std::unordered_map<KeyId, NodeIndex> by_id_;
+  /// Ordered so view publication emits the by-user table pre-sorted.
+  std::map<UserId, NodeIndex> user_leaves_;
+  NodeIndex root_index_ = kNil;
   KeyId root_ = 0;
+
+  /// Guards only the view_ pointer swap/copy (a leaf lock, never held
+  /// across any other work); the snapshot itself is immutable.
+  mutable std::mutex view_mutex_;
+  TreeViewPtr view_;
+  std::uint64_t view_epoch_ = 0;
+  std::optional<std::uint64_t> stamped_epoch_;
 };
 
 }  // namespace keygraphs

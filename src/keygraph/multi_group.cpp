@@ -55,9 +55,13 @@ const Bytes& MultiGroupGraph::individual_secret(UserId user) const {
 
 KeyGraph MultiGroupGraph::merged_graph() const {
   KeyGraph graph;
+  // One consistent epoch view per tree for the whole merge (and one atomic
+  // view acquisition per tree instead of one per read).
+  std::map<GroupId, TreeViewPtr> views;
+  for (const auto& [group, tree] : trees_) views.emplace(group, tree->view());
   // One shared individual k-node per user who is in at least one group.
-  for (const auto& [group, tree] : trees_) {
-    for (UserId user : tree->users()) {
+  for (const auto& [group, view] : views) {
+    for (UserId user : view->users()) {
       if (!graph.has_user(user)) {
         graph.add_user(user);
         graph.add_key(user);  // individual key node, stride-0 namespace
@@ -67,10 +71,10 @@ KeyGraph MultiGroupGraph::merged_graph() const {
   }
   // Per-tree internal nodes, namespaced, linked leaf-parent upward; the
   // per-tree leaf collapses into the shared individual k-node.
-  for (const auto& [group, tree] : trees_) {
+  for (const auto& [group, view] : views) {
     const KeyId stride = (static_cast<KeyId>(group) + 1) * kGroupIdStride;
-    for (UserId user : tree->users()) {
-      const std::vector<SymmetricKey> chain = tree->keyset(user);
+    for (UserId user : view->users()) {
+      const std::vector<SymmetricKey> chain = view->keyset(user);
       // chain[0] is the leaf (individual key), chain[1..] internal nodes.
       KeyId below = user;  // the shared individual k-node
       for (std::size_t i = 1; i < chain.size(); ++i) {

@@ -18,7 +18,7 @@ KeyBlob seal_wrap(crypto::CipherAlgorithm cipher, const WrapOp& op,
   blob.targets = op.targets;
   Bytes plaintext;
   for (const KeyRef& target : op.targets) {
-    const Bytes& secret = keys.secret(target);
+    const BytesView secret = keys.secret(target);
     plaintext.insert(plaintext.end(), secret.begin(), secret.end());
   }
   const crypto::CbcCipher cbc(

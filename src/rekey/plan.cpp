@@ -9,11 +9,18 @@ KeySnapshot::~KeySnapshot() {
   for (auto& [ref, secret] : secrets_) secure_wipe(secret);
 }
 
+void KeySnapshot::bind(TreeViewPtr view) { view_ = std::move(view); }
+
 void KeySnapshot::add(const SymmetricKey& key) {
+  if (view_ && !view_->find_secret(key.ref()).empty()) return;
   secrets_.try_emplace(key.ref(), key.secret);
 }
 
-const Bytes& KeySnapshot::secret(const KeyRef& ref) const {
+BytesView KeySnapshot::secret(const KeyRef& ref) const {
+  if (view_) {
+    const BytesView from_view = view_->find_secret(ref);
+    if (!from_view.empty()) return from_view;
+  }
   const auto it = secrets_.find(ref);
   if (it == secrets_.end()) {
     throw Error("KeySnapshot: no secret for " + to_string(ref));
@@ -24,6 +31,12 @@ const Bytes& KeySnapshot::secret(const KeyRef& ref) const {
 RekeyPlanner::RekeyPlanner(crypto::CipherAlgorithm cipher,
                            crypto::SecureRandom& rng)
     : block_size_(crypto::cipher_block_size(cipher)), rng_(rng) {}
+
+RekeyPlanner::RekeyPlanner(crypto::CipherAlgorithm cipher,
+                           crypto::SecureRandom& rng, TreeViewPtr view)
+    : block_size_(crypto::cipher_block_size(cipher)), rng_(rng) {
+  plan_.keys.bind(std::move(view));
+}
 
 std::uint32_t RekeyPlanner::wrap(const SymmetricKey& wrapping,
                                  std::span<const SymmetricKey> targets) {
@@ -53,12 +66,15 @@ std::vector<OutboundRekey> materialize(const RekeyPlan& plan,
   std::vector<KeyBlob> blobs;
   blobs.reserve(plan.ops.size());
   for (const WrapOp& op : plan.ops) {
+    const BytesView wrap_secret = plan.keys.secret(op.wrap);
     SymmetricKey wrapping{op.wrap.id, op.wrap.version,
-                          plan.keys.secret(op.wrap)};
+                          Bytes(wrap_secret.begin(), wrap_secret.end())};
     std::vector<SymmetricKey> targets;
     targets.reserve(op.targets.size());
     for (const KeyRef& ref : op.targets) {
-      targets.push_back({ref.id, ref.version, plan.keys.secret(ref)});
+      const BytesView target_secret = plan.keys.secret(ref);
+      targets.push_back({ref.id, ref.version,
+                         Bytes(target_secret.begin(), target_secret.end())});
     }
     blobs.push_back(encryptor.wrap_with_iv(wrapping, targets, op.iv));
     secure_wipe(wrapping.secret);

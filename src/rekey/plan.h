@@ -21,6 +21,7 @@
 
 #include "crypto/block_cipher.h"
 #include "crypto/random.h"
+#include "keygraph/tree_view.h"
 #include "rekey/message.h"
 
 namespace keygraphs::rekey {
@@ -35,9 +36,15 @@ struct WrapOp {
   Bytes iv;  // exactly one cipher block, drawn in the plan phase
 };
 
-/// Immutable (id, version) -> secret map taken while planning. Old and new
-/// generations of the same node coexist (a join wraps K'_i under K_i).
-/// Secrets are wiped on destruction.
+/// Immutable (id, version) -> secret resolver taken while planning. Old and
+/// new generations of the same node coexist (a join wraps K'_i under K_i).
+///
+/// When bound to a TreeView, current-generation keys resolve straight from
+/// the view's pooled secret buffer — holding the view's refcount instead of
+/// copying key material. Only keys the view cannot answer (old generations,
+/// keys of deleted nodes) land in the overlay map. Unbound snapshots (the
+/// compatibility path) copy everything, as before. Overlay secrets are
+/// wiped on destruction; view secrets are wiped by the view's destructor.
 class KeySnapshot {
  public:
   KeySnapshot() = default;
@@ -47,12 +54,19 @@ class KeySnapshot {
   KeySnapshot(const KeySnapshot&) = default;
   KeySnapshot& operator=(const KeySnapshot&) = default;
 
+  /// Resolve current-generation refs through `view` from now on. Keys
+  /// already in the overlay stay there.
+  void bind(TreeViewPtr view);
+
   void add(const SymmetricKey& key);
-  /// Throws Error for a ref that was never snapshotted.
-  [[nodiscard]] const Bytes& secret(const KeyRef& ref) const;
+  /// Throws Error for a ref that was never snapshotted. The returned view
+  /// stays valid for the snapshot's lifetime.
+  [[nodiscard]] BytesView secret(const KeyRef& ref) const;
+  /// Overlay entries only (excludes keys resolved through the view).
   [[nodiscard]] std::size_t size() const noexcept { return secrets_.size(); }
 
  private:
+  TreeViewPtr view_;
   std::unordered_map<KeyRef, Bytes> secrets_;
 };
 
@@ -83,6 +97,12 @@ struct RekeyPlan {
 class RekeyPlanner {
  public:
   RekeyPlanner(crypto::CipherAlgorithm cipher, crypto::SecureRandom& rng);
+
+  /// Binds the plan's snapshot to `view`: wrap() calls skip copying any
+  /// secret the view can resolve. The server path passes the tree view the
+  /// plan was computed against.
+  RekeyPlanner(crypto::CipherAlgorithm cipher, crypto::SecureRandom& rng,
+               TreeViewPtr view);
 
   /// Registers one wrap op and returns its index for message references.
   /// Counts targets.size() key encryptions. Throws on an empty target list

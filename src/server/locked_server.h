@@ -10,20 +10,28 @@
 //                             where concurrent operations overlap, and
 //                             each seal may itself fan out across
 //                             seal_threads workers.
-//   dispatch  under mutex_  — send + stats, sequenced by ticket so
+//   dispatch  under dispatch_mutex_ — send + stats, sequenced by ticket so
 //                             messages leave in epoch order even when a
-//                             later op finishes sealing first. Dispatch
-//                             also resolves subgroup recipients lazily
-//                             from the live tree, which is why it takes
-//                             the same mutex as the planners.
+//                             later op finishes sealing first. Subgroup
+//                             recipients resolve against the plan-time
+//                             TreeView, so dispatch never touches the tree
+//                             and never contends with planners.
 //
-// Tickets are issued under mutex_ at plan time; the sequencer (its own
-// mutex_ + condvar) releases dispatchers in ticket order. Lock order is
-// always sequence_mutex_ -> mutex_, and planners never touch the
-// sequencer, so there is no cycle. An op whose seal throws still retires
-// its ticket, keeping the sequence live.
+// Reads are lock-free: the tree publishes an immutable TreeView per epoch,
+// so member_count()/has_member()/group_key()/epoch()/snapshot()/
+// resolve_subgroup() and the whole resync path acquire the current view
+// and run to completion while a writer holds mutex_ mid-plan.
+//
+// Tickets are issued at plan time (under mutex_ for mutations; atomically,
+// lock-free for resyncs); the sequencer (its own mutex_ + condvar)
+// releases dispatchers in ticket order. Lock order is sequence_mutex_ ->
+// dispatch_mutex_; with_server() takes mutex_ + dispatch_mutex_ together
+// via scoped_lock; no path acquires dispatch_mutex_ before mutex_ — so
+// there is no cycle. An op whose seal throws still retires its ticket,
+// keeping the sequence live.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <mutex>
 
@@ -102,35 +110,24 @@ class LockedGroupKeyServer {
     return admitted;
   }
 
+  /// Lock-free: plans on an acquired TreeView, so it completes even while
+  /// a writer holds the group mutex mid-plan.
   void resync(UserId user) {
     GroupKeyServer::PendingRekey pending;
-    std::uint64_t ticket = 0;
-    {
-      const std::lock_guard lock(mutex_);
-      server_.plan_resync(user, pending);
-      ticket = tickets_issued_++;
-    }
-    seal_and_dispatch(std::move(pending), ticket);
+    server_.plan_resync(user, pending);  // throws before a ticket exists
+    seal_and_dispatch(std::move(pending), tickets_issued_++);
   }
 
+  /// Lock-free (see resync()).
   bool resync_with_token(UserId user, BytesView token) {
     GroupKeyServer::PendingRekey pending;
-    std::uint64_t ticket = 0;
-    {
-      const std::lock_guard lock(mutex_);
-      if (!server_.plan_resync_with_token(user, token, pending)) {
-        return false;
-      }
-      ticket = tickets_issued_++;
-    }
-    seal_and_dispatch(std::move(pending), ticket);
+    if (!server_.plan_resync_with_token(user, token, pending)) return false;
+    seal_and_dispatch(std::move(pending), tickets_issued_++);
     return true;
   }
 
-  [[nodiscard]] Bytes snapshot() const {
-    const std::lock_guard lock(mutex_);
-    return server_.snapshot();
-  }
+  /// Lock-free: serializes one internally consistent epoch view.
+  [[nodiscard]] Bytes snapshot() const { return server_.snapshot(); }
 
   void restore(BytesView snapshot) {
     const std::lock_guard lock(mutex_);
@@ -138,31 +135,38 @@ class LockedGroupKeyServer {
   }
 
   [[nodiscard]] std::size_t member_count() const {
-    const std::lock_guard lock(mutex_);
-    return server_.tree().user_count();
+    return server_.tree_view()->user_count();
   }
 
   [[nodiscard]] bool has_member(UserId user) const {
-    const std::lock_guard lock(mutex_);
-    return server_.tree().has_user(user);
+    return server_.tree_view()->has_user(user);
   }
 
   [[nodiscard]] SymmetricKey group_key() const {
-    const std::lock_guard lock(mutex_);
-    return server_.tree().group_key();
+    return server_.tree_view()->group_key();
   }
 
   [[nodiscard]] std::uint64_t epoch() const {
-    const std::lock_guard lock(mutex_);
-    return server_.epoch();
+    return server_.tree_view()->epoch();
   }
 
-  /// Runs `fn(const GroupKeyServer&)` under the lock for compound reads.
-  /// Waits for no in-flight seals: the view is the planned state, which
-  /// snapshot()/stats() readers already expect.
+  /// Lock-free subgroup resolution on the current epoch view (the unicast
+  /// fan-out Resolver).
+  [[nodiscard]] std::vector<UserId> resolve_subgroup(
+      KeyId include, std::optional<KeyId> exclude) const {
+    return server_.resolve_subgroup(include, exclude);
+  }
+
+  /// Current epoch view of the tree, for compound lock-free reads.
+  [[nodiscard]] TreeViewPtr tree_view() const { return server_.tree_view(); }
+
+  /// Runs `fn(const GroupKeyServer&)` with both the plan and dispatch
+  /// locks held, for compound reads that must see quiescent state (e.g.
+  /// stats). Waits for no in-flight seals: the view is the planned state,
+  /// which snapshot()/stats() readers already expect.
   template <typename Fn>
   auto with_server(Fn&& fn) const {
-    const std::lock_guard lock(mutex_);
+    const std::scoped_lock lock(mutex_, dispatch_mutex_);
     return fn(static_cast<const GroupKeyServer&>(server_));
   }
 
@@ -181,7 +185,7 @@ class LockedGroupKeyServer {
     std::unique_lock order(sequence_mutex_);
     sequence_cv_.wait(order, [&] { return next_dispatch_ == ticket; });
     try {
-      const std::lock_guard lock(mutex_);
+      const std::lock_guard lock(dispatch_mutex_);
       server_.dispatch(std::move(pending));
     } catch (...) {
       ++next_dispatch_;
@@ -200,8 +204,14 @@ class LockedGroupKeyServer {
     sequence_cv_.notify_all();
   }
 
-  mutable std::mutex mutex_;  // guards server_ state: plan + dispatch + reads
-  std::uint64_t tickets_issued_ = 0;  // guarded by mutex_
+  mutable std::mutex mutex_;  // guards group state mutation (plan, restore)
+  /// Guards transport delivery + stats (the dispatch phase). Separate from
+  /// mutex_ so a resync can dispatch while a writer is planning.
+  mutable std::mutex dispatch_mutex_;
+  /// Atomic so lock-free resyncs can take tickets while planners hold
+  /// mutex_; mutation tickets are still taken under mutex_, preserving
+  /// epoch order among them.
+  std::atomic<std::uint64_t> tickets_issued_ = 0;
   std::mutex sequence_mutex_;
   std::condition_variable sequence_cv_;
   std::uint64_t next_dispatch_ = 0;  // guarded by sequence_mutex_

@@ -57,7 +57,7 @@ class MultiGroupService {
   [[nodiscard]] std::vector<GroupId> groups_of(UserId user) const {
     std::vector<GroupId> out;
     for (const auto& [id, entry] : groups_) {
-      if (entry->server->tree().has_user(user)) out.push_back(id);
+      if (entry->server->tree_view()->has_user(user)) out.push_back(id);
     }
     return out;
   }

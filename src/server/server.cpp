@@ -130,12 +130,17 @@ void GroupKeyServer::finish_plan(PendingRekey& pending,
                                  bool advance_epoch,
                                  const StageCollector& stages) {
   if (advance_epoch) ++epoch_;
+  // Mutations stamp the freshly advanced group epoch (the tree published
+  // its post-mutation view under the same number, via stamp_next_epoch).
+  // A resync replays its acquired view's epoch, so planning is consistent
+  // even when the group counter moves concurrently.
+  const std::uint64_t epoch = advance_epoch ? epoch_ : pending.view->epoch();
   const std::uint64_t timestamp = now_us();
   {
     const StageScope scope(Stage::kSerialize);  // header stamping
     for (rekey::PlannedRekey& message : messages) {
       message.header.group = config_.group;
-      message.header.epoch = epoch_;
+      message.header.epoch = epoch;
       message.header.timestamp_us = timestamp;
       message.header.kind = wire_kind;
       message.header.obsolete = obsolete;
@@ -161,12 +166,14 @@ JoinResult GroupKeyServer::plan_join(UserId user, PendingRekey& pending) {
   }
 
   pending.started = std::chrono::steady_clock::now();
+  tree_->stamp_next_epoch(epoch_ + 1);
   std::optional<JoinRecord> record;
   {
     const StageScope scope(Stage::kTreeUpdate);  // keygen nests inside
     record.emplace(tree_->join(user, std::move(individual_key)));
   }
-  rekey::RekeyPlanner planner(config_.suite.cipher, rng_);
+  pending.view = tree_->view();
+  rekey::RekeyPlanner planner(config_.suite.cipher, rng_, pending.view);
   std::vector<rekey::PlannedRekey> messages;
   {
     const StageScope scope(Stage::kEncrypt);  // symbolic wraps + IV draws
@@ -194,12 +201,14 @@ JoinResult GroupKeyServer::plan_join_with_token(UserId user, BytesView token,
 void GroupKeyServer::plan_leave(UserId user, PendingRekey& pending) {
   StageCollector stages;
   pending.started = std::chrono::steady_clock::now();
+  tree_->stamp_next_epoch(epoch_ + 1);
   std::optional<LeaveRecord> record;
   {
     const StageScope scope(Stage::kTreeUpdate);
     record.emplace(tree_->leave(user));  // throws for non-members
   }
-  rekey::RekeyPlanner planner(config_.suite.cipher, rng_);
+  pending.view = tree_->view();
+  rekey::RekeyPlanner planner(config_.suite.cipher, rng_, pending.view);
   std::vector<rekey::PlannedRekey> messages;
   {
     const StageScope scope(Stage::kEncrypt);
@@ -235,12 +244,14 @@ std::vector<UserId> GroupKeyServer::plan_batch(
   }
 
   pending.started = std::chrono::steady_clock::now();
+  tree_->stamp_next_epoch(epoch_ + 1);
   std::optional<BatchRecord> record;
   {
     const StageScope scope(Stage::kTreeUpdate);
     record.emplace(tree_->batch_update(joins, leave_users));
   }
-  rekey::RekeyPlanner planner(config_.suite.cipher, rng_);
+  pending.view = tree_->view();
+  rekey::RekeyPlanner planner(config_.suite.cipher, rng_, pending.view);
   std::vector<rekey::PlannedRekey> messages;
   {
     const StageScope scope(Stage::kEncrypt);
@@ -255,12 +266,15 @@ std::vector<UserId> GroupKeyServer::plan_batch(
 void GroupKeyServer::plan_resync(UserId user, PendingRekey& pending) {
   StageCollector stages;
   pending.started = std::chrono::steady_clock::now();
+  // Whole plan runs on one acquired view (kept if the token path already
+  // pinned one): no tree access, no group lock needed.
+  if (!pending.view) pending.view = tree_->view();
   std::vector<SymmetricKey> keys;
   {
-    const StageScope scope(Stage::kTreeUpdate);  // tree read, no mutation
-    keys = tree_->keyset(user);  // throws for non-members
+    const StageScope scope(Stage::kTreeUpdate);  // view read, no mutation
+    keys = pending.view->keyset(user);  // throws for non-members
   }
-  rekey::RekeyPlanner planner(config_.suite.cipher, rng_);
+  rekey::RekeyPlanner planner(config_.suite.cipher, rng_, pending.view);
   std::vector<rekey::PlannedRekey> messages;
   {
     const StageScope scope(Stage::kEncrypt);
@@ -289,7 +303,8 @@ void GroupKeyServer::plan_resync(UserId user, PendingRekey& pending) {
 bool GroupKeyServer::plan_resync_with_token(UserId user, BytesView token,
                                             PendingRekey& pending) {
   if (!auth_.verify_resync_token(user, token)) return false;
-  if (!tree_->has_user(user)) return false;
+  pending.view = tree_->view();  // membership check and plan on one view
+  if (!pending.view->has_user(user)) return false;
   plan_resync(user, pending);
   return true;
 }
@@ -321,10 +336,13 @@ void GroupKeyServer::dispatch(PendingRekey&& pending) {
     op.max_message = std::max(op.max_message, datagram.size());
     const rekey::Recipient to = sealed.to;
     const StageScope scope(Stage::kSend);
-    transport_.deliver(to, datagram, [this, to] {
+    // Resolve fan-out on the plan-time view: identical to the live tree in
+    // a sequential run, and immune to concurrent mutations between plan
+    // and dispatch under the locked facade.
+    transport_.deliver(to, datagram, [view = pending.view, to] {
       return to.kind == rekey::Recipient::Kind::kUser
                  ? std::vector<UserId>{to.user}
-                 : resolve_subgroup(to.include, to.exclude);
+                 : view->resolve_subgroup(to.include, to.exclude);
     });
   }
   if (op.messages == 0) op.min_message = 0;
@@ -339,9 +357,12 @@ void GroupKeyServer::dispatch(PendingRekey&& pending) {
 }
 
 Bytes GroupKeyServer::snapshot() const {
+  // One acquired view carries both the epoch label and the structure, so a
+  // snapshot taken while the writer mutates is still internally consistent.
+  const TreeViewPtr view = tree_->view();
   ByteWriter writer;
-  writer.u64(epoch_);
-  writer.var_bytes(tree_->serialize());
+  writer.u64(view->epoch());
+  writer.var_bytes(view->serialize());
   return writer.take();
 }
 
@@ -354,27 +375,14 @@ void GroupKeyServer::restore(BytesView snapshot) {
       KeyTree::deserialize(tree_bytes, rng_);  // throws before any change
   tree_ = std::move(restored);
   epoch_ = epoch;
+  // Re-label the restored tree's view with the snapshot's group epoch.
+  tree_->stamp_next_epoch(epoch);
+  tree_->publish_view();
 }
 
 std::vector<UserId> GroupKeyServer::resolve_subgroup(
     KeyId include, std::optional<KeyId> exclude) const {
-  std::vector<UserId> included;
-  try {
-    included = tree_->users_under(include);
-  } catch (const ProtocolError&) {
-    return {};  // the k-node vanished in the same operation
-  }
-  if (!exclude.has_value()) return included;
-  std::vector<UserId> excluded;
-  try {
-    excluded = tree_->users_under(*exclude);
-  } catch (const ProtocolError&) {
-    return included;
-  }
-  std::vector<UserId> out;
-  std::set_difference(included.begin(), included.end(), excluded.begin(),
-                      excluded.end(), std::back_inserter(out));
-  return out;
+  return tree_->view()->resolve_subgroup(include, exclude);
 }
 
 }  // namespace keygraphs::server

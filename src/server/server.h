@@ -82,6 +82,11 @@ class GroupKeyServer {
   /// One membership operation in flight between the pipeline phases.
   struct PendingRekey {
     rekey::RekeyPlan plan;
+    /// The tree view this plan was computed against (post-mutation for
+    /// join/leave/batch, the acquired read view for resync). seal() reads
+    /// key material through it and dispatch() resolves subgroup fan-out on
+    /// it, so later mutations never skew an in-flight operation.
+    TreeViewPtr view;
     OpRecord op;
     std::vector<rekey::SealedRekey> sealed;
     /// Stage self-time accumulated across the phases so far.
@@ -132,7 +137,9 @@ class GroupKeyServer {
                                  const std::vector<UserId>& leave_users,
                                  PendingRekey& pending);
   /// Plans a keyset replay at the current epoch (no tree mutation, no
-  /// epoch advance). Throws ProtocolError for non-members.
+  /// epoch advance). Runs entirely on an acquired TreeView — callers may
+  /// invoke it without serializing against the plan_* mutators. Throws
+  /// ProtocolError for non-members.
   void plan_resync(UserId user, PendingRekey& pending);
   bool plan_resync_with_token(UserId user, BytesView token,
                               PendingRekey& pending);
@@ -148,6 +155,9 @@ class GroupKeyServer {
   void set_signing_mode(rekey::SigningMode mode);
 
   [[nodiscard]] const KeyTree& tree() const noexcept { return *tree_; }
+  /// Current epoch view of the tree — safe to read from any thread while
+  /// the writer mutates.
+  [[nodiscard]] TreeViewPtr tree_view() const { return tree_->view(); }
   [[nodiscard]] ServerStats& stats() noexcept { return stats_; }
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ServerConfig& config() const noexcept {
@@ -186,8 +196,9 @@ class GroupKeyServer {
   /// malformed snapshots (state is unchanged on failure).
   void restore(BytesView snapshot);
 
-  /// userset(include) - userset(exclude) on the current tree; the unicast
-  /// fan-out transport uses this as its Resolver.
+  /// userset(include) - userset(exclude) on the current epoch view; the
+  /// unicast fan-out transport uses this as its Resolver. Lock-free: safe
+  /// to call from any thread while the writer mutates.
   [[nodiscard]] std::vector<UserId> resolve_subgroup(
       KeyId include, std::optional<KeyId> exclude) const;
 

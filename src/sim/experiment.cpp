@@ -68,9 +68,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.client_avg_leave_message_bytes =
         simulator.avg_received_message_bytes(RequestKind::kLeave);
   }
-  result.final_size = server.tree().user_count();
-  result.final_height = server.tree().height();
-  result.final_keys = server.tree().key_count();
+  const keygraphs::TreeViewPtr final_view = server.tree_view();
+  result.final_size = final_view->user_count();
+  result.final_height = final_view->height();
+  result.final_keys = final_view->key_count();
   return result;
 }
 

@@ -70,11 +70,14 @@ void ClientSimulator::attach(UserId user, bool install_individual) {
 }
 
 void ClientSimulator::materialize_from_tree() {
-  for (UserId user : server_.tree().users()) {
+  // One epoch view for the whole materialization: every client's snapshot
+  // comes from the same consistent tree state.
+  const TreeViewPtr view = server_.tree_view();
+  for (UserId user : view->users()) {
     if (clients_.contains(user)) continue;
     attach(user, /*install_individual=*/false);
     client::GroupClient& handle = *clients_.at(user);
-    handle.admit_snapshot(server_.tree().keyset(user), server_.epoch());
+    handle.admit_snapshot(view->keyset(user), server_.epoch());
     network_.resubscribe(user, handle.key_ids());
   }
 }

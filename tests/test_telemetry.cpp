@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "keygraph/key_tree.h"
 #include "sim/experiment.h"
 
 namespace keygraphs::telemetry {
@@ -336,6 +337,33 @@ TEST(Telemetry, StageSumTracksMeasuredProcessingTime) {
   const double ratio = stage_sum_us / processing_us;
   EXPECT_GT(ratio, 0.6) << "stages miss too much of the measured time";
   EXPECT_LT(ratio, 1.1) << "stages double-count the measured time";
+}
+
+TEST(Telemetry, TreeShapeGaugesTrackEveryEpochPublish) {
+  EnabledGuard guard;
+  set_enabled(true);
+  auto& registry = Registry::global();
+  crypto::SecureRandom rng(91);
+  KeyTree tree(3, 8, rng);  // construction publishes epoch 0
+  EXPECT_EQ(registry.gauge("tree.users").value(), 0);
+  EXPECT_EQ(registry.gauge("tree.keys").value(), 1);
+  EXPECT_EQ(registry.gauge("tree.height").value(), 0);
+  EXPECT_EQ(registry.gauge("tree.view_epoch").value(), 0);
+
+  for (UserId user = 1; user <= 7; ++user) {
+    tree.join(user, Bytes(8, static_cast<std::uint8_t>(user)));
+    EXPECT_EQ(registry.gauge("tree.users").value(),
+              static_cast<std::int64_t>(tree.user_count()));
+    EXPECT_EQ(registry.gauge("tree.keys").value(),
+              static_cast<std::int64_t>(tree.key_count()));
+    EXPECT_EQ(registry.gauge("tree.height").value(),
+              static_cast<std::int64_t>(tree.height()));
+    EXPECT_EQ(registry.gauge("tree.view_epoch").value(),
+              static_cast<std::int64_t>(tree.view()->epoch()));
+  }
+  tree.leave(3);
+  EXPECT_EQ(registry.gauge("tree.users").value(), 6);
+  EXPECT_EQ(registry.gauge("tree.view_epoch").value(), 8);
 }
 
 }  // namespace

@@ -1,0 +1,183 @@
+// Randomized churn property test for the arena-backed KeyTree: ~10k seeded
+// mixed join/leave/batch operations, asserting at checkpoints that (a) the
+// structural and arena/free-list invariants hold, (b) serialize ->
+// deserialize round-trips to identical bytes, and (c) membership matches a
+// reference model. The mix is tuned so joins regularly split full leaves,
+// leaves regularly splice out single-child parents, and batches both empty
+// whole subtrees and regrow them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+#include "keygraph/key_tree.h"
+
+namespace keygraphs {
+namespace {
+
+Bytes ik(UserId user) {
+  Bytes key(8, 0);
+  for (int i = 0; i < 8; ++i) key[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(user >> (8 * i));
+  return key;
+}
+
+UserId pick_member(const std::set<UserId>& members, std::mt19937_64& gen) {
+  std::uniform_int_distribution<std::size_t> dist(0, members.size() - 1);
+  auto it = members.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(dist(gen)));
+  return *it;
+}
+
+void checkpoint(const KeyTree& tree, const std::set<UserId>& model) {
+  tree.check_invariants();  // structure + arena free-list accounting
+  const std::vector<UserId> users = tree.users();
+  ASSERT_EQ(users.size(), model.size());
+  ASSERT_TRUE(std::equal(users.begin(), users.end(), model.begin()));
+  const Bytes bytes = tree.serialize();
+  crypto::SecureRandom restore_rng(99);
+  const auto restored = KeyTree::deserialize(bytes, restore_rng);
+  restored->check_invariants();
+  ASSERT_EQ(restored->serialize(), bytes);
+  ASSERT_EQ(restored->users(), users);
+  if (!users.empty()) {
+    const UserId probe = users[users.size() / 2];
+    const std::vector<SymmetricKey> expect = tree.keyset(probe);
+    const std::vector<SymmetricKey> got = restored->keyset(probe);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i].id, expect[i].id);
+      ASSERT_EQ(got[i].version, expect[i].version);
+      ASSERT_EQ(got[i].secret, expect[i].secret);
+    }
+  }
+}
+
+TEST(TreeChurn, TenThousandMixedOpsHoldInvariants) {
+  crypto::SecureRandom rng(271828);
+  KeyTree tree(3, 8, rng);  // degree 3: leaf splits and splices are frequent
+  std::mt19937_64 gen(31337);
+  std::set<UserId> members;
+  UserId next_user = 1;
+  std::size_t ops = 0;
+
+  const auto join_fresh = [&] {
+    const UserId u = next_user++;
+    tree.join(u, ik(u));
+    members.insert(u);
+  };
+
+  while (ops < 10000) {
+    const std::uint64_t pick = gen() % 100;
+    // Bias toward joins when small, toward leaves when large, so the tree
+    // repeatedly grows through leaf-split territory and shrinks back
+    // through splice-outs without drifting unbounded.
+    const bool prefer_leave = members.size() > 256;
+    if (members.empty() || (!prefer_leave && pick < 50) ||
+        (prefer_leave && pick < 20)) {
+      join_fresh();
+    } else if (pick < 85) {
+      const UserId u = pick_member(members, gen);
+      tree.leave(u);
+      members.erase(u);
+    } else {
+      // Batch: up to 5 fresh joins plus up to 5 distinct leaves.
+      std::vector<std::pair<UserId, Bytes>> joins;
+      const std::uint64_t n_joins = gen() % 6;
+      for (std::uint64_t i = 0; i < n_joins; ++i) {
+        const UserId u = next_user++;
+        joins.emplace_back(u, ik(u));
+      }
+      std::vector<UserId> leaves;
+      const std::uint64_t n_leaves =
+          std::min<std::uint64_t>(gen() % 6, members.size());
+      std::set<UserId> chosen;
+      while (chosen.size() < n_leaves) chosen.insert(pick_member(members, gen));
+      leaves.assign(chosen.begin(), chosen.end());
+      if (joins.empty() && leaves.empty()) continue;
+      tree.batch_update(joins, leaves);
+      for (const auto& [u, key] : joins) members.insert(u);
+      for (UserId u : leaves) members.erase(u);
+    }
+    ++ops;
+    if (ops % 500 == 0) {
+      checkpoint(tree, members);
+      if (HasFatalFailure()) return;
+    }
+  }
+  checkpoint(tree, members);
+}
+
+TEST(TreeChurn, BatchEmptiesTheTreeAndRegrowsIt) {
+  crypto::SecureRandom rng(161803);
+  KeyTree tree(4, 8, rng);
+  std::set<UserId> members;
+  for (UserId u = 1; u <= 21; ++u) {
+    tree.join(u, ik(u));
+    members.insert(u);
+  }
+  checkpoint(tree, members);
+
+  // One batch removes every member: the tree collapses to a bare root.
+  tree.batch_update({}, std::vector<UserId>(members.begin(), members.end()));
+  members.clear();
+  EXPECT_EQ(tree.user_count(), 0u);
+  EXPECT_EQ(tree.key_count(), 1u);
+  EXPECT_EQ(tree.height(), 0u);
+  checkpoint(tree, members);
+
+  // Regrow from empty through batches; arena slots are recycled.
+  for (UserId base : {100u, 200u, 300u}) {
+    std::vector<std::pair<UserId, Bytes>> joins;
+    for (UserId u = base; u < base + 9; ++u) joins.emplace_back(u, ik(u));
+    tree.batch_update(joins, {});
+    for (const auto& [u, key] : joins) members.insert(u);
+    checkpoint(tree, members);
+    if (HasFatalFailure()) return;
+  }
+  EXPECT_EQ(tree.user_count(), 27u);
+
+  // And a mixed batch that swaps half the membership in one pass.
+  std::vector<UserId> leaves;
+  for (UserId u : members) {
+    if (u % 2 == 0) leaves.push_back(u);
+  }
+  std::vector<std::pair<UserId, Bytes>> joins;
+  for (UserId u = 400; u < 400 + 5; ++u) joins.emplace_back(u, ik(u));
+  tree.batch_update(joins, leaves);
+  for (UserId u : leaves) members.erase(u);
+  for (const auto& [u, key] : joins) members.insert(u);
+  checkpoint(tree, members);
+}
+
+TEST(TreeChurn, LeaveToEmptyAndSingleUserCycles) {
+  crypto::SecureRandom rng(577215);
+  KeyTree tree(3, 8, rng);
+  std::set<UserId> members;
+  // Repeatedly drain to empty one leave at a time (exercising the final
+  // splice paths), then refill; ids keep growing, slots keep recycling.
+  UserId next = 1;
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    for (int i = 0; i < 7; ++i) {
+      const UserId u = next++;
+      tree.join(u, ik(u));
+      members.insert(u);
+    }
+    checkpoint(tree, members);
+    if (HasFatalFailure()) return;
+    while (!members.empty()) {
+      const UserId u = *members.begin();
+      tree.leave(u);
+      members.erase(u);
+    }
+    EXPECT_EQ(tree.user_count(), 0u);
+    checkpoint(tree, members);
+    if (HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs

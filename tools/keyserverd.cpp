@@ -56,7 +56,7 @@ void print_stats(const server::GroupKeyServer& server) {
       server.stats().summarize(rekey::RekeyKind::kLeave);
   std::printf("[stats] members=%zu height=%zu epoch=%llu | joins=%zu "
               "(%.2f ms, %.1f enc) leaves=%zu (%.2f ms, %.1f enc)\n",
-              server.tree().user_count(), server.tree().height(),
+              server.tree_view()->user_count(), server.tree_view()->height(),
               static_cast<unsigned long long>(server.epoch()),
               joins.operations, joins.avg_processing_ms,
               joins.avg_encryptions, leaves.operations,
