@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "sim/experiment.h"
 #include "sim/table.h"
@@ -91,6 +92,21 @@ inline const char* strategy_label(rekey::StrategyKind kind) {
   return "?";
 }
 
+/// Appends one pre-formatted JSON line to $KG_BENCH_JSON, or to stdout
+/// when the variable is unset. `json` should not carry its own newline.
+inline void emit_json_line(std::string json) {
+  json += '\n';
+  const char* path = std::getenv("KG_BENCH_JSON");
+  if (path != nullptr && *path != '\0') {
+    if (std::FILE* file = std::fopen(path, "a")) {
+      std::fwrite(json.data(), 1, json.size(), file);
+      std::fclose(file);
+      return;
+    }
+  }
+  std::fwrite(json.data(), 1, json.size(), stdout);
+}
+
 /// Appends one JSON line describing a benchmark data point — the averaged
 /// processing time plus the per-stage breakdown — to $KG_BENCH_JSON, or to
 /// stdout when the variable is unset.
@@ -121,19 +137,10 @@ inline void emit_point_json(const char* bench, bool signed_mode,
                   averaged.stage_us[i]);
     json += buffer;
   }
-  std::snprintf(buffer, sizeof(buffer), "},\"stage_sum_us\":%.3f}\n",
+  std::snprintf(buffer, sizeof(buffer), "},\"stage_sum_us\":%.3f}",
                 averaged.stage_sum_us());
   json += buffer;
-
-  const char* path = std::getenv("KG_BENCH_JSON");
-  if (path != nullptr && *path != '\0') {
-    if (std::FILE* file = std::fopen(path, "a")) {
-      std::fwrite(json.data(), 1, json.size(), file);
-      std::fclose(file);
-      return;
-    }
-  }
-  std::fwrite(json.data(), 1, json.size(), stdout);
+  emit_json_line(std::move(json));
 }
 
 inline const std::array<rekey::StrategyKind, 3> kPaperStrategies = {

@@ -3,8 +3,16 @@
 // a DES key encryption is microseconds while an RSA-512 signature is
 // hundreds of microseconds, which is why batch signing wins and why the
 // server's time is signature-bound whenever signing is enabled.
+//
+// After the google-benchmark tables, main() emits one JSON line per block
+// primitive (blocks/sec and schedule expansions/sec, measured over a
+// KG_CRYPTO_MS window, default 200 ms) to $KG_BENCH_JSON or stdout, so the
+// kernel numbers land in the same stream the table/figure benches use.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_util.h"
 #include "client/client.h"
 #include "crypto/aes.h"
 #include "crypto/cbc.h"
@@ -13,6 +21,7 @@
 #include "crypto/rsa.h"
 #include "crypto/suite.h"
 #include "merkle/batch_signer.h"
+#include "rekey/schedule_cache.h"
 
 namespace keygraphs::crypto {
 namespace {
@@ -51,6 +60,22 @@ void BM_CbcKeyWrap(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CbcKeyWrap);
+
+void BM_CbcKeyWrapCached(benchmark::State& state) {
+  // The same wrap served from the schedule cache: what the executor pays
+  // once the wrapping key's expansion is resident (the common case after
+  // plan-target warming).
+  SecureRandom rng(3);
+  const Bytes wrapping_key = rng.bytes(8);
+  const Bytes payload = rng.bytes(8);
+  rekey::ScheduleCache cache(8);
+  const KeyRef ref{1, 1};
+  for (auto _ : state) {
+    const CbcCipher cbc(cache.get(CipherAlgorithm::kDes, ref, wrapping_key));
+    benchmark::DoNotOptimize(cbc.encrypt(payload, rng));
+  }
+}
+BENCHMARK(BM_CbcKeyWrapCached);
 
 void BM_Digest(benchmark::State& state, DigestAlgorithm algorithm) {
   SecureRandom rng(4);
@@ -151,5 +176,75 @@ void BM_ClientHandleRekey(benchmark::State& state) {
 }
 BENCHMARK(BM_ClientHandleRekey);
 
+/// Encrypt-blocks-per-second over a fixed wall-clock window.
+double blocks_per_sec(const BlockCipher& cipher, double window_ms) {
+  SecureRandom rng(20);
+  Bytes block = rng.bytes(cipher.block_size());
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::duration<double, std::milli>(
+                                    window_ms);
+  std::uint64_t count = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 1024; ++i) {
+      cipher.encrypt_block(block.data(), block.data());
+    }
+    count += 1024;
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  benchmark::DoNotOptimize(block.data());
+  return static_cast<double>(count) / elapsed.count();
+}
+
+/// Key-schedule expansions per second (cipher construction from raw key).
+double expansions_per_sec(CipherAlgorithm algorithm, double window_ms) {
+  SecureRandom rng(21);
+  const Bytes key = rng.bytes(cipher_key_size(algorithm));
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::duration<double, std::milli>(
+                                    window_ms);
+  std::uint64_t count = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(make_cipher(algorithm, key));
+    }
+    count += 64;
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  return static_cast<double>(count) / elapsed.count();
+}
+
+void emit_primitive_json() {
+  const double window_ms =
+      static_cast<double>(bench::env_size("KG_CRYPTO_MS", 200));
+  SecureRandom rng(22);
+  for (const CipherAlgorithm algorithm :
+       {CipherAlgorithm::kDes, CipherAlgorithm::kDes3,
+        CipherAlgorithm::kAes128}) {
+    const auto cipher =
+        make_cipher(algorithm, rng.bytes(cipher_key_size(algorithm)));
+    char buffer[256];
+    std::snprintf(
+        buffer, sizeof(buffer),
+        "{\"bench\":\"micro_crypto\",\"primitive\":\"%s\","
+        "\"block_bytes\":%zu,\"blocks_per_sec\":%.0f,"
+        "\"schedule_expansions_per_sec\":%.0f}",
+        cipher_name(algorithm).c_str(), cipher->block_size(),
+        blocks_per_sec(*cipher, window_ms),
+        expansions_per_sec(algorithm, window_ms));
+    bench::emit_json_line(buffer);
+  }
+}
+
 }  // namespace
 }  // namespace keygraphs::crypto
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  keygraphs::crypto::emit_primitive_json();
+  return 0;
+}

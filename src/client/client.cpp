@@ -75,38 +75,45 @@ RekeyOutcome GroupClient::handle_rekey(BytesView wire) {
       consumed[i] = true;
       progress = true;
 
-      const crypto::CbcCipher cbc(
-          crypto::make_cipher(config_.suite.cipher, held->second.secret));
-      Bytes plaintext;
-      try {
-        plaintext = cbc.decrypt(blob.ciphertext);
-      } catch (const CryptoError&) {
-        continue;  // corrupt blob; ignore, counters untouched
+      // The wrapping key's schedule is cached: a path key unwraps many
+      // rekey messages before it is itself replaced. decrypt_into writes
+      // into the reusable scratch buffer — no allocation per blob.
+      const crypto::CbcCipher cbc(schedules_.get(
+          config_.suite.cipher, held->second.ref(), held->second.secret));
+      if (unwrap_scratch_.size() < blob.ciphertext.size()) {
+        unwrap_scratch_.resize(blob.ciphertext.size());
       }
-      if (plaintext.size() != blob.targets.size() * key_size) {
+      std::size_t plain_size = 0;
+      try {
+        plain_size = cbc.decrypt_into(blob.ciphertext, unwrap_scratch_.data());
+      } catch (const CryptoError&) {
+        continue;  // corrupt blob (scratch wiped); counters untouched
+      }
+      if (plain_size != blob.targets.size() * key_size) {
+        secure_wipe(unwrap_scratch_.data(), plain_size);
         continue;
       }
       outcome.keys_decrypted += blob.targets.size();
       for (std::size_t t = 0; t < blob.targets.size(); ++t) {
         const KeyRef& target = blob.targets[t];
-        SymmetricKey key{target.id, target.version,
-                         Bytes(plaintext.begin() +
-                                   static_cast<std::ptrdiff_t>(t * key_size),
-                               plaintext.begin() +
-                                   static_cast<std::ptrdiff_t>(
-                                       (t + 1) * key_size))};
+        const std::uint8_t* secret = unwrap_scratch_.data() + t * key_size;
         auto existing = keys_.find(target.id);
         if (existing == keys_.end() ||
             existing->second.version < target.version) {
-          keys_[target.id] = std::move(key);
+          keys_[target.id] = SymmetricKey{target.id, target.version,
+                                          Bytes(secret, secret + key_size)};
+          schedules_.invalidate_older(target);
           ++outcome.keys_changed;
         }
       }
-      secure_wipe(plaintext);
+      secure_wipe(unwrap_scratch_.data(), plain_size);
     }
   }
 
-  for (KeyId id : message.obsolete) keys_.erase(id);
+  for (KeyId id : message.obsolete) {
+    keys_.erase(id);
+    schedules_.invalidate_id(id);
+  }
 
   outcome.needs_resync =
       !message.blobs.empty() && outcome.keys_decrypted == 0;
@@ -159,6 +166,8 @@ Bytes GroupClient::open_application(BytesView sealed) const {
 void GroupClient::forget_keys() {
   for (auto& [id, key] : keys_) secure_wipe(key.secret);
   keys_.clear();
+  schedules_.clear();
+  secure_wipe(unwrap_scratch_);
 }
 
 Bytes seal_with_key(const crypto::CryptoSuite& suite, const SymmetricKey& key,

@@ -18,6 +18,7 @@
 #include "crypto/rsa.h"
 #include "crypto/suite.h"
 #include "rekey/codec.h"
+#include "rekey/schedule_cache.h"
 
 namespace keygraphs::client {
 
@@ -111,11 +112,19 @@ class GroupClient {
   void forget_keys();
 
  private:
+  /// A client holds O(log n) keys, so a small cache covers them all.
+  static constexpr std::size_t kScheduleCacheCapacity = 64;
+
   ClientConfig config_;
   rekey::RekeyOpener opener_;
   bool has_server_key_ = false;
   crypto::SecureRandom rng_;
   std::unordered_map<KeyId, SymmetricKey> keys_;
+  /// Schedules of held keys, reused across the unwrap fixpoint and across
+  /// messages (a path key unwraps many rekeys before it is itself rekeyed).
+  rekey::ScheduleCache schedules_{kScheduleCacheCapacity,
+                                  "client.schedule_cache"};
+  Bytes unwrap_scratch_;  // decrypt_into target; wiped after each message
   std::uint64_t last_epoch_ = 0;
   ClientTotals totals_;
 };

@@ -59,9 +59,11 @@ Bytes concat(BytesView head, BytesView tail) {
   return out;
 }
 
-void secure_wipe(Bytes& data) noexcept {
-  volatile std::uint8_t* p = data.data();
-  for (std::size_t i = 0; i < data.size(); ++i) p[i] = 0;
+void secure_wipe(std::uint8_t* data, std::size_t size) noexcept {
+  volatile std::uint8_t* p = data;
+  for (std::size_t i = 0; i < size; ++i) p[i] = 0;
 }
+
+void secure_wipe(Bytes& data) noexcept { secure_wipe(data.data(), data.size()); }
 
 }  // namespace keygraphs

@@ -41,4 +41,7 @@ Bytes concat(BytesView head, BytesView tail);
 /// Best-effort zeroization of key material before release.
 void secure_wipe(Bytes& data) noexcept;
 
+/// Raw-buffer overload for caller-owned scratch (e.g. CBC decrypt output).
+void secure_wipe(std::uint8_t* data, std::size_t size) noexcept;
+
 }  // namespace keygraphs

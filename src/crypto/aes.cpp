@@ -1,59 +1,11 @@
 #include "crypto/aes.h"
 
 #include "common/error.h"
+#include "crypto/aes_tables.h"
 
 namespace keygraphs::crypto {
 
 namespace {
-
-// GF(2^8) arithmetic with the AES reduction polynomial x^8+x^4+x^3+x+1.
-std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
-  std::uint8_t result = 0;
-  while (b != 0) {
-    if (b & 1) result ^= a;
-    const bool carry = (a & 0x80) != 0;
-    a = static_cast<std::uint8_t>(a << 1);
-    if (carry) a ^= 0x1b;
-    b >>= 1;
-  }
-  return result;
-}
-
-// The S-box is derived at startup from its definition (multiplicative
-// inverse in GF(2^8) followed by an affine transform) rather than pasted as
-// a 256-entry table; the FIPS-197 test vectors in the test suite pin it.
-struct SboxTables {
-  std::array<std::uint8_t, 256> fwd{};
-  std::array<std::uint8_t, 256> inv{};
-
-  SboxTables() {
-    for (int x = 0; x < 256; ++x) {
-      // Multiplicative inverse (0 maps to 0).
-      std::uint8_t v = 0;
-      if (x != 0) {
-        for (int y = 1; y < 256; ++y) {
-          if (gf_mul(static_cast<std::uint8_t>(x),
-                     static_cast<std::uint8_t>(y)) == 1) {
-            v = static_cast<std::uint8_t>(y);
-            break;
-          }
-        }
-      }
-      auto rotl8 = [](std::uint8_t b, int n) {
-        return static_cast<std::uint8_t>((b << n) | (b >> (8 - n)));
-      };
-      const std::uint8_t s = static_cast<std::uint8_t>(
-          v ^ rotl8(v, 1) ^ rotl8(v, 2) ^ rotl8(v, 3) ^ rotl8(v, 4) ^ 0x63);
-      fwd[static_cast<std::size_t>(x)] = s;
-      inv[s] = static_cast<std::uint8_t>(x);
-    }
-  }
-};
-
-const SboxTables& sbox() {
-  static const SboxTables tables;
-  return tables;
-}
 
 std::uint32_t load_be32(const std::uint8_t* p) {
   return static_cast<std::uint32_t>(p[0]) << 24 |
@@ -62,8 +14,15 @@ std::uint32_t load_be32(const std::uint8_t* p) {
          static_cast<std::uint32_t>(p[3]);
 }
 
+void store_be32(std::uint32_t w, std::uint8_t* p) {
+  p[0] = static_cast<std::uint8_t>(w >> 24);
+  p[1] = static_cast<std::uint8_t>(w >> 16);
+  p[2] = static_cast<std::uint8_t>(w >> 8);
+  p[3] = static_cast<std::uint8_t>(w);
+}
+
 std::uint32_t sub_word(std::uint32_t w) {
-  const auto& s = sbox().fwd;
+  const auto& s = aes_tables().sbox;
   return static_cast<std::uint32_t>(s[(w >> 24) & 0xff]) << 24 |
          static_cast<std::uint32_t>(s[(w >> 16) & 0xff]) << 16 |
          static_cast<std::uint32_t>(s[(w >> 8) & 0xff]) << 8 |
@@ -72,53 +31,12 @@ std::uint32_t sub_word(std::uint32_t w) {
 
 std::uint32_t rot_word(std::uint32_t w) { return (w << 8) | (w >> 24); }
 
-using State = std::array<std::uint8_t, 16>;  // column-major, as in FIPS 197
-
-void add_round_key(State& st, const std::uint32_t* rk) {
-  for (int c = 0; c < 4; ++c) {
-    const std::uint32_t w = rk[c];
-    st[static_cast<std::size_t>(4 * c + 0)] ^=
-        static_cast<std::uint8_t>(w >> 24);
-    st[static_cast<std::size_t>(4 * c + 1)] ^=
-        static_cast<std::uint8_t>(w >> 16);
-    st[static_cast<std::size_t>(4 * c + 2)] ^= static_cast<std::uint8_t>(w >> 8);
-    st[static_cast<std::size_t>(4 * c + 3)] ^= static_cast<std::uint8_t>(w);
-  }
-}
-
-void sub_bytes(State& st, bool inverse) {
-  const auto& table = inverse ? sbox().inv : sbox().fwd;
-  for (auto& b : st) b = table[b];
-}
-
-void shift_rows(State& st, bool inverse) {
-  State out;
-  for (int r = 0; r < 4; ++r) {
-    for (int c = 0; c < 4; ++c) {
-      const int src_col = inverse ? (c - r + 4) % 4 : (c + r) % 4;
-      out[static_cast<std::size_t>(4 * c + r)] =
-          st[static_cast<std::size_t>(4 * src_col + r)];
-    }
-  }
-  st = out;
-}
-
-void mix_columns(State& st, bool inverse) {
-  for (int c = 0; c < 4; ++c) {
-    std::uint8_t* col = &st[static_cast<std::size_t>(4 * c)];
-    const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
-    if (!inverse) {
-      col[0] = gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
-      col[1] = a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
-      col[2] = a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
-      col[3] = gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
-    } else {
-      col[0] = gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9);
-      col[1] = gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13);
-      col[2] = gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11);
-      col[3] = gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14);
-    }
-  }
+/// InvMixColumns of a round-key word: Td applied on top of the forward
+/// S-box cancels the substitution and leaves the column transform.
+std::uint32_t inv_mix_word(const AesTables& t, std::uint32_t w) {
+  return t.td[0][t.sbox[(w >> 24) & 0xff]] ^
+         t.td[1][t.sbox[(w >> 16) & 0xff]] ^
+         t.td[2][t.sbox[(w >> 8) & 0xff]] ^ t.td[3][t.sbox[w & 0xff]];
 }
 
 }  // namespace
@@ -140,38 +58,138 @@ Aes128::Aes128(BytesView key) {
     }
     round_keys_[i] = round_keys_[i - 4] ^ temp;
   }
+
+  const AesTables& t = aes_tables();
+  for (int c = 0; c < 4; ++c) {
+    dec_round_keys_[static_cast<std::size_t>(c)] =
+        round_keys_[static_cast<std::size_t>(4 * kRounds + c)];
+    dec_round_keys_[static_cast<std::size_t>(4 * kRounds + c)] =
+        round_keys_[static_cast<std::size_t>(c)];
+  }
+  for (int round = 1; round < kRounds; ++round) {
+    for (int c = 0; c < 4; ++c) {
+      dec_round_keys_[static_cast<std::size_t>(4 * round + c)] = inv_mix_word(
+          t, round_keys_[static_cast<std::size_t>(4 * (kRounds - round) + c)]);
+    }
+  }
 }
 
 void Aes128::encrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
-  State st;
-  for (int i = 0; i < 16; ++i) st[static_cast<std::size_t>(i)] = in[i];
-  add_round_key(st, &round_keys_[0]);
+  const AesTables& t = aes_tables();
+  const std::uint32_t* rk = round_keys_.data();
+  std::uint32_t s0 = load_be32(in) ^ rk[0];
+  std::uint32_t s1 = load_be32(in + 4) ^ rk[1];
+  std::uint32_t s2 = load_be32(in + 8) ^ rk[2];
+  std::uint32_t s3 = load_be32(in + 12) ^ rk[3];
   for (int round = 1; round < kRounds; ++round) {
-    sub_bytes(st, false);
-    shift_rows(st, false);
-    mix_columns(st, false);
-    add_round_key(st, &round_keys_[static_cast<std::size_t>(4 * round)]);
+    rk += 4;
+    const std::uint32_t t0 = t.te[0][s0 >> 24] ^ t.te[1][(s1 >> 16) & 0xff] ^
+                             t.te[2][(s2 >> 8) & 0xff] ^ t.te[3][s3 & 0xff] ^
+                             rk[0];
+    const std::uint32_t t1 = t.te[0][s1 >> 24] ^ t.te[1][(s2 >> 16) & 0xff] ^
+                             t.te[2][(s3 >> 8) & 0xff] ^ t.te[3][s0 & 0xff] ^
+                             rk[1];
+    const std::uint32_t t2 = t.te[0][s2 >> 24] ^ t.te[1][(s3 >> 16) & 0xff] ^
+                             t.te[2][(s0 >> 8) & 0xff] ^ t.te[3][s1 & 0xff] ^
+                             rk[2];
+    const std::uint32_t t3 = t.te[0][s3 >> 24] ^ t.te[1][(s0 >> 16) & 0xff] ^
+                             t.te[2][(s1 >> 8) & 0xff] ^ t.te[3][s2 & 0xff] ^
+                             rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
   }
-  sub_bytes(st, false);
-  shift_rows(st, false);
-  add_round_key(st, &round_keys_[4 * kRounds]);
-  for (int i = 0; i < 16; ++i) out[i] = st[static_cast<std::size_t>(i)];
+  // Final round: SubBytes + ShiftRows only (raw S-box bytes, no MixColumns).
+  rk += 4;
+  const auto& sb = t.sbox;
+  const std::uint32_t o0 =
+      (static_cast<std::uint32_t>(sb[s0 >> 24]) << 24 |
+       static_cast<std::uint32_t>(sb[(s1 >> 16) & 0xff]) << 16 |
+       static_cast<std::uint32_t>(sb[(s2 >> 8) & 0xff]) << 8 |
+       static_cast<std::uint32_t>(sb[s3 & 0xff])) ^
+      rk[0];
+  const std::uint32_t o1 =
+      (static_cast<std::uint32_t>(sb[s1 >> 24]) << 24 |
+       static_cast<std::uint32_t>(sb[(s2 >> 16) & 0xff]) << 16 |
+       static_cast<std::uint32_t>(sb[(s3 >> 8) & 0xff]) << 8 |
+       static_cast<std::uint32_t>(sb[s0 & 0xff])) ^
+      rk[1];
+  const std::uint32_t o2 =
+      (static_cast<std::uint32_t>(sb[s2 >> 24]) << 24 |
+       static_cast<std::uint32_t>(sb[(s3 >> 16) & 0xff]) << 16 |
+       static_cast<std::uint32_t>(sb[(s0 >> 8) & 0xff]) << 8 |
+       static_cast<std::uint32_t>(sb[s1 & 0xff])) ^
+      rk[2];
+  const std::uint32_t o3 =
+      (static_cast<std::uint32_t>(sb[s3 >> 24]) << 24 |
+       static_cast<std::uint32_t>(sb[(s0 >> 16) & 0xff]) << 16 |
+       static_cast<std::uint32_t>(sb[(s1 >> 8) & 0xff]) << 8 |
+       static_cast<std::uint32_t>(sb[s2 & 0xff])) ^
+      rk[3];
+  store_be32(o0, out);
+  store_be32(o1, out + 4);
+  store_be32(o2, out + 8);
+  store_be32(o3, out + 12);
 }
 
 void Aes128::decrypt_block(const std::uint8_t* in, std::uint8_t* out) const {
-  State st;
-  for (int i = 0; i < 16; ++i) st[static_cast<std::size_t>(i)] = in[i];
-  add_round_key(st, &round_keys_[4 * kRounds]);
-  for (int round = kRounds - 1; round >= 1; --round) {
-    shift_rows(st, true);
-    sub_bytes(st, true);
-    add_round_key(st, &round_keys_[static_cast<std::size_t>(4 * round)]);
-    mix_columns(st, true);
+  const AesTables& t = aes_tables();
+  const std::uint32_t* rk = dec_round_keys_.data();
+  std::uint32_t s0 = load_be32(in) ^ rk[0];
+  std::uint32_t s1 = load_be32(in + 4) ^ rk[1];
+  std::uint32_t s2 = load_be32(in + 8) ^ rk[2];
+  std::uint32_t s3 = load_be32(in + 12) ^ rk[3];
+  for (int round = 1; round < kRounds; ++round) {
+    rk += 4;
+    // InvShiftRows walks the columns backwards.
+    const std::uint32_t t0 = t.td[0][s0 >> 24] ^ t.td[1][(s3 >> 16) & 0xff] ^
+                             t.td[2][(s2 >> 8) & 0xff] ^ t.td[3][s1 & 0xff] ^
+                             rk[0];
+    const std::uint32_t t1 = t.td[0][s1 >> 24] ^ t.td[1][(s0 >> 16) & 0xff] ^
+                             t.td[2][(s3 >> 8) & 0xff] ^ t.td[3][s2 & 0xff] ^
+                             rk[1];
+    const std::uint32_t t2 = t.td[0][s2 >> 24] ^ t.td[1][(s1 >> 16) & 0xff] ^
+                             t.td[2][(s0 >> 8) & 0xff] ^ t.td[3][s3 & 0xff] ^
+                             rk[2];
+    const std::uint32_t t3 = t.td[0][s3 >> 24] ^ t.td[1][(s2 >> 16) & 0xff] ^
+                             t.td[2][(s1 >> 8) & 0xff] ^ t.td[3][s0 & 0xff] ^
+                             rk[3];
+    s0 = t0;
+    s1 = t1;
+    s2 = t2;
+    s3 = t3;
   }
-  shift_rows(st, true);
-  sub_bytes(st, true);
-  add_round_key(st, &round_keys_[0]);
-  for (int i = 0; i < 16; ++i) out[i] = st[static_cast<std::size_t>(i)];
+  rk += 4;
+  const auto& sb = t.inv_sbox;
+  const std::uint32_t o0 =
+      (static_cast<std::uint32_t>(sb[s0 >> 24]) << 24 |
+       static_cast<std::uint32_t>(sb[(s3 >> 16) & 0xff]) << 16 |
+       static_cast<std::uint32_t>(sb[(s2 >> 8) & 0xff]) << 8 |
+       static_cast<std::uint32_t>(sb[s1 & 0xff])) ^
+      rk[0];
+  const std::uint32_t o1 =
+      (static_cast<std::uint32_t>(sb[s1 >> 24]) << 24 |
+       static_cast<std::uint32_t>(sb[(s0 >> 16) & 0xff]) << 16 |
+       static_cast<std::uint32_t>(sb[(s3 >> 8) & 0xff]) << 8 |
+       static_cast<std::uint32_t>(sb[s2 & 0xff])) ^
+      rk[1];
+  const std::uint32_t o2 =
+      (static_cast<std::uint32_t>(sb[s2 >> 24]) << 24 |
+       static_cast<std::uint32_t>(sb[(s1 >> 16) & 0xff]) << 16 |
+       static_cast<std::uint32_t>(sb[(s0 >> 8) & 0xff]) << 8 |
+       static_cast<std::uint32_t>(sb[s3 & 0xff])) ^
+      rk[2];
+  const std::uint32_t o3 =
+      (static_cast<std::uint32_t>(sb[s3 >> 24]) << 24 |
+       static_cast<std::uint32_t>(sb[(s2 >> 16) & 0xff]) << 16 |
+       static_cast<std::uint32_t>(sb[(s1 >> 8) & 0xff]) << 8 |
+       static_cast<std::uint32_t>(sb[s0 & 0xff])) ^
+      rk[3];
+  store_be32(o0, out);
+  store_be32(o1, out + 4);
+  store_be32(o2, out + 8);
+  store_be32(o3, out + 12);
 }
 
 }  // namespace keygraphs::crypto

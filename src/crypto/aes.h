@@ -10,9 +10,11 @@
 namespace keygraphs::crypto {
 
 /// AES with a 128-bit key and the standard 10-round schedule.
-/// Table-driven (S-box + per-round MixColumns); constant time is not a goal
+/// Table-driven (the 32-bit Te/Td tables of crypto/aes_tables.h, which fuse
+/// SubBytes and MixColumns into one lookup); constant time is not a goal
 /// here — the threat model of the paper is network attackers, not local
-/// cache-timing observers.
+/// cache-timing observers. The retained byte-at-a-time kernel lives in
+/// crypto/reference.h and pins this one via the cross-check test.
 class Aes128 final : public BlockCipher {
  public:
   static constexpr std::size_t kBlockSize = 16;
@@ -36,6 +38,10 @@ class Aes128 final : public BlockCipher {
  private:
   // Round keys as 4-byte words, 4 words per round plus the initial key.
   std::array<std::uint32_t, 4 * (kRounds + 1)> round_keys_{};
+  // Equivalent-inverse-cipher keys: the encryption schedule reversed, with
+  // InvMixColumns applied to the inner rounds, so decryption runs the same
+  // word-oriented round shape as encryption (FIPS 197 Section 5.3.5).
+  std::array<std::uint32_t, 4 * (kRounds + 1)> dec_round_keys_{};
 };
 
 }  // namespace keygraphs::crypto

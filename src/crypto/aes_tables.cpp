@@ -1,0 +1,73 @@
+#include "crypto/aes_tables.h"
+
+#include <bit>
+
+namespace keygraphs::crypto {
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t result = 0;
+  while (b != 0) {
+    if (b & 1) result ^= a;
+    const bool carry = (a & 0x80) != 0;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (carry) a ^= 0x1b;
+    b >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+AesTables build_tables() {
+  AesTables t;
+  for (int x = 0; x < 256; ++x) {
+    // Multiplicative inverse (0 maps to 0), then the affine transform.
+    std::uint8_t v = 0;
+    if (x != 0) {
+      for (int y = 1; y < 256; ++y) {
+        if (gf_mul(static_cast<std::uint8_t>(x),
+                   static_cast<std::uint8_t>(y)) == 1) {
+          v = static_cast<std::uint8_t>(y);
+          break;
+        }
+      }
+    }
+    auto rotl8 = [](std::uint8_t b, int n) {
+      return static_cast<std::uint8_t>((b << n) | (b >> (8 - n)));
+    };
+    const std::uint8_t s = static_cast<std::uint8_t>(
+        v ^ rotl8(v, 1) ^ rotl8(v, 2) ^ rotl8(v, 3) ^ rotl8(v, 4) ^ 0x63);
+    t.sbox[static_cast<std::size_t>(x)] = s;
+    t.inv_sbox[s] = static_cast<std::uint8_t>(x);
+  }
+  for (int x = 0; x < 256; ++x) {
+    const std::uint8_t s = t.sbox[static_cast<std::size_t>(x)];
+    const std::uint8_t is = t.inv_sbox[static_cast<std::size_t>(x)];
+    t.te[0][static_cast<std::size_t>(x)] =
+        static_cast<std::uint32_t>(gf_mul(s, 2)) << 24 |
+        static_cast<std::uint32_t>(s) << 16 |
+        static_cast<std::uint32_t>(s) << 8 |
+        static_cast<std::uint32_t>(gf_mul(s, 3));
+    t.td[0][static_cast<std::size_t>(x)] =
+        static_cast<std::uint32_t>(gf_mul(is, 14)) << 24 |
+        static_cast<std::uint32_t>(gf_mul(is, 9)) << 16 |
+        static_cast<std::uint32_t>(gf_mul(is, 13)) << 8 |
+        static_cast<std::uint32_t>(gf_mul(is, 11));
+    for (int i = 1; i < 4; ++i) {
+      t.te[static_cast<std::size_t>(i)][static_cast<std::size_t>(x)] =
+          std::rotr(t.te[0][static_cast<std::size_t>(x)], 8 * i);
+      t.td[static_cast<std::size_t>(i)][static_cast<std::size_t>(x)] =
+          std::rotr(t.td[0][static_cast<std::size_t>(x)], 8 * i);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+const AesTables& aes_tables() {
+  static const AesTables tables = build_tables();
+  return tables;
+}
+
+}  // namespace keygraphs::crypto

@@ -1,0 +1,41 @@
+// Round-function lookup tables for AES-128, derived at startup.
+//
+// The repo's rule for crypto constants is derive-not-paste: the S-box is
+// computed from its FIPS 197 definition (multiplicative inverse in GF(2^8)
+// followed by the affine transform), and the 32-bit T-tables of the
+// rijndael-alg-fst formulation are in turn computed from the S-box:
+//
+//   Te0[x] = (2*S[x], S[x], S[x], 3*S[x])       packed MSB-first
+//   Td0[x] = (14*IS[x], 9*IS[x], 13*IS[x], 11*IS[x])
+//   Te_i[x] = Te0[x] >>> 8i,  Td_i[x] = Td0[x] >>> 8i   (i = 1..3)
+//
+// One Te lookup fuses SubBytes with a MixColumns column, so an AES round
+// over the four column words is 16 table loads and a handful of XORs —
+// no GF(2^8) arithmetic on the block path. The FIPS 197 / SP 800-38A
+// vectors in the test suite pin the derivation, and
+// tests/test_crypto_kernels.cpp cross-checks the table kernel against the
+// retained reference round functions (crypto/reference.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace keygraphs::crypto {
+
+/// GF(2^8) multiply with the AES reduction polynomial x^8+x^4+x^3+x+1.
+/// Used by the key schedule and the table derivation — never on the
+/// per-block path.
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b);
+
+struct AesTables {
+  std::array<std::uint8_t, 256> sbox{};
+  std::array<std::uint8_t, 256> inv_sbox{};
+  /// te[i][x] = Te_i[x], td[i][x] = Td_i[x] as above.
+  std::array<std::array<std::uint32_t, 256>, 4> te{};
+  std::array<std::array<std::uint32_t, 256>, 4> td{};
+};
+
+/// The shared tables, built on first use (thread-safe magic static).
+const AesTables& aes_tables();
+
+}  // namespace keygraphs::crypto

@@ -17,26 +17,40 @@ Bytes CbcCipher::encrypt(BytesView plaintext, SecureRandom& rng) const {
 }
 
 Bytes CbcCipher::encrypt_with_iv(BytesView plaintext, BytesView iv) const {
+  Bytes out(ciphertext_size(plaintext.size()));
+  encrypt_into(plaintext, iv, out.data());
+  return out;
+}
+
+void CbcCipher::encrypt_into(BytesView plaintext, BytesView iv,
+                             std::uint8_t* out) const {
   const std::size_t block = cipher_->block_size();
   if (iv.size() != block) throw CryptoError("CBC: IV must be one block");
 
-  // PKCS#7: pad with `pad` bytes of value `pad`, 1..block.
-  const std::size_t pad = block - plaintext.size() % block;
-  Bytes padded(plaintext.begin(), plaintext.end());
-  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+  std::memcpy(out, iv.data(), block);
+  const std::uint8_t* chain = out;  // previous ciphertext block (or IV)
+  std::uint8_t* dst = out + block;
 
-  Bytes out(iv.begin(), iv.end());
-  out.resize(block + padded.size());
-  const std::uint8_t* chain = out.data();  // previous ciphertext block (or IV)
-  for (std::size_t off = 0; off < padded.size(); off += block) {
-    std::uint8_t* dst = out.data() + block + off;
-    for (std::size_t i = 0; i < block; ++i) {
-      dst[i] = padded[off + i] ^ chain[i];
-    }
+  // Whole plaintext blocks, XOR-chained straight into the output.
+  const std::size_t whole = plaintext.size() / block;
+  for (std::size_t b = 0; b < whole; ++b) {
+    const std::uint8_t* src = plaintext.data() + b * block;
+    for (std::size_t i = 0; i < block; ++i) dst[i] = src[i] ^ chain[i];
     cipher_->encrypt_block(dst, dst);
     chain = dst;
+    dst += block;
   }
-  return out;
+
+  // Final block: remaining plaintext tail plus streamed PKCS#7 padding
+  // (pad bytes of value `pad`, 1..block — a full pad block on exact
+  // multiples). No padded plaintext copy is ever materialized.
+  const std::size_t tail = plaintext.size() - whole * block;
+  const auto pad = static_cast<std::uint8_t>(block - tail);
+  for (std::size_t i = 0; i < tail; ++i) {
+    dst[i] = plaintext[whole * block + i] ^ chain[i];
+  }
+  for (std::size_t i = tail; i < block; ++i) dst[i] = pad ^ chain[i];
+  cipher_->encrypt_block(dst, dst);
 }
 
 Bytes CbcCipher::decrypt(BytesView iv_and_ciphertext) const {
@@ -45,25 +59,42 @@ Bytes CbcCipher::decrypt(BytesView iv_and_ciphertext) const {
       iv_and_ciphertext.size() % block != 0) {
     throw CryptoError("CBC: ciphertext length invalid");
   }
+  Bytes plain(iv_and_ciphertext.size() - block);
+  // decrypt_into has already wiped the padding tail, so shrinking the
+  // vector leaves no key material past the logical end.
+  plain.resize(decrypt_into(iv_and_ciphertext, plain.data()));
+  return plain;
+}
+
+std::size_t CbcCipher::decrypt_into(BytesView iv_and_ciphertext,
+                                    std::uint8_t* out) const {
+  const std::size_t block = cipher_->block_size();
+  if (iv_and_ciphertext.size() < 2 * block ||
+      iv_and_ciphertext.size() % block != 0) {
+    throw CryptoError("CBC: ciphertext length invalid");
+  }
   const std::size_t body = iv_and_ciphertext.size() - block;
-  Bytes plain(body);
   for (std::size_t off = 0; off < body; off += block) {
     const std::uint8_t* ct = iv_and_ciphertext.data() + block + off;
     const std::uint8_t* chain = iv_and_ciphertext.data() + off;
-    cipher_->decrypt_block(ct, plain.data() + off);
+    cipher_->decrypt_block(ct, out + off);
     for (std::size_t i = 0; i < block; ++i) {
-      plain[off + i] ^= chain[i];
+      out[off + i] ^= chain[i];
     }
   }
-  const std::uint8_t pad = plain.back();
-  if (pad == 0 || pad > block || pad > plain.size()) {
+  const std::uint8_t pad = out[body - 1];
+  bool ok = pad != 0 && pad <= block;
+  if (ok) {
+    for (std::size_t i = body - pad; i < body; ++i) {
+      if (out[i] != pad) ok = false;
+    }
+  }
+  if (!ok) {
+    secure_wipe(out, body);
     throw CryptoError("CBC: bad padding");
   }
-  for (std::size_t i = plain.size() - pad; i < plain.size(); ++i) {
-    if (plain[i] != pad) throw CryptoError("CBC: bad padding");
-  }
-  plain.resize(plain.size() - pad);
-  return plain;
+  secure_wipe(out + (body - pad), pad);
+  return body - pad;
 }
 
 std::size_t CbcCipher::ciphertext_size(std::size_t plaintext_size) const {

@@ -28,8 +28,23 @@ class CbcCipher {
   /// IV must be exactly one block. Output layout: IV || ciphertext.
   [[nodiscard]] Bytes encrypt_with_iv(BytesView plaintext, BytesView iv) const;
 
+  /// Zero-allocation encrypt: writes IV || ciphertext into caller-owned
+  /// `out`, which must hold exactly ciphertext_size(plaintext.size())
+  /// bytes. Padding is streamed straight into `out`'s final block — no
+  /// padded plaintext copy is ever made, so there is nothing to wipe.
+  /// `out` must not alias `plaintext` or `iv`.
+  void encrypt_into(BytesView plaintext, BytesView iv, std::uint8_t* out) const;
+
   /// Inverse of encrypt(); throws CryptoError on bad length or padding.
   [[nodiscard]] Bytes decrypt(BytesView iv_and_ciphertext) const;
+
+  /// Zero-allocation decrypt into caller-owned `out` (at least
+  /// iv_and_ciphertext.size() - block_size bytes; `out` must not alias the
+  /// input). Returns the unpadded plaintext length; the padding tail it
+  /// wrote past that length is wiped before returning. On bad padding the
+  /// whole written range is wiped before CryptoError is thrown.
+  std::size_t decrypt_into(BytesView iv_and_ciphertext,
+                           std::uint8_t* out) const;
 
   /// Ciphertext size (including IV) for a plaintext of `plaintext_size`.
   [[nodiscard]] std::size_t ciphertext_size(std::size_t plaintext_size) const;

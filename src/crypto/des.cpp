@@ -1,163 +1,63 @@
 #include "crypto/des.h"
 
-#include "common/error.h"
+#include <bit>
+
+#include "crypto/des_tables.h"
 
 namespace keygraphs::crypto {
 
 namespace {
 
-// All tables use the 1-based bit numbering of FIPS 46-3, where bit 1 is the
-// most significant bit of the block.
-
-constexpr std::uint8_t kInitialPermutation[64] = {
-    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
-    62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
-    57, 49, 41, 33, 25, 17, 9,  1, 59, 51, 43, 35, 27, 19, 11, 3,
-    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7};
-
-constexpr std::uint8_t kFinalPermutation[64] = {
-    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
-    38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
-    36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
-    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9,  49, 17, 57, 25};
-
-constexpr std::uint8_t kExpansion[48] = {
-    32, 1,  2,  3,  4,  5,  4,  5,  6,  7,  8,  9,  8,  9,  10, 11,
-    12, 13, 12, 13, 14, 15, 16, 17, 16, 17, 18, 19, 20, 21, 20, 21,
-    22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1};
-
-constexpr std::uint8_t kPermutationP[32] = {
-    16, 7, 20, 21, 29, 12, 28, 17, 1,  15, 23, 26, 5,  18, 31, 10,
-    2,  8, 24, 14, 32, 27, 3,  9,  19, 13, 30, 6,  22, 11, 4,  25};
-
-constexpr std::uint8_t kPermutedChoice1[56] = {
-    57, 49, 41, 33, 25, 17, 9,  1,  58, 50, 42, 34, 26, 18,
-    10, 2,  59, 51, 43, 35, 27, 19, 11, 3,  60, 52, 44, 36,
-    63, 55, 47, 39, 31, 23, 15, 7,  62, 54, 46, 38, 30, 22,
-    14, 6,  61, 53, 45, 37, 29, 21, 13, 5,  28, 20, 12, 4};
-
-constexpr std::uint8_t kPermutedChoice2[48] = {
-    14, 17, 11, 24, 1,  5,  3,  28, 15, 6,  21, 10, 23, 19, 12, 4,
-    26, 8,  16, 7,  27, 20, 13, 2,  41, 52, 31, 37, 47, 55, 30, 40,
-    51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32};
-
-constexpr std::uint8_t kLeftShifts[16] = {1, 1, 2, 2, 2, 2, 2, 2,
-                                          1, 2, 2, 2, 2, 2, 2, 1};
-
-constexpr std::uint8_t kSBox[8][64] = {
-    {14, 4,  13, 1, 2,  15, 11, 8,  3,  10, 6,  12, 5,  9,  0, 7,
-     0,  15, 7,  4, 14, 2,  13, 1,  10, 6,  12, 11, 9,  5,  3, 8,
-     4,  1,  14, 8, 13, 6,  2,  11, 15, 12, 9,  7,  3,  10, 5, 0,
-     15, 12, 8,  2, 4,  9,  1,  7,  5,  11, 3,  14, 10, 0,  6, 13},
-    {15, 1,  8,  14, 6,  11, 3,  4,  9,  7, 2,  13, 12, 0, 5,  10,
-     3,  13, 4,  7,  15, 2,  8,  14, 12, 0, 1,  10, 6,  9, 11, 5,
-     0,  14, 7,  11, 10, 4,  13, 1,  5,  8, 12, 6,  9,  3, 2,  15,
-     13, 8,  10, 1,  3,  15, 4,  2,  11, 6, 7,  12, 0,  5, 14, 9},
-    {10, 0,  9,  14, 6, 3,  15, 5,  1,  13, 12, 7,  11, 4,  2,  8,
-     13, 7,  0,  9,  3, 4,  6,  10, 2,  8,  5,  14, 12, 11, 15, 1,
-     13, 6,  4,  9,  8, 15, 3,  0,  11, 1,  2,  12, 5,  10, 14, 7,
-     1,  10, 13, 0,  6, 9,  8,  7,  4,  15, 14, 3,  11, 5,  2,  12},
-    {7,  13, 14, 3, 0,  6,  9,  10, 1,  2, 8, 5,  11, 12, 4,  15,
-     13, 8,  11, 5, 6,  15, 0,  3,  4,  7, 2, 12, 1,  10, 14, 9,
-     10, 6,  9,  0, 12, 11, 7,  13, 15, 1, 3, 14, 5,  2,  8,  4,
-     3,  15, 0,  6, 10, 1,  13, 8,  9,  4, 5, 11, 12, 7,  2,  14},
-    {2,  12, 4,  1,  7,  10, 11, 6,  8,  5,  3,  15, 13, 0, 14, 9,
-     14, 11, 2,  12, 4,  7,  13, 1,  5,  0,  15, 10, 3,  9, 8,  6,
-     4,  2,  1,  11, 10, 13, 7,  8,  15, 9,  12, 5,  6,  3, 0,  14,
-     11, 8,  12, 7,  1,  14, 2,  13, 6,  15, 0,  9,  10, 4, 5,  3},
-    {12, 1,  10, 15, 9, 2,  6,  8,  0,  13, 3,  4,  14, 7,  5,  11,
-     10, 15, 4,  2,  7, 12, 9,  5,  6,  1,  13, 14, 0,  11, 3,  8,
-     9,  14, 15, 5,  2, 8,  12, 3,  7,  0,  4,  10, 1,  13, 11, 6,
-     4,  3,  2,  12, 9, 5,  15, 10, 11, 14, 1,  7,  6,  0,  8,  13},
-    {4,  11, 2,  14, 15, 0, 8,  13, 3,  12, 9, 7,  5,  10, 6, 1,
-     13, 0,  11, 7,  4,  9, 1,  10, 14, 3,  5, 12, 2,  15, 8, 6,
-     1,  4,  11, 13, 12, 3, 7,  14, 10, 15, 6, 8,  0,  5,  9, 2,
-     6,  11, 13, 8,  1,  4, 10, 7,  9,  5,  0, 15, 14, 2,  3, 12},
-    {13, 2,  8,  4, 6,  15, 11, 1,  10, 9,  3,  14, 5,  0,  12, 7,
-     1,  15, 13, 8, 10, 3,  7,  4,  12, 5,  6,  11, 0,  14, 9,  2,
-     7,  11, 4,  1, 9,  12, 14, 2,  0,  6,  10, 13, 15, 3,  5,  8,
-     2,  1,  14, 7, 4,  10, 8,  13, 15, 12, 9,  0,  3,  5,  6,  11}};
-
-// Applies a FIPS bit-selection table: output bit i (1-based, MSB first) is
-// input bit table[i-1] of an `in_bits`-wide value.
-template <std::size_t N>
-std::uint64_t permute(std::uint64_t in, const std::uint8_t (&table)[N],
-                      int in_bits) {
+/// IP/FP as eight byte-indexed lookups XORed together (see des_tables.h).
+std::uint64_t permute_by_bytes(
+    std::uint64_t in,
+    const std::array<std::array<std::uint64_t, 256>, 8>& table) {
   std::uint64_t out = 0;
-  for (std::size_t i = 0; i < N; ++i) {
-    out = (out << 1) | ((in >> (in_bits - table[i])) & 1u);
+  for (int b = 0; b < 8; ++b) {
+    out ^= table[static_cast<std::size_t>(b)][(in >> (8 * (7 - b))) & 0xff];
   }
   return out;
 }
 
-std::uint32_t rotl28(std::uint32_t v, int n) {
-  return ((v << n) | (v >> (28 - n))) & 0x0fffffffu;
-}
-
-std::uint32_t feistel(std::uint32_t half, std::uint64_t subkey) {
-  const std::uint64_t expanded =
-      permute(static_cast<std::uint64_t>(half), kExpansion, 32) ^ subkey;
-  std::uint32_t sbox_out = 0;
+/// The f-function on fused tables. The expansion E maps R's 6-bit groups to
+/// consecutive windows of rotr(R, 1) (group i = bits 4i+1..4i+6 of it, MSB
+/// first), so each S-box input is one shift + XOR with its subkey chunk, and
+/// sp[] folds the S-box and P together.
+std::uint32_t feistel(const DesTables& t, std::uint32_t half,
+                      std::uint64_t subkey) {
+  const std::uint32_t rr = std::rotr(half, 1);
+  std::uint32_t out = 0;
   for (int box = 0; box < 8; ++box) {
-    const auto six =
-        static_cast<std::uint8_t>((expanded >> (42 - 6 * box)) & 0x3f);
-    const int row = ((six & 0x20) >> 4) | (six & 0x01);
-    const int col = (six >> 1) & 0x0f;
-    sbox_out = (sbox_out << 4) | kSBox[box][row * 16 + col];
+    const std::uint32_t six =
+        ((std::rotl(rr, 4 * box) >> 26) ^
+         static_cast<std::uint32_t>(subkey >> (42 - 6 * box))) &
+        0x3f;
+    out ^= t.sp[static_cast<std::size_t>(box)][six];
   }
-  return static_cast<std::uint32_t>(
-      permute(static_cast<std::uint64_t>(sbox_out), kPermutationP, 32));
-}
-
-std::uint64_t load_be64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
-  return v;
-}
-
-void store_be64(std::uint64_t v, std::uint8_t* p) {
-  for (int i = 7; i >= 0; --i) {
-    p[i] = static_cast<std::uint8_t>(v);
-    v >>= 8;
-  }
+  return out;
 }
 
 }  // namespace
 
-Des::Des(BytesView key) {
-  if (key.size() != kKeySize) {
-    throw CryptoError("DES: key must be 8 bytes");
-  }
-  const std::uint64_t k = load_be64(key.data());
-  const std::uint64_t cd = permute(k, kPermutedChoice1, 64);
-  auto c = static_cast<std::uint32_t>(cd >> 28);
-  auto d = static_cast<std::uint32_t>(cd & 0x0fffffffu);
-  for (int round = 0; round < 16; ++round) {
-    c = rotl28(c, kLeftShifts[round]);
-    d = rotl28(d, kLeftShifts[round]);
-    const std::uint64_t merged =
-        (static_cast<std::uint64_t>(c) << 28) | static_cast<std::uint64_t>(d);
-    round_keys_[static_cast<std::size_t>(round)] =
-        permute(merged, kPermutedChoice2, 56);
-  }
-}
+Des::Des(BytesView key) : round_keys_(des_key_schedule(key)) {}
 
 void Des::crypt_block(const std::uint8_t* in, std::uint8_t* out,
                       bool decrypt) const {
-  const std::uint64_t block = permute(load_be64(in), kInitialPermutation, 64);
+  const DesTables& t = des_tables();
+  const std::uint64_t block = permute_by_bytes(load_be64(in), t.ip);
   auto left = static_cast<std::uint32_t>(block >> 32);
   auto right = static_cast<std::uint32_t>(block);
   for (int round = 0; round < 16; ++round) {
     const std::size_t k =
         static_cast<std::size_t>(decrypt ? 15 - round : round);
-    const std::uint32_t next = left ^ feistel(right, round_keys_[k]);
+    const std::uint32_t next = left ^ feistel(t, right, round_keys_[k]);
     left = right;
     right = next;
   }
   // Final swap: pre-output is R16 || L16.
   const std::uint64_t preout =
       (static_cast<std::uint64_t>(right) << 32) | left;
-  store_be64(permute(preout, kFinalPermutation, 64), out);
+  store_be64(permute_by_bytes(preout, t.fp), out);
 }
 
 void Des::encrypt_block(const std::uint8_t* in, std::uint8_t* out) const {

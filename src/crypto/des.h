@@ -1,9 +1,10 @@
 // DES (FIPS 46-3), the symmetric cipher used by the paper's prototype.
 //
-// This is a straightforward table-driven implementation: correct, compact,
-// and fast enough that one join/leave at n=8192 costs microseconds of
-// encryption — matching the paper's observation that digital signatures, not
-// DES, dominate server processing time.
+// The kernel runs on the fused lookup tables of crypto/des_tables.h: IP/FP
+// as byte-indexed XOR tables, S-boxes combined with the P permutation, and
+// the expansion E computed as bit windows of a rotated half — no per-bit
+// permutation loops on the block path. The retained bit-loop kernel lives
+// in crypto/reference.h and pins this one via the cross-check test.
 #pragma once
 
 #include <array>

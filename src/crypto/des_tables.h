@@ -1,0 +1,58 @@
+// FIPS 46-3 tables, the DES key schedule, and the fused lookup tables the
+// fast kernel runs on — all shared with the reference implementation.
+//
+// The bit-selection tables below are the standard's own (1-based numbering,
+// bit 1 = MSB of the block). The fast kernel never applies them bit by bit:
+// at startup they are fused into
+//
+//   sp[b][v]  — S-box b on the 6-bit group v (row/column decode folded in),
+//               placed at its nibble position and pushed through P, as one
+//               32-bit word: the whole f-function body is 8 loads + XORs;
+//   ip/fp[b][v] — the contribution of input byte b with value v to the
+//               initial/final permutation: a 64-bit permutation is 8 loads
+//               XORed together instead of 64 single-bit moves.
+//
+// The expansion E needs no table at all: its 6-bit groups are consecutive
+// windows of R rotated right by one (verified against kDesExpansion by the
+// kernel cross-check test).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace keygraphs::crypto {
+
+extern const std::uint8_t kDesInitialPermutation[64];
+extern const std::uint8_t kDesFinalPermutation[64];
+extern const std::uint8_t kDesExpansion[48];
+extern const std::uint8_t kDesPermutationP[32];
+extern const std::uint8_t kDesPermutedChoice1[56];
+extern const std::uint8_t kDesPermutedChoice2[48];
+extern const std::uint8_t kDesLeftShifts[16];
+extern const std::uint8_t kDesSBox[8][64];
+
+/// Applies a FIPS bit-selection table: output bit i (1-based, MSB first) is
+/// input bit table[i-1] of an `in_bits`-wide value. `length` is the table
+/// (= output) width.
+std::uint64_t des_permute(std::uint64_t in, const std::uint8_t* table,
+                          std::size_t length, int in_bits);
+
+/// The 16 48-bit subkeys for an 8-byte key (parity bits ignored, as in
+/// FIPS 46-3). Throws CryptoError on any other key size.
+std::array<std::uint64_t, 16> des_key_schedule(BytesView key);
+
+struct DesTables {
+  std::array<std::array<std::uint32_t, 64>, 8> sp{};
+  std::array<std::array<std::uint64_t, 256>, 8> ip{};
+  std::array<std::array<std::uint64_t, 256>, 8> fp{};
+};
+
+/// The shared fused tables, built on first use (thread-safe magic static).
+const DesTables& des_tables();
+
+std::uint64_t load_be64(const std::uint8_t* p);
+void store_be64(std::uint64_t v, std::uint8_t* p);
+
+}  // namespace keygraphs::crypto

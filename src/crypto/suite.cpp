@@ -74,9 +74,29 @@ std::unique_ptr<Digest> make_digest(DigestAlgorithm algorithm) {
 }
 
 Bytes digest_of(DigestAlgorithm algorithm, BytesView data) {
-  auto digest = make_digest(algorithm);
-  digest->update(data);
-  return digest->finish();
+  // finish() resets the context (see digest.h), so one thread-local instance
+  // per algorithm serves every one-shot hash without a heap allocation —
+  // this sits in the executor's per-leaf digest loop.
+  switch (algorithm) {
+    case DigestAlgorithm::kMd5: {
+      thread_local Md5 md5;
+      md5.update(data);
+      return md5.finish();
+    }
+    case DigestAlgorithm::kSha1: {
+      thread_local Sha1 sha1;
+      sha1.update(data);
+      return sha1.finish();
+    }
+    case DigestAlgorithm::kSha256: {
+      thread_local Sha256 sha256;
+      sha256.update(data);
+      return sha256.finish();
+    }
+    case DigestAlgorithm::kNone:
+      break;
+  }
+  throw CryptoError("digest_of: no such digest algorithm");
 }
 
 std::size_t digest_size(DigestAlgorithm algorithm) {

@@ -1,5 +1,7 @@
 #include "rekey/executor.h"
 
+#include <unordered_set>
+
 #include "telemetry/stage.h"
 
 namespace keygraphs::rekey {
@@ -7,37 +9,37 @@ namespace keygraphs::rekey {
 using telemetry::Stage;
 using telemetry::StageScope;
 
-namespace {
-
 /// Resolves one WrapOp into its KeyBlob. Runs on any thread: reads only
-/// the immutable plan and bumps the (atomic) global encryption counter.
-KeyBlob seal_wrap(crypto::CipherAlgorithm cipher, const WrapOp& op,
-                  const KeySnapshot& keys) {
+/// the immutable plan, the (thread-safe) schedule cache, and a per-worker
+/// scratch buffer; bumps the (atomic) global encryption counter.
+KeyBlob RekeyExecutor::seal_wrap(const WrapOp& op, const KeySnapshot& keys) {
   KeyBlob blob;
   blob.wrap = op.wrap;
   blob.targets = op.targets;
-  Bytes plaintext;
+  thread_local Bytes scratch;
+  scratch.clear();
   for (const KeyRef& target : op.targets) {
     const BytesView secret = keys.secret(target);
-    plaintext.insert(plaintext.end(), secret.begin(), secret.end());
+    scratch.insert(scratch.end(), secret.begin(), secret.end());
   }
   const crypto::CbcCipher cbc(
-      crypto::make_cipher(cipher, keys.secret(op.wrap)));
-  blob.ciphertext = cbc.encrypt_with_iv(plaintext, op.iv);
+      cache_.get(cipher_, op.wrap, keys.secret(op.wrap)));
+  blob.ciphertext.resize(cbc.ciphertext_size(scratch.size()));
+  cbc.encrypt_into(scratch, op.iv, blob.ciphertext.data());
   if (telemetry::enabled()) {
     static auto& encryptions =
         telemetry::Registry::global().counter("rekey.key_encryptions");
     encryptions.add(op.targets.size());
   }
-  secure_wipe(plaintext);
+  secure_wipe(scratch.data(), scratch.size());
   return blob;
 }
 
-}  // namespace
-
 RekeyExecutor::RekeyExecutor(crypto::CipherAlgorithm cipher,
-                             std::size_t threads)
-    : cipher_(cipher), threads_(threads == 0 ? 1 : threads) {
+                             std::size_t threads, std::size_t cache_capacity)
+    : cipher_(cipher),
+      threads_(threads == 0 ? 1 : threads),
+      cache_(cache_capacity, "rekey.schedule_cache") {
   if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
 }
 
@@ -59,12 +61,24 @@ std::vector<SealedRekey> RekeyExecutor::seal(const RekeyPlan& plan,
   // 1. Wrap ops -> blobs: the paper's dominant server cost, and
   //    embarrassingly parallel. Shared ops (key-oriented chains, hybrid
   //    path blobs) are computed once here and copied per message below.
+  //    First warm the schedule cache with every plan target: fresh keys
+  //    are used as wrapping keys by other ops of this same plan, so
+  //    without warming each would be a first-touch miss inside the
+  //    fan-out. Warming counts as inserts, not hits or misses.
   std::vector<KeyBlob> blobs(plan.ops.size());
   {
     const StageScope scope(Stage::kEncrypt);
+    std::unordered_set<KeyRef> warmed;
+    for (const WrapOp& op : plan.ops) {
+      for (const KeyRef& target : op.targets) {
+        if (warmed.insert(target).second) {
+          cache_.warm(cipher_, target, plan.keys.secret(target));
+        }
+      }
+    }
     run(plan.ops.size(), [&](std::size_t i) {
       const StageScope op_scope(Stage::kEncrypt);  // inert on pool workers
-      blobs[i] = seal_wrap(cipher_, plan.ops[i], plan.keys);
+      blobs[i] = seal_wrap(plan.ops[i], plan.keys);
     });
   }
 
@@ -106,6 +120,17 @@ std::vector<SealedRekey> RekeyExecutor::seal(const RekeyPlan& plan,
       out[i].wire =
           sealer.envelope(bodies[i], batch.empty() ? nullptr : &batch[i]);
     });
+  }
+
+  // 5. Retire cache entries this plan superseded: older versions of every
+  //    rekeyed node, and ids the messages declare obsolete (departed
+  //    members' individual keys, pruned k-nodes). Later plans can only
+  //    reference the versions that survive.
+  for (const WrapOp& op : plan.ops) {
+    for (const KeyRef& target : op.targets) cache_.invalidate_older(target);
+  }
+  for (const PlannedRekey& message : plan.messages) {
+    for (const KeyId id : message.header.obsolete) cache_.invalidate_id(id);
   }
   return out;
 }

@@ -15,6 +15,13 @@
 // inert, so the per-op stage breakdown keeps summing to elapsed wall time
 // (the invariant the observability tests assert) instead of accumulated
 // CPU time.
+//
+// Key schedules are served from a ScheduleCache: before the wrap fan-out
+// the executor warms the cache with every plan target (fresh keys wrap
+// their siblings within the same plan, so lazy lookup would first-touch
+// miss on most of them), and after sealing it drops superseded versions
+// and obsoleted ids. None of this changes wire bytes — only where the
+// expanded round keys come from.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +32,7 @@
 #include "common/thread_pool.h"
 #include "rekey/codec.h"
 #include "rekey/plan.h"
+#include "rekey/schedule_cache.h"
 
 namespace keygraphs::rekey {
 
@@ -36,8 +44,14 @@ struct SealedRekey {
 
 class RekeyExecutor {
  public:
+  /// Default bound on cached wrapping-key schedules. Generous relative to
+  /// tree sizes the simulator runs (every internal node of an n=4096, d=4
+  /// tree fits with room to spare) yet only ~a few MB of round keys.
+  static constexpr std::size_t kDefaultCacheCapacity = 8192;
+
   /// `threads` >= 1; 1 means serial (no pool is created, no threads spawn).
-  RekeyExecutor(crypto::CipherAlgorithm cipher, std::size_t threads);
+  RekeyExecutor(crypto::CipherAlgorithm cipher, std::size_t threads,
+                std::size_t cache_capacity = kDefaultCacheCapacity);
 
   /// Seals every message of `plan` in plan order. Safe to call from
   /// several threads concurrently (the pool multiplexes batches); the
@@ -47,13 +61,22 @@ class RekeyExecutor {
 
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
+  /// The wrapping-key schedule cache (exposed for tests and benchmarks).
+  [[nodiscard]] ScheduleCache& schedule_cache() noexcept { return cache_; }
+
  private:
   /// fn(i) for i in [0, n), on the pool when it exists, inline otherwise.
   void run(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Resolves one WrapOp into its KeyBlob using the cached schedule for
+  /// op.wrap and a per-worker scratch buffer (no allocation on the hot
+  /// path once scratch and the blob ciphertext reach steady-state size).
+  KeyBlob seal_wrap(const WrapOp& op, const KeySnapshot& keys);
+
   crypto::CipherAlgorithm cipher_;
   std::size_t threads_;
   std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
+  ScheduleCache cache_;
 };
 
 }  // namespace keygraphs::rekey

@@ -1,0 +1,127 @@
+#include "rekey/schedule_cache.h"
+
+#include <utility>
+
+namespace keygraphs::rekey {
+
+ScheduleCache::ScheduleCache(std::size_t capacity, std::string counter_prefix)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  if (!counter_prefix.empty()) {
+    auto& registry = telemetry::Registry::global();
+    hits_ = &registry.counter(counter_prefix + ".hits");
+    misses_ = &registry.counter(counter_prefix + ".misses");
+    inserts_ = &registry.counter(counter_prefix + ".inserts");
+  }
+}
+
+std::shared_ptr<const crypto::BlockCipher> ScheduleCache::get(
+    crypto::CipherAlgorithm algorithm, const KeyRef& ref,
+    BytesView secret) {
+  {
+    std::lock_guard lock(mutex_);
+    if (Lru::iterator* slot = find_locked(ref)) {
+      Entry& entry = **slot;
+      if (constant_time_equal(entry.secret, secret)) {
+        lru_.splice(lru_.begin(), lru_, *slot);
+        *slot = lru_.begin();
+        if (hits_ && telemetry::enabled()) hits_->add(1);
+        return entry.cipher;
+      }
+      // Same (id, version), different secret: another group's key, or a
+      // caller holding stale material. Never serve it; rebuild below.
+      remove_locked(*slot);
+    }
+  }
+  // Key expansion runs outside the lock so workers miss concurrently.
+  std::shared_ptr<const crypto::BlockCipher> cipher =
+      crypto::make_cipher(algorithm, secret);
+  if (misses_ && telemetry::enabled()) misses_->add(1);
+  std::lock_guard lock(mutex_);
+  if (Lru::iterator* slot = find_locked(ref)) {
+    // Another thread raced the same miss; keep the resident schedule if its
+    // secret matches so every caller shares one expansion.
+    Entry& entry = **slot;
+    if (constant_time_equal(entry.secret, secret)) return entry.cipher;
+    remove_locked(*slot);
+  }
+  insert_locked(ref, secret, cipher);
+  return cipher;
+}
+
+void ScheduleCache::warm(crypto::CipherAlgorithm algorithm,
+                         const KeyRef& ref, BytesView secret) {
+  {
+    std::lock_guard lock(mutex_);
+    if (Lru::iterator* slot = find_locked(ref)) {
+      if (constant_time_equal((*slot)->secret, secret)) return;
+      remove_locked(*slot);
+    }
+  }
+  std::shared_ptr<const crypto::BlockCipher> cipher =
+      crypto::make_cipher(algorithm, secret);
+  if (inserts_ && telemetry::enabled()) inserts_->add(1);
+  std::lock_guard lock(mutex_);
+  if (find_locked(ref)) return;
+  insert_locked(ref, secret, std::move(cipher));
+}
+
+void ScheduleCache::invalidate_older(const KeyRef& ref) {
+  std::lock_guard lock(mutex_);
+  while (true) {
+    auto by_id = index_.find(ref.id);
+    if (by_id == index_.end() || by_id->second.empty() ||
+        by_id->second.begin()->first >= ref.version) {
+      return;
+    }
+    remove_locked(by_id->second.begin()->second);
+  }
+}
+
+void ScheduleCache::invalidate_id(KeyId id) {
+  std::lock_guard lock(mutex_);
+  while (true) {
+    auto by_id = index_.find(id);
+    if (by_id == index_.end() || by_id->second.empty()) return;
+    remove_locked(by_id->second.begin()->second);
+  }
+}
+
+void ScheduleCache::clear() {
+  std::lock_guard lock(mutex_);
+  for (Entry& entry : lru_) secure_wipe(entry.secret);
+  lru_.clear();
+  index_.clear();
+}
+
+std::size_t ScheduleCache::size() const {
+  std::lock_guard lock(mutex_);
+  return lru_.size();
+}
+
+void ScheduleCache::remove_locked(Lru::iterator it) {
+  secure_wipe(it->secret);
+  auto by_id = index_.find(it->ref.id);
+  by_id->second.erase(it->ref.version);
+  if (by_id->second.empty()) index_.erase(by_id);
+  lru_.erase(it);
+}
+
+ScheduleCache::Lru::iterator* ScheduleCache::find_locked(
+    const KeyRef& ref) {
+  auto by_id = index_.find(ref.id);
+  if (by_id == index_.end()) return nullptr;
+  auto by_version = by_id->second.find(ref.version);
+  if (by_version == by_id->second.end()) return nullptr;
+  return &by_version->second;
+}
+
+void ScheduleCache::insert_locked(
+    const KeyRef& ref, BytesView secret,
+    std::shared_ptr<const crypto::BlockCipher> cipher) {
+  lru_.push_front(Entry{ref, Bytes(secret.begin(), secret.end()),
+                        std::move(cipher)});
+  index_[ref.id][ref.version] = lru_.begin();
+  while (lru_.size() > capacity_) remove_locked(std::prev(lru_.end()));
+}
+
+}  // namespace keygraphs::rekey

@@ -1,0 +1,94 @@
+// LRU cache of expanded block-cipher key schedules, keyed by key version.
+//
+// Every wrap in a rekey plan encrypts under some (KeyId, version); expanding
+// the cipher's key schedule (AES round keys, DES subkeys) for each wrap is
+// pure waste when the same wrapping key appears in many ops — a group-
+// oriented leave reuses each path key for a whole sibling set, and clients
+// unwrap several blobs under one held key. The cache hands out immutable
+// `shared_ptr<const BlockCipher>` schedules so the executor's workers and a
+// client's unwrap loop can share them without copying.
+//
+// The cache lives in rekey/ (not crypto/) because the lookup key is the
+// keygraph's KeyRef; crypto/ stays ignorant of key identity.
+//
+// Hygiene: each entry retains a copy of the secret purely to verify hits
+// (two groups may reuse an id+version with different secrets); the copy is
+// wiped on eviction/invalidation. Thread-safe; hot lookups take one mutex.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "crypto/block_cipher.h"
+#include "crypto/suite.h"
+#include "keygraph/key.h"
+#include "telemetry/metrics.h"
+
+namespace keygraphs::rekey {
+
+class ScheduleCache {
+ public:
+  /// `capacity` bounds the number of retained schedules (LRU eviction).
+  /// A non-empty `counter_prefix` (e.g. "rekey.schedule_cache") registers
+  /// `<prefix>.hits`, `<prefix>.misses`, and `<prefix>.inserts` counters.
+  explicit ScheduleCache(std::size_t capacity, std::string counter_prefix = {});
+
+  /// Returns the cached schedule for `ref`, building (and caching) it from
+  /// `secret` on a miss. A hit whose stored secret does not match `secret`
+  /// is discarded and rebuilt, so a stale or colliding entry can never
+  /// decrypt traffic. Counts one hit or one miss.
+  std::shared_ptr<const crypto::BlockCipher> get(
+      crypto::CipherAlgorithm algorithm, const KeyRef& ref,
+      BytesView secret);
+
+  /// Ensures `ref`'s schedule is resident without touching hit/miss
+  /// accounting; a build here counts as one insert. The executor warms the
+  /// cache with every plan target before sealing, because fresh keys are
+  /// themselves used as wrapping keys within the same plan — lazily they
+  /// would all be first-touch misses.
+  void warm(crypto::CipherAlgorithm algorithm, const KeyRef& ref,
+            BytesView secret);
+
+  /// Drops cached schedules for `ref.id` strictly older than `ref.version`.
+  void invalidate_older(const KeyRef& ref);
+
+  /// Drops every cached schedule for `id` (key destroyed / member evicted).
+  void invalidate_id(KeyId id);
+
+  /// Drops everything (client leaving a group wipes all derived state).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    KeyRef ref;
+    Bytes secret;  // retained only to verify hits; wiped on removal
+    std::shared_ptr<const crypto::BlockCipher> cipher;
+  };
+  using Lru = std::list<Entry>;
+
+  // Erases `it` from both structures, wiping the retained secret.
+  void remove_locked(Lru::iterator it);
+  Lru::iterator* find_locked(const KeyRef& ref);
+  void insert_locked(const KeyRef& ref, BytesView secret,
+                     std::shared_ptr<const crypto::BlockCipher> cipher);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  Lru lru_;  // front = most recently used
+  std::unordered_map<KeyId, std::map<KeyVersion,
+                                               Lru::iterator>>
+      index_;
+  telemetry::Counter* hits_ = nullptr;
+  telemetry::Counter* misses_ = nullptr;
+  telemetry::Counter* inserts_ = nullptr;
+};
+
+}  // namespace keygraphs::rekey

@@ -1,0 +1,335 @@
+// The table-driven AES/DES kernels and the schedule cache.
+//
+// Three lines of defense pin the fast kernels to the specs:
+//   1. Multi-block NIST known answers (FIPS-197, SP 800-38A, FIPS-81)
+//      exercised through raw CBC chaining, free of padding concerns.
+//   2. Differential cross-checks against the retained bit-loop reference
+//      kernels (crypto/reference.h) over thousands of random keys/blocks.
+//   3. Equivalence of the zero-alloc encrypt_into/decrypt_into paths with
+//      the allocating CBC entry points, plus the bad-padding wipe contract.
+// The ScheduleCache tests cover sharing, eviction, invalidation, the
+// secret-mismatch rebuild, and concurrent access (run under TSan in CI).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.h"
+#include "crypto/aes.h"
+#include "crypto/cbc.h"
+#include "crypto/des.h"
+#include "crypto/des3.h"
+#include "crypto/random.h"
+#include "crypto/reference.h"
+#include "rekey/schedule_cache.h"
+
+namespace keygraphs::crypto {
+namespace {
+
+// CBC over whole blocks with no padding, so NIST vectors apply verbatim.
+Bytes cbc_raw_encrypt(const BlockCipher& cipher, BytesView iv, BytesView pt) {
+  const std::size_t block = cipher.block_size();
+  EXPECT_EQ(pt.size() % block, 0u);
+  Bytes out(pt.size());
+  Bytes chain(iv.begin(), iv.end());
+  for (std::size_t off = 0; off < pt.size(); off += block) {
+    for (std::size_t i = 0; i < block; ++i) chain[i] ^= pt[off + i];
+    cipher.encrypt_block(chain.data(), out.data() + off);
+    std::copy(out.begin() + static_cast<std::ptrdiff_t>(off),
+              out.begin() + static_cast<std::ptrdiff_t>(off + block),
+              chain.begin());
+  }
+  return out;
+}
+
+Bytes cbc_raw_decrypt(const BlockCipher& cipher, BytesView iv, BytesView ct) {
+  const std::size_t block = cipher.block_size();
+  Bytes out(ct.size());
+  Bytes chain(iv.begin(), iv.end());
+  for (std::size_t off = 0; off < ct.size(); off += block) {
+    cipher.decrypt_block(ct.data() + off, out.data() + off);
+    for (std::size_t i = 0; i < block; ++i) {
+      out[off + i] ^= chain[i];
+      chain[i] = ct[off + i];
+    }
+  }
+  return out;
+}
+
+TEST(AesKernel, Fips197AppendixB) {
+  const Aes128 aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Bytes pt = from_hex("3243f6a8885a308d313198a2e0370734");
+  Bytes ct(16);
+  aes.encrypt_block(pt.data(), ct.data());
+  EXPECT_EQ(to_hex(ct), "3925841d02dc09fbdc118597196a0b32");
+  Bytes back(16);
+  aes.decrypt_block(ct.data(), back.data());
+  EXPECT_EQ(back, pt);
+}
+
+TEST(AesKernel, Sp80038aCbcAllFourBlocks) {
+  // NIST SP 800-38A F.2.1/F.2.2 (CBC-AES128), the full four-block vector.
+  const Aes128 aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Bytes iv = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const Bytes ct = from_hex(
+      "7649abac8119b246cee98e9b12e9197d"
+      "5086cb9b507219ee95db113a917678b2"
+      "73bed6b8e3c1743b7116e69e22229516"
+      "3ff1caa1681fac09120eca307586e1a7");
+  EXPECT_EQ(cbc_raw_encrypt(aes, iv, pt), ct);
+  EXPECT_EQ(cbc_raw_decrypt(aes, iv, ct), pt);
+}
+
+TEST(DesKernel, Fips81CbcExample) {
+  // FIPS-81 CBC example: three blocks of "Now is the time for all ".
+  const Des des(from_hex("0123456789abcdef"));
+  const Bytes iv = from_hex("1234567890abcdef");
+  const Bytes pt = bytes_of("Now is the time for all ");
+  const Bytes ct = from_hex("e5c7cdde872bf27c43e934008c389c0f683788499a7c05f6");
+  EXPECT_EQ(cbc_raw_encrypt(des, iv, pt), ct);
+  EXPECT_EQ(cbc_raw_decrypt(des, iv, ct), pt);
+}
+
+TEST(Des3Kernel, DegenerateKeysCollapseToSingleDes) {
+  // With k1 == k2 == k3, every EDE composition collapses to one DES
+  // encryption — a structural check that the three stages really chain.
+  const Bytes k = from_hex("133457799bbcdff1");
+  const Des3 des3(concat(concat(k, k), k));
+  const Des des(k);
+  SecureRandom rng(11);
+  for (int i = 0; i < 64; ++i) {
+    const Bytes pt = rng.bytes(8);
+    Bytes a(8), b(8);
+    des3.encrypt_block(pt.data(), a.data());
+    des.encrypt_block(pt.data(), b.data());
+    EXPECT_EQ(a, b);
+    des3.decrypt_block(a.data(), b.data());
+    EXPECT_EQ(b, pt);
+  }
+}
+
+TEST(CrossCheck, AesTableKernelMatchesReference) {
+  SecureRandom rng(42);
+  for (int k = 0; k < 100; ++k) {
+    const Bytes key = rng.bytes(Aes128::kKeySize);
+    const Aes128 fast(key);
+    const ReferenceAes128 slow(key);
+    for (int b = 0; b < 100; ++b) {
+      const Bytes pt = rng.bytes(16);
+      Bytes fast_ct(16), slow_ct(16), back(16);
+      fast.encrypt_block(pt.data(), fast_ct.data());
+      slow.encrypt_block(pt.data(), slow_ct.data());
+      ASSERT_EQ(fast_ct, slow_ct) << "key " << to_hex(key);
+      fast.decrypt_block(slow_ct.data(), back.data());
+      ASSERT_EQ(back, pt);
+      slow.decrypt_block(fast_ct.data(), back.data());
+      ASSERT_EQ(back, pt);
+    }
+  }
+}
+
+TEST(CrossCheck, DesTableKernelMatchesReference) {
+  SecureRandom rng(43);
+  for (int k = 0; k < 100; ++k) {
+    const Bytes key = rng.bytes(Des::kKeySize);
+    const Des fast(key);
+    const ReferenceDes slow(key);
+    for (int b = 0; b < 100; ++b) {
+      const Bytes pt = rng.bytes(8);
+      Bytes fast_ct(8), slow_ct(8), back(8);
+      fast.encrypt_block(pt.data(), fast_ct.data());
+      slow.encrypt_block(pt.data(), slow_ct.data());
+      ASSERT_EQ(fast_ct, slow_ct) << "key " << to_hex(key);
+      fast.decrypt_block(slow_ct.data(), back.data());
+      ASSERT_EQ(back, pt);
+      slow.decrypt_block(fast_ct.data(), back.data());
+      ASSERT_EQ(back, pt);
+    }
+  }
+}
+
+TEST(CbcInto, MatchesAllocatingPaths) {
+  SecureRandom rng(7);
+  for (const CipherAlgorithm algorithm :
+       {CipherAlgorithm::kDes, CipherAlgorithm::kAes128}) {
+    const CbcCipher cbc(
+        make_cipher(algorithm, rng.bytes(cipher_key_size(algorithm))));
+    const std::size_t block = cbc.cipher().block_size();
+    for (const std::size_t n : {0u, 1u, 7u, 8u, 15u, 16u, 17u, 100u, 333u}) {
+      const Bytes pt = rng.bytes(n);
+      const Bytes iv = rng.bytes(block);
+      const Bytes want = cbc.encrypt_with_iv(pt, iv);
+      Bytes got(cbc.ciphertext_size(n));
+      cbc.encrypt_into(pt, iv, got.data());
+      EXPECT_EQ(got, want) << "size " << n;
+
+      Bytes plain(got.size() - block, 0xee);
+      const std::size_t plain_size = cbc.decrypt_into(got, plain.data());
+      EXPECT_EQ(plain_size, n);
+      EXPECT_EQ(Bytes(plain.begin(),
+                      plain.begin() + static_cast<std::ptrdiff_t>(n)),
+                pt);
+      // The padding tail must be wiped, not left as decrypted pad bytes.
+      for (std::size_t i = n; i < plain.size(); ++i) {
+        EXPECT_EQ(plain[i], 0u) << "unwiped pad byte at " << i;
+      }
+    }
+  }
+}
+
+TEST(CbcInto, BadPaddingWipesOutputAndThrows) {
+  SecureRandom rng(8);
+  const CbcCipher cbc(
+      make_cipher(CipherAlgorithm::kAes128, rng.bytes(Aes128::kKeySize)));
+  const Bytes pt = bytes_of("sixteen byte key");
+  Bytes ct = cbc.encrypt(pt, rng);
+  int rejected = 0;
+  for (int trial = 0; trial < 64; ++trial) {
+    Bytes tampered = ct;
+    tampered[tampered.size() - 1 - static_cast<std::size_t>(
+                                       rng.uniform(16))] ^= 0x01;
+    Bytes out(tampered.size() - 16, 0xee);
+    try {
+      cbc.decrypt_into(tampered, out.data());
+    } catch (const CryptoError&) {
+      ++rejected;
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        ASSERT_EQ(out[i], 0u) << "plaintext residue at " << i;
+      }
+    }
+  }
+  EXPECT_GT(rejected, 32);
+}
+
+}  // namespace
+}  // namespace keygraphs::crypto
+
+namespace keygraphs::rekey {
+namespace {
+
+using crypto::CipherAlgorithm;
+using crypto::SecureRandom;
+
+TEST(ScheduleCache, HitSharesOneSchedule) {
+  ScheduleCache cache(8);
+  SecureRandom rng(1);
+  const Bytes secret = rng.bytes(16);
+  const KeyRef ref{5, 2};
+  const auto a = cache.get(CipherAlgorithm::kAes128, ref, secret);
+  const auto b = cache.get(CipherAlgorithm::kAes128, ref, secret);
+  EXPECT_EQ(a.get(), b.get());  // literally the same expansion
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ScheduleCache, CountersTrackHitsMissesInserts) {
+  ScheduleCache cache(8, "test.sc_counters");
+  auto& registry = telemetry::Registry::global();
+  const auto hits = registry.counter("test.sc_counters.hits").value();
+  const auto misses = registry.counter("test.sc_counters.misses").value();
+  const auto inserts = registry.counter("test.sc_counters.inserts").value();
+  SecureRandom rng(2);
+  const Bytes secret = rng.bytes(16);
+  cache.warm(CipherAlgorithm::kAes128, {1, 1}, secret);   // insert
+  cache.warm(CipherAlgorithm::kAes128, {1, 1}, secret);   // already resident
+  cache.get(CipherAlgorithm::kAes128, {1, 1}, secret);    // hit
+  cache.get(CipherAlgorithm::kAes128, {2, 1}, secret);    // miss
+  EXPECT_EQ(registry.counter("test.sc_counters.hits").value(), hits + 1);
+  EXPECT_EQ(registry.counter("test.sc_counters.misses").value(), misses + 1);
+  EXPECT_EQ(registry.counter("test.sc_counters.inserts").value(),
+            inserts + 1);
+}
+
+TEST(ScheduleCache, LruEvictsOldestAtCapacity) {
+  ScheduleCache cache(2);
+  SecureRandom rng(3);
+  const Bytes secret = rng.bytes(16);
+  const auto first = cache.get(CipherAlgorithm::kAes128, {1, 1}, secret);
+  cache.get(CipherAlgorithm::kAes128, {2, 1}, secret);
+  cache.get(CipherAlgorithm::kAes128, {1, 1}, secret);  // refresh id 1
+  cache.get(CipherAlgorithm::kAes128, {3, 1}, secret);  // evicts id 2
+  EXPECT_EQ(cache.size(), 2u);
+  // Id 1 must still be resident (same expansion object), id 2 rebuilt.
+  EXPECT_EQ(cache.get(CipherAlgorithm::kAes128, {1, 1}, secret).get(),
+            first.get());
+}
+
+TEST(ScheduleCache, InvalidateOlderDropsOnlyStaleVersions) {
+  ScheduleCache cache(8);
+  SecureRandom rng(4);
+  const Bytes secret = rng.bytes(16);
+  cache.get(CipherAlgorithm::kAes128, {7, 1}, secret);
+  cache.get(CipherAlgorithm::kAes128, {7, 2}, secret);
+  const auto newest = cache.get(CipherAlgorithm::kAes128, {7, 3}, secret);
+  cache.invalidate_older({7, 3});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get(CipherAlgorithm::kAes128, {7, 3}, secret).get(),
+            newest.get());
+}
+
+TEST(ScheduleCache, InvalidateIdDropsAllVersions) {
+  ScheduleCache cache(8);
+  SecureRandom rng(5);
+  const Bytes secret = rng.bytes(16);
+  cache.get(CipherAlgorithm::kAes128, {9, 1}, secret);
+  cache.get(CipherAlgorithm::kAes128, {9, 2}, secret);
+  cache.get(CipherAlgorithm::kAes128, {10, 1}, secret);
+  cache.invalidate_id(9);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ScheduleCache, SecretMismatchNeverServesStaleSchedule) {
+  // Two groups can reuse an (id, version); the cache must key on the
+  // actual secret, not just the reference.
+  ScheduleCache cache(8);
+  SecureRandom rng(6);
+  const Bytes secret_a = rng.bytes(16);
+  const Bytes secret_b = rng.bytes(16);
+  const KeyRef ref{4, 4};
+  const auto a = cache.get(CipherAlgorithm::kAes128, ref, secret_a);
+  const auto b = cache.get(CipherAlgorithm::kAes128, ref, secret_b);
+  EXPECT_NE(a.get(), b.get());
+  Bytes pt(16, 0x5a), ct_a(16), ct_b(16);
+  a->encrypt_block(pt.data(), ct_a.data());
+  b->encrypt_block(pt.data(), ct_b.data());
+  EXPECT_NE(ct_a, ct_b);  // b really is keyed with secret_b
+}
+
+TEST(ScheduleCache, ConcurrentMixedUseIsSafe) {
+  // Hammered by the TSan CI job: concurrent get/warm/invalidate on a
+  // small cache so eviction, racing misses, and hits all interleave.
+  ScheduleCache cache(16);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &mismatches, t] {
+      SecureRandom rng(100 + t);
+      Bytes pt(16, 0x33), ct(16), back(16);
+      for (int i = 0; i < 500; ++i) {
+        const KeyId id = static_cast<KeyId>(rng.uniform(24));
+        const KeyRef ref{id, 1};
+        Bytes secret(16, static_cast<std::uint8_t>(id));
+        const auto cipher = cache.get(CipherAlgorithm::kAes128, ref, secret);
+        cipher->encrypt_block(pt.data(), ct.data());
+        cipher->decrypt_block(ct.data(), back.data());
+        if (back != pt) mismatches.fetch_add(1);
+        if (i % 17 == 0) cache.invalidate_id(id);
+        if (i % 29 == 0) {
+          cache.warm(CipherAlgorithm::kAes128, {id, 2}, secret);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace keygraphs::rekey
