@@ -10,6 +10,8 @@
 // the same message.
 #pragma once
 
+#include <functional>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +23,30 @@
 #include "rekey/schedule_cache.h"
 
 namespace keygraphs::client {
+
+/// Automatic loss-recovery policy: how a client that detects a missed
+/// rekey escalates NACK (cheap server-side retransmit) -> repeat with
+/// exponential backoff -> full keyset resync. Inert unless `clock_us` is
+/// set; poll_recovery() then schedules requests on the injected clock, so
+/// recovery tests run entirely wall-clock free.
+struct RecoveryPolicy {
+  /// Injected microsecond clock; unset leaves recovery passive (the legacy
+  /// manual-resync flow).
+  std::function<std::uint64_t()> clock_us;
+  /// First retry delay; doubles per attempt up to max_backoff_us, plus a
+  /// deterministic per-user jitter so a shared loss burst does not NACK in
+  /// lockstep.
+  std::uint64_t base_backoff_us = 50'000;
+  std::uint64_t max_backoff_us = 1'600'000;
+  /// NACK attempts before escalating to a full keyset resync.
+  std::size_t max_nacks = 3;
+  /// Out-of-order rekey messages parked while waiting for a gap to fill;
+  /// lowest epochs are kept when full (they unblock the most).
+  std::size_t reorder_capacity = 16;
+  /// Authentication token for NACK/resync requests (the auth service's
+  /// resync token — both are keyset-replay requests).
+  Bytes token;
+};
 
 struct ClientConfig {
   UserId user = 0;
@@ -37,6 +63,8 @@ struct ClientConfig {
   bool verify = true;
   /// Seed for this client's IV generator (0 = OS entropy).
   std::uint64_t rng_seed = 0;
+  /// Loss-recovery escalation policy (see RecoveryPolicy).
+  RecoveryPolicy recovery;
 };
 
 /// Result of processing one rekey message.
@@ -49,9 +77,32 @@ struct RekeyOutcome {
   /// an earlier rekey (lossy transport) and should ask the server for a
   /// keyset resync (MessageType::kResyncRequest).
   bool needs_resync = false;
+  /// Epoch at or below one already applied: suppressed without touching
+  /// the keyset (duplicate/replay protection — keys never roll back).
+  bool duplicate = false;
+  /// Fresh but out of order (epoch gap): parked in the reorder buffer and
+  /// applied automatically once the gap fills.
+  bool buffered = false;
   std::size_t keys_changed = 0;   // new or newer keys installed (Fig. 12)
   std::size_t keys_decrypted = 0; // decryption cost (Table 2(b) unit)
   std::size_t wire_size = 0;
+};
+
+/// Where the client stands in the loss-recovery escalation.
+enum class RecoveryState : std::uint8_t {
+  kSynced = 0,             ///< applied epoch == newest seen; nothing owed
+  kAwaitingRetransmit = 1, ///< gap detected; NACKing for cheap retransmits
+  kAwaitingResync = 2,     ///< NACK budget spent; full resync requested
+};
+
+/// Lifetime recovery totals (mirrors the client.recovery.* counters).
+struct RecoveryStats {
+  std::size_t gaps = 0;        // epoch gaps detected
+  std::size_t duplicates = 0;  // stale/replayed rekeys suppressed
+  std::size_t buffered = 0;    // messages parked out of order
+  std::size_t nacks_sent = 0;
+  std::size_t resyncs_sent = 0;
+  std::size_t completed = 0;  // recoveries that caught back up
 };
 
 /// Lifetime totals (Table 6 / Figure 12 aggregates).
@@ -95,9 +146,35 @@ class GroupClient {
   [[nodiscard]] std::size_t key_count() const noexcept {
     return keys_.size();
   }
+  /// Newest epoch ever seen on an authentic message for this group.
   [[nodiscard]] std::uint64_t last_epoch() const noexcept {
     return last_epoch_;
   }
+  /// Contiguous high-water mark: every epoch up to and including this one
+  /// has been applied. Trails last_epoch() exactly while rekeys are
+  /// missing — the difference is the NACK window the client asks for.
+  [[nodiscard]] std::uint64_t applied_epoch() const noexcept {
+    return applied_epoch_;
+  }
+  [[nodiscard]] RecoveryState recovery_state() const noexcept {
+    return recovery_;
+  }
+  [[nodiscard]] const RecoveryStats& recovery_stats() const noexcept {
+    return recovery_stats_;
+  }
+  /// Out-of-order messages currently parked in the reorder buffer.
+  [[nodiscard]] std::size_t pending_count() const noexcept {
+    return pending_.size();
+  }
+
+  /// Drives the recovery state machine: when recovery is owed and the
+  /// policy clock says the backoff has elapsed, returns the next encoded
+  /// request datagram to send to the server — kNackRequest while NACK
+  /// attempts remain, kResyncRequest after escalation — and re-arms the
+  /// (exponential, jittered) backoff. nullopt when synced, not yet due, or
+  /// no clock is configured. The caller owns delivery; the machine is
+  /// re-armed purely by clock reads, never by wall-clock sleeps.
+  [[nodiscard]] std::optional<Bytes> poll_recovery();
   [[nodiscard]] const ClientTotals& totals() const noexcept {
     return totals_;
   }
@@ -115,6 +192,23 @@ class GroupClient {
   /// A client holds O(log n) keys, so a small cache covers them all.
   static constexpr std::size_t kScheduleCacheCapacity = 64;
 
+  /// All blobs wrapped under this user's individual key: the shape of a
+  /// welcome/resync keyset replay, which may jump the epoch forward
+  /// non-contiguously (the server vouches for the whole keyset).
+  [[nodiscard]] bool is_keyset_replay(const rekey::RekeyMessage& message) const;
+  /// Fixpoint-decrypts `message` into the keyset and prunes obsolete ids,
+  /// accumulating into `outcome`. Returns the keys decrypted from this
+  /// message alone (the missed-rekey detector's signal).
+  std::size_t apply_message(const rekey::RekeyMessage& message,
+                            RekeyOutcome& outcome);
+  /// Applies buffered messages while they extend applied_epoch_
+  /// contiguously; discards ones a keyset replay has superseded.
+  void drain_pending(RekeyOutcome& outcome);
+  /// Parks an out-of-order message (bounded; lowest epochs win).
+  void buffer_pending(const rekey::RekeyMessage& message);
+  void enter_recovery();
+  void maybe_complete_recovery();
+
   ClientConfig config_;
   rekey::RekeyOpener opener_;
   bool has_server_key_ = false;
@@ -126,6 +220,15 @@ class GroupClient {
                                   "client.schedule_cache"};
   Bytes unwrap_scratch_;  // decrypt_into target; wiped after each message
   std::uint64_t last_epoch_ = 0;
+  std::uint64_t applied_epoch_ = 0;
+  /// Reorder buffer: parsed out-of-order messages keyed by epoch, applied
+  /// in order as gaps fill. Ordered map — drain walks ascending epochs.
+  std::map<std::uint64_t, rekey::RekeyMessage> pending_;
+  RecoveryState recovery_ = RecoveryState::kSynced;
+  RecoveryStats recovery_stats_;
+  std::size_t nacks_sent_ = 0;
+  std::uint64_t attempt_ = 0;      // backoff exponent across the episode
+  std::uint64_t next_attempt_us_ = 0;
   ClientTotals totals_;
 };
 

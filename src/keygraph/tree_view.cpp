@@ -75,6 +75,15 @@ std::vector<SymmetricKey> TreeView::keyset(UserId user) const {
   return out;
 }
 
+bool TreeView::user_holds(UserId user, KeyId key) const {
+  const std::uint32_t leaf = find_leaf(user);
+  if (leaf == kNilIndex) return false;
+  for (std::uint32_t i = leaf; i != kNilIndex; i = nodes_[i].parent) {
+    if (nodes_[i].id == key) return true;
+  }
+  return false;
+}
+
 std::vector<UserId> TreeView::users() const {
   std::vector<UserId> out;
   out.reserve(by_user_.size());

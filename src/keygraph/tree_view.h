@@ -87,6 +87,10 @@ class TreeView {
   [[nodiscard]] std::vector<UserId> users_under(KeyId node) const;
   /// keyset(u), leaf to root. Throws ProtocolError for a non-member.
   [[nodiscard]] std::vector<SymmetricKey> keyset(UserId user) const;
+  /// True when `key` is on u's path (u holds that k-node); false for
+  /// non-members. O(height), no key material touched — the retransmit
+  /// window's recipient test.
+  [[nodiscard]] bool user_holds(UserId user, KeyId key) const;
   /// All users, ascending.
   [[nodiscard]] std::vector<UserId> users() const;
   /// Byte-identical to the historical KeyTree::serialize() encoding.

@@ -107,7 +107,7 @@ Datagram Datagram::decode(BytesView data) {
   Datagram datagram;
   datagram.type = static_cast<MessageType>(reader.u8());
   if (datagram.type < MessageType::kJoinRequest ||
-      datagram.type > MessageType::kResyncRequest) {
+      datagram.type > MessageType::kNackRequest) {
     throw ParseError("datagram: bad type");
   }
   datagram.payload = reader.raw(reader.remaining());

@@ -117,6 +117,13 @@ enum class MessageType : std::uint8_t {
   /// replay its current keyset. Same payload shape as join/leave requests:
   /// u64 user + var token. Answered with a welcome-style kRekey unicast.
   kResyncRequest = 7,
+  /// A member that detected an epoch gap asks for the missed rekey
+  /// datagrams by negative acknowledgement: u64 user + var token +
+  /// u64 have_epoch (the last epoch it fully applied). The server answers
+  /// with unicast replays of the stored datagrams when the gap is inside
+  /// its retransmit window, and falls back to a full keyset resync when it
+  /// is not (see rekey/retransmit.h).
+  kNackRequest = 8,
 };
 
 struct Datagram {

@@ -126,6 +126,26 @@ class LockedGroupKeyServer {
     return true;
   }
 
+  /// Authenticated NACK. The rate limiter and retransmit window are
+  /// dispatch-phase state, so the replay half runs under dispatch_mutex_;
+  /// an out-of-window gap falls back through the lock-free resync path
+  /// (seal outside every lock, sequenced dispatch).
+  std::optional<NackOutcome> nack_with_token(UserId user, BytesView token,
+                                             std::uint64_t have_epoch) {
+    if (!server_.auth().verify_resync_token(user, token)) return std::nullopt;
+    if (!server_.tree_view()->has_user(user)) return std::nullopt;
+    {
+      const std::lock_guard lock(dispatch_mutex_);
+      if (const auto outcome = server_.try_retransmit(user, have_epoch)) {
+        return outcome;
+      }
+    }
+    GroupKeyServer::PendingRekey pending;
+    server_.plan_resync(user, pending);
+    seal_and_dispatch(std::move(pending), tickets_issued_++);
+    return NackOutcome::kResynced;
+  }
+
   /// Lock-free: serializes one internally consistent epoch view.
   [[nodiscard]] Bytes snapshot() const { return server_.snapshot(); }
 

@@ -30,7 +30,9 @@ GroupKeyServer::GroupKeyServer(ServerConfig config,
       auth_(config_.auth_master),
       rng_(config_.rng_seed == 0 ? crypto::SecureRandom()
                                  : crypto::SecureRandom(config_.rng_seed)),
-      executor_(config_.suite.cipher, config_.seal_threads) {
+      executor_(config_.suite.cipher, config_.seal_threads),
+      retransmit_(config_.retransmit_window),
+      limiter_(config_.recovery_rate, config_.recovery_burst) {
   tree_ = std::make_unique<KeyTree>(config_.tree_degree,
                                     config_.suite.key_size(), rng_);
   strategy_ = rekey::make_strategy(config_.strategy);
@@ -119,6 +121,77 @@ bool GroupKeyServer::resync_with_token(UserId user, BytesView token) {
   seal(pending);
   dispatch(std::move(pending));
   return true;
+}
+
+namespace {
+
+struct RetransmitMetrics {
+  telemetry::Counter& nacks;
+  telemetry::Counter& served;
+  telemetry::Counter& datagrams;
+  telemetry::Counter& out_of_window;
+  telemetry::Counter& rate_limited;
+  telemetry::Counter& resync_fallbacks;
+
+  static RetransmitMetrics& get() {
+    auto& registry = telemetry::Registry::global();
+    static RetransmitMetrics* metrics = new RetransmitMetrics{
+        registry.counter("rekey.retransmit.nacks"),
+        registry.counter("rekey.retransmit.served"),
+        registry.counter("rekey.retransmit.datagrams"),
+        registry.counter("rekey.retransmit.out_of_window"),
+        registry.counter("rekey.retransmit.rate_limited"),
+        registry.counter("rekey.retransmit.resync_fallbacks"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+std::optional<NackOutcome> GroupKeyServer::try_retransmit(
+    UserId user, std::uint64_t have_epoch) {
+  if (telemetry::enabled()) RetransmitMetrics::get().nacks.add(1);
+  if (!limiter_.admit(user, now_us())) {
+    if (telemetry::enabled()) RetransmitMetrics::get().rate_limited.add(1);
+    return NackOutcome::kRateLimited;
+  }
+  if (retransmit_.enabled()) {
+    if (const auto replays = retransmit_.collect(user, have_epoch)) {
+      if (telemetry::enabled()) {
+        RetransmitMetrics::get().served.add(1);
+        RetransmitMetrics::get().datagrams.add(replays->size());
+      }
+      const rekey::Recipient to = rekey::Recipient::to_user(user);
+      for (const BytesView datagram : *replays) {
+        // Already framed kRekey bytes; unicast them back regardless of
+        // their original (subgroup) addressing.
+        transport_.deliver(to, datagram,
+                           [user] { return std::vector<UserId>{user}; });
+      }
+      return NackOutcome::kRetransmitted;
+    }
+    if (telemetry::enabled()) RetransmitMetrics::get().out_of_window.add(1);
+  }
+  if (telemetry::enabled()) RetransmitMetrics::get().resync_fallbacks.add(1);
+  return std::nullopt;  // caller falls back to resync
+}
+
+NackOutcome GroupKeyServer::handle_nack(UserId user,
+                                        std::uint64_t have_epoch) {
+  if (!tree_->view()->has_user(user)) {
+    throw ProtocolError("nack from non-member user " + std::to_string(user));
+  }
+  if (const auto outcome = try_retransmit(user, have_epoch)) return *outcome;
+  resync(user);
+  return NackOutcome::kResynced;
+}
+
+std::optional<NackOutcome> GroupKeyServer::nack_with_token(
+    UserId user, BytesView token, std::uint64_t have_epoch) {
+  if (!auth_.verify_resync_token(user, token)) return std::nullopt;
+  if (!tree_->view()->has_user(user)) return std::nullopt;
+  return handle_nack(user, have_epoch);
 }
 
 void GroupKeyServer::finish_plan(PendingRekey& pending,
@@ -324,6 +397,15 @@ void GroupKeyServer::dispatch(PendingRekey&& pending) {
   op.signatures = sealer_->signatures_for(pending.sealed.size());
   op.messages = pending.sealed.size();
   op.min_message = std::numeric_limits<std::size_t>::max();
+  // Epoch-advancing operations park their framed datagrams in the
+  // retransmit window so a later NACK replays these exact bytes. Resyncs
+  // are excluded: they re-stamp the current epoch and would collide with
+  // the real rekey recorded under that number.
+  const bool remember = retransmit_.enabled() &&
+                        op.kind != rekey::RekeyKind::kResync &&
+                        !pending.plan.messages.empty();
+  std::vector<rekey::StoredDatagram> stored;
+  if (remember) stored.reserve(pending.sealed.size());
   for (const rekey::SealedRekey& sealed : pending.sealed) {
     Bytes datagram;
     {
@@ -344,6 +426,13 @@ void GroupKeyServer::dispatch(PendingRekey&& pending) {
                  ? std::vector<UserId>{to.user}
                  : view->resolve_subgroup(to.include, to.exclude);
     });
+    if (remember) {
+      stored.push_back(rekey::StoredDatagram{to, std::move(datagram)});
+    }
+  }
+  if (remember) {
+    retransmit_.record(pending.plan.messages.front().header.epoch,
+                       pending.view, std::move(stored));
   }
   if (op.messages == 0) op.min_message = 0;
   op.processing_us = std::chrono::duration<double, std::micro>(

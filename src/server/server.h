@@ -35,6 +35,7 @@
 #include "keygraph/key_tree.h"
 #include "rekey/codec.h"
 #include "rekey/executor.h"
+#include "rekey/retransmit.h"
 #include "rekey/strategy.h"
 #include "server/access_control.h"
 #include "server/stats.h"
@@ -62,8 +63,18 @@ struct ServerConfig {
   std::size_t seal_threads = 1;
   /// Clock for rekey message timestamps (microseconds since the Unix
   /// epoch); unset = system clock. Signatures cover the timestamp, so
-  /// byte-reproducibility tests pin this.
+  /// byte-reproducibility tests pin this. The recovery rate limiter reads
+  /// the same clock, so loss-recovery tests are wall-clock free.
   std::function<std::uint64_t()> clock_us;
+  /// Epochs of sealed rekey datagrams retained for NACK retransmission
+  /// (rekey/retransmit.h); 0 disables the window, degrading every epoch-gap
+  /// recovery to a full keyset resync. Spec key `retransmit_window`.
+  std::size_t retransmit_window = 32;
+  /// Per-user recovery-request budget: token-bucket refill rate in requests
+  /// per second (<= 0 disables limiting) and burst capacity. Spec keys
+  /// `recovery_rate` / `recovery_burst`.
+  double recovery_rate = 16.0;
+  double recovery_burst = 8.0;
 
   /// Star baseline: unbounded degree.
   static ServerConfig star(ServerConfig base);
@@ -75,6 +86,17 @@ enum class JoinResult : std::uint8_t {
   kGranted = 1,
   kDenied = 2,     // ACL rejection ("join-denied" in the paper)
   kDuplicate = 3,  // already a member
+};
+
+/// How the server satisfied a kNackRequest.
+enum class NackOutcome : std::uint8_t {
+  /// Gap inside the retransmit window: the missed datagrams were replayed
+  /// unicast from the sealed-bytes ring (no plan/seal work).
+  kRetransmitted = 1,
+  /// Gap outside the window (or window disabled): full keyset resync.
+  kResynced = 2,
+  /// The user's recovery token bucket was empty; request dropped.
+  kRateLimited = 3,
 };
 
 class GroupKeyServer {
@@ -185,6 +207,33 @@ class GroupKeyServer {
   /// Authenticated resync (requires the auth service's resync token).
   bool resync_with_token(UserId user, BytesView token);
 
+  /// Serves a negative acknowledgement from a member whose last fully
+  /// applied epoch is `have_epoch`. Rate-limits per user first; then, if
+  /// every missed epoch is still in the retransmit window, replays the
+  /// member's datagrams unicast (already sealed — no crypto); otherwise
+  /// falls back to resync(). Throws ProtocolError for non-members.
+  NackOutcome handle_nack(UserId user, std::uint64_t have_epoch);
+
+  /// Authenticated NACK (reuses the resync token — both are keyset-replay
+  /// requests). nullopt on bad token or non-member.
+  std::optional<NackOutcome> nack_with_token(UserId user, BytesView token,
+                                             std::uint64_t have_epoch);
+
+  /// The rate-limit + window-replay half of handle_nack: kRateLimited,
+  /// kRetransmitted, or nullopt when the gap has left the window and the
+  /// caller must fall back to a resync (the fallback is counted here).
+  /// Touches only dispatch-phase state — LockedGroupKeyServer calls this
+  /// under dispatch_mutex_ and routes the fallback through its own
+  /// sequenced resync path.
+  std::optional<NackOutcome> try_retransmit(UserId user,
+                                            std::uint64_t have_epoch);
+
+  /// The retransmit window, for introspection in tests and tools.
+  [[nodiscard]] const rekey::RetransmitWindow& retransmit_window()
+      const noexcept {
+    return retransmit_;
+  }
+
   /// Serializes the server's replicable state (epoch + full key tree with
   /// key material) for the standby-replica path Section 6 sketches. As
   /// sensitive as the server's memory; transfer over a secure channel only.
@@ -224,6 +273,10 @@ class GroupKeyServer {
   std::unique_ptr<rekey::RekeySealer> sealer_;
   ServerStats stats_;
   std::uint64_t epoch_ = 0;
+  /// Dispatch-phase state (recorded in dispatch(), read by handle_nack):
+  /// under LockedGroupKeyServer both run behind dispatch_mutex_.
+  rekey::RetransmitWindow retransmit_;
+  rekey::RecoveryLimiter limiter_;
 };
 
 }  // namespace keygraphs::server

@@ -131,6 +131,21 @@ ServerSpec parse_server_spec(std::string_view text) {
       const std::uint64_t threads = parse_number(value, line_number);
       if (threads < 1 || threads > 256) fail(line_number, "bad seal_threads");
       spec.config.seal_threads = static_cast<std::size_t>(threads);
+    } else if (key == "retransmit_window") {
+      const std::uint64_t window = parse_number(value, line_number);
+      if (window > 4096) fail(line_number, "bad retransmit_window");
+      spec.config.retransmit_window = static_cast<std::size_t>(window);
+    } else if (key == "recovery_rate") {
+      // Recovery-request tokens per user per second; 0 = unlimited.
+      const std::uint64_t rate = parse_number(value, line_number);
+      if (rate > 1'000'000) fail(line_number, "bad recovery_rate");
+      spec.config.recovery_rate = static_cast<double>(rate);
+    } else if (key == "recovery_burst") {
+      const std::uint64_t burst = parse_number(value, line_number);
+      if (burst < 1 || burst > 1'000'000) {
+        fail(line_number, "bad recovery_burst");
+      }
+      spec.config.recovery_burst = static_cast<double>(burst);
     } else if (key == "auth_master") {
       try {
         spec.config.auth_master = from_hex(std::string(value));

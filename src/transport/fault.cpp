@@ -1,0 +1,180 @@
+#include "transport/fault.h"
+
+#include <utility>
+
+#include "telemetry/metrics.h"
+
+namespace keygraphs::transport {
+
+namespace {
+
+struct FaultMetrics {
+  telemetry::Counter& passed;
+  telemetry::Counter& dropped;
+  telemetry::Counter& duplicated;
+  telemetry::Counter& corrupted;
+  telemetry::Counter& reordered;
+  telemetry::Counter& delayed;
+  telemetry::Counter& released;
+
+  static FaultMetrics& get() {
+    auto& registry = telemetry::Registry::global();
+    static FaultMetrics* metrics = new FaultMetrics{
+        registry.counter("transport.fault.passed"),
+        registry.counter("transport.fault.dropped"),
+        registry.counter("transport.fault.duplicated"),
+        registry.counter("transport.fault.corrupted"),
+        registry.counter("transport.fault.reordered"),
+        registry.counter("transport.fault.delayed"),
+        registry.counter("transport.fault.released"),
+    };
+    return *metrics;
+  }
+};
+
+void count(FaultAction action) {
+  if (!telemetry::enabled()) return;
+  FaultMetrics& metrics = FaultMetrics::get();
+  switch (action) {
+    case FaultAction::kPass:
+      metrics.passed.add(1);
+      break;
+    case FaultAction::kDrop:
+      metrics.dropped.add(1);
+      break;
+    case FaultAction::kDuplicate:
+      metrics.duplicated.add(1);
+      break;
+    case FaultAction::kCorrupt:
+      metrics.corrupted.add(1);
+      break;
+    case FaultAction::kReorder:
+      metrics.reordered.add(1);
+      break;
+    case FaultAction::kDelay:
+      metrics.delayed.add(1);
+      break;
+  }
+}
+
+}  // namespace
+
+FaultEngine::FaultEngine(FaultConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {}
+
+const FaultRule& FaultEngine::rule_for(UserId user) const {
+  if (user != 0) {
+    auto it = config_.per_user.find(user);
+    if (it != config_.per_user.end()) return it->second;
+  }
+  return config_.rule;
+}
+
+FaultAction FaultEngine::decide(const FaultRule& rule) {
+  if (!rule.active()) return FaultAction::kPass;
+  // One draw per delivery keeps the stream advancing identically whichever
+  // branch wins, so per-rule probability edits do not shift later faults'
+  // positions within a seed.
+  const double draw = rng_.uniform_unit();
+  double bound = rule.drop;
+  if (draw < bound) return FaultAction::kDrop;
+  bound += rule.duplicate;
+  if (draw < bound) return FaultAction::kDuplicate;
+  bound += rule.corrupt;
+  if (draw < bound) return FaultAction::kCorrupt;
+  bound += rule.reorder;
+  if (draw < bound) return FaultAction::kReorder;
+  bound += rule.delay;
+  if (draw < bound) return FaultAction::kDelay;
+  return FaultAction::kPass;
+}
+
+void FaultEngine::process(UserId user, BytesView datagram, Sink sink) {
+  ++seq_;
+  const FaultRule& rule = rule_for(user);
+  const FaultAction action = decide(rule);
+  count(action);
+  if (config_.record_trace) {
+    trace_.push_back(FaultEvent{seq_, action, user, datagram.size()});
+  }
+
+  switch (action) {
+    case FaultAction::kPass:
+      sink(datagram);
+      break;
+    case FaultAction::kDrop:
+      break;
+    case FaultAction::kDuplicate:
+      sink(datagram);
+      sink(datagram);
+      break;
+    case FaultAction::kCorrupt: {
+      Bytes mangled(datagram.begin(), datagram.end());
+      if (!mangled.empty()) {
+        const std::uint64_t bit = rng_.uniform(mangled.size() * 8);
+        mangled[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      sink(mangled);
+      break;
+    }
+    case FaultAction::kReorder:
+    case FaultAction::kDelay: {
+      const std::size_t span = action == FaultAction::kReorder
+                                   ? rule.reorder_span
+                                   : rule.delay_span;
+      held_.push_back(Held{seq_ + span,
+                           Bytes(datagram.begin(), datagram.end()),
+                           std::move(sink)});
+      break;
+    }
+  }
+  release_due();
+}
+
+void FaultEngine::release_due() {
+  // Holds are appended in seq order but expire at seq + span, so a short
+  // reorder can come due before an older long delay: scan, don't pop-front.
+  for (auto it = held_.begin(); it != held_.end();) {
+    if (it->release_after <= seq_) {
+      if (telemetry::enabled()) FaultMetrics::get().released.add(1);
+      const Held due = std::move(*it);
+      it = held_.erase(it);
+      due.sink(due.datagram);  // may re-enter process() downstream
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FaultEngine::flush() {
+  while (!held_.empty()) {
+    if (telemetry::enabled()) FaultMetrics::get().released.add(1);
+    const Held due = std::move(held_.front());
+    held_.pop_front();
+    due.sink(due.datagram);
+  }
+}
+
+void FaultyServerTransport::deliver(const rekey::Recipient& to,
+                                    BytesView datagram,
+                                    const Resolver& resolve) {
+  const UserId user =
+      to.kind == rekey::Recipient::Kind::kUser ? to.user : 0;
+  // The resolver reference dies with this call; held (reordered/delayed)
+  // deliveries re-resolve through a copy, which the server builds over the
+  // plan-time view — stable no matter when the release happens.
+  engine_.process(user, datagram,
+                  [this, to, resolver = Resolver(resolve)](BytesView bytes) {
+                    inner_.deliver(to, bytes, resolver);
+                  });
+}
+
+std::function<void(BytesView)> make_faulty_inbox(
+    FaultEngine& engine, UserId user,
+    std::function<void(BytesView)> handler) {
+  return [&engine, user, handler = std::move(handler)](BytesView datagram) {
+    engine.process(user, datagram, handler);
+  };
+}
+
+}  // namespace keygraphs::transport

@@ -88,24 +88,40 @@ UdpSocket::~UdpSocket() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void UdpSocket::send_to(const Address& to, BytesView datagram) {
+bool UdpSocket::try_send_to(const Address& to, BytesView datagram) {
   const bool telemetry_on = telemetry::enabled();
   const std::uint64_t started =
       telemetry_on ? telemetry::steady_now_ns() : 0;
   const sockaddr_in sa = to_sockaddr(to);
-  const ssize_t sent =
-      ::sendto(fd_, datagram.data(), datagram.size(), 0,
-               reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
-  if (sent < 0 || static_cast<std::size_t>(sent) != datagram.size()) {
-    if (telemetry_on) UdpMetrics::get().send_errors.add(1);
+  for (int attempt = 0; attempt <= kSendRetries; ++attempt) {
+    const ssize_t sent =
+        ::sendto(fd_, datagram.data(), datagram.size(), 0,
+                 reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+    if (sent >= 0 && static_cast<std::size_t>(sent) == datagram.size()) {
+      if (telemetry_on) {
+        UdpMetrics& metrics = UdpMetrics::get();
+        metrics.datagrams_sent.add(1);
+        metrics.bytes_sent.add(datagram.size());
+        metrics.send_ns.record(telemetry::steady_now_ns() - started);
+      }
+      return true;
+    }
+    if (sent < 0 &&
+        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;  // transient: interrupted or socket buffer full
+    }
+    break;  // persistent (EMSGSIZE, ECONNREFUSED, closed fd, ...)
+  }
+  const int saved = errno;
+  if (telemetry_on) UdpMetrics::get().send_errors.add(1);
+  errno = saved;  // send_to reports the real failure, not a counter's
+  return false;
+}
+
+void UdpSocket::send_to(const Address& to, BytesView datagram) {
+  if (!try_send_to(to, datagram)) {
     throw TransportError(std::string("UdpSocket: sendto(): ") +
                          std::strerror(errno));
-  }
-  if (telemetry_on) {
-    UdpMetrics& metrics = UdpMetrics::get();
-    metrics.datagrams_sent.add(1);
-    metrics.bytes_sent.add(datagram.size());
-    metrics.send_ns.record(telemetry::steady_now_ns() - started);
   }
 }
 
@@ -158,13 +174,18 @@ void UdpServerTransport::unregister_user(UserId user) { peers_.erase(user); }
 void UdpServerTransport::deliver(const rekey::Recipient& to,
                                  BytesView datagram,
                                  const Resolver& resolve) {
+  // try_send_to, not send_to: one unreachable peer (buffer pressure, a
+  // vanished socket) must not throw away delivery to everyone resolved
+  // after it — the victims recover through the NACK/resync path, the rest
+  // should not need to.
   if (to.kind == rekey::Recipient::Kind::kUser) {
     auto it = peers_.find(to.user);
-    if (it != peers_.end()) {
-      socket_.send_to(it->second, datagram);
+    if (it == peers_.end()) {
+      if (telemetry::enabled()) UdpMetrics::get().peer_drops.add(1);
+    } else if (socket_.try_send_to(it->second, datagram)) {
       ++datagrams_sent_;
-    } else if (telemetry::enabled()) {
-      UdpMetrics::get().peer_drops.add(1);
+    } else {
+      ++send_failures_;
     }
     return;
   }
@@ -172,11 +193,12 @@ void UdpServerTransport::deliver(const rekey::Recipient& to,
   // membership (paper Section 7's no-multicast fallback).
   for (UserId user : resolve()) {
     auto it = peers_.find(user);
-    if (it != peers_.end()) {
-      socket_.send_to(it->second, datagram);
+    if (it == peers_.end()) {
+      if (telemetry::enabled()) UdpMetrics::get().peer_drops.add(1);
+    } else if (socket_.try_send_to(it->second, datagram)) {
       ++datagrams_sent_;
-    } else if (telemetry::enabled()) {
-      UdpMetrics::get().peer_drops.add(1);
+    } else {
+      ++send_failures_;
     }
   }
 }

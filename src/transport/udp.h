@@ -30,7 +30,20 @@ class UdpSocket {
   UdpSocket& operator=(const UdpSocket&) = delete;
   ~UdpSocket();
 
+  /// Sends or throws TransportError. Transient failures (EINTR, EAGAIN)
+  /// are retried up to kSendRetries times before giving up.
   void send_to(const Address& to, BytesView datagram);
+
+  /// Non-throwing send: retries transient failures like send_to, then
+  /// returns false (counting transport.udp.send_errors) instead of
+  /// throwing. The fan-out path uses this so one unreachable peer cannot
+  /// abort delivery to the recipients after it.
+  bool try_send_to(const Address& to, BytesView datagram);
+
+  /// Bounded retry budget for EINTR/EAGAIN: either the condition clears
+  /// within a few attempts or it will not clear at all (closed socket,
+  /// oversized datagram) and the send is reported failed.
+  static constexpr int kSendRetries = 8;
 
   /// Blocks up to `timeout_ms` (-1 = forever). Returns nullopt on timeout.
   std::optional<std::pair<Address, Bytes>> receive(int timeout_ms);
@@ -61,11 +74,16 @@ class UdpServerTransport final : public ServerTransport {
   [[nodiscard]] std::size_t datagrams_sent() const noexcept {
     return datagrams_sent_;
   }
+  /// Sends that failed after retries (also in transport.udp.send_errors).
+  [[nodiscard]] std::size_t send_failures() const noexcept {
+    return send_failures_;
+  }
 
  private:
   UdpSocket& socket_;
   std::unordered_map<UserId, Address> peers_;
   std::size_t datagrams_sent_ = 0;
+  std::size_t send_failures_ = 0;
 };
 
 }  // namespace keygraphs::transport

@@ -1,0 +1,248 @@
+// Fault-injection transport: seeded determinism, each fault action's
+// delivery semantics, per-user rules, and both attachment points
+// (FaultyServerTransport and make_faulty_inbox).
+#include "transport/fault.h"
+
+#include <gtest/gtest.h>
+
+#include "transport/inproc.h"
+
+namespace keygraphs::transport {
+namespace {
+
+Bytes payload(std::uint8_t tag, std::size_t size = 24) {
+  Bytes data(size, tag);
+  return data;
+}
+
+/// Runs `count` deliveries through an engine built from `config`,
+/// collecting (user, bytes) sink invocations in order.
+std::vector<std::pair<UserId, Bytes>> run_sequence(FaultConfig config,
+                                                   std::size_t count,
+                                                   bool flush = true) {
+  FaultEngine engine(std::move(config));
+  std::vector<std::pair<UserId, Bytes>> out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const UserId user = (i % 5) + 1;
+    const Bytes data = payload(static_cast<std::uint8_t>(i));
+    engine.process(user, data, [&out, user](BytesView bytes) {
+      out.emplace_back(user, Bytes(bytes.begin(), bytes.end()));
+    });
+  }
+  if (flush) engine.flush();
+  return out;
+}
+
+TEST(FaultEngine, InactiveRuleAlwaysPasses) {
+  FaultConfig config;
+  config.record_trace = true;
+  FaultEngine engine(config);
+  std::size_t delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    engine.process(1, payload(1), [&](BytesView) { ++delivered; });
+  }
+  EXPECT_EQ(delivered, 10u);
+  EXPECT_EQ(engine.deliveries(), 10u);
+  ASSERT_EQ(engine.trace().size(), 10u);
+  for (const FaultEvent& event : engine.trace()) {
+    EXPECT_EQ(event.action, FaultAction::kPass);
+  }
+}
+
+TEST(FaultEngine, SameSeedSameTraceAndOutput) {
+  FaultConfig config;
+  config.seed = 1234;
+  config.rule.drop = 0.2;
+  config.rule.duplicate = 0.1;
+  config.rule.corrupt = 0.1;
+  config.rule.reorder = 0.15;
+  config.rule.delay = 0.1;
+  config.record_trace = true;
+
+  FaultEngine first(config);
+  FaultEngine second(config);
+  std::vector<Bytes> out_first, out_second;
+  for (std::size_t i = 0; i < 200; ++i) {
+    const UserId user = (i % 7) + 1;
+    const Bytes data = payload(static_cast<std::uint8_t>(i), 16 + i % 32);
+    first.process(user, data, [&](BytesView bytes) {
+      out_first.emplace_back(bytes.begin(), bytes.end());
+    });
+    second.process(user, data, [&](BytesView bytes) {
+      out_second.emplace_back(bytes.begin(), bytes.end());
+    });
+  }
+  first.flush();
+  second.flush();
+  EXPECT_EQ(first.trace(), second.trace());
+  EXPECT_EQ(out_first, out_second);
+  // The mixed rule must actually have exercised a non-pass action.
+  bool any_fault = false;
+  for (const FaultEvent& event : first.trace()) {
+    any_fault |= event.action != FaultAction::kPass;
+  }
+  EXPECT_TRUE(any_fault);
+}
+
+TEST(FaultEngine, DifferentSeedsDiverge) {
+  FaultConfig a;
+  a.seed = 1;
+  a.rule.drop = 0.5;
+  a.record_trace = true;
+  FaultConfig b = a;
+  b.seed = 2;
+  FaultEngine first(a);
+  FaultEngine second(b);
+  for (std::size_t i = 0; i < 64; ++i) {
+    first.process(1, payload(0), [](BytesView) {});
+    second.process(1, payload(0), [](BytesView) {});
+  }
+  EXPECT_NE(first.trace(), second.trace());
+}
+
+TEST(FaultEngine, DropLosesTheDatagram) {
+  FaultConfig config;
+  config.rule.drop = 1.0;
+  EXPECT_TRUE(run_sequence(config, 20).empty());
+}
+
+TEST(FaultEngine, DuplicateDeliversTwiceBackToBack) {
+  FaultConfig config;
+  config.rule.duplicate = 1.0;
+  const auto out = run_sequence(config, 5);
+  ASSERT_EQ(out.size(), 10u);
+  for (std::size_t i = 0; i < out.size(); i += 2) {
+    EXPECT_EQ(out[i], out[i + 1]);
+  }
+}
+
+TEST(FaultEngine, CorruptFlipsExactlyOneBit) {
+  FaultConfig config;
+  config.rule.corrupt = 1.0;
+  FaultEngine engine(config);
+  const Bytes original = payload(0xAA, 64);
+  Bytes received;
+  engine.process(3, original, [&](BytesView bytes) {
+    received.assign(bytes.begin(), bytes.end());
+  });
+  ASSERT_EQ(received.size(), original.size());
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    std::uint8_t diff = original[i] ^ received[i];
+    while (diff != 0) {
+      flipped += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(flipped, 1u);
+}
+
+TEST(FaultEngine, ReorderReleasesAfterSpanDeliveries) {
+  FaultConfig config;
+  FaultRule held;
+  held.reorder = 1.0;
+  held.reorder_span = 2;
+  config.per_user[7] = held;  // everyone else passes untouched
+  FaultEngine engine(config);
+  std::vector<std::uint8_t> order;
+  const auto sink_for = [&order](std::uint8_t tag) {
+    return [&order, tag](BytesView) { order.push_back(tag); };
+  };
+  engine.process(7, payload(0), sink_for(0));  // held until seq 3
+  EXPECT_EQ(engine.held(), 1u);
+  engine.process(1, payload(1), sink_for(1));
+  engine.process(2, payload(2), sink_for(2));  // seq 3: releases the hold
+  EXPECT_EQ(engine.held(), 0u);
+  EXPECT_EQ(order, (std::vector<std::uint8_t>{1, 2, 0}));
+}
+
+TEST(FaultEngine, FlushReleasesHeldInOrder) {
+  FaultConfig config;
+  config.rule.delay = 1.0;
+  config.rule.delay_span = 1000;  // never expires during the sequence
+  FaultEngine engine(config);
+  std::vector<std::uint8_t> order;
+  for (std::uint8_t tag = 0; tag < 4; ++tag) {
+    engine.process(1, payload(tag),
+                   [&order, tag](BytesView) { order.push_back(tag); });
+  }
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(engine.held(), 4u);
+  engine.flush();
+  EXPECT_EQ(engine.held(), 0u);
+  EXPECT_EQ(order, (std::vector<std::uint8_t>{0, 1, 2, 3}));
+}
+
+TEST(FaultEngine, PerUserRuleOverridesGlobal) {
+  FaultConfig config;
+  config.per_user[5].drop = 1.0;  // only user 5 is lossy
+  FaultEngine engine(config);
+  std::size_t to_5 = 0, to_6 = 0;
+  for (int i = 0; i < 8; ++i) {
+    engine.process(5, payload(0), [&](BytesView) { ++to_5; });
+    engine.process(6, payload(0), [&](BytesView) { ++to_6; });
+  }
+  EXPECT_EQ(to_5, 0u);
+  EXPECT_EQ(to_6, 8u);
+}
+
+TEST(FaultyServerTransport, UnicastUsesPerUserRuleSubgroupUsesGlobal) {
+  InProcNetwork network;
+  std::size_t received_3 = 0, received_4 = 0;
+  network.attach_client(3, [&](BytesView) { ++received_3; });
+  network.attach_client(4, [&](BytesView) { ++received_4; });
+  network.subscribe(3, 100);
+  network.subscribe(4, 100);
+
+  FaultConfig config;
+  config.per_user[3].drop = 1.0;  // unicast to 3 is lost; global rule passes
+  FaultyServerTransport faulty(network, config);
+
+  const Bytes data = payload(1);
+  const auto resolve = [] { return std::vector<UserId>{}; };
+  faulty.deliver(rekey::Recipient::to_user(3), data, resolve);
+  faulty.deliver(rekey::Recipient::to_user(4), data, resolve);
+  EXPECT_EQ(received_3, 0u);
+  EXPECT_EQ(received_4, 1u);
+
+  // Subgroup deliveries run under the (fault-free) global rule and reach
+  // every subscriber, including the user whose unicasts are dropped.
+  faulty.deliver(rekey::Recipient::to_subgroup(100), data, resolve);
+  EXPECT_EQ(received_3, 1u);
+  EXPECT_EQ(received_4, 2u);
+}
+
+TEST(FaultyServerTransport, HeldDeliveryStillReachesSubscribers) {
+  InProcNetwork network;
+  std::size_t received = 0;
+  network.attach_client(9, [&](BytesView) { ++received; });
+  network.subscribe(9, 42);
+
+  FaultConfig config;
+  config.rule.delay = 1.0;
+  config.rule.delay_span = 50;
+  FaultyServerTransport faulty(network, config);
+  faulty.deliver(rekey::Recipient::to_subgroup(42), payload(0),
+                 [] { return std::vector<UserId>{}; });
+  EXPECT_EQ(received, 0u);  // parked inside the engine
+  faulty.engine().flush();
+  EXPECT_EQ(received, 1u);  // released with its recipient intact
+}
+
+TEST(FaultyInbox, WrapsHandlerUnderUsersRule) {
+  FaultConfig config;
+  config.per_user[2].duplicate = 1.0;
+  FaultEngine engine(config);
+  std::size_t plain = 0, doubled = 0;
+  const auto inbox_1 =
+      make_faulty_inbox(engine, 1, [&](BytesView) { ++plain; });
+  const auto inbox_2 =
+      make_faulty_inbox(engine, 2, [&](BytesView) { ++doubled; });
+  inbox_1(payload(0));
+  inbox_2(payload(0));
+  EXPECT_EQ(plain, 1u);
+  EXPECT_EQ(doubled, 2u);
+}
+
+}  // namespace
+}  // namespace keygraphs::transport

@@ -72,6 +72,45 @@ TEST(UdpServerTransport, UnicastFanOutForSubgroups) {
   EXPECT_EQ(client1.receive(50), std::nullopt);
 }
 
+TEST(UdpSocket, OversizedSendFailsWithoutThrowingOnTryPath) {
+  UdpSocket receiver, sender;
+  // Larger than any UDP payload: sendto fails with EMSGSIZE, which is not
+  // transient, so the bounded retry loop gives up instead of spinning.
+  const Bytes oversized(70'000, 0x11);
+  EXPECT_FALSE(sender.try_send_to(receiver.local_address(), oversized));
+  EXPECT_THROW(sender.send_to(receiver.local_address(), oversized),
+               TransportError);
+  // The socket survives the failure and keeps working for sane sizes.
+  EXPECT_TRUE(sender.try_send_to(receiver.local_address(), bytes_of("ok")));
+  EXPECT_EQ(receiver.receive(2000)->second, bytes_of("ok"));
+}
+
+TEST(UdpServerTransport, FanOutSurvivesAFailedRecipient) {
+  UdpSocket server_socket;
+  UdpSocket client1, client3;
+  UdpServerTransport transport(server_socket);
+  transport.register_user(1, client1.local_address());
+  // Destination port 0 is invalid: sendto fails immediately (EINVAL),
+  // modelling one unreachable peer in the middle of the fan-out.
+  transport.register_user(2, Address::loopback(0));
+  transport.register_user(3, client3.local_address());
+
+  EXPECT_NO_THROW(transport.deliver(
+      rekey::Recipient::to_subgroup(7), bytes_of("fanout"),
+      [] { return std::vector<UserId>{1, 2, 3}; }));
+  // The failure is counted, and every recipient after it still got served.
+  EXPECT_EQ(transport.send_failures(), 1u);
+  EXPECT_EQ(transport.datagrams_sent(), 2u);
+  EXPECT_EQ(client1.receive(2000)->second, bytes_of("fanout"));
+  EXPECT_EQ(client3.receive(2000)->second, bytes_of("fanout"));
+
+  // A failed unicast is likewise counted, never thrown.
+  EXPECT_NO_THROW(transport.deliver(rekey::Recipient::to_user(2),
+                                    bytes_of("uni"),
+                                    [] { return std::vector<UserId>{}; }));
+  EXPECT_EQ(transport.send_failures(), 2u);
+}
+
 TEST(UdpServerTransport, UnknownUsersSkipped) {
   UdpSocket server_socket;
   UdpServerTransport transport(server_socket);

@@ -16,8 +16,10 @@
 //   telemetry   = json
 //
 // Protocol (all datagrams use the library wire format):
-//   client -> server : kJoinRequest  { u64 user, var token }
-//   client -> server : kLeaveRequest { u64 user, var token }
+//   client -> server : kJoinRequest   { u64 user, var token }
+//   client -> server : kLeaveRequest  { u64 user, var token }
+//   client -> server : kResyncRequest { u64 user, var token }
+//   client -> server : kNackRequest   { u64 user, var token, u64 have_epoch }
 //   server -> client : kRekey / kJoinDenied / kLeaveAck
 //
 // The daemon prints one line per handled request. With `telemetry = json` or
@@ -158,6 +160,27 @@ int main(int argc, char** argv) {
         std::printf("resync %llu -> %s\n",
                     static_cast<unsigned long long>(user),
                     ok ? "replayed" : "denied");
+      } else if (datagram.type == rekey::MessageType::kNackRequest) {
+        const std::uint64_t have_epoch = reader.u64();
+        const std::optional<server::NackOutcome> outcome =
+            server.nack_with_token(user, token, have_epoch);
+        const char* label = "denied";
+        if (outcome.has_value()) {
+          switch (*outcome) {
+            case server::NackOutcome::kRetransmitted:
+              label = "retransmitted";
+              break;
+            case server::NackOutcome::kResynced:
+              label = "resynced";
+              break;
+            case server::NackOutcome::kRateLimited:
+              label = "rate-limited";
+              break;
+          }
+        }
+        std::printf("nack %llu have=%llu -> %s\n",
+                    static_cast<unsigned long long>(user),
+                    static_cast<unsigned long long>(have_epoch), label);
       } else if (datagram.type == rekey::MessageType::kLeaveRequest) {
         const bool granted = server.leave_with_token(user, token);
         if (granted) transport.unregister_user(user);

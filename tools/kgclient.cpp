@@ -11,6 +11,7 @@
 // Note: the client cannot verify server signatures in this standalone tool
 // (the server's public key is distributed out of band in the library API);
 // it runs with verification off, like the paper's measurement clients.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -65,6 +66,16 @@ int main(int argc, char** argv) {
     config.suite = crypto::CryptoSuite::paper_plain();
     config.root = 1;
     config.verify = false;
+    // Automatic loss recovery: NACK for cheap retransmits first, escalate
+    // to a full resync if the server can no longer replay the gap. The
+    // poll below drives it from the session's real clock.
+    config.recovery.clock_us = [] {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count());
+    };
+    config.recovery.token = auth.resync_token(user);
     client::GroupClient client(config, nullptr);
     client.install_individual_key(SymmetricKey{
         individual_key_id(user), 1,
@@ -79,6 +90,18 @@ int main(int argc, char** argv) {
 
     const auto deadline = seconds * 4;  // 250 ms polls
     for (int tick = 0; tick < deadline; ++tick) {
+      // Recovery requests are due whenever the backoff clock says so, even
+      // across quiet ticks where nothing was received.
+      if (const auto request = client.poll_recovery()) {
+        socket.send_to(server_address, *request);
+        std::printf("recovery: %s sent (applied epoch %llu of %llu)\n",
+                    client.recovery_state() ==
+                            client::RecoveryState::kAwaitingResync
+                        ? "resync request"
+                        : "nack",
+                    static_cast<unsigned long long>(client.applied_epoch()),
+                    static_cast<unsigned long long>(client.last_epoch()));
+      }
       const auto received = socket.receive(250);
       if (!received.has_value()) continue;
       const rekey::Datagram datagram =
@@ -95,6 +118,10 @@ int main(int argc, char** argv) {
         std::printf("rekey: %zu new key(s); group key v%u, holding %zu "
                     "keys\n", outcome.keys_changed,
                     group ? group->version : 0, client.key_count());
+      } else if (outcome.buffered) {
+        std::printf("rekey: epoch %llu buffered (gap after %llu)\n",
+                    static_cast<unsigned long long>(client.last_epoch()),
+                    static_cast<unsigned long long>(client.applied_epoch()));
       } else if (outcome.stale) {
         std::printf("rekey: stale message ignored\n");
       }
