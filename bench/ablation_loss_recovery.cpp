@@ -21,6 +21,8 @@
 #include "client/client.h"
 #include "common/io.h"
 #include "server/server.h"
+#include "telemetry/convergence.h"
+#include "telemetry/metrics.h"
 #include "transport/fault.h"
 #include "transport/inproc.h"
 
@@ -34,6 +36,13 @@ struct Point {
   double avg_recovery_ms = 0.0;  // mean out-of-sync time, injected clock
   std::size_t rounds = 0;
   bool converged = false;
+  /// Fleet publish-to-applied latency percentiles (injected clock, so
+  /// deterministic): the per-(member, epoch) fleet.convergence_ns
+  /// histogram over the churn phase. A loss repaired N pump rounds later
+  /// scores N * 50 ms; immediate applies score 0.
+  std::uint64_t convergence_p50_ns = 0;
+  std::uint64_t convergence_p99_ns = 0;
+  std::uint64_t slo_violations = 0;
 
   [[nodiscard]] double resync_ratio() const {
     const std::size_t served = retransmits + resyncs;
@@ -105,6 +114,14 @@ Point run(double drop, std::size_t window, std::size_t group_size,
     members.emplace(user, std::move(client));
   };
   for (UserId user = 1; user <= group_size; ++user) attach(user, true);
+
+  // Score convergence over the churn phase only (the snapshot attaches
+  // never report applies, so build-phase publishes would distort the
+  // quantiles). A one-hour SLO makes any violation an accounting bug.
+  telemetry::Registry::global().reset();
+  auto& monitor = telemetry::ConvergenceMonitor::global();
+  monitor.reset();
+  monitor.set_slo_us(3'600'000'000);
 
   Point point;
   const auto route = [&](const Bytes& request) {
@@ -207,6 +224,12 @@ Point run(double drop, std::size_t window, std::size_t group_size,
           ? 0.0
           : recovery_us_total / static_cast<double>(point.recoveries) /
                 1000.0;
+  const auto& convergence =
+      telemetry::Registry::global().histogram("fleet.convergence_ns");
+  point.convergence_p50_ns = convergence.p50();
+  point.convergence_p99_ns = convergence.p99();
+  point.slo_violations =
+      telemetry::Registry::global().counter("fleet.slo_violations").value();
   return point;
 }
 
@@ -225,6 +248,8 @@ void main_impl() {
                            {"resync", 8},
                            {"ratio", 7},
                            {"avg ms", 9},
+                           {"cnv p50ms", 10},
+                           {"cnv p99ms", 10},
                            {"rounds", 8}});
   table.header();
   for (const double drop : {0.05, 0.10, 0.20}) {
@@ -238,17 +263,26 @@ void main_impl() {
                  sim::TablePrinter::num(point.resyncs),
                  sim::TablePrinter::num(point.resync_ratio(), 2),
                  sim::TablePrinter::num(point.avg_recovery_ms, 1),
+                 sim::TablePrinter::num(
+                     static_cast<double>(point.convergence_p50_ns) / 1e6, 1),
+                 sim::TablePrinter::num(
+                     static_cast<double>(point.convergence_p99_ns) / 1e6, 1),
                  sim::TablePrinter::num(point.rounds)});
-      char buffer[256];
+      char buffer[384];
       std::snprintf(
           buffer, sizeof(buffer),
           "{\"bench\":\"ablation_loss_recovery\",\"drop\":%.2f,"
           "\"window\":%zu,\"recoveries\":%zu,\"retransmits\":%zu,"
           "\"resyncs\":%zu,\"resync_ratio\":%.4f,"
-          "\"avg_recovery_ms\":%.3f,\"rounds\":%zu,\"converged\":%s}",
+          "\"avg_recovery_ms\":%.3f,\"convergence_p50_ns\":%llu,"
+          "\"convergence_p99_ns\":%llu,\"slo_violations\":%llu,"
+          "\"rounds\":%zu,\"converged\":%s}",
           drop, window, point.recoveries, point.retransmits, point.resyncs,
-          point.resync_ratio(), point.avg_recovery_ms, point.rounds,
-          point.converged ? "true" : "false");
+          point.resync_ratio(), point.avg_recovery_ms,
+          static_cast<unsigned long long>(point.convergence_p50_ns),
+          static_cast<unsigned long long>(point.convergence_p99_ns),
+          static_cast<unsigned long long>(point.slo_violations),
+          point.rounds, point.converged ? "true" : "false");
       bench::emit_json_line(buffer);
     }
   }

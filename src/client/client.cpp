@@ -6,7 +6,9 @@
 #include "common/io.h"
 #include "crypto/cbc.h"
 #include "crypto/hmac.h"
+#include "telemetry/convergence.h"
 #include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace keygraphs::client {
 
@@ -198,6 +200,36 @@ void GroupClient::maybe_complete_recovery() {
 }
 
 RekeyOutcome GroupClient::handle_rekey(BytesView wire) {
+  if (!telemetry::enabled()) return process_rekey(wire);
+  static auto& apply_ns = telemetry::Registry::global().histogram(
+      "client.apply_ns",
+      "Verify, decrypt and apply time per received rekey message");
+  const std::uint64_t applied_before = applied_epoch_;
+  RekeyOutcome outcome;
+  {
+    // A traced delivery gets a real span (ring + histogram); an untraced
+    // one records the histogram alone, keeping the span ring free of
+    // per-delivery churn in the large client simulations.
+    std::optional<telemetry::ScopedSpan> span;
+    std::uint64_t start_ns = 0;
+    if (telemetry::current_trace().active()) {
+      span.emplace("client.apply", &apply_ns);
+    } else {
+      start_ns = telemetry::steady_now_ns();
+    }
+    outcome = process_rekey(wire);
+    if (!span.has_value()) {
+      apply_ns.record(telemetry::steady_now_ns() - start_ns);
+    }
+  }
+  if (applied_epoch_ > applied_before && config_.recovery.clock_us) {
+    telemetry::ConvergenceMonitor::global().note_apply(
+        config_.user, applied_epoch_, config_.recovery.clock_us() * 1000);
+  }
+  return outcome;
+}
+
+RekeyOutcome GroupClient::process_rekey(BytesView wire) {
   RekeyOutcome outcome;
   outcome.wire_size = wire.size();
   ++totals_.rekeys_received;
@@ -301,6 +333,18 @@ RekeyOutcome GroupClient::handle_datagram(BytesView datagram) {
     return RekeyOutcome{};
   }
   if (decoded.type != rekey::MessageType::kRekey) return RekeyOutcome{};
+  telemetry::TraceContext context;
+  if (decoded.trace.has_value()) {
+    context = telemetry::TraceContext{decoded.trace->trace_id,
+                                      decoded.trace->epoch,
+                                      decoded.trace->op_kind};
+  }
+  const telemetry::TraceBinding traced(
+      context, telemetry::client_process(config_.user));
+  std::optional<telemetry::ScopedSpan> receive_span;
+  if (context.active() && telemetry::enabled()) {
+    receive_span.emplace("client.receive");
+  }
   return handle_rekey(decoded.payload);
 }
 
@@ -310,6 +354,13 @@ std::optional<Bytes> GroupClient::poll_recovery() {
   if (!policy.clock_us) return std::nullopt;  // passive (manual recovery)
   const std::uint64_t now = policy.clock_us();
   if (now < next_attempt_us_) return std::nullopt;
+
+  // One recovery request is being emitted: record it in this client's lane
+  // (untraced — the datagram that triggered recovery is long gone).
+  const telemetry::TraceBinding traced(
+      telemetry::TraceContext{}, telemetry::client_process(config_.user));
+  std::optional<telemetry::ScopedSpan> recovery_span;
+  if (telemetry::enabled()) recovery_span.emplace("client.recovery");
 
   // Re-arm: exponential backoff capped at max, plus a deterministic
   // per-user jitter in [0, delay/4] so simultaneous victims spread out.

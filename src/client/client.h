@@ -127,11 +127,17 @@ class GroupClient {
   /// only the 1000 churn requests, not the initial group construction).
   void admit_snapshot(std::vector<SymmetricKey> keys, std::uint64_t epoch);
 
-  /// Verifies, decrypts and applies one sealed rekey message.
+  /// Verifies, decrypts and applies one sealed rekey message. Records the
+  /// time into the client.apply_ns histogram and, when a RecoveryPolicy
+  /// clock is configured, reports the new applied high-water mark to the
+  /// global ConvergenceMonitor.
   RekeyOutcome handle_rekey(BytesView wire);
 
   /// Datagram entry point: decodes the envelope and dispatches kRekey;
-  /// other types are ignored (returns an empty outcome).
+  /// other types are ignored (returns an empty outcome). When the datagram
+  /// carries the server's TraceExtension, the client binds that context
+  /// around processing so its receive/apply spans land in this client's
+  /// lane, correlated with the server's plan/seal/dispatch spans.
   RekeyOutcome handle_datagram(BytesView datagram);
 
   /// Current group key, if admitted.
@@ -196,6 +202,8 @@ class GroupClient {
   /// welcome/resync keyset replay, which may jump the epoch forward
   /// non-contiguously (the server vouches for the whole keyset).
   [[nodiscard]] bool is_keyset_replay(const rekey::RekeyMessage& message) const;
+  /// handle_rekey minus the instrumentation wrapper.
+  RekeyOutcome process_rekey(BytesView wire);
   /// Fixpoint-decrypts `message` into the keyset and prunes obsolete ids,
   /// accumulating into `outcome`. Returns the keys decrypted from this
   /// message alone (the missed-rekey detector's signal).

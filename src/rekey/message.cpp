@@ -96,7 +96,13 @@ RekeyMessage RekeyMessage::parse_body(BytesView data) {
 Bytes Datagram::encode() const {
   ByteWriter writer;
   writer.u8(kDatagramMagic);
-  writer.u8(static_cast<std::uint8_t>(type));
+  writer.u8(static_cast<std::uint8_t>(type) |
+            (trace.has_value() ? kTraceFlag : 0));
+  if (trace.has_value()) {
+    writer.u64(trace->trace_id);
+    writer.u64(trace->epoch);
+    writer.u8(trace->op_kind);
+  }
   writer.raw(payload);
   return writer.take();
 }
@@ -105,10 +111,19 @@ Datagram Datagram::decode(BytesView data) {
   ByteReader reader(data);
   if (reader.u8() != kDatagramMagic) throw ParseError("datagram: bad magic");
   Datagram datagram;
-  datagram.type = static_cast<MessageType>(reader.u8());
+  const std::uint8_t type_byte = reader.u8();
+  datagram.type =
+      static_cast<MessageType>(type_byte & ~Datagram::kTraceFlag);
   if (datagram.type < MessageType::kJoinRequest ||
       datagram.type > MessageType::kNackRequest) {
     throw ParseError("datagram: bad type");
+  }
+  if ((type_byte & Datagram::kTraceFlag) != 0) {
+    TraceExtension trace;
+    trace.trace_id = reader.u64();
+    trace.epoch = reader.u64();
+    trace.op_kind = reader.u8();
+    datagram.trace = trace;
   }
   datagram.payload = reader.raw(reader.remaining());
   return datagram;

@@ -126,9 +126,35 @@ enum class MessageType : std::uint8_t {
   kNackRequest = 8,
 };
 
+/// Optional trace-propagation extension on a datagram: the server's trace
+/// id for the rekey operation that produced it, plus the epoch and
+/// operation kind for context. Carried only when the server runs with
+/// `trace_propagation = on`; without it the encoding is byte-identical to
+/// the pre-extension format (the high bit of the type byte flags its
+/// presence), so all wire goldens hold with the default off.
+struct TraceExtension {
+  std::uint64_t trace_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint8_t op_kind = 0;  // RekeyKind of the originating operation
+
+  friend bool operator==(const TraceExtension&,
+                         const TraceExtension&) = default;
+};
+
 struct Datagram {
   MessageType type = MessageType::kRekey;
   Bytes payload;
+  std::optional<TraceExtension> trace;
+
+  Datagram() = default;
+  Datagram(MessageType type_in, Bytes payload_in,
+           std::optional<TraceExtension> trace_in = std::nullopt)
+      : type(type_in),
+        payload(std::move(payload_in)),
+        trace(std::move(trace_in)) {}
+
+  /// Set on the type byte when a TraceExtension follows it on the wire.
+  static constexpr std::uint8_t kTraceFlag = 0x80;
 
   [[nodiscard]] Bytes encode() const;
   static Datagram decode(BytesView data);

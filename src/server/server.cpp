@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "common/io.h"
 #include "rekey/batch.h"
+#include "telemetry/convergence.h"
 #include "telemetry/stage.h"
 
 namespace keygraphs::server {
@@ -37,6 +38,13 @@ GroupKeyServer::GroupKeyServer(ServerConfig config,
                                     config_.suite.key_size(), rng_);
   strategy_ = rekey::make_strategy(config_.strategy);
   set_signing_mode(config_.signing);
+}
+
+void GroupKeyServer::begin_trace(PendingRekey& pending,
+                                 rekey::RekeyKind kind) {
+  if (!config_.trace_propagation || !telemetry::enabled()) return;
+  pending.trace.trace_id = telemetry::next_trace_id();
+  pending.trace.op_kind = static_cast<std::uint8_t>(kind);
 }
 
 std::uint64_t GroupKeyServer::now_us() const {
@@ -219,6 +227,7 @@ void GroupKeyServer::finish_plan(PendingRekey& pending,
       message.header.obsolete = obsolete;
     }
   }
+  if (pending.trace.active()) pending.trace.epoch = epoch;
   pending.plan = planner.take(std::move(messages));
   pending.op.kind = op_kind;
   pending.op.key_encryptions = pending.plan.key_encryptions;
@@ -237,6 +246,12 @@ JoinResult GroupKeyServer::plan_join(UserId user, PendingRekey& pending) {
     if (tree_->has_user(user)) return JoinResult::kDuplicate;
     individual_key = auth_.individual_key(user, config_.suite.key_size());
   }
+
+  begin_trace(pending, rekey::RekeyKind::kJoin);
+  const telemetry::TraceBinding traced(pending.trace,
+                                       telemetry::kServerProcess);
+  std::optional<telemetry::ScopedSpan> plan_span;
+  if (pending.trace.active()) plan_span.emplace("rekey.plan");
 
   pending.started = std::chrono::steady_clock::now();
   tree_->stamp_next_epoch(epoch_ + 1);
@@ -273,6 +288,11 @@ JoinResult GroupKeyServer::plan_join_with_token(UserId user, BytesView token,
 
 void GroupKeyServer::plan_leave(UserId user, PendingRekey& pending) {
   StageCollector stages;
+  begin_trace(pending, rekey::RekeyKind::kLeave);
+  const telemetry::TraceBinding traced(pending.trace,
+                                       telemetry::kServerProcess);
+  std::optional<telemetry::ScopedSpan> plan_span;
+  if (pending.trace.active()) plan_span.emplace("rekey.plan");
   pending.started = std::chrono::steady_clock::now();
   tree_->stamp_next_epoch(epoch_ + 1);
   std::optional<LeaveRecord> record;
@@ -290,6 +310,10 @@ void GroupKeyServer::plan_leave(UserId user, PendingRekey& pending) {
   finish_plan(pending, planner, std::move(messages), rekey::RekeyKind::kLeave,
               rekey::RekeyKind::kLeave, record->removed_nodes,
               /*advance_epoch=*/true, stages);
+  // A departed member no longer owes convergence; drop its lag gauge.
+  if (telemetry::enabled()) {
+    telemetry::ConvergenceMonitor::global().forget_user(user);
+  }
 }
 
 bool GroupKeyServer::plan_leave_with_token(UserId user, BytesView token,
@@ -316,6 +340,12 @@ std::vector<UserId> GroupKeyServer::plan_batch(
     }
   }
 
+  begin_trace(pending, rekey::RekeyKind::kBatch);
+  const telemetry::TraceBinding traced(pending.trace,
+                                       telemetry::kServerProcess);
+  std::optional<telemetry::ScopedSpan> plan_span;
+  if (pending.trace.active()) plan_span.emplace("rekey.plan");
+
   pending.started = std::chrono::steady_clock::now();
   tree_->stamp_next_epoch(epoch_ + 1);
   std::optional<BatchRecord> record;
@@ -333,11 +363,21 @@ std::vector<UserId> GroupKeyServer::plan_batch(
   finish_plan(pending, planner, std::move(messages), rekey::RekeyKind::kBatch,
               rekey::RekeyKind::kBatch, record->removed_nodes,
               /*advance_epoch=*/true, stages);
+  if (telemetry::enabled()) {
+    for (const UserId leaver : leave_users) {
+      telemetry::ConvergenceMonitor::global().forget_user(leaver);
+    }
+  }
   return admitted;
 }
 
 void GroupKeyServer::plan_resync(UserId user, PendingRekey& pending) {
   StageCollector stages;
+  begin_trace(pending, rekey::RekeyKind::kResync);
+  const telemetry::TraceBinding traced(pending.trace,
+                                       telemetry::kServerProcess);
+  std::optional<telemetry::ScopedSpan> plan_span;
+  if (pending.trace.active()) plan_span.emplace("rekey.plan");
   pending.started = std::chrono::steady_clock::now();
   // Whole plan runs on one acquired view (kept if the token path already
   // pinned one): no tree access, no group lock needed.
@@ -384,6 +424,10 @@ bool GroupKeyServer::plan_resync_with_token(UserId user, BytesView token,
 
 void GroupKeyServer::seal(PendingRekey& pending) {
   StageCollector stages;
+  const telemetry::TraceBinding traced(pending.trace,
+                                       telemetry::kServerProcess);
+  std::optional<telemetry::ScopedSpan> seal_span;
+  if (pending.trace.active()) seal_span.emplace("rekey.seal");
   pending.sealed = executor_.seal(pending.plan, *sealer_);
   const telemetry::StageBreakdown& sealed_us = stages.breakdown();
   for (std::size_t i = 0; i < telemetry::kStageCount; ++i) {
@@ -393,6 +437,10 @@ void GroupKeyServer::seal(PendingRekey& pending) {
 
 void GroupKeyServer::dispatch(PendingRekey&& pending) {
   StageCollector stages;
+  const telemetry::TraceBinding traced(pending.trace,
+                                       telemetry::kServerProcess);
+  std::optional<telemetry::ScopedSpan> dispatch_span;
+  if (pending.trace.active()) dispatch_span.emplace("rekey.dispatch");
   OpRecord op = pending.op;
   op.signatures = sealer_->signatures_for(pending.sealed.size());
   op.messages = pending.sealed.size();
@@ -406,12 +454,29 @@ void GroupKeyServer::dispatch(PendingRekey&& pending) {
                         !pending.plan.messages.empty();
   std::vector<rekey::StoredDatagram> stored;
   if (remember) stored.reserve(pending.sealed.size());
+  // The publish timestamp for fleet convergence: recorded before the first
+  // delivery, because in-process transports apply on the client inside
+  // deliver() and an apply must never precede its publish. Resyncs replay
+  // an already-published epoch, so they never re-publish it.
+  if (telemetry::enabled() && op.kind != rekey::RekeyKind::kResync &&
+      !pending.plan.messages.empty()) {
+    telemetry::ConvergenceMonitor::global().note_publish(
+        pending.plan.messages.front().header.epoch, now_us() * 1000,
+        pending.view->user_count());
+  }
+  std::optional<rekey::TraceExtension> extension;
+  if (pending.trace.active()) {
+    extension = rekey::TraceExtension{pending.trace.trace_id,
+                                      pending.trace.epoch,
+                                      pending.trace.op_kind};
+  }
   for (const rekey::SealedRekey& sealed : pending.sealed) {
     Bytes datagram;
     {
       const StageScope scope(Stage::kSerialize);
-      datagram =
-          rekey::Datagram{rekey::MessageType::kRekey, sealed.wire}.encode();
+      datagram = rekey::Datagram{rekey::MessageType::kRekey, sealed.wire,
+                                 extension}
+                     .encode();
     }
     op.bytes += datagram.size();
     op.min_message = std::min(op.min_message, datagram.size());

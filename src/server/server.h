@@ -39,6 +39,7 @@
 #include "rekey/strategy.h"
 #include "server/access_control.h"
 #include "server/stats.h"
+#include "telemetry/trace.h"
 #include "transport/transport.h"
 
 namespace keygraphs::server {
@@ -75,6 +76,13 @@ struct ServerConfig {
   /// `recovery_rate` / `recovery_burst`.
   double recovery_rate = 16.0;
   double recovery_burst = 8.0;
+  /// Stamp every membership operation with a telemetry::TraceContext at
+  /// plan time, emit rekey.plan/seal/dispatch spans for it, and carry the
+  /// context on dispatched datagrams as the optional TraceExtension so
+  /// client spans correlate with the server's. Off by default: without it
+  /// the wire bytes are identical to the untraced format. Spec key
+  /// `trace_propagation`.
+  bool trace_propagation = false;
 
   /// Star baseline: unbounded degree.
   static ServerConfig star(ServerConfig base);
@@ -114,6 +122,11 @@ class GroupKeyServer {
     /// Stage self-time accumulated across the phases so far.
     telemetry::StageBreakdown stage_us{};
     std::chrono::steady_clock::time_point started{};
+    /// Cross-process correlation context (inactive unless the server runs
+    /// with trace_propagation): stamped in plan_*, epoch filled by
+    /// finish_plan, rebound around every phase and copied onto each
+    /// dispatched datagram.
+    telemetry::TraceContext trace{};
   };
 
   GroupKeyServer(ServerConfig config, transport::ServerTransport& transport,
@@ -260,6 +273,9 @@ class GroupKeyServer {
                    const std::vector<KeyId>& obsolete, bool advance_epoch,
                    const telemetry::StageCollector& stages);
   [[nodiscard]] std::uint64_t now_us() const;
+  /// Stamps a fresh trace context on `pending` when trace propagation and
+  /// telemetry are both on (no-op otherwise).
+  void begin_trace(PendingRekey& pending, rekey::RekeyKind kind);
 
   ServerConfig config_;
   transport::ServerTransport& transport_;

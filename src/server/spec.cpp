@@ -196,6 +196,20 @@ ServerSpec parse_server_spec(std::string_view text) {
       const std::uint64_t period = parse_number(value, line_number);
       if (period > 86400) fail(line_number, "bad telemetry_period");
       spec.telemetry_period_s = static_cast<std::uint32_t>(period);
+    } else if (key == "telemetry_http_port") {
+      const std::uint64_t port = parse_number(value, line_number);
+      if (port > 65535) fail(line_number, "bad telemetry_http_port");
+      spec.telemetry_http_port = static_cast<std::uint16_t>(port);
+    } else if (key == "trace_propagation") {
+      if (value == "on") {
+        spec.config.trace_propagation = true;
+      } else if (value == "off") {
+        spec.config.trace_propagation = false;
+      } else {
+        fail(line_number, "trace_propagation must be on or off");
+      }
+    } else if (key == "convergence_slo_us") {
+      spec.convergence_slo_us = parse_number(value, line_number);
     } else {
       fail(line_number, "unknown key '" + std::string(key) + "'");
     }

@@ -19,6 +19,13 @@
 //   acl           = all | <comma-separated user ids>
 //   telemetry     = off | json | prom   (periodic metrics dump format)
 //   telemetry_period = <seconds between dumps; 0 = only on SIGUSR1>
+//   telemetry_http_port = <loopback HTTP scrape endpoint serving /metrics,
+//                          /healthz and /trace; 0 = ephemeral port; absent
+//                          = no endpoint>
+//   trace_propagation = on | off   (stamp rekeys with trace contexts and
+//                                   carry them on the wire; default off)
+//   convergence_slo_us = <fleet convergence SLO in microseconds; samples
+//                         above it count as fleet.slo_violations; 0 = off>
 #pragma once
 
 #include <optional>
@@ -48,6 +55,11 @@ struct ServerSpec {
   /// Seconds between periodic dumps; 0 disables the timer (SIGUSR1 still
   /// triggers a dump whenever telemetry != off).
   std::uint32_t telemetry_period_s = 10;
+  /// Loopback HTTP scrape endpoint port; engaged when present (0 binds an
+  /// ephemeral port, printed at startup), absent = no endpoint.
+  std::optional<std::uint16_t> telemetry_http_port;
+  /// Fleet convergence SLO in microseconds; 0 disables the check.
+  std::uint64_t convergence_slo_us = 0;
 
   [[nodiscard]] AccessControl access_control() const {
     return acl.has_value() ? AccessControl::allow_list(*acl)

@@ -1,0 +1,129 @@
+#include "telemetry/convergence.h"
+
+#include <algorithm>
+#include <string>
+
+namespace keygraphs::telemetry {
+
+namespace {
+
+struct FleetMetrics {
+  Histogram& convergence_ns;
+  Counter& slo_violations;
+  Gauge& published_epoch;
+
+  static FleetMetrics& get() {
+    auto& registry = Registry::global();
+    static FleetMetrics* metrics = new FleetMetrics{
+        registry.histogram("fleet.convergence_ns",
+                           "Publish-to-applied latency per (client, epoch); "
+                           "quantiles are the fleet convergence percentiles"),
+        registry.counter("fleet.slo_violations",
+                         "Convergence samples above the configured SLO"),
+        registry.gauge("fleet.published_epoch",
+                       "Newest epoch the server has dispatched"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
+
+ConvergenceMonitor::ConvergenceMonitor(std::size_t publish_capacity)
+    : capacity_(std::max<std::size_t>(publish_capacity, 1)) {}
+
+ConvergenceMonitor& ConvergenceMonitor::global() {
+  static ConvergenceMonitor* instance =
+      new ConvergenceMonitor();  // never destroyed, like Registry
+  return *instance;
+}
+
+void ConvergenceMonitor::set_slo_us(std::uint64_t slo_us) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  slo_ns_ = slo_us * 1000;
+}
+
+std::uint64_t ConvergenceMonitor::slo_us() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return slo_ns_ / 1000;
+}
+
+void ConvergenceMonitor::note_publish(std::uint64_t epoch,
+                                      std::uint64_t now_ns,
+                                      std::size_t fleet_size) {
+  (void)fleet_size;  // recorded for future per-publish completeness checks
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (epoch <= published_epoch_) return;  // replay/duplicate dispatch
+  published_epoch_ = epoch;
+  publishes_.push_back(Publish{epoch, now_ns});
+  while (publishes_.size() > capacity_) publishes_.pop_front();
+  FleetMetrics::get().published_epoch.set(
+      static_cast<std::int64_t>(epoch));
+}
+
+void ConvergenceMonitor::note_apply(std::uint64_t user,
+                                    std::uint64_t applied_epoch,
+                                    std::uint64_t now_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ClientState& state = clients_[user];
+  if (state.lag == nullptr) {
+    state.lag = &Registry::global().gauge(
+        "fleet.epoch_lag.u" + std::to_string(user),
+        "Published minus applied epoch for one member");
+  }
+  if (applied_epoch > state.applied) {
+    // Score every retained publish this apply newly covers: an apply that
+    // jumps several epochs (drained reorder buffer, keyset resync) closes
+    // each of them now, at this clock reading.
+    auto it = std::lower_bound(
+        publishes_.begin(), publishes_.end(), state.applied + 1,
+        [](const Publish& p, std::uint64_t epoch) { return p.epoch < epoch; });
+    FleetMetrics& metrics = FleetMetrics::get();
+    for (; it != publishes_.end() && it->epoch <= applied_epoch; ++it) {
+      const std::uint64_t latency = now_ns > it->ns ? now_ns - it->ns : 0;
+      metrics.convergence_ns.record(latency);
+      if (slo_ns_ != 0 && latency > slo_ns_) metrics.slo_violations.add(1);
+    }
+    state.applied = applied_epoch;
+  }
+  state.lag->set(static_cast<std::int64_t>(
+      published_epoch_ > state.applied ? published_epoch_ - state.applied
+                                       : 0));
+}
+
+void ConvergenceMonitor::forget_user(std::uint64_t user) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = clients_.find(user);
+  if (it == clients_.end()) return;
+  if (it->second.lag != nullptr) it->second.lag->set(0);
+  clients_.erase(it);
+}
+
+std::uint64_t ConvergenceMonitor::published_epoch() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return published_epoch_;
+}
+
+std::uint64_t ConvergenceMonitor::max_lag() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t worst = 0;
+  for (const auto& [user, state] : clients_) {
+    if (published_epoch_ > state.applied) {
+      worst = std::max(worst, published_epoch_ - state.applied);
+    }
+  }
+  return worst;
+}
+
+void ConvergenceMonitor::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  publishes_.clear();
+  published_epoch_ = 0;
+  for (auto& [user, state] : clients_) {
+    if (state.lag != nullptr) state.lag->set(0);
+  }
+  clients_.clear();
+  FleetMetrics::get().published_epoch.set(0);
+}
+
+}  // namespace keygraphs::telemetry

@@ -1,0 +1,91 @@
+// Fleet convergence monitoring: publish-to-applied latency and SLOs.
+//
+// The paper's cost model measures server-side processing, but an epoch is
+// only *done* when the fleet has applied it — possibly after NACK,
+// retransmit, or resync round trips. The ConvergenceMonitor closes that
+// loop: the server reports each epoch-advancing dispatch (note_publish)
+// and every client reports its applied high-water mark (note_apply); the
+// monitor turns the pairs into
+//
+//   fleet.convergence_ns   histogram of per-(client, epoch) latencies,
+//                          so its p50/p99 are the fleet percentiles the
+//                          SLO is written against
+//   fleet.slo_violations   samples above the configured SLO
+//   fleet.published_epoch  newest epoch the server has dispatched
+//   fleet.epoch_lag.u<id>  per-client gauge: published - applied
+//
+// Timestamps are injected nanoseconds (the harnesses pass their fake
+// clocks), so soaks and benches stay wall-clock free and deterministic.
+// Lives in the telemetry layer, so user ids are plain uint64 (UserId is an
+// alias of std::uint64_t upstack).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "telemetry/metrics.h"
+
+namespace keygraphs::telemetry {
+
+class ConvergenceMonitor {
+ public:
+  /// Publishes retained for late appliers. A client that jumps past the
+  /// ring's oldest epoch (resync after a long partition) only scores the
+  /// retained ones — the ring bounds memory for unbounded-uptime servers.
+  static constexpr std::size_t kDefaultPublishCapacity = 4096;
+
+  explicit ConvergenceMonitor(
+      std::size_t publish_capacity = kDefaultPublishCapacity);
+
+  /// The process-wide monitor the server and clients feed.
+  static ConvergenceMonitor& global();
+
+  /// Convergence SLO in microseconds; samples above it bump
+  /// fleet.slo_violations. 0 (default) disables the check.
+  void set_slo_us(std::uint64_t slo_us);
+  [[nodiscard]] std::uint64_t slo_us() const;
+
+  /// Server side: epoch `epoch` was dispatched to `fleet_size` members at
+  /// `now_ns`. Epochs must arrive in nondecreasing order (dispatch order).
+  void note_publish(std::uint64_t epoch, std::uint64_t now_ns,
+                    std::size_t fleet_size);
+
+  /// Client side: `user` has contiguously applied everything up to
+  /// `applied_epoch` as of `now_ns`. Scores one latency sample per newly
+  /// covered retained publish and refreshes the user's lag gauge.
+  void note_apply(std::uint64_t user, std::uint64_t applied_epoch,
+                  std::uint64_t now_ns);
+
+  /// Drops a departed member's state and zeroes its lag gauge.
+  void forget_user(std::uint64_t user);
+
+  [[nodiscard]] std::uint64_t published_epoch() const;
+  /// Largest published - applied over tracked clients (0 when none).
+  [[nodiscard]] std::uint64_t max_lag() const;
+
+  /// Forgets retained publishes and client high-water marks (gauges are
+  /// zeroed); the SLO setting survives. Benches call this between sweep
+  /// points, right after Registry::reset().
+  void reset();
+
+ private:
+  struct Publish {
+    std::uint64_t epoch;
+    std::uint64_t ns;
+  };
+  struct ClientState {
+    std::uint64_t applied = 0;
+    Gauge* lag = nullptr;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::uint64_t slo_ns_ = 0;
+  std::uint64_t published_epoch_ = 0;
+  std::deque<Publish> publishes_;  // ascending epoch
+  std::unordered_map<std::uint64_t, ClientState> clients_;
+};
+
+}  // namespace keygraphs::telemetry

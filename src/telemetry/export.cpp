@@ -4,6 +4,9 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <map>
+#include <string_view>
+#include <utility>
 
 namespace keygraphs::telemetry {
 
@@ -25,7 +28,8 @@ void append_format(std::string& out, const char* format, ...) {
 }
 
 /// Metric names use '.', Prometheus wants [a-zA-Z0-9_:]. Everything is
-/// prefixed kg_ to namespace the exposition.
+/// prefixed kg_ to namespace the exposition (the prefix also keeps names
+/// that start with a digit legal).
 std::string prometheus_name(const std::string& name) {
   std::string out = "kg_";
   for (const char c : name) {
@@ -34,6 +38,34 @@ std::string prometheus_name(const std::string& name) {
     out.push_back(ok ? c : '_');
   }
   return out;
+}
+
+/// HELP text escaping per the exposition format: backslash and newline
+/// only (label values would additionally escape '"', but all labels here
+/// are numeric).
+std::string prometheus_help_text(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void append_prometheus_header(std::string& out, const Registry& registry,
+                              const std::string& name,
+                              const std::string& prom, const char* type) {
+  const std::string help = registry.help(name);
+  if (!help.empty()) {
+    out += "# HELP " + prom + " " + prometheus_help_text(help) + "\n";
+  }
+  append_format(out, "# TYPE %s %s\n", prom.c_str(), type);
 }
 
 }  // namespace
@@ -70,17 +102,17 @@ std::string render_prometheus(const Registry& registry) {
   std::string out;
   for (const auto& [name, counter] : registry.counters()) {
     const std::string prom = prometheus_name(name);
-    append_format(out, "# TYPE %s counter\n%s %" PRIu64 "\n", prom.c_str(),
-                  prom.c_str(), counter->value());
+    append_prometheus_header(out, registry, name, prom, "counter");
+    append_format(out, "%s %" PRIu64 "\n", prom.c_str(), counter->value());
   }
   for (const auto& [name, gauge] : registry.gauges()) {
     const std::string prom = prometheus_name(name);
-    append_format(out, "# TYPE %s gauge\n%s %" PRId64 "\n", prom.c_str(),
-                  prom.c_str(), gauge->value());
+    append_prometheus_header(out, registry, name, prom, "gauge");
+    append_format(out, "%s %" PRId64 "\n", prom.c_str(), gauge->value());
   }
   for (const auto& [name, histogram] : registry.histograms()) {
     const std::string prom = prometheus_name(name);
-    append_format(out, "# TYPE %s histogram\n", prom.c_str());
+    append_prometheus_header(out, registry, name, prom, "histogram");
     std::uint64_t cumulative = 0;
     for (const Histogram::Bucket& bucket : histogram->buckets()) {
       cumulative += bucket.count;
@@ -130,10 +162,109 @@ std::string render_trace_jsonl(const Tracer& tracer) {
     append_format(out,
                   "{\"span\":\"%s\",\"start_ns\":%" PRIu64
                   ",\"duration_ns\":%" PRIu64
-                  ",\"depth\":%u,\"thread\":%u}\n",
+                  ",\"depth\":%u,\"thread\":%u,\"trace\":%" PRIu64
+                  ",\"process\":%u}\n",
                   span.name, span.start_ns, span.duration_ns, span.depth,
-                  span.thread);
+                  span.thread, span.trace_id, span.process);
   }
+  return out;
+}
+
+std::string render_chrome_trace(const Tracer& tracer) {
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+
+  // Chrome sorts lanes by pid and reserves 0 for the browser process, so
+  // lanes are shifted by one: the server is pid 1, clients pid lane + 1.
+  const auto pid_of = [](std::uint32_t process) { return process + 1; };
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto separate = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+
+  std::map<std::uint32_t, bool> lanes;
+  for (const SpanRecord& span : spans) lanes.emplace(span.process, true);
+  for (const auto& [process, unused] : lanes) {
+    separate();
+    if (process == kServerProcess) {
+      append_format(out,
+                    "{\"ph\":\"M\",\"pid\":%u,\"name\":\"process_name\","
+                    "\"args\":{\"name\":\"keyserver\"}}",
+                    pid_of(process));
+    } else {
+      // client_process(user) == user + 1 for the small ids the harnesses
+      // use, so the label round-trips back to the user id.
+      append_format(out,
+                    "{\"ph\":\"M\",\"pid\":%u,\"name\":\"process_name\","
+                    "\"args\":{\"name\":\"client u%u\"}}",
+                    pid_of(process), process - 1);
+    }
+  }
+
+  for (const SpanRecord& span : spans) {
+    separate();
+    append_format(out,
+                  "{\"ph\":\"X\",\"pid\":%u,\"tid\":%u,\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"name\":\"%s\",\"cat\":\"rekey\"",
+                  pid_of(span.process), span.thread,
+                  static_cast<double>(span.start_ns) / 1000.0,
+                  static_cast<double>(span.duration_ns) / 1000.0, span.name);
+    if (span.trace_id != 0) {
+      append_format(out, ",\"args\":{\"trace\":%" PRIu64 "}",
+                    span.trace_id);
+    }
+    out.push_back('}');
+  }
+
+  // Flow arrows: for every traced rekey, one arrow from the server's
+  // dispatch span to the earliest span each client recorded for that
+  // trace (receive for live deliveries, apply for drained buffers).
+  struct Anchor {
+    bool set = false;
+    SpanRecord span;
+  };
+  std::map<std::uint64_t, Anchor> dispatches;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, Anchor> arrivals;
+  for (const SpanRecord& span : spans) {
+    if (span.trace_id == 0) continue;
+    if (span.process == kServerProcess) {
+      if (std::string_view(span.name) != "rekey.dispatch") continue;
+      Anchor& anchor = dispatches[span.trace_id];
+      if (!anchor.set || span.start_ns < anchor.span.start_ns) {
+        anchor = Anchor{true, span};
+      }
+    } else {
+      Anchor& anchor = arrivals[{span.trace_id, span.process}];
+      if (!anchor.set || span.start_ns < anchor.span.start_ns) {
+        anchor = Anchor{true, span};
+      }
+    }
+  }
+  for (const auto& [key, arrival] : arrivals) {
+    const auto dispatch = dispatches.find(key.first);
+    if (dispatch == dispatches.end()) continue;
+    separate();
+    append_format(out,
+                  "{\"ph\":\"s\",\"pid\":%u,\"tid\":%u,\"ts\":%.3f,"
+                  "\"id\":\"t%" PRIu64
+                  ".p%u\",\"name\":\"rekey.flow\",\"cat\":\"rekey\"}",
+                  pid_of(kServerProcess), dispatch->second.span.thread,
+                  static_cast<double>(dispatch->second.span.start_ns) /
+                      1000.0,
+                  key.first, key.second);
+    separate();
+    append_format(out,
+                  "{\"ph\":\"f\",\"bp\":\"e\",\"pid\":%u,\"tid\":%u,"
+                  "\"ts\":%.3f,\"id\":\"t%" PRIu64
+                  ".p%u\",\"name\":\"rekey.flow\",\"cat\":\"rekey\"}",
+                  pid_of(key.second), arrival.span.thread,
+                  static_cast<double>(arrival.span.start_ns) / 1000.0,
+                  key.first, key.second);
+  }
+
+  out += "]}";
   return out;
 }
 

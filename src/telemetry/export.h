@@ -10,6 +10,11 @@
 //   - render_dump: an aligned human table (count, mean, p50/p90/p99, max)
 //     for SIGUSR1 dumps and shutdown summaries.
 //   - render_trace_jsonl: the span ring as JSON lines, oldest first.
+//   - render_chrome_trace: the span ring in Chrome Trace Event Format
+//     (one JSON object, loadable in chrome://tracing and Perfetto), with
+//     one lane per process (server + each traced client) and flow arrows
+//     connecting a rekey's server-side dispatch span to the first client
+//     span that processed the delivery.
 //
 // All renderers take a consistent snapshot per metric (atomic reads), not
 // across metrics — fine for monitoring, by design not a transaction.
@@ -32,6 +37,9 @@ namespace keygraphs::telemetry {
     const Registry& registry = Registry::global());
 
 [[nodiscard]] std::string render_trace_jsonl(
+    const Tracer& tracer = Tracer::global());
+
+[[nodiscard]] std::string render_chrome_trace(
     const Tracer& tracer = Tracer::global());
 
 }  // namespace keygraphs::telemetry

@@ -1,0 +1,151 @@
+#include "telemetry/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+#include "telemetry/export.h"
+
+namespace keygraphs::telemetry {
+
+namespace {
+
+constexpr std::size_t kMaxRequest = 4096;
+constexpr int kPollMs = 250;  // stop() latency bound
+
+std::string make_response(int status, const char* reason,
+                          const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += std::to_string(status);
+  out += " ";
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away; a scrape is best-effort
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string TelemetryHttpServer::respond(const std::string& path) {
+  if (path == "/metrics") {
+    return make_response(200, "OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         render_prometheus(Registry::global()));
+  }
+  if (path == "/healthz") {
+    return make_response(200, "OK", "text/plain; charset=utf-8", "ok\n");
+  }
+  if (path == "/trace") {
+    return make_response(200, "OK", "application/json",
+                         render_chrome_trace(Tracer::global()));
+  }
+  return make_response(404, "Not Found", "text/plain; charset=utf-8",
+                       "not found\n");
+}
+
+TelemetryHttpServer::TelemetryHttpServer(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error("telemetry http: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 8) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("telemetry http: cannot bind 127.0.0.1:" +
+                std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  thread_ = std::thread([this] { serve(); });
+}
+
+TelemetryHttpServer::~TelemetryHttpServer() { stop(); }
+
+void TelemetryHttpServer::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TelemetryHttpServer::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd waiter{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&waiter, 1, kPollMs);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop_
+
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    // Bound the read so a stalled peer cannot wedge the serving thread.
+    timeval timeout{};
+    timeout.tv_sec = 2;
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+    std::string request;
+    char buffer[1024];
+    while (request.size() < kMaxRequest &&
+           request.find("\r\n\r\n") == std::string::npos) {
+      const ssize_t n = ::recv(client, buffer, sizeof(buffer), 0);
+      if (n <= 0) break;
+      request.append(buffer, static_cast<std::size_t>(n));
+    }
+
+    // "GET <path> HTTP/1.x" — anything else is a 400.
+    std::string response;
+    const std::size_t line_end = request.find("\r\n");
+    if (request.rfind("GET ", 0) == 0 && line_end != std::string::npos) {
+      const std::size_t path_end = request.find(' ', 4);
+      if (path_end != std::string::npos && path_end < line_end) {
+        response = respond(request.substr(4, path_end - 4));
+      }
+    }
+    if (response.empty()) {
+      response = make_response(400, "Bad Request",
+                               "text/plain; charset=utf-8", "bad request\n");
+    }
+    send_all(client, response);
+    ::close(client);
+  }
+}
+
+}  // namespace keygraphs::telemetry

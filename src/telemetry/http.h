@@ -1,0 +1,56 @@
+// Minimal embedded HTTP scrape endpoint.
+//
+// Serves the process-global telemetry over HTTP/1.0 on 127.0.0.1 from its
+// own thread, so a scrape never blocks the daemon's receive loop:
+//
+//   GET /metrics  -> render_prometheus(Registry::global())
+//   GET /healthz  -> "ok\n"
+//   GET /trace    -> render_chrome_trace(Tracer::global())
+//
+// Deliberately not a web server: one connection at a time, GET only,
+// request line + headers capped at 4 KiB, close after every response.
+// That is exactly the shape of a Prometheus scrape or a curl, and it keeps
+// the implementation a page of POSIX sockets with no new dependencies.
+// The transport layer's TcpConnection is unsuitable here — it speaks the
+// library's length-prefixed framing, not HTTP — and telemetry sits below
+// transport anyway.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace keygraphs::telemetry {
+
+class TelemetryHttpServer {
+ public:
+  /// Binds 127.0.0.1:port (0 = ephemeral) and starts the serving thread.
+  /// Throws keygraphs::Error on bind failure.
+  explicit TelemetryHttpServer(std::uint16_t port = 0);
+  ~TelemetryHttpServer();
+
+  TelemetryHttpServer(const TelemetryHttpServer&) = delete;
+  TelemetryHttpServer& operator=(const TelemetryHttpServer&) = delete;
+
+  /// The bound port (the resolved one when constructed with 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops the serving thread and closes the socket. Idempotent; the
+  /// destructor calls it.
+  void stop();
+
+  /// Request routing, exposed for tests: full HTTP/1.0 response bytes for
+  /// a request path.
+  [[nodiscard]] static std::string respond(const std::string& path);
+
+ private:
+  void serve();
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace keygraphs::telemetry

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/trace.h"
+
 namespace keygraphs::telemetry {
 
 namespace {
@@ -139,6 +141,33 @@ Histogram& Registry::histogram(std::string_view name) {
   return *it->second;
 }
 
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  set_help(name, help);
+  return counter(name);
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  set_help(name, help);
+  return gauge(name);
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help) {
+  set_help(name, help);
+  return histogram(name);
+}
+
+void Registry::set_help(std::string_view name, std::string_view help) {
+  if (help.empty()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  help_.emplace(std::string(name), std::string(help));  // first writer wins
+}
+
+std::string Registry::help(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = help_.find(name);
+  return it == help_.end() ? std::string() : it->second;
+}
+
 std::vector<std::pair<std::string, const Counter*>> Registry::counters()
     const {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -172,10 +201,17 @@ std::vector<std::pair<std::string, const Histogram*>> Registry::histograms()
 }
 
 void Registry::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [name, metric] : counters_) metric->reset();
-  for (auto& [name, metric] : gauges_) metric->reset();
-  for (auto& [name, metric] : histograms_) metric->reset();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, metric] : counters_) metric->reset();
+    for (auto& [name, metric] : gauges_) metric->reset();
+    for (auto& [name, metric] : histograms_) metric->reset();
+  }
+  // The span ring is the tracing half of the same snapshot: a reset that
+  // zeroed every metric but kept earlier spans would pair fresh counters
+  // with stale traces (the experiment driver hit exactly that, measuring
+  // churn with build-phase spans still in the ring).
+  if (this == &global()) Tracer::global().clear();
 }
 
 }  // namespace keygraphs::telemetry

@@ -142,6 +142,18 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Create-or-lookup with help text attached on first registration (the
+  /// exporters emit it as `# HELP`). Later calls never overwrite existing
+  /// help, so the creation site owns the description.
+  Counter& counter(std::string_view name, std::string_view help);
+  Gauge& gauge(std::string_view name, std::string_view help);
+  Histogram& histogram(std::string_view name, std::string_view help);
+
+  /// Attaches help text to a metric name (first writer wins).
+  void set_help(std::string_view name, std::string_view help);
+  /// Registered help text for `name`; empty when none was attached.
+  [[nodiscard]] std::string help(std::string_view name) const;
+
   /// Sorted snapshots for exporters. Pointers stay valid forever.
   [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
   counters() const;
@@ -151,7 +163,10 @@ class Registry {
   histograms() const;
 
   /// Zeroes every registered metric; registrations (and cached references)
-  /// survive. Benches use this between phases.
+  /// survive. Benches use this between phases. Resetting the global
+  /// registry also clears the global Tracer's span ring, so a post-reset
+  /// snapshot never mixes spans from before the reset (e.g. build-phase
+  /// spans bleeding into a measured churn).
   void reset();
 
  private:
@@ -159,6 +174,7 @@ class Registry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
 
 }  // namespace keygraphs::telemetry

@@ -80,8 +80,10 @@ StageScope::~StageScope() {
   collector_->self_us_[static_cast<std::size_t>(stage_)] +=
       static_cast<double>(self_ns) / 1000.0;
   stage_histogram(stage_).record(self_ns);
-  Tracer::global().record(SpanRecord{stage_name(stage_), start_ns_,
-                                     total_ns, depth_, thread_ordinal()});
+  Tracer::global().record(SpanRecord{stage_name(stage_), start_ns_, total_ns,
+                                     depth_, thread_ordinal(),
+                                     current_trace().trace_id,
+                                     current_process()});
 }
 
 }  // namespace keygraphs::telemetry

@@ -7,8 +7,31 @@ namespace keygraphs::telemetry {
 namespace {
 
 thread_local std::uint32_t t_span_depth = 0;
+thread_local TraceContext t_trace{};
+thread_local std::uint32_t t_process = kServerProcess;
 
 }  // namespace
+
+std::uint64_t next_trace_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceBinding::TraceBinding(const TraceContext& context,
+                           std::uint32_t process) noexcept
+    : saved_context_(t_trace), saved_process_(t_process) {
+  t_trace = context;
+  t_process = process;
+}
+
+TraceBinding::~TraceBinding() {
+  t_trace = saved_context_;
+  t_process = saved_process_;
+}
+
+const TraceContext& current_trace() noexcept { return t_trace; }
+
+std::uint32_t current_process() noexcept { return t_process; }
 
 std::uint32_t thread_ordinal() noexcept {
   static std::atomic<std::uint32_t> next{0};
@@ -76,7 +99,8 @@ ScopedSpan::~ScopedSpan() {
   --t_span_depth;  // report the depth this span opened at
   if (latency_ != nullptr) latency_->record(duration);
   Tracer::global().record(SpanRecord{name_, start_ns_, duration,
-                                     t_span_depth, thread_ordinal()});
+                                     t_span_depth, thread_ordinal(),
+                                     t_trace.trace_id, t_process});
 }
 
 }  // namespace keygraphs::telemetry

@@ -25,12 +25,61 @@ namespace keygraphs::telemetry {
 /// order); identifies threads in SpanRecords.
 [[nodiscard]] std::uint32_t thread_ordinal() noexcept;
 
+/// Cross-process correlation context for one rekey operation: stamped by
+/// the server at plan time, carried on the wire as an optional datagram
+/// extension, and rebound by the client while it processes the delivery.
+/// trace_id == 0 means "no trace" everywhere.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t epoch = 0;   // group epoch the operation published
+  std::uint8_t op_kind = 0;  // rekey::RekeyKind as a raw byte (layering)
+  [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+};
+
+/// Process-wide unique, never-zero trace ids.
+[[nodiscard]] std::uint64_t next_trace_id() noexcept;
+
+/// Process lane identifiers for the Chrome trace exporter. The server owns
+/// lane 0; each client gets a stable nonzero lane derived from its user id.
+inline constexpr std::uint32_t kServerProcess = 0;
+[[nodiscard]] constexpr std::uint32_t client_process(
+    std::uint64_t user) noexcept {
+  // Fold the u64 user id into a nonzero u32 lane; ids stay distinct for
+  // every fleet the harnesses run (users are small integers in practice).
+  const auto folded =
+      static_cast<std::uint32_t>(user ^ (user >> 32)) & 0x7fffffffu;
+  return folded + 1;
+}
+
+/// Binds a trace context and a process lane to the calling thread for the
+/// binding's scope; every span recorded inside carries both. Restores the
+/// previous binding on destruction, so bindings nest.
+class TraceBinding {
+ public:
+  TraceBinding(const TraceContext& context, std::uint32_t process) noexcept;
+  ~TraceBinding();
+
+  TraceBinding(const TraceBinding&) = delete;
+  TraceBinding& operator=(const TraceBinding&) = delete;
+
+ private:
+  TraceContext saved_context_;
+  std::uint32_t saved_process_;
+};
+
+/// The calling thread's current binding (inactive context / lane 0 when
+/// nothing is bound).
+[[nodiscard]] const TraceContext& current_trace() noexcept;
+[[nodiscard]] std::uint32_t current_process() noexcept;
+
 struct SpanRecord {
   const char* name = "";        // static-lifetime string
   std::uint64_t start_ns = 0;   // steady clock
   std::uint64_t duration_ns = 0;
   std::uint32_t depth = 0;      // nesting depth within the thread (0 = root)
   std::uint32_t thread = 0;     // small per-thread ordinal
+  std::uint64_t trace_id = 0;   // correlated operation; 0 = untraced
+  std::uint32_t process = 0;    // exporter lane; 0 = server
 };
 
 class Tracer {

@@ -1,0 +1,155 @@
+// Minimal JSON validity checker for exporter round-trip tests.
+//
+// The library has no JSON dependency by design, so tests that assert
+// "every exporter line parses as JSON" bring their own parser: a strict
+// recursive-descent validator over the full grammar (objects, arrays,
+// strings with escapes, numbers, literals). It validates; it does not
+// build a document tree.
+#pragma once
+
+#include <cctype>
+#include <cstring>
+#include <string_view>
+
+namespace keygraphs::testjson {
+
+namespace detail {
+
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+  void skip_ws() {
+    while (!done() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                       peek() == '\r')) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    if (done() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+inline bool parse_value(Cursor& c, int depth);
+
+inline bool parse_string(Cursor& c) {
+  if (!c.eat('"')) return false;
+  while (!c.done()) {
+    const char ch = c.text[c.pos++];
+    if (ch == '"') return true;
+    if (static_cast<unsigned char>(ch) < 0x20) return false;
+    if (ch == '\\') {
+      if (c.done()) return false;
+      const char esc = c.text[c.pos++];
+      if (esc == 'u') {
+        for (int i = 0; i < 4; ++i) {
+          if (c.done() ||
+              std::isxdigit(static_cast<unsigned char>(c.peek())) == 0) {
+            return false;
+          }
+          ++c.pos;
+        }
+      } else if (std::strchr("\"\\/bfnrt", esc) == nullptr) {
+        return false;
+      }
+    }
+  }
+  return false;
+}
+
+inline bool parse_number(Cursor& c) {
+  const auto digit = [&] {
+    return !c.done() && std::isdigit(static_cast<unsigned char>(c.peek()));
+  };
+  (void)c.eat('-');
+  if (!digit()) return false;
+  if (c.eat('0')) {
+    // no leading zeros
+  } else {
+    while (digit()) ++c.pos;
+  }
+  if (c.eat('.')) {
+    if (!digit()) return false;
+    while (digit()) ++c.pos;
+  }
+  if (!c.done() && (c.peek() == 'e' || c.peek() == 'E')) {
+    ++c.pos;
+    if (!c.done() && (c.peek() == '+' || c.peek() == '-')) ++c.pos;
+    if (!digit()) return false;
+    while (digit()) ++c.pos;
+  }
+  return true;
+}
+
+inline bool parse_literal(Cursor& c, std::string_view word) {
+  if (c.text.substr(c.pos, word.size()) != word) return false;
+  c.pos += word.size();
+  return true;
+}
+
+inline bool parse_object(Cursor& c, int depth) {
+  if (!c.eat('{')) return false;
+  c.skip_ws();
+  if (c.eat('}')) return true;
+  while (true) {
+    c.skip_ws();
+    if (!parse_string(c)) return false;
+    c.skip_ws();
+    if (!c.eat(':')) return false;
+    if (!parse_value(c, depth + 1)) return false;
+    c.skip_ws();
+    if (c.eat('}')) return true;
+    if (!c.eat(',')) return false;
+  }
+}
+
+inline bool parse_array(Cursor& c, int depth) {
+  if (!c.eat('[')) return false;
+  c.skip_ws();
+  if (c.eat(']')) return true;
+  while (true) {
+    if (!parse_value(c, depth + 1)) return false;
+    c.skip_ws();
+    if (c.eat(']')) return true;
+    if (!c.eat(',')) return false;
+  }
+}
+
+inline bool parse_value(Cursor& c, int depth) {
+  if (depth > 64) return false;
+  c.skip_ws();
+  if (c.done()) return false;
+  switch (c.peek()) {
+    case '{':
+      return parse_object(c, depth);
+    case '[':
+      return parse_array(c, depth);
+    case '"':
+      return parse_string(c);
+    case 't':
+      return parse_literal(c, "true");
+    case 'f':
+      return parse_literal(c, "false");
+    case 'n':
+      return parse_literal(c, "null");
+    default:
+      return parse_number(c);
+  }
+}
+
+}  // namespace detail
+
+/// True when `text` is exactly one valid JSON value (leading/trailing
+/// whitespace allowed).
+inline bool json_valid(std::string_view text) {
+  detail::Cursor cursor{text};
+  if (!detail::parse_value(cursor, 0)) return false;
+  cursor.skip_ws();
+  return cursor.done();
+}
+
+}  // namespace keygraphs::testjson

@@ -1,0 +1,128 @@
+// ConvergenceMonitor: publish-to-applied latency scoring, per-client lag
+// gauges, and the SLO violation counter — all on injected timestamps.
+#include <gtest/gtest.h>
+
+#include "telemetry/convergence.h"
+#include "telemetry/metrics.h"
+
+namespace keygraphs::telemetry {
+namespace {
+
+Histogram& convergence_histogram() {
+  return Registry::global().histogram("fleet.convergence_ns");
+}
+
+Counter& violations_counter() {
+  return Registry::global().counter("fleet.slo_violations");
+}
+
+class ConvergenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::global().reset(); }
+
+  ConvergenceMonitor monitor_;
+};
+
+TEST_F(ConvergenceTest, AppliesScoreAgainstTheirPublish) {
+  monitor_.note_publish(1, 1'000, 4);
+  monitor_.note_apply(7, 1, 3'000);
+  EXPECT_EQ(convergence_histogram().count(), 1u);
+  EXPECT_EQ(convergence_histogram().sum(), 2'000u);
+}
+
+TEST_F(ConvergenceTest, EpochJumpScoresEveryCoveredPublish) {
+  monitor_.note_publish(1, 1'000, 4);
+  monitor_.note_publish(2, 2'000, 4);
+  monitor_.note_publish(3, 3'000, 4);
+  // A resync jumps the client from 0 straight to 3: all three publishes
+  // complete for it now.
+  monitor_.note_apply(9, 3, 10'000);
+  EXPECT_EQ(convergence_histogram().count(), 3u);
+  EXPECT_EQ(convergence_histogram().sum(), 9'000u + 8'000u + 7'000u);
+}
+
+TEST_F(ConvergenceTest, RepeatAppliesScoreNothingNew) {
+  monitor_.note_publish(1, 1'000, 2);
+  monitor_.note_apply(7, 1, 2'000);
+  monitor_.note_apply(7, 1, 9'000);  // duplicate report
+  EXPECT_EQ(convergence_histogram().count(), 1u);
+}
+
+TEST_F(ConvergenceTest, SloViolationsCountSamplesAboveTheTarget) {
+  monitor_.set_slo_us(1);  // 1000 ns
+  monitor_.note_publish(1, 0, 2);
+  monitor_.note_publish(2, 0, 2);
+  monitor_.note_apply(1, 1, 500);    // within SLO
+  monitor_.note_apply(1, 2, 5'000);  // violation
+  EXPECT_EQ(violations_counter().value(), 1u);
+  EXPECT_EQ(monitor_.slo_us(), 1u);
+}
+
+TEST_F(ConvergenceTest, ZeroSloDisablesTheCheck) {
+  monitor_.note_publish(1, 0, 2);
+  monitor_.note_apply(1, 1, 1'000'000'000);
+  EXPECT_EQ(violations_counter().value(), 0u);
+}
+
+TEST_F(ConvergenceTest, LagGaugeTracksPublishedMinusApplied) {
+  for (std::uint64_t epoch = 1; epoch <= 5; ++epoch) {
+    monitor_.note_publish(epoch, epoch * 100, 3);
+  }
+  monitor_.note_apply(42, 2, 1'000);
+  EXPECT_EQ(Registry::global().gauge("fleet.epoch_lag.u42").value(), 3);
+  EXPECT_EQ(monitor_.max_lag(), 3u);
+  EXPECT_EQ(monitor_.published_epoch(), 5u);
+  EXPECT_EQ(Registry::global().gauge("fleet.published_epoch").value(), 5);
+
+  monitor_.forget_user(42);
+  EXPECT_EQ(Registry::global().gauge("fleet.epoch_lag.u42").value(), 0);
+  EXPECT_EQ(monitor_.max_lag(), 0u);
+}
+
+TEST_F(ConvergenceTest, DuplicateOrStalePublishesAreIgnored) {
+  monitor_.note_publish(3, 1'000, 2);
+  monitor_.note_publish(3, 9'000, 2);  // retransmit of the same epoch
+  monitor_.note_publish(2, 9'000, 2);  // stale replay
+  monitor_.note_apply(1, 3, 2'000);
+  EXPECT_EQ(convergence_histogram().count(), 1u);
+  EXPECT_EQ(convergence_histogram().sum(), 1'000u);
+}
+
+TEST_F(ConvergenceTest, ClockSkewClampsToZeroInsteadOfUnderflowing) {
+  monitor_.note_publish(1, 5'000, 2);
+  monitor_.note_apply(1, 1, 4'000);  // applier's clock reads earlier
+  EXPECT_EQ(convergence_histogram().count(), 1u);
+  EXPECT_EQ(convergence_histogram().sum(), 0u);
+}
+
+TEST_F(ConvergenceTest, PublishRingIsBounded) {
+  ConvergenceMonitor small(/*publish_capacity=*/4);
+  for (std::uint64_t epoch = 1; epoch <= 10; ++epoch) {
+    small.note_publish(epoch, epoch, 1);
+  }
+  // Only the retained publishes (7..10) can score.
+  small.note_apply(1, 10, 100);
+  EXPECT_EQ(convergence_histogram().count(), 4u);
+}
+
+TEST_F(ConvergenceTest, ResetForgetsStateButKeepsTheSlo) {
+  monitor_.set_slo_us(123);
+  monitor_.note_publish(1, 0, 2);
+  monitor_.note_apply(5, 1, 10);
+  monitor_.reset();
+  EXPECT_EQ(monitor_.published_epoch(), 0u);
+  EXPECT_EQ(monitor_.max_lag(), 0u);
+  EXPECT_EQ(monitor_.slo_us(), 123u);
+  EXPECT_EQ(Registry::global().gauge("fleet.epoch_lag.u5").value(), 0);
+  // A fresh publish/apply pair scores from scratch.
+  monitor_.note_publish(1, 100, 2);
+  monitor_.note_apply(5, 1, 300);
+  EXPECT_EQ(Registry::global().gauge("fleet.published_epoch").value(), 1);
+}
+
+TEST_F(ConvergenceTest, GlobalMonitorIsASingleton) {
+  EXPECT_EQ(&ConvergenceMonitor::global(), &ConvergenceMonitor::global());
+}
+
+}  // namespace
+}  // namespace keygraphs::telemetry

@@ -1,0 +1,111 @@
+// Embedded telemetry HTTP endpoint: routing, live scrapes against an
+// ephemeral-port server, and scraping while metrics churn on other threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http_client.h"
+#include "json_check.h"
+#include "telemetry/http.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace keygraphs::telemetry {
+namespace {
+
+using testhttp::http_get;
+using testhttp::http_body;
+
+std::string body_of(const std::string& response) {
+  return http_body(response);
+}
+
+TEST(HttpRouting, HealthzAnswersOk) {
+  const std::string response = TelemetryHttpServer::respond("/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(response), "ok\n");
+}
+
+TEST(HttpRouting, MetricsRendersPrometheusText) {
+  Registry::global().reset();
+  Registry::global().counter("http.test_counter", "A routed counter").add(3);
+  const std::string response = TelemetryHttpServer::respond("/metrics");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_NE(body.find("# TYPE kg_http_test_counter counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("# HELP kg_http_test_counter A routed counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("kg_http_test_counter 3"), std::string::npos);
+}
+
+TEST(HttpRouting, TraceRendersValidChromeJson) {
+  Registry::global().reset();
+  { ScopedSpan span("http.routed_span"); }
+  const std::string response = TelemetryHttpServer::respond("/trace");
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_TRUE(testjson::json_valid(body)) << body.substr(0, 200);
+  EXPECT_NE(body.find("http.routed_span"), std::string::npos);
+}
+
+TEST(HttpRouting, UnknownPathIs404) {
+  const std::string response = TelemetryHttpServer::respond("/nope");
+  EXPECT_NE(response.find("404 Not Found"), std::string::npos);
+}
+
+TEST(HttpServer, BindsAnEphemeralPortAndServes) {
+  Registry::global().reset();
+  Registry::global().gauge("http.live_gauge").set(11);
+  TelemetryHttpServer server(0);
+  ASSERT_NE(server.port(), 0);
+
+  const std::string health = http_get(server.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(health), "ok\n");
+
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("kg_http_live_gauge 11"), std::string::npos);
+
+  EXPECT_NE(http_get(server.port(), "/missing").find("404"),
+            std::string::npos);
+  server.stop();
+  server.stop();  // idempotent
+}
+
+TEST(HttpServer, ScrapesWhileMetricsChurn) {
+  Registry::global().reset();
+  TelemetryHttpServer server(0);
+  std::atomic<bool> done{false};
+  std::thread churner([&done] {
+    auto& counter = Registry::global().counter("http.churn");
+    while (!done.load(std::memory_order_relaxed)) {
+      counter.add(1);
+      { ScopedSpan span("http.churn_span"); }
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    const std::string metrics = http_get(server.port(), "/metrics");
+    EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+    const std::string trace = body_of(http_get(server.port(), "/trace"));
+    EXPECT_TRUE(testjson::json_valid(trace));
+  }
+  done.store(true, std::memory_order_relaxed);
+  churner.join();
+  server.stop();
+}
+
+TEST(HttpServer, SequentialScrapesAreIndependentConnections) {
+  TelemetryHttpServer server(0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(http_get(server.port(), "/healthz").find("200 OK"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs::telemetry

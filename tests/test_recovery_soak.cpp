@@ -12,12 +12,17 @@
 // identical fault trace and final state.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 
 #include "client/client.h"
 #include "common/io.h"
+#include "http_client.h"
 #include "server/server.h"
+#include "telemetry/convergence.h"
+#include "telemetry/http.h"
+#include "telemetry/metrics.h"
 #include "transport/fault.h"
 #include "transport/inproc.h"
 
@@ -36,8 +41,14 @@ struct SoakResult {
   std::vector<std::uint64_t> final_epochs;
 };
 
+/// Generous convergence SLO for the soaks: one hour of virtual time, far
+/// above anything the 200 ms pump steps can accumulate, so a single
+/// violation means the accounting (not the fleet) is broken.
+constexpr std::uint64_t kGenerousSloUs = 3'600'000'000;
+
 SoakResult run_soak(double drop, std::uint64_t seed, std::size_t group_size,
-                    std::size_t churn_ops, bool record_trace) {
+                    std::size_t churn_ops, bool record_trace,
+                    const std::function<void()>& mid_soak = {}) {
   std::uint64_t now = 1'000'000;
 
   server::ServerConfig config;
@@ -108,6 +119,14 @@ SoakResult run_soak(double drop, std::uint64_t seed, std::size_t group_size,
     attach(user, /*snapshot=*/true);
   }
 
+  // Measure fleet convergence over the churn phase only: drop the
+  // build-phase publishes (the snapshot attach never reports an apply, so
+  // they would all score on a member's first real apply and swamp the
+  // quantiles with construction noise).
+  telemetry::Registry::global().reset();
+  telemetry::ConvergenceMonitor::global().reset();
+  telemetry::ConvergenceMonitor::global().set_slo_us(kGenerousSloUs);
+
   // Routes one client-emitted recovery request to the server — the only
   // way any retransmit or resync ever happens in this harness.
   const auto route = [&](const Bytes& request) {
@@ -166,6 +185,7 @@ SoakResult run_soak(double drop, std::uint64_t seed, std::size_t group_size,
       server.join(joiner);
     }
     pump(2);  // opportunistic recovery between operations
+    if (mid_soak && op == churn_ops / 2) mid_soak();
   }
 
   // Quiescent tail: the network heals (faults off, holds released) and the
@@ -203,12 +223,36 @@ TEST(RecoverySoak, ChurnUnderFivePercentLossConverges) {
 }
 
 TEST(RecoverySoak, ChurnUnderTwentyPercentLossConverges) {
+  // The scrape endpoint serves from its own thread throughout the soak; a
+  // mid-churn GET must come back well-formed without stalling the run.
+  telemetry::TelemetryHttpServer http(0);
+  std::string scraped;
   const SoakResult result =
-      run_soak(0.20, 23, /*group_size=*/1024, /*churn_ops=*/40, false);
+      run_soak(0.20, 23, /*group_size=*/1024, /*churn_ops=*/40, false,
+               [&] { scraped = testhttp::http_get(http.port(), "/metrics"); });
   EXPECT_TRUE(result.converged);
   EXPECT_GT(result.completions, 0u);
   EXPECT_GT(result.nacks, 0u);
   EXPECT_LT(result.pump_rounds, 200u);
+
+  // Fleet convergence accounting over the whole churn: every repaired loss
+  // scored a positive publish-to-applied latency (the pump advances the
+  // injected clock 200 ms per round), immediate applies scored zero, and
+  // nothing came near the one-hour SLO.
+  const auto& convergence =
+      telemetry::Registry::global().histogram("fleet.convergence_ns");
+  EXPECT_GT(convergence.count(), 1000u);  // 1024 members, 40 churn ops
+  EXPECT_GT(convergence.p99(), 0u);       // losses are >1% of samples
+  EXPECT_GE(convergence.p99(), convergence.p50());
+  EXPECT_LT(convergence.p99(), kGenerousSloUs * 1000);  // finite and sane
+  EXPECT_EQ(
+      telemetry::Registry::global().counter("fleet.slo_violations").value(),
+      0u);
+
+  ASSERT_FALSE(scraped.empty());  // the mid-soak scrape connected
+  EXPECT_NE(scraped.find("200 OK"), std::string::npos);
+  EXPECT_NE(scraped.find("kg_fleet_convergence_ns"), std::string::npos);
+  EXPECT_NE(scraped.find("kg_fleet_published_epoch"), std::string::npos);
 }
 
 TEST(RecoverySoak, SameSeedReproducesIdenticalTraceAndState) {

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "json_check.h"
 #include "keygraph/key_tree.h"
 #include "sim/experiment.h"
 
@@ -315,6 +316,135 @@ TEST(Exporters, RenderKnownMetrics) {
   const std::string dump = render_dump(registry);
   EXPECT_NE(dump.find("demo.events"), std::string::npos);
   EXPECT_NE(dump.find("demo.latency_ns"), std::string::npos);
+}
+
+TEST(Registry, GlobalResetClearsTheSpanRing) {
+  EnabledGuard guard;
+  set_enabled(true);
+  { ScopedSpan span("pre.reset"); }
+  ASSERT_FALSE(Tracer::global().snapshot().empty());
+  Registry::global().reset();
+  // A snapshot taken after the reset must not mix in earlier spans (a
+  // bench resetting between phases relies on this).
+  EXPECT_TRUE(Tracer::global().snapshot().empty());
+  EXPECT_EQ(Tracer::global().recorded(), 0u);
+}
+
+TEST(Registry, LocalResetLeavesTheGlobalRingAlone) {
+  EnabledGuard guard;
+  set_enabled(true);
+  Tracer::global().clear();
+  { ScopedSpan span("survives"); }
+  Registry local;
+  local.counter("x").add(1);
+  local.reset();
+  EXPECT_EQ(Tracer::global().snapshot().size(), 1u);
+  Tracer::global().clear();
+}
+
+TEST(Exporters, EveryJsonlLineParsesAsJson) {
+  Registry registry;
+  registry.counter("round.trips").add(12);
+  registry.gauge("round.depth").set(-4);
+  auto& histogram = registry.histogram("round.latency_ns");
+  for (std::uint64_t v = 1; v <= 2000; v += 7) histogram.record(v);
+
+  const std::string jsonl = render_jsonl(registry);
+  std::size_t start = 0;
+  std::size_t lines = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string_view line(jsonl.data() + start, end - start);
+    if (!line.empty()) {
+      ++lines;
+      EXPECT_TRUE(testjson::json_valid(line)) << line;
+    }
+    start = end + 1;
+  }
+  EXPECT_EQ(lines, 3u);  // one object per metric
+}
+
+TEST(Exporters, TraceJsonlLinesParseAsJson) {
+  Tracer tracer(16);
+  SpanRecord span;
+  span.name = "jsonl.span";
+  span.start_ns = 10;
+  span.duration_ns = 5;
+  span.trace_id = 77;
+  span.process = 3;
+  tracer.record(span);
+  const std::string rendered = render_trace_jsonl(tracer);
+  ASSERT_FALSE(rendered.empty());
+  const std::string line = rendered.substr(0, rendered.find('\n'));
+  EXPECT_TRUE(testjson::json_valid(line)) << line;
+  EXPECT_NE(line.find("\"trace\":77"), std::string::npos);
+  EXPECT_NE(line.find("\"process\":3"), std::string::npos);
+}
+
+TEST(Exporters, ChromeTraceOfEmptyTracerIsValidJson) {
+  Tracer tracer(16);
+  const std::string trace = render_chrome_trace(tracer);
+  EXPECT_TRUE(testjson::json_valid(trace)) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(Histogram, QuantilesAreMonotoneAndWithinDocumentedError) {
+  Histogram spread;
+  for (std::uint64_t v = 1; v <= 1000; ++v) spread.record(v);
+  EXPECT_LE(spread.p50(), spread.p90());
+  EXPECT_LE(spread.p90(), spread.p99());
+  EXPECT_LE(spread.p99(), spread.quantile(1.0));
+
+  // A single recorded value: every quantile reports its bucket's upper
+  // bound — at least the value, and within one sub-bucket (6.25%) of it.
+  Histogram single;
+  const std::uint64_t value = 123456;
+  single.record(value);
+  for (const double q : {0.5, 0.9, 0.99, 1.0}) {
+    const std::uint64_t estimate = single.quantile(q);
+    EXPECT_GE(estimate, value) << q;
+    EXPECT_LE(estimate, value + value / Histogram::kSubBuckets) << q;
+  }
+}
+
+TEST(Exporters, PrometheusEmitsHelpAndTypeHeaders) {
+  Registry registry;
+  registry.counter("helped.events", "Number of helped events").add(2);
+  registry.gauge("helped.depth");  // no help: only # TYPE expected
+  registry.histogram("helped.latency_ns", "End-to-end latency").record(9);
+
+  const std::string prom = render_prometheus(registry);
+  const std::size_t help_at =
+      prom.find("# HELP kg_helped_events Number of helped events\n");
+  const std::size_t type_at = prom.find("# TYPE kg_helped_events counter\n");
+  ASSERT_NE(help_at, std::string::npos);
+  ASSERT_NE(type_at, std::string::npos);
+  EXPECT_LT(help_at, type_at);  // HELP precedes TYPE, Prometheus style
+  EXPECT_EQ(prom.find("# HELP kg_helped_depth"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE kg_helped_depth gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# HELP kg_helped_latency_ns End-to-end latency"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE kg_helped_latency_ns histogram"),
+            std::string::npos);
+}
+
+TEST(Exporters, PrometheusHelpEscapesBackslashAndNewline) {
+  Registry registry;
+  registry.counter("escaped.metric", "line one\nline two \\ done").add(1);
+  const std::string prom = render_prometheus(registry);
+  EXPECT_NE(
+      prom.find("# HELP kg_escaped_metric line one\\nline two \\\\ done\n"),
+      std::string::npos);
+}
+
+TEST(Registry, HelpTextFirstWriterWins) {
+  Registry registry;
+  registry.counter("owned.metric", "original description");
+  registry.counter("owned.metric", "later description");
+  registry.set_help("owned.metric", "even later");
+  EXPECT_EQ(registry.help("owned.metric"), "original description");
+  EXPECT_EQ(registry.help("never.registered"), "");
 }
 
 TEST(Telemetry, StageSumTracksMeasuredProcessingTime) {

@@ -31,10 +31,14 @@
 #include <csignal>
 #include <cstdio>
 
+#include <optional>
+
 #include "common/error.h"
 #include "common/io.h"
 #include "server/spec.h"
+#include "telemetry/convergence.h"
 #include "telemetry/export.h"
+#include "telemetry/http.h"
 #include "telemetry/metrics.h"
 #include "transport/udp.h"
 
@@ -92,6 +96,23 @@ int main(int argc, char** argv) {
 
   const bool telemetry_on = spec.telemetry != server::TelemetryFormat::kOff;
   telemetry::set_enabled(telemetry_on);
+  telemetry::ConvergenceMonitor::global().set_slo_us(spec.convergence_slo_us);
+
+  // The production scrape path: /metrics, /healthz and /trace on loopback,
+  // served from a dedicated thread so a scrape never blocks the receive
+  // loop below. SIGUSR1 stderr dumps stay available as the fallback.
+  std::optional<telemetry::TelemetryHttpServer> http;
+  if (spec.telemetry_http_port.has_value()) {
+    try {
+      http.emplace(*spec.telemetry_http_port);
+    } catch (const Error& error) {
+      std::fprintf(stderr, "keyserverd: %s\n", error.what());
+      return 2;
+    }
+    std::printf("keyserverd: telemetry http on 127.0.0.1:%u "
+                "(/metrics /healthz /trace)\n",
+                static_cast<unsigned>(http->port()));
+  }
 
   transport::UdpSocket socket =
       spec.port != 0 ? transport::UdpSocket(spec.port)
@@ -108,11 +129,12 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_signal);
   std::signal(SIGUSR1, handle_dump_signal);
   std::printf("keyserverd: %s rekeying, %s, listening on %s "
-              "(initial size %zu, seal threads %zu)\n",
+              "(initial size %zu, seal threads %zu, trace propagation %s)\n",
               rekey::strategy_name(spec.config.strategy).c_str(),
               spec.config.suite.label().c_str(),
               socket.local_address().to_string().c_str(),
-              spec.initial_size, spec.config.seal_threads);
+              spec.initial_size, spec.config.seal_threads,
+              spec.config.trace_propagation ? "on" : "off");
 
   using Clock = std::chrono::steady_clock;
   const auto period = std::chrono::seconds(spec.telemetry_period_s);
