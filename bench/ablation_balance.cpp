@@ -66,6 +66,7 @@ void run_mix(double join_fraction, const char* label) {
 }  // namespace keygraphs
 
 int main() {
+  keygraphs::bench::emit_header_json("ablation_balance");
   std::printf("Ablation: height drift of the balance heuristic under "
               "churn\n");
   keygraphs::run_mix(0.5, "1:1 (paper)");

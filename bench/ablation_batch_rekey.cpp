@@ -68,6 +68,7 @@ Point run(std::size_t n, std::size_t batch_size, std::size_t total_changes) {
 }
 
 void main_impl() {
+  bench::emit_header_json("ablation_batch_rekey");
   const std::size_t n = bench::env_size("KG_GROUP_SIZE", 4096);
   const std::size_t changes = std::max<std::size_t>(bench::requests(), 512);
   std::printf("Ablation: batch rekeying, n=%zu, %zu membership changes, "

@@ -53,6 +53,7 @@ void run() {
 }  // namespace keygraphs
 
 int main() {
+  keygraphs::bench::emit_header_json("ablation_cipher");
   keygraphs::run();
   return 0;
 }

@@ -172,6 +172,7 @@ void schedule_cache_section() {
 }  // namespace keygraphs
 
 int main() {
+  keygraphs::bench::emit_header_json("ablation_crypto_kernels");
   keygraphs::kernel_section();
   keygraphs::schedule_cache_section();
   return 0;

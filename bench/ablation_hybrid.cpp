@@ -49,6 +49,7 @@ void run() {
 }  // namespace keygraphs
 
 int main() {
+  keygraphs::bench::emit_header_json("ablation_hybrid");
   keygraphs::run();
   return 0;
 }

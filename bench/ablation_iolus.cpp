@@ -126,6 +126,7 @@ void run() {
 }  // namespace keygraphs
 
 int main() {
+  keygraphs::bench::emit_header_json("ablation_iolus");
   keygraphs::run();
   return 0;
 }

@@ -234,6 +234,7 @@ Point run(double drop, std::size_t window, std::size_t group_size,
 }
 
 void main_impl() {
+  bench::emit_header_json("ablation_loss_recovery");
   const std::size_t n = bench::env_size("KG_GROUP_SIZE", 256);
   const std::size_t churn = bench::env_size("KG_REQUESTS", 40);
 

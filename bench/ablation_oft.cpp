@@ -113,6 +113,7 @@ void run() {
 }  // namespace keygraphs
 
 int main() {
+  keygraphs::bench::emit_header_json("ablation_oft");
   keygraphs::run();
   return 0;
 }

@@ -97,6 +97,7 @@ Point run(std::size_t n, std::size_t seal_threads,
 }
 
 void main_impl() {
+  bench::emit_header_json("ablation_pipeline", {{"max_seal_threads", 8}});
   const std::size_t n = bench::env_size("KG_GROUP_SIZE", 4096);
   const std::size_t changes = bench::env_size("KG_REQUESTS", 1000);
   const std::size_t batch_size = bench::env_size("KG_BATCH", 128);

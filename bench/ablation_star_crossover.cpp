@@ -49,6 +49,7 @@ void run() {
 }  // namespace keygraphs
 
 int main() {
+  keygraphs::bench::emit_header_json("ablation_star_crossover");
   keygraphs::run();
   return 0;
 }

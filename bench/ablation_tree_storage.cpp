@@ -239,8 +239,7 @@ int main() {
   const std::size_t traversals = bench::env_size("KG_TRAVERSALS", 200);
   const double window_ms =
       static_cast<double>(bench::env_size("KG_READ_MS", 300));
-  std::printf("hardware_concurrency=%u\n",
-              std::thread::hardware_concurrency());
+  bench::emit_header_json("ablation_tree_storage");
   for (std::size_t n = 1024; n <= max_n; n *= 4) {
     traversal_point(n, traversals);
   }

@@ -13,7 +13,9 @@
 #include <array>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "sim/experiment.h"
@@ -105,6 +107,27 @@ inline void emit_json_line(std::string json) {
     }
   }
   std::fwrite(json.data(), 1, json.size(), stdout);
+}
+
+/// Emits the uniform one-per-binary JSON header: the bench name, the
+/// host's hardware_concurrency, and any bench-specific thread/shard
+/// configuration as extra integer fields. Every ablation bench emits
+/// exactly one header line before its data points so downstream tooling
+/// can normalise results by host shape without parsing free-form text.
+inline void emit_header_json(
+    const char* bench,
+    std::initializer_list<std::pair<const char*, std::size_t>> config = {}) {
+  std::string json = "{\"bench\":\"";
+  json += bench;
+  json += "\",\"header\":true,\"hardware_concurrency\":";
+  json += std::to_string(std::thread::hardware_concurrency());
+  for (const auto& [key, value] : config) {
+    json += ",\"";
+    json += key;
+    json += "\":" + std::to_string(value);
+  }
+  json += "}";
+  emit_json_line(std::move(json));
 }
 
 /// Appends one JSON line describing a benchmark data point — the averaged

@@ -65,6 +65,11 @@ struct ClientConfig {
   std::uint64_t rng_seed = 0;
   /// Loss-recovery escalation policy (see RecoveryPolicy).
   RecoveryPolicy recovery;
+  /// Capacity of the unwrap ScheduleCache. A client holds O(log n) keys,
+  /// so the default covers them all; deployments that fan one process over
+  /// many GroupClients can shrink it. Spec key
+  /// `client_schedule_cache_capacity` carries the deployment-wide value.
+  std::size_t schedule_cache_capacity = 64;
 };
 
 /// Result of processing one rekey message.
@@ -195,9 +200,6 @@ class GroupClient {
   void forget_keys();
 
  private:
-  /// A client holds O(log n) keys, so a small cache covers them all.
-  static constexpr std::size_t kScheduleCacheCapacity = 64;
-
   /// All blobs wrapped under this user's individual key: the shape of a
   /// welcome/resync keyset replay, which may jump the epoch forward
   /// non-contiguously (the server vouches for the whole keyset).
@@ -224,7 +226,7 @@ class GroupClient {
   std::unordered_map<KeyId, SymmetricKey> keys_;
   /// Schedules of held keys, reused across the unwrap fixpoint and across
   /// messages (a path key unwraps many rekeys before it is itself rekeyed).
-  rekey::ScheduleCache schedules_{kScheduleCacheCapacity,
+  rekey::ScheduleCache schedules_{config_.schedule_cache_capacity,
                                   "client.schedule_cache"};
   Bytes unwrap_scratch_;  // decrypt_into target; wiped after each message
   std::uint64_t last_epoch_ = 0;

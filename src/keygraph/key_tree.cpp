@@ -10,10 +10,14 @@
 
 namespace keygraphs {
 
-KeyTree::KeyTree(int degree, std::size_t key_size, crypto::SecureRandom& rng)
-    : degree_(degree), key_size_(key_size), rng_(rng) {
+KeyTree::KeyTree(int degree, std::size_t key_size, crypto::SecureRandom& rng,
+                 KeyId first_id)
+    : degree_(degree), key_size_(key_size), rng_(rng), next_id_(first_id) {
   if (degree < 2) throw ProtocolError("KeyTree: degree must be >= 2");
   if (key_size == 0) throw ProtocolError("KeyTree: key size must be > 0");
+  if (first_id == 0 || (first_id & (KeyId{1} << 63)) != 0) {
+    throw ProtocolError("KeyTree: first_id collides with reserved id space");
+  }
   root_index_ = make_node();
   refresh_key(at(root_index_));
   root_ = at(root_index_).id;

@@ -105,7 +105,14 @@ class KeyTree {
   /// `degree` is the paper's d (maximum children per k-node), >= 2.
   /// `key_size` is the symmetric key size in bytes (8 for DES, 16 for AES).
   /// The rng is borrowed for the tree's lifetime and supplies key material.
-  KeyTree(int degree, std::size_t key_size, crypto::SecureRandom& rng);
+  /// `first_id` seeds the internal k-node id counter (default 1). A sharded
+  /// deployment gives each shard tree a disjoint id range (stride 2^32) so
+  /// k-node ids never collide across shards — multicast subscriptions and
+  /// rekey blobs are keyed by KeyId, and two shards minting the same id
+  /// would cross-deliver. 2^32 ids per shard outlasts any realistic
+  /// mutation count (ids are never reused within a tree's lifetime).
+  KeyTree(int degree, std::size_t key_size, crypto::SecureRandom& rng,
+          KeyId first_id = 1);
 
   KeyTree(const KeyTree&) = delete;
   KeyTree& operator=(const KeyTree&) = delete;

@@ -46,7 +46,8 @@ std::optional<std::vector<BytesView>> RetransmitWindow::collect(
     // a partial replay the client would mistake for complete.
     if (entry.epoch != epoch || entry.view == nullptr) return std::nullopt;
     for (const StoredDatagram& stored : entry.datagrams) {
-      if (addressed_to(stored, *entry.view, user)) {
+      if (addressed_to(stored, stored.view ? *stored.view : *entry.view,
+                       user)) {
         out.push_back(BytesView{stored.datagram});
       }
     }

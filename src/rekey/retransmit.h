@@ -37,9 +37,15 @@
 namespace keygraphs::rekey {
 
 /// One datagram as it left the server: destination plus framed wire bytes.
+/// `view` optionally pins the membership snapshot this datagram's subgroup
+/// recipient resolves against — the sharded server records one epoch whose
+/// datagrams address different shards, so a single per-epoch view cannot
+/// answer "was u a recipient?" for all of them. Null falls back to the
+/// entry-level view recorded with the epoch (the single-tree server path).
 struct StoredDatagram {
   Recipient to;
   Bytes datagram;
+  TreeViewPtr view;
 };
 
 class RetransmitWindow {

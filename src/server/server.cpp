@@ -31,7 +31,8 @@ GroupKeyServer::GroupKeyServer(ServerConfig config,
       auth_(config_.auth_master),
       rng_(config_.rng_seed == 0 ? crypto::SecureRandom()
                                  : crypto::SecureRandom(config_.rng_seed)),
-      executor_(config_.suite.cipher, config_.seal_threads),
+      executor_(config_.suite.cipher, config_.seal_threads,
+                config_.schedule_cache_capacity),
       retransmit_(config_.retransmit_window),
       limiter_(config_.recovery_rate, config_.recovery_burst) {
   tree_ = std::make_unique<KeyTree>(config_.tree_degree,

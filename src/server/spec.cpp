@@ -210,6 +210,20 @@ ServerSpec parse_server_spec(std::string_view text) {
       }
     } else if (key == "convergence_slo_us") {
       spec.convergence_slo_us = parse_number(value, line_number);
+    } else if (key == "schedule_cache_capacity") {
+      const std::uint64_t capacity = parse_number(value, line_number);
+      if (capacity < 1 || capacity > (1u << 20)) {
+        fail(line_number, "bad schedule_cache_capacity");
+      }
+      spec.config.schedule_cache_capacity =
+          static_cast<std::size_t>(capacity);
+    } else if (key == "client_schedule_cache_capacity") {
+      const std::uint64_t capacity = parse_number(value, line_number);
+      if (capacity < 1 || capacity > (1u << 20)) {
+        fail(line_number, "bad client_schedule_cache_capacity");
+      }
+      spec.client_schedule_cache_capacity =
+          static_cast<std::size_t>(capacity);
     } else {
       fail(line_number, "unknown key '" + std::string(key) + "'");
     }

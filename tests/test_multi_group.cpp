@@ -78,6 +78,57 @@ TEST(MultiGroup, ErrorsOnUnknownGroupOrUser) {
   EXPECT_TRUE(service.groups_of(42).empty());
 }
 
+TEST(MultiGroup, EmptyGroupRekeysFromScratch) {
+  MultiGroupGraph service(4, 8, rng());
+  const GroupId a = service.create_group();
+  // Leaving an empty group is a protocol error, not a silent no-op.
+  EXPECT_THROW(service.leave(a, 1), ProtocolError);
+  EXPECT_EQ(service.tree(a).user_count(), 0u);
+
+  // Drain the group to empty, then rekey it back up: the first join after
+  // the drain is a fresh welcome (the joiner's keyset IS the new tree).
+  service.join(a, 1);
+  service.leave(a, 1);
+  EXPECT_EQ(service.tree(a).user_count(), 0u);
+  service.join(a, 2);
+  EXPECT_EQ(service.tree(a).user_count(), 1u);
+  EXPECT_TRUE(service.tree(a).has_user(2));
+  // The single member's leaf chain reaches the (new) group key.
+  EXPECT_EQ(service.tree(a).keyset(2).back().id,
+            service.tree(a).group_key().id);
+}
+
+TEST(MultiGroup, UserInZeroGroups) {
+  MultiGroupGraph service(4, 8, rng());
+  const GroupId a = service.create_group();
+  service.join(a, 7);
+  service.leave(a, 7);
+  // Out of every group: no memberships, absent from the merged graph...
+  EXPECT_TRUE(service.groups_of(7).empty());
+  EXPECT_FALSE(service.merged_graph().has_user(7));
+  // ...but the service-wide individual key survives (it came from the
+  // authentication service, not from any one group), so a later re-join
+  // reuses it.
+  const Bytes individual = service.individual_secret(7);
+  service.join(a, 7);
+  EXPECT_EQ(service.individual_secret(7), individual);
+}
+
+TEST(MultiGroup, DuplicateJoinRejected) {
+  MultiGroupGraph service(4, 8, rng());
+  const GroupId a = service.create_group();
+  const GroupId b = service.create_group();
+  service.join(a, 3);
+  const SymmetricKey before = service.tree(a).group_key();
+  EXPECT_THROW(service.join(a, 3), ProtocolError);
+  // The rejected join must not have rekeyed or grown the tree.
+  EXPECT_EQ(service.tree(a).user_count(), 1u);
+  EXPECT_EQ(service.tree(a).group_key().secret, before.secret);
+  // Joining a *different* group with the same user is fine.
+  EXPECT_NO_THROW(service.join(b, 3));
+  EXPECT_EQ(service.groups_of(3), (std::vector<GroupId>{a, b}));
+}
+
 TEST(MultiGroup, MergedGraphStructure) {
   MultiGroupGraph service(2, 8, rng());
   const GroupId a = service.create_group();

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "rekey/executor.h"
 
 namespace keygraphs::server {
 namespace {
@@ -134,6 +135,34 @@ TEST(Spec, RejectsBadTelemetryValues) {
                ProtocolError);
   EXPECT_THROW(parse_server_spec("telemetry_period = soon\n"),
                ProtocolError);
+}
+
+TEST(Spec, ParsesScheduleCacheCapacities) {
+  const ServerSpec spec = parse_server_spec(
+      "schedule_cache_capacity = 512\n"
+      "client_schedule_cache_capacity = 32\n");
+  EXPECT_EQ(spec.config.schedule_cache_capacity, 512u);
+  EXPECT_EQ(spec.client_schedule_cache_capacity, 32u);
+
+  // Defaults when the keys are absent.
+  const ServerSpec defaults = parse_server_spec("degree = 4\n");
+  EXPECT_EQ(defaults.config.schedule_cache_capacity,
+            rekey::RekeyExecutor::kDefaultCacheCapacity);
+  EXPECT_EQ(defaults.client_schedule_cache_capacity, 64u);
+}
+
+TEST(Spec, RejectsBadScheduleCacheCapacities) {
+  EXPECT_THROW(parse_server_spec("schedule_cache_capacity = 0\n"),
+               ProtocolError);
+  EXPECT_THROW(parse_server_spec("schedule_cache_capacity = 1048577\n"),
+               ProtocolError);
+  EXPECT_THROW(parse_server_spec("schedule_cache_capacity = many\n"),
+               ProtocolError);
+  EXPECT_THROW(parse_server_spec("client_schedule_cache_capacity = 0\n"),
+               ProtocolError);
+  EXPECT_THROW(
+      parse_server_spec("client_schedule_cache_capacity = 1048577\n"),
+      ProtocolError);
 }
 
 TEST(Spec, SigningRequiresSignatureAlgorithm) {
