@@ -1,6 +1,8 @@
 #include "crypto/random.h"
 
+#include <cstring>
 #include <random>
+#include <vector>
 
 #include "common/error.h"
 
@@ -29,6 +31,30 @@ Bytes u64_seed(std::uint64_t seed) {
   return out;
 }
 
+// Capture/tape registries are thread-local and keyed by instance: draws
+// from other threads never touch them, which is what makes a captured tape
+// exactly the plan-phase draws even while off-lock resyncs share the rng.
+struct CaptureEntry {
+  const SecureRandom* rng;
+  Bytes* buffer;
+};
+struct TapeEntry {
+  const SecureRandom* rng;
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos;
+};
+
+thread_local std::vector<CaptureEntry> t_captures;
+thread_local std::vector<TapeEntry> t_tapes;
+
+TapeEntry* tape_for(const SecureRandom* rng) {
+  for (TapeEntry& tape : t_tapes) {
+    if (tape.rng == rng) return &tape;
+  }
+  return nullptr;
+}
+
 }  // namespace
 
 SecureRandom::SecureRandom()
@@ -37,26 +63,44 @@ SecureRandom::SecureRandom()
 SecureRandom::SecureRandom(std::uint64_t seed)
     : drbg_(u64_seed(seed)), mutex_(std::make_unique<std::mutex>()) {}
 
+void SecureRandom::generate(std::uint8_t* out, std::size_t n) {
+  if (TapeEntry* tape = tape_for(this)) {
+    if (tape->size - tape->pos < n) {
+      throw Error("SecureRandom: replay tape exhausted");
+    }
+    std::memcpy(out, tape->data + tape->pos, n);
+    tape->pos += n;
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(*mutex_);
+    drbg_.fill(out, n);
+  }
+  for (CaptureEntry& capture : t_captures) {
+    if (capture.rng == this) {
+      capture.buffer->insert(capture.buffer->end(), out, out + n);
+    }
+  }
+}
+
 Bytes SecureRandom::bytes(std::size_t n) {
   Bytes out(n);
-  const std::lock_guard<std::mutex> lock(*mutex_);
-  drbg_.fill(out.data(), n);
+  generate(out.data(), n);
   return out;
 }
 
 void SecureRandom::fill(std::uint8_t* out, std::size_t n) {
-  const std::lock_guard<std::mutex> lock(*mutex_);
-  drbg_.fill(out, n);
+  generate(out, n);
 }
 
 std::uint64_t SecureRandom::uniform(std::uint64_t bound) {
   if (bound == 0) throw Error("SecureRandom::uniform: zero bound");
-  // Rejection sampling to avoid modulo bias.
+  // Rejection sampling to avoid modulo bias. Each iteration consumes
+  // exactly 8 bytes, so a capture replays the same number of rejections.
   const std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % bound;
-  const std::lock_guard<std::mutex> lock(*mutex_);
   for (;;) {
     std::uint8_t raw[8];
-    drbg_.fill(raw, 8);
+    generate(raw, 8);
     std::uint64_t v = 0;
     for (int i = 0; i < 8; ++i) {
       v |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
@@ -69,6 +113,59 @@ double SecureRandom::uniform_unit() {
   // 53 random bits into the double mantissa.
   const std::uint64_t v = uniform(std::uint64_t{1} << 53);
   return static_cast<double>(v) / static_cast<double>(std::uint64_t{1} << 53);
+}
+
+RngCapture::RngCapture(SecureRandom& rng) : rng_(&rng), active_(true) {
+  for (const CaptureEntry& capture : t_captures) {
+    if (capture.rng == rng_) {
+      throw Error("RngCapture: capture already active for this rng");
+    }
+  }
+  t_captures.push_back(CaptureEntry{rng_, &buffer_});
+}
+
+RngCapture::~RngCapture() {
+  if (!active_) return;
+  for (auto it = t_captures.begin(); it != t_captures.end(); ++it) {
+    if (it->rng == rng_) {
+      t_captures.erase(it);
+      break;
+    }
+  }
+}
+
+Bytes RngCapture::take() {
+  if (active_) {
+    for (auto it = t_captures.begin(); it != t_captures.end(); ++it) {
+      if (it->rng == rng_) {
+        t_captures.erase(it);
+        break;
+      }
+    }
+    active_ = false;
+  }
+  return std::move(buffer_);
+}
+
+RngTape::RngTape(SecureRandom& rng, BytesView tape) : rng_(&rng) {
+  if (tape_for(rng_) != nullptr) {
+    throw Error("RngTape: tape already active for this rng");
+  }
+  t_tapes.push_back(TapeEntry{rng_, tape.data(), tape.size(), 0});
+}
+
+RngTape::~RngTape() {
+  for (auto it = t_tapes.begin(); it != t_tapes.end(); ++it) {
+    if (it->rng == rng_) {
+      t_tapes.erase(it);
+      break;
+    }
+  }
+}
+
+std::size_t RngTape::remaining() const noexcept {
+  const TapeEntry* tape = tape_for(rng_);
+  return tape == nullptr ? 0 : tape->size - tape->pos;
 }
 
 }  // namespace keygraphs::crypto

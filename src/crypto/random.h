@@ -26,6 +26,13 @@ namespace keygraphs::crypto {
 /// lock; off-lock resync planning draws IVs from the same stream, which is
 /// safe but makes those IV values scheduling-dependent (they remain unique
 /// and unpredictable — all that IVs require).
+///
+/// Tape capture/replay (the durable-journal contract): RngCapture records
+/// every byte *the constructing thread* draws from one instance, and
+/// RngTape later serves that thread's draws verbatim from the recording.
+/// Both are thread-local, so a concurrent resync drawing IVs from the same
+/// instance on another thread neither pollutes a capture nor consumes a
+/// tape — the recorded tape is exactly the serialized plan-phase draws.
 class SecureRandom {
  public:
   /// Seeded from the operating system (std::random_device).
@@ -47,10 +54,57 @@ class SecureRandom {
   [[nodiscard]] double uniform_unit();
 
  private:
+  /// All draws funnel through here: serve from the calling thread's active
+  /// tape if one targets this instance, otherwise draw from the DRBG under
+  /// the mutex and mirror into the thread's active capture.
+  void generate(std::uint8_t* out, std::size_t n);
+
+  friend class RngCapture;
+  friend class RngTape;
+
   ChaCha20Drbg drbg_;
   /// Heap-held so the instance stays movable (a moved-from instance is
   /// unusable, as standard for RAII handles).
   std::unique_ptr<std::mutex> mutex_;
+};
+
+/// Records every byte the constructing thread draws from `rng` while this
+/// guard is alive. take() stops recording and returns the tape. One active
+/// capture per (thread, instance); nesting throws.
+class RngCapture {
+ public:
+  explicit RngCapture(SecureRandom& rng);
+  ~RngCapture();
+
+  RngCapture(const RngCapture&) = delete;
+  RngCapture& operator=(const RngCapture&) = delete;
+
+  /// Stops recording and returns everything captured so far.
+  [[nodiscard]] Bytes take();
+
+ private:
+  const SecureRandom* rng_;
+  Bytes buffer_;
+  bool active_;
+};
+
+/// Serves the constructing thread's draws from `rng` out of a fixed tape
+/// (journal replay). Draws past the end throw Error — a replayed operation
+/// that consumes more randomness than was recorded has diverged. The tape
+/// bytes must outlive the guard.
+class RngTape {
+ public:
+  RngTape(SecureRandom& rng, BytesView tape);
+  ~RngTape();
+
+  RngTape(const RngTape&) = delete;
+  RngTape& operator=(const RngTape&) = delete;
+
+  /// Bytes not yet consumed; a fully replayed op leaves 0.
+  [[nodiscard]] std::size_t remaining() const noexcept;
+
+ private:
+  const SecureRandom* rng_;
 };
 
 }  // namespace keygraphs::crypto

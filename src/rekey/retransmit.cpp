@@ -19,6 +19,12 @@ void RetransmitWindow::record(std::uint64_t epoch, TreeViewPtr view,
   newest_ = std::max(newest_, epoch);
 }
 
+void RetransmitWindow::clear() {
+  for (Entry& slot : ring_) slot = Entry{};
+  newest_ = 0;
+  count_ = 0;
+}
+
 std::uint64_t RetransmitWindow::oldest() const noexcept {
   if (count_ == 0) return 0;
   return newest_ - (count_ - 1);

@@ -68,6 +68,10 @@ class RetransmitWindow {
   [[nodiscard]] std::optional<std::vector<BytesView>> collect(
       UserId user, std::uint64_t have_epoch) const;
 
+  /// Drops every stored epoch. A server whose state was replaced wholesale
+  /// (snapshot restore) must not serve NACKs from the pre-restore timeline.
+  void clear();
+
   [[nodiscard]] bool enabled() const noexcept { return capacity_ > 0; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// Epochs currently held (<= capacity).

@@ -149,9 +149,20 @@ class LockedGroupKeyServer {
   /// Lock-free: serializes one internally consistent epoch view.
   [[nodiscard]] Bytes snapshot() const { return server_.snapshot(); }
 
+  /// Replaces group state wholesale. Takes both locks: restore() resets
+  /// the retransmit window, which is dispatch-phase state — a concurrent
+  /// NACK must never read the ring mid-swap.
   void restore(BytesView snapshot) {
-    const std::lock_guard lock(mutex_);
+    const std::scoped_lock lock(mutex_, dispatch_mutex_);
     server_.restore(snapshot);
+  }
+
+  /// Journal recovery (see GroupKeyServer::recover_from_storage). Call
+  /// before the facade is shared across threads — replay drives the whole
+  /// plan/seal/dispatch pipeline of the wrapped server directly.
+  void recover_from_storage(const storage::RecoveryOptions& options = {}) {
+    const std::scoped_lock lock(mutex_, dispatch_mutex_);
+    server_.recover_from_storage(options);
   }
 
   [[nodiscard]] std::size_t member_count() const {

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/io.h"
+#include "crypto/sha256.h"
 #include "rekey/batch.h"
 #include "telemetry/convergence.h"
 #include "telemetry/stage.h"
@@ -39,16 +40,27 @@ GroupKeyServer::GroupKeyServer(ServerConfig config,
                                     config_.suite.key_size(), rng_);
   strategy_ = rekey::make_strategy(config_.strategy);
   set_signing_mode(config_.signing);
+  if (config_.storage.enabled()) {
+    durable_ = std::make_unique<storage::DurableStore>(
+        storage::make_backend(config_.storage, /*lanes=*/1),
+        config_.storage.snapshot_interval);
+  }
 }
 
 void GroupKeyServer::begin_trace(PendingRekey& pending,
                                  rekey::RekeyKind kind) {
+  // Replayed operations are reconstructions, not live traffic; emitting
+  // spans for them would double-count the original dispatch.
+  if (replaying_) return;
   if (!config_.trace_propagation || !telemetry::enabled()) return;
   pending.trace.trace_id = telemetry::next_trace_id();
   pending.trace.op_kind = static_cast<std::uint8_t>(kind);
 }
 
 std::uint64_t GroupKeyServer::now_us() const {
+  // Replay pins the clock to the journaled timestamp: signatures cover it,
+  // so reproducing the original sealed bytes requires the original time.
+  if (replaying_) return pinned_clock_us_;
   if (config_.clock_us) return config_.clock_us();
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -229,6 +241,7 @@ void GroupKeyServer::finish_plan(PendingRekey& pending,
     }
   }
   if (pending.trace.active()) pending.trace.epoch = epoch;
+  pending.timestamp_us = timestamp;
   pending.plan = planner.take(std::move(messages));
   pending.op.kind = op_kind;
   pending.op.key_encryptions = pending.plan.key_encryptions;
@@ -247,6 +260,11 @@ JoinResult GroupKeyServer::plan_join(UserId user, PendingRekey& pending) {
     if (tree_->has_user(user)) return JoinResult::kDuplicate;
     individual_key = auth_.individual_key(user, config_.suite.key_size());
   }
+
+  // Record every rng byte the plan draws (tree keygen + planner IVs): the
+  // tape is what makes a journal replay byte-identical on any replica.
+  std::optional<crypto::RngCapture> capture;
+  if (durable_ != nullptr && !replaying_) capture.emplace(rng_);
 
   begin_trace(pending, rekey::RekeyKind::kJoin);
   const telemetry::TraceBinding traced(pending.trace,
@@ -271,6 +289,14 @@ JoinResult GroupKeyServer::plan_join(UserId user, PendingRekey& pending) {
   finish_plan(pending, planner, std::move(messages), rekey::RekeyKind::kJoin,
               rekey::RekeyKind::kJoin, record->removed_nodes,
               /*advance_epoch=*/true, stages);
+  if (capture) {
+    pending.commit = std::make_unique<storage::JournalRecord>();
+    pending.commit->kind = storage::OpKind::kJoin;
+    pending.commit->epoch = epoch_;
+    pending.commit->timestamp_us = pending.timestamp_us;
+    pending.commit->joins = {user};
+    pending.commit->rng_tape = capture->take();
+  }
   return JoinResult::kGranted;
 }
 
@@ -289,6 +315,8 @@ JoinResult GroupKeyServer::plan_join_with_token(UserId user, BytesView token,
 
 void GroupKeyServer::plan_leave(UserId user, PendingRekey& pending) {
   StageCollector stages;
+  std::optional<crypto::RngCapture> capture;
+  if (durable_ != nullptr && !replaying_) capture.emplace(rng_);
   begin_trace(pending, rekey::RekeyKind::kLeave);
   const telemetry::TraceBinding traced(pending.trace,
                                        telemetry::kServerProcess);
@@ -311,8 +339,18 @@ void GroupKeyServer::plan_leave(UserId user, PendingRekey& pending) {
   finish_plan(pending, planner, std::move(messages), rekey::RekeyKind::kLeave,
               rekey::RekeyKind::kLeave, record->removed_nodes,
               /*advance_epoch=*/true, stages);
+  if (capture) {
+    pending.commit = std::make_unique<storage::JournalRecord>();
+    pending.commit->kind = storage::OpKind::kLeave;
+    pending.commit->epoch = epoch_;
+    pending.commit->timestamp_us = pending.timestamp_us;
+    pending.commit->leaves = {user};
+    pending.commit->rng_tape = capture->take();
+  }
   // A departed member no longer owes convergence; drop its lag gauge.
-  if (telemetry::enabled()) {
+  // Replay skips this: the monitor belongs to the live timeline (an
+  // in-process standby shares it with the primary).
+  if (telemetry::enabled() && !replaying_) {
     telemetry::ConvergenceMonitor::global().forget_user(user);
   }
 }
@@ -341,6 +379,9 @@ std::vector<UserId> GroupKeyServer::plan_batch(
     }
   }
 
+  std::optional<crypto::RngCapture> capture;
+  if (durable_ != nullptr && !replaying_) capture.emplace(rng_);
+
   begin_trace(pending, rekey::RekeyKind::kBatch);
   const telemetry::TraceBinding traced(pending.trace,
                                        telemetry::kServerProcess);
@@ -364,7 +405,18 @@ std::vector<UserId> GroupKeyServer::plan_batch(
   finish_plan(pending, planner, std::move(messages), rekey::RekeyKind::kBatch,
               rekey::RekeyKind::kBatch, record->removed_nodes,
               /*advance_epoch=*/true, stages);
-  if (telemetry::enabled()) {
+  if (capture) {
+    // The journal stores the *admitted* joiners, not the requested list:
+    // replay re-admits exactly these and checks it got the same answer.
+    pending.commit = std::make_unique<storage::JournalRecord>();
+    pending.commit->kind = storage::OpKind::kBatch;
+    pending.commit->epoch = epoch_;
+    pending.commit->timestamp_us = pending.timestamp_us;
+    pending.commit->joins = admitted;
+    pending.commit->leaves = leave_users;
+    pending.commit->rng_tape = capture->take();
+  }
+  if (telemetry::enabled() && !replaying_) {
     for (const UserId leaver : leave_users) {
       telemetry::ConvergenceMonitor::global().forget_user(leaver);
     }
@@ -455,6 +507,11 @@ void GroupKeyServer::dispatch(PendingRekey&& pending) {
                         !pending.plan.messages.empty();
   std::vector<rekey::StoredDatagram> stored;
   if (remember) stored.reserve(pending.sealed.size());
+  // Write-ahead commit: the journal record (op inputs + rng tape + sealed
+  // digest) goes durable *before* the first datagram leaves and before the
+  // epoch is published. A crash after this line replays the op; a crash
+  // before it means no client ever saw the epoch, so nothing is lost.
+  commit_to_journal(pending);
   // The publish timestamp for fleet convergence: recorded before the first
   // delivery, because in-process transports apply on the client inside
   // deliver() and an apply must never precede its publish. Resyncs replay
@@ -509,6 +566,31 @@ void GroupKeyServer::dispatch(PendingRekey&& pending) {
     op.stage_us[i] = pending.stage_us[i] + dispatch_us[i];
   }
   stats_.record(op);
+  // Periodic compaction, keyed off this op's own view so the snapshot
+  // epoch matches the last journaled record even when a concurrent plan
+  // has already advanced the tree (locked facade).
+  if (durable_ != nullptr && pending.commit != nullptr &&
+      durable_->snapshot_due()) {
+    ByteWriter writer;
+    writer.u64(pending.view->epoch());
+    writer.var_bytes(pending.view->serialize());
+    durable_->compact(pending.view->epoch(), writer.take());
+  }
+}
+
+Bytes GroupKeyServer::sealed_digest(
+    const std::vector<rekey::SealedRekey>& sealed) {
+  crypto::Sha256 digest;
+  for (const rekey::SealedRekey& message : sealed) {
+    digest.update(message.wire);
+  }
+  return digest.finish();
+}
+
+void GroupKeyServer::commit_to_journal(PendingRekey& pending) {
+  if (pending.commit == nullptr || durable_ == nullptr) return;
+  pending.commit->sealed_digest = sealed_digest(pending.sealed);
+  durable_->append(*pending.commit);
 }
 
 Bytes GroupKeyServer::snapshot() const {
@@ -533,6 +615,154 @@ void GroupKeyServer::restore(BytesView snapshot) {
   // Re-label the restored tree's view with the snapshot's group epoch.
   tree_->stamp_next_epoch(epoch);
   tree_->publish_view();
+  // The old timeline's delivery state must not survive: the retransmit
+  // ring holds sealed bytes for epochs that may disagree with the restored
+  // tree (serving them would hand clients stale keys), and the
+  // convergence monitor's publish ring carries timestamps from before the
+  // restore. Journal replay (replaying_) re-anchors the monitor once, at
+  // the end of recovery, rather than per restored snapshot.
+  retransmit_.clear();
+  if (telemetry::enabled() && !replaying_) {
+    telemetry::ConvergenceMonitor::global().restart_from(epoch_);
+  }
+}
+
+void GroupKeyServer::recover_from_storage(
+    const storage::RecoveryOptions& options) {
+  if (durable_ == nullptr) {
+    throw storage::StorageError(
+        "recover_from_storage: storage is not configured");
+  }
+  storage::RecoveredLog log = durable_->load(options);
+  if (log.snapshot) restore(*log.snapshot);
+  for (const storage::JournalRecord& record : log.records) {
+    replay_record(record, options);
+  }
+  if (telemetry::enabled()) {
+    static auto& replay_ops = telemetry::Registry::global().counter(
+        "storage.replay_ops", "journal records replayed during recovery");
+    replay_ops.add(log.records.size());
+    telemetry::ConvergenceMonitor::global().restart_from(epoch_);
+  }
+}
+
+namespace {
+
+/// Saves and force-sets a flag for one scope (exception-safe), restoring
+/// the caller's value on exit — the standby keeps replaying_ latched
+/// across many replay_record calls.
+class ScopedFlag {
+ public:
+  explicit ScopedFlag(bool& flag) : flag_(flag), saved_(flag) { flag_ = true; }
+  ~ScopedFlag() { flag_ = saved_; }
+  ScopedFlag(const ScopedFlag&) = delete;
+  ScopedFlag& operator=(const ScopedFlag&) = delete;
+
+ private:
+  bool& flag_;
+  bool saved_;
+};
+
+}  // namespace
+
+void GroupKeyServer::replay_record(const storage::JournalRecord& record,
+                                   const storage::RecoveryOptions& options) {
+  const ScopedFlag replaying(replaying_);
+  pinned_clock_us_ = record.timestamp_us;
+  try {
+    PendingRekey pending;
+    {
+      // Every plan-phase rng draw is served from the journaled tape; a
+      // tape that runs short throws inside the drawing code, and leftover
+      // bytes below mean the replayed plan did less work than the
+      // original — either way, divergence.
+      const crypto::RngTape tape(rng_, record.rng_tape);
+      switch (record.kind) {
+        case storage::OpKind::kJoin: {
+          if (record.joins.size() != 1 || !record.leaves.empty()) {
+            throw storage::ReplayDivergenceError(
+                "replay: malformed join record at epoch " +
+                std::to_string(record.epoch));
+          }
+          const JoinResult result = plan_join(record.joins.front(), pending);
+          if (result != JoinResult::kGranted) {
+            throw storage::ReplayDivergenceError(
+                "replay: journaled join of user " +
+                std::to_string(record.joins.front()) + " not granted (epoch " +
+                std::to_string(record.epoch) + ")");
+          }
+          break;
+        }
+        case storage::OpKind::kLeave: {
+          if (record.leaves.size() != 1 || !record.joins.empty()) {
+            throw storage::ReplayDivergenceError(
+                "replay: malformed leave record at epoch " +
+                std::to_string(record.epoch));
+          }
+          plan_leave(record.leaves.front(), pending);
+          break;
+        }
+        case storage::OpKind::kBatch: {
+          const std::vector<UserId> admitted =
+              plan_batch(record.joins, record.leaves, pending);
+          if (admitted != record.joins) {
+            throw storage::ReplayDivergenceError(
+                "replay: batch at epoch " + std::to_string(record.epoch) +
+                " admitted a different join set than the journal");
+          }
+          break;
+        }
+        case storage::OpKind::kPreload:
+          throw storage::ReplayDivergenceError(
+              "replay: preload record in a single-tree journal");
+      }
+      if (tape.remaining() != 0) {
+        throw storage::ReplayDivergenceError(
+            "replay: epoch " + std::to_string(record.epoch) + " left " +
+            std::to_string(tape.remaining()) + " rng tape bytes unread");
+      }
+    }
+    if (epoch_ != record.epoch) {
+      throw storage::ReplayDivergenceError(
+          "replay: operation advanced to epoch " + std::to_string(epoch_) +
+          " but the journal recorded " + std::to_string(record.epoch));
+    }
+    seal(pending);
+    absorb_replayed(std::move(pending), record, options);
+  } catch (const storage::StorageError&) {
+    throw;
+  } catch (const Error& error) {
+    // Plan/seal failures during replay (bad auth_master, wrong config,
+    // tape exhaustion) all mean the same thing: this process cannot
+    // reproduce the journaled state.
+    throw storage::ReplayDivergenceError(std::string("replay: ") +
+                                         error.what());
+  }
+}
+
+void GroupKeyServer::absorb_replayed(PendingRekey&& pending,
+                                     const storage::JournalRecord& record,
+                                     const storage::RecoveryOptions& options) {
+  if (options.verify_digests &&
+      sealed_digest(pending.sealed) != record.sealed_digest) {
+    throw storage::ReplayDivergenceError(
+        "replay: epoch " + std::to_string(record.epoch) +
+        " sealed bytes diverge from the journaled digest");
+  }
+  // No transport, no stats, no publish — but the retransmit window fills
+  // exactly as the original dispatch filled it, so a promoted standby
+  // serves NACKs for pre-failover epochs from warm sealed bytes.
+  if (!retransmit_.enabled() || pending.plan.messages.empty()) return;
+  std::vector<rekey::StoredDatagram> stored;
+  stored.reserve(pending.sealed.size());
+  for (const rekey::SealedRekey& sealed : pending.sealed) {
+    Bytes datagram =
+        rekey::Datagram{rekey::MessageType::kRekey, sealed.wire, std::nullopt}
+            .encode();
+    stored.push_back(rekey::StoredDatagram{sealed.to, std::move(datagram)});
+  }
+  retransmit_.record(pending.plan.messages.front().header.epoch, pending.view,
+                     std::move(stored));
 }
 
 std::vector<UserId> GroupKeyServer::resolve_subgroup(

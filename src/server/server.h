@@ -39,6 +39,7 @@
 #include "rekey/strategy.h"
 #include "server/access_control.h"
 #include "server/stats.h"
+#include "storage/durable.h"
 #include "telemetry/trace.h"
 #include "transport/transport.h"
 
@@ -90,6 +91,13 @@ struct ServerConfig {
   /// the wire bytes are identical to the untraced format. Spec key
   /// `trace_propagation`.
   bool trace_propagation = false;
+  /// Durable-state configuration (storage/backend.h). When enabled the
+  /// server journals every committed membership operation before its
+  /// datagrams leave the transport, compacts snapshots on the configured
+  /// interval, and can rebuild byte-identical state from the journal via
+  /// recover_from_storage(). Spec keys `storage`, `journal_dir`,
+  /// `snapshot_interval`. Default: disabled (the pre-durability behavior).
+  storage::StorageConfig storage;
 
   /// Star baseline: unbounded degree.
   static ServerConfig star(ServerConfig base);
@@ -134,6 +142,13 @@ class GroupKeyServer {
     /// finish_plan, rebound around every phase and copied onto each
     /// dispatched datagram.
     telemetry::TraceContext trace{};
+    /// Header timestamp finish_plan stamped (what the journal records and
+    /// replay pins the clock to).
+    std::uint64_t timestamp_us = 0;
+    /// The journal record this operation will commit in dispatch() —
+    /// op inputs plus the plan-phase rng tape. Null when storage is
+    /// disabled, during replay, and for resyncs (which mutate nothing).
+    std::unique_ptr<storage::JournalRecord> commit;
   };
 
   GroupKeyServer(ServerConfig config, transport::ServerTransport& transport,
@@ -262,8 +277,40 @@ class GroupKeyServer {
   /// Replaces this server's group state with a snapshot taken from another
   /// server with the same configuration. Clients notice nothing: node ids,
   /// versions and key material are identical. Throws ParseError on
-  /// malformed snapshots (state is unchanged on failure).
+  /// malformed snapshots (state is unchanged on failure). Also resets the
+  /// delivery-side state the old timeline owned: the retransmit window
+  /// (its sealed bytes predate the restored state) and the convergence
+  /// monitor's published-epoch anchor.
   void restore(BytesView snapshot);
+
+  // --- Durable state (storage/durable.h) -----------------------------
+
+  /// Rebuilds group state from the configured storage backend: restores
+  /// the compacted snapshot (if any), then replays every journaled
+  /// operation through the real plan/seal pipeline with the recorded rng
+  /// tape injected — reproducing byte-identical keys, epochs, and sealed
+  /// datagrams, and rehydrating the retransmit window along the way.
+  /// Call before serving traffic. Throws StorageError subclasses
+  /// (JournalCorruptError / JournalTruncatedError / EpochGapError /
+  /// ReplayDivergenceError) per storage/errors.h; state may be partially
+  /// rebuilt on failure and must not be served. Throws StorageError when
+  /// storage is not configured.
+  void recover_from_storage(const storage::RecoveryOptions& options = {});
+
+  /// Re-runs one journaled operation through plan/seal with its rng tape
+  /// injected and absorbs the result without delivering datagrams or
+  /// publishing telemetry. Boot recovery and the standby tail both feed
+  /// records through here, in sequence order. Throws
+  /// ReplayDivergenceError when the replayed operation does not reproduce
+  /// the journal's epoch, admissions, or sealed digest.
+  void replay_record(const storage::JournalRecord& record,
+                     const storage::RecoveryOptions& options);
+
+  /// The journal store, null when storage is disabled. Exposed for the
+  /// standby tail and for tests to inspect compaction behavior.
+  [[nodiscard]] storage::DurableStore* durable() noexcept {
+    return durable_.get();
+  }
 
   /// userset(include) - userset(exclude) on the current epoch view; the
   /// unicast fan-out transport uses this as its Resolver. Lock-free: safe
@@ -283,6 +330,18 @@ class GroupKeyServer {
   /// Stamps a fresh trace context on `pending` when trace propagation and
   /// telemetry are both on (no-op otherwise).
   void begin_trace(PendingRekey& pending, rekey::RekeyKind kind);
+  /// Digest over the concatenated sealed wire bytes — the journal's
+  /// replay-divergence check value.
+  [[nodiscard]] static Bytes sealed_digest(
+      const std::vector<rekey::SealedRekey>& sealed);
+  /// Journals pending.commit (if any) durably; called by dispatch() before
+  /// the first datagram leaves.
+  void commit_to_journal(PendingRekey& pending);
+  /// Post-seal half of replay: verifies the digest and rehydrates the
+  /// retransmit window (no transport, no stats, no publish).
+  void absorb_replayed(PendingRekey&& pending,
+                       const storage::JournalRecord& record,
+                       const storage::RecoveryOptions& options);
 
   ServerConfig config_;
   transport::ServerTransport& transport_;
@@ -300,6 +359,16 @@ class GroupKeyServer {
   /// under LockedGroupKeyServer both run behind dispatch_mutex_.
   rekey::RetransmitWindow retransmit_;
   rekey::RecoveryLimiter limiter_;
+  /// Write-ahead journal; null when config_.storage is disabled.
+  std::unique_ptr<storage::DurableStore> durable_;
+  /// True while replaying journal records: suppresses re-journaling,
+  /// transport delivery, telemetry publishes, and un-pins now_us() onto
+  /// the replayed record's timestamp. The standby toggles this around its
+  /// tail-applied records (friend below).
+  bool replaying_ = false;
+  std::uint64_t pinned_clock_us_ = 0;
+
+  friend class StandbyServer;
 };
 
 }  // namespace keygraphs::server

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/error.h"
+#include "crypto/random.h"
+#include "crypto/sha256.h"
 #include "rekey/batch.h"
 #include "telemetry/convergence.h"
 
@@ -17,6 +19,30 @@ namespace {
 /// Reserved shard_seed lane for the root layer's rng, far outside any
 /// realistic shard index.
 constexpr std::uint64_t kRootRngLane = 999983;
+
+/// The journal's commit digest: sha256 over the concatenated sealed wire
+/// bytes, in message order (same formula as the unsharded server's).
+Bytes sealed_digest(const std::vector<rekey::SealedRekey>& sealed) {
+  crypto::Sha256 digest;
+  for (const rekey::SealedRekey& message : sealed) {
+    digest.update(message.wire);
+  }
+  return digest.finish();
+}
+
+/// Saves and force-sets a flag for one scope (exception-safe), restoring
+/// the caller's value on exit.
+class ScopedFlag {
+ public:
+  explicit ScopedFlag(bool& flag) : flag_(flag), saved_(flag) { flag_ = true; }
+  ~ScopedFlag() { flag_ = saved_; }
+  ScopedFlag(const ScopedFlag&) = delete;
+  ScopedFlag& operator=(const ScopedFlag&) = delete;
+
+ private:
+  bool& flag_;
+  bool saved_;
+};
 
 telemetry::Gauge* lane_gauge(std::size_t shard, const char* what) {
   return &telemetry::Registry::global().gauge(
@@ -113,11 +139,21 @@ ShardedGroupKeyServer::ShardedGroupKeyServer(
   }
   sealer_ = std::make_unique<rekey::RekeySealer>(
       base.signing, base.suite.signing_digest(), signer_.get());
+
+  // One journal lane per shard: lanes append independently under their
+  // dispatch tickets, and the global commit sequence (assigned inside
+  // DurableStore::append) stitches them back into total order at recovery.
+  if (base.storage.enabled()) {
+    durable_ = std::make_unique<storage::DurableStore>(
+        storage::make_backend(base.storage, shards),
+        base.storage.snapshot_interval);
+  }
 }
 
 ShardedGroupKeyServer::~ShardedGroupKeyServer() = default;
 
 std::uint64_t ShardedGroupKeyServer::now_us() const {
+  if (replaying_) return pinned_clock_us_;  // journal replay pins the clock
   if (config_.base.clock_us) return config_.base.clock_us();
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -140,6 +176,10 @@ JoinResult ShardedGroupKeyServer::plan_join_locked(UserId user,
   Bytes individual_key =
       auth_.individual_key(user, config_.base.suite.key_size());
 
+  // Journal tape: every lane-rng byte the mutation + plan draw below.
+  // (Root-layer draws are captured separately inside stitch.)
+  std::optional<crypto::RngCapture> capture;
+  if (durable_ != nullptr && !replaying_) capture.emplace(tree_->rng(shard));
   pending.started = std::chrono::steady_clock::now();
   const JoinRecord record = tree.join(user, std::move(individual_key));
   const TreeViewPtr view = tree.view();
@@ -150,12 +190,24 @@ JoinResult ShardedGroupKeyServer::plan_join_locked(UserId user,
   stitch(pending, shard, view, planner, std::move(messages),
          rekey::RekeyKind::kJoin, rekey::RekeyKind::kJoin,
          record.removed_nodes);
+  if (capture) {
+    pending.commit = std::make_unique<storage::JournalRecord>();
+    pending.commit->kind = storage::OpKind::kJoin;
+    pending.commit->epoch = pending.epoch;
+    pending.commit->shard = static_cast<std::uint32_t>(shard);
+    pending.commit->timestamp_us = pending.timestamp_us;
+    pending.commit->joins.push_back(user);
+    pending.commit->rng_tape = capture->take();
+    pending.commit->root_tape = std::move(pending.root_tape);
+  }
   return JoinResult::kGranted;
 }
 
 void ShardedGroupKeyServer::plan_leave_locked(UserId user, std::size_t shard,
                                               Pending& pending) {
   KeyTree& tree = tree_->shard(shard);
+  std::optional<crypto::RngCapture> capture;
+  if (durable_ != nullptr && !replaying_) capture.emplace(tree_->rng(shard));
   pending.started = std::chrono::steady_clock::now();
   const LeaveRecord record = tree.leave(user);  // throws for non-members
   const TreeViewPtr view = tree.view();
@@ -166,7 +218,17 @@ void ShardedGroupKeyServer::plan_leave_locked(UserId user, std::size_t shard,
   stitch(pending, shard, view, planner, std::move(messages),
          rekey::RekeyKind::kLeave, rekey::RekeyKind::kLeave,
          record.removed_nodes);
-  if (telemetry::enabled()) {
+  if (capture) {
+    pending.commit = std::make_unique<storage::JournalRecord>();
+    pending.commit->kind = storage::OpKind::kLeave;
+    pending.commit->epoch = pending.epoch;
+    pending.commit->shard = static_cast<std::uint32_t>(shard);
+    pending.commit->timestamp_us = pending.timestamp_us;
+    pending.commit->leaves.push_back(user);
+    pending.commit->rng_tape = capture->take();
+    pending.commit->root_tape = std::move(pending.root_tape);
+  }
+  if (telemetry::enabled() && !replaying_) {
     telemetry::ConvergenceMonitor::global().forget_user(user);
   }
 }
@@ -186,6 +248,8 @@ std::vector<UserId> ShardedGroupKeyServer::plan_batch_locked(
   // Entirely filtered out and nothing to remove: no mutation, no epoch.
   if (joins.empty() && leave_users.empty()) return admitted;
 
+  std::optional<crypto::RngCapture> capture;
+  if (durable_ != nullptr && !replaying_) capture.emplace(tree_->rng(shard));
   pending.started = std::chrono::steady_clock::now();
   const BatchRecord record = tree.batch_update(joins, leave_users);
   const TreeViewPtr view = tree.view();
@@ -195,7 +259,18 @@ std::vector<UserId> ShardedGroupKeyServer::plan_batch_locked(
   stitch(pending, shard, view, planner, std::move(messages),
          rekey::RekeyKind::kBatch, rekey::RekeyKind::kBatch,
          record.removed_nodes);
-  if (telemetry::enabled()) {
+  if (capture) {
+    pending.commit = std::make_unique<storage::JournalRecord>();
+    pending.commit->kind = storage::OpKind::kBatch;
+    pending.commit->epoch = pending.epoch;
+    pending.commit->shard = static_cast<std::uint32_t>(shard);
+    pending.commit->timestamp_us = pending.timestamp_us;
+    pending.commit->joins = admitted;  // post-ACL, pre-mutation order
+    pending.commit->leaves = leave_users;
+    pending.commit->rng_tape = capture->take();
+    pending.commit->root_tape = std::move(pending.root_tape);
+  }
+  if (telemetry::enabled() && !replaying_) {
     for (const UserId leaver : leave_users) {
       telemetry::ConvergenceMonitor::global().forget_user(leaver);
     }
@@ -256,6 +331,12 @@ void ShardedGroupKeyServer::stitch(Pending& pending, std::size_t shard,
     // allocation, an epoch never wraps G under a shard root newer than the
     // one its clients hold at that point of the stitched stream.
     const std::lock_guard<std::mutex> lock(root_mutex_);
+    // Root-rng draws interleave across shards in epoch order, which no
+    // single lane's replay could reproduce — so each record carries its
+    // own slice of the root stream (G refresh + stitch IVs) as a second
+    // tape, recorded under the same lock that orders the draws.
+    std::optional<crypto::RngCapture> root_capture;
+    if (durable_ != nullptr && !replaying_) root_capture.emplace(root_rng_);
     pending.epoch = ++epoch_;
     shard_roots_[shard] = view->group_key();
     shard_views_[shard] = view;
@@ -275,6 +356,7 @@ void ShardedGroupKeyServer::stitch(Pending& pending, std::size_t shard,
             Broadcast{shard_roots_[j], shard_views_[j], root_rng_.bytes(block)});
       }
     }
+    if (root_capture) pending.root_tape = root_capture->take();
   }
 
   try {
@@ -285,6 +367,7 @@ void ShardedGroupKeyServer::stitch(Pending& pending, std::size_t shard,
       pending.trace_id = telemetry::next_trace_id();
     }
     const std::uint64_t timestamp = now_us();
+    pending.timestamp_us = timestamp;
     for (rekey::PlannedRekey& message : pending.plan.messages) {
       message.header.group = config_.base.group;
       message.header.epoch = pending.epoch;
@@ -450,6 +533,14 @@ void ShardedGroupKeyServer::dispatch_locked(Lane& lane, Pending& pending,
       retransmit_.enabled() && !resync && !pending.plan.messages.empty();
   std::vector<rekey::StoredDatagram> stored;
   if (remember) stored.reserve(pending.sealed.size());
+  // Write-ahead commit: the record (with its sealed digest) is durable on
+  // this shard's lane before any datagram leaves or the dispatch ticket is
+  // released. Tickets are held in epoch order, so the global commit
+  // sequence the append assigns is in epoch order too.
+  if (durable_ != nullptr && pending.commit != nullptr) {
+    pending.commit->sealed_digest = sealed_digest(pending.sealed);
+    durable_->append(*pending.commit);
+  }
   if (telemetry::enabled() && !resync && !pending.plan.messages.empty()) {
     telemetry::ConvergenceMonitor::global().note_publish(
         pending.epoch, now_us() * 1000, pending.fleet);
@@ -659,17 +750,38 @@ void ShardedGroupKeyServer::preload(const std::vector<UserId>& users) {
   for (std::size_t shard = 0; shard < shards; ++shard) {
     KeyTree& tree = tree_->shard(shard);
     std::vector<std::pair<UserId, Bytes>> joins;
+    std::vector<UserId> chunk_users;
     joins.reserve(std::min(kChunk, by_shard[shard].size()));
+    // One kPreload record per chunk: epoch 0 (no rekey was sent), carrying
+    // the admitted ids and the chunk's lane-rng tape so recovery rebuilds
+    // the same tree bytes before replaying the epoch stream.
+    const auto flush = [&] {
+      if (joins.empty()) return;
+      std::optional<crypto::RngCapture> capture;
+      if (durable_ != nullptr && !replaying_) {
+        capture.emplace(tree_->rng(shard));
+      }
+      tree.batch_update(joins, {});
+      if (capture) {
+        storage::JournalRecord record;
+        record.kind = storage::OpKind::kPreload;
+        record.shard = static_cast<std::uint32_t>(shard);
+        record.timestamp_us = now_us();
+        record.joins = chunk_users;
+        record.rng_tape = capture->take();
+        durable_->append(record);
+      }
+      joins.clear();
+      chunk_users.clear();
+    };
     for (UserId user : by_shard[shard]) {
       if (tree.has_user(user)) continue;
       joins.emplace_back(
           user, auth_.individual_key(user, config_.base.suite.key_size()));
-      if (joins.size() == kChunk) {
-        tree.batch_update(joins, {});
-        joins.clear();
-      }
+      chunk_users.push_back(user);
+      if (joins.size() == kChunk) flush();
     }
-    if (!joins.empty()) tree.batch_update(joins, {});
+    flush();
   }
   const std::lock_guard<std::mutex> lock(root_mutex_);
   for (std::size_t shard = 0; shard < shards; ++shard) {
@@ -677,6 +789,180 @@ void ShardedGroupKeyServer::preload(const std::vector<UserId>& users) {
     shard_roots_[shard] = view->group_key();
     shard_views_[shard] = view;
   }
+}
+
+// --- Durable state ------------------------------------------------------
+
+void ShardedGroupKeyServer::recover_from_storage(
+    const storage::RecoveryOptions& options) {
+  if (durable_ == nullptr) {
+    throw storage::StorageError(
+        "recover_from_storage: storage is not configured");
+  }
+  storage::RecoveredLog log = durable_->load(options);
+  if (log.snapshot) {
+    // The sharded server never compacts (there is no cross-shard snapshot
+    // format); a snapshot here means the journal belongs to a single-tree
+    // deployment and this config cannot restore it.
+    throw storage::JournalCorruptError(
+        "recover: journal carries a snapshot but the server is sharded");
+  }
+  for (const storage::JournalRecord& record : log.records) {
+    replay_record(record, options);
+  }
+  if (telemetry::enabled()) {
+    static auto& replay_ops = telemetry::Registry::global().counter(
+        "storage.replay_ops", "journal records replayed during recovery");
+    replay_ops.add(log.records.size());
+    telemetry::ConvergenceMonitor::global().restart_from(epoch());
+  }
+}
+
+void ShardedGroupKeyServer::replay_record(
+    const storage::JournalRecord& record,
+    const storage::RecoveryOptions& options) {
+  const ScopedFlag replaying(replaying_);
+  pinned_clock_us_ = record.timestamp_us;
+  try {
+    const std::size_t shard = record.shard;
+    if (shard >= shard_count()) {
+      throw storage::ReplayDivergenceError(
+          "replay: record names shard " + std::to_string(shard) +
+          " but the server has " + std::to_string(shard_count()));
+    }
+    if (record.kind == storage::OpKind::kPreload) {
+      if (record.epoch != 0 || !record.leaves.empty()) {
+        throw storage::ReplayDivergenceError(
+            "replay: malformed preload record (sequence " +
+            std::to_string(record.sequence) + ")");
+      }
+      KeyTree& tree = tree_->shard(shard);
+      {
+        const crypto::RngTape tape(tree_->rng(shard), record.rng_tape);
+        std::vector<std::pair<UserId, Bytes>> joins;
+        joins.reserve(record.joins.size());
+        for (const UserId user : record.joins) {
+          joins.emplace_back(
+              user,
+              auth_.individual_key(user, config_.base.suite.key_size()));
+        }
+        tree.batch_update(joins, {});
+        if (tape.remaining() != 0) {
+          throw storage::ReplayDivergenceError(
+              "replay: preload chunk left " +
+              std::to_string(tape.remaining()) + " rng tape bytes unread");
+        }
+      }
+      const std::lock_guard<std::mutex> lock(root_mutex_);
+      const TreeViewPtr view = tree.view();
+      shard_roots_[shard] = view->group_key();
+      shard_views_[shard] = view;
+      return;
+    }
+
+    Lane& lane = *lanes_[shard];
+    Pending pending;
+    {
+      const std::lock_guard<std::mutex> lock(lane.mutex);
+      // Two tapes, two streams: the lane rng (tree mutation + plan) and
+      // the root rng (G refresh + stitch IVs). Both must drain exactly.
+      const crypto::RngTape tape(tree_->rng(shard), record.rng_tape);
+      const crypto::RngTape root_tape(root_rng_, record.root_tape);
+      switch (record.kind) {
+        case storage::OpKind::kJoin: {
+          if (record.joins.size() != 1 || !record.leaves.empty()) {
+            throw storage::ReplayDivergenceError(
+                "replay: malformed join record at epoch " +
+                std::to_string(record.epoch));
+          }
+          const JoinResult result =
+              plan_join_locked(record.joins.front(), shard, pending);
+          if (result != JoinResult::kGranted) {
+            throw storage::ReplayDivergenceError(
+                "replay: journaled join of user " +
+                std::to_string(record.joins.front()) +
+                " not granted (epoch " + std::to_string(record.epoch) + ")");
+          }
+          break;
+        }
+        case storage::OpKind::kLeave: {
+          if (record.leaves.size() != 1 || !record.joins.empty()) {
+            throw storage::ReplayDivergenceError(
+                "replay: malformed leave record at epoch " +
+                std::to_string(record.epoch));
+          }
+          plan_leave_locked(record.leaves.front(), shard, pending);
+          break;
+        }
+        case storage::OpKind::kBatch: {
+          const std::vector<UserId> admitted = plan_batch_locked(
+              shard, record.joins, record.leaves, pending);
+          if (admitted != record.joins) {
+            throw storage::ReplayDivergenceError(
+                "replay: batch at epoch " + std::to_string(record.epoch) +
+                " admitted a different join set than the journal");
+          }
+          break;
+        }
+        case storage::OpKind::kPreload:
+          break;  // handled above; unreachable
+      }
+      if (tape.remaining() != 0 || root_tape.remaining() != 0) {
+        throw storage::ReplayDivergenceError(
+            "replay: epoch " + std::to_string(record.epoch) +
+            " left rng tape bytes unread (lane " +
+            std::to_string(tape.remaining()) + ", root " +
+            std::to_string(root_tape.remaining()) + ")");
+      }
+    }
+    if (pending.epoch != record.epoch) {
+      throw storage::ReplayDivergenceError(
+          "replay: operation allocated epoch " +
+          std::to_string(pending.epoch) + " but the journal recorded " +
+          std::to_string(record.epoch));
+    }
+    pending.sealed = lane.executor->seal(pending.plan, *sealer_);
+    absorb_replayed(std::move(pending), record, options);
+  } catch (const storage::StorageError&) {
+    throw;
+  } catch (const Error& error) {
+    throw storage::ReplayDivergenceError(std::string("replay: ") +
+                                         error.what());
+  }
+}
+
+void ShardedGroupKeyServer::absorb_replayed(
+    Pending&& pending, const storage::JournalRecord& record,
+    const storage::RecoveryOptions& options) {
+  if (options.verify_digests &&
+      sealed_digest(pending.sealed) != record.sealed_digest) {
+    throw storage::ReplayDivergenceError(
+        "replay: epoch " + std::to_string(record.epoch) +
+        " sealed bytes diverge from the journaled digest");
+  }
+  {
+    // Release the replayed op's ticket so the next record (and, after
+    // recovery, live traffic) dispatches at epoch_ + 1.
+    const std::lock_guard<std::mutex> order(sequence_mutex_);
+    next_dispatch_ = pending.epoch + 1;
+  }
+  // No transport, no stats, no publish — but the retransmit window fills
+  // exactly as the original dispatch filled it (per-datagram views and
+  // all), so a promoted replica serves pre-failover NACKs warm.
+  if (!retransmit_.enabled() || pending.plan.messages.empty()) return;
+  const std::lock_guard<std::mutex> lock(dispatch_mutex_);
+  std::vector<rekey::StoredDatagram> stored;
+  stored.reserve(pending.sealed.size());
+  for (std::size_t i = 0; i < pending.sealed.size(); ++i) {
+    const rekey::SealedRekey& sealed = pending.sealed[i];
+    Bytes datagram =
+        rekey::Datagram{rekey::MessageType::kRekey, sealed.wire, std::nullopt}
+            .encode();
+    stored.push_back(
+        rekey::StoredDatagram{sealed.to, std::move(datagram),
+                              pending.views[i]});
+  }
+  retransmit_.record(pending.epoch, pending.lane_view, std::move(stored));
 }
 
 // --- Introspection ------------------------------------------------------

@@ -30,6 +30,13 @@
 //                datagrams pin the view they were addressed against
 //                (StoredDatagram::view), so NACK replay filters correctly
 //                even though one epoch's datagrams span several shards.
+//   journal    — with ServerConfig::storage enabled, every committed op
+//                appends one record to its shard's journal lane (plus the
+//                stitched root-layer rng tape) before its dispatch ticket
+//                is released. There is no cross-shard snapshot: recovery
+//                replays the lanes merged by global commit sequence
+//                (recover_from_storage), so snapshot_interval is ignored
+//                at K > 1.
 //
 // Locking order (inner to outer acquisitions never reverse):
 //   lane mutex -> root mutex, then (all dropped) sequence mutex ->
@@ -96,9 +103,31 @@ class ShardedGroupKeyServer {
   /// single rekey message or advancing the epoch: the build phase of an
   /// experiment, like the unsharded harness's unsigned preload. Chunks
   /// each shard's admissions through batch_update so peak record/publish
-  /// memory stays bounded at million-user scale. Not safe concurrently
-  /// with membership operations.
+  /// memory stays bounded at million-user scale. When storage is enabled
+  /// each chunk journals one kPreload record (epoch 0) so recovery can
+  /// rebuild the preloaded population too. Not safe concurrently with
+  /// membership operations.
   void preload(const std::vector<UserId>& users);
+
+  // --- Durable state (write-ahead journal) ------------------------------
+
+  /// Boot-time crash recovery: replays the whole journal — preload chunks
+  /// and committed ops, lanes merged by global commit sequence — through
+  /// the real per-lane plan/seal pipeline with the journaled rng tapes
+  /// (lane and root layer) injected. Call on a freshly constructed server
+  /// before serving. Throws StorageError subclasses on corruption or
+  /// divergence; also when the journal carries a single-tree snapshot
+  /// (the sharded server compacts nothing and cannot restore one).
+  void recover_from_storage(const storage::RecoveryOptions& options = {});
+  /// Replays one journal record (kPreload rebuilds its chunk; others
+  /// re-plan, re-seal, verify the sealed digest, and refill the
+  /// retransmit window). Records must arrive in commit-sequence order.
+  void replay_record(const storage::JournalRecord& record,
+                     const storage::RecoveryOptions& options);
+  /// Null when ServerConfig::storage is not enabled.
+  [[nodiscard]] storage::DurableStore* durable() noexcept {
+    return durable_.get();
+  }
 
   // --- Introspection ----------------------------------------------------
 
@@ -153,6 +182,13 @@ class ShardedGroupKeyServer {
     std::size_t shard = 0;
     std::size_t fleet = 0;  // total users at epoch allocation
     std::uint64_t trace_id = 0;
+    /// Header timestamp stamped by stitch (journaled, pinned on replay).
+    std::uint64_t timestamp_us = 0;
+    /// Root-layer rng draws captured inside stitch's critical section.
+    Bytes root_tape;
+    /// Journal record built at plan time, appended at dispatch (after the
+    /// sealed digest is known). Null when storage is off or replaying.
+    std::unique_ptr<storage::JournalRecord> commit;
   };
 
   [[nodiscard]] std::uint64_t now_us() const;
@@ -184,6 +220,11 @@ class ShardedGroupKeyServer {
   std::optional<NackOutcome> try_retransmit_locked(UserId user,
                                                    std::uint64_t have_epoch);
   [[nodiscard]] SymmetricKey shared_key_locked() const;  // root_mutex_ held
+  /// Digest-checks a replayed op, advances the dispatch cursor past its
+  /// ticket, and refills the retransmit window — no transport, no stats.
+  void absorb_replayed(Pending&& pending,
+                       const storage::JournalRecord& record,
+                       const storage::RecoveryOptions& options);
 
   ShardedServerConfig config_;
   transport::ServerTransport& transport_;
@@ -212,6 +253,11 @@ class ShardedGroupKeyServer {
   rekey::RetransmitWindow retransmit_;
   rekey::RecoveryLimiter limiter_;
   ServerStats stats_;
+
+  // Durable state: per-shard journal lanes under one commit sequence.
+  std::unique_ptr<storage::DurableStore> durable_;
+  bool replaying_ = false;
+  std::uint64_t pinned_clock_us_ = 0;
 
   telemetry::Gauge* fleet_users_ = nullptr;
   telemetry::Gauge* fleet_epoch_ = nullptr;

@@ -217,6 +217,27 @@ ServerSpec parse_server_spec(std::string_view text) {
       }
       spec.config.schedule_cache_capacity =
           static_cast<std::size_t>(capacity);
+    } else if (key == "storage") {
+      if (value == "none") {
+        spec.config.storage.kind = storage::Kind::kNone;
+      } else if (value == "memory") {
+        spec.config.storage.kind = storage::Kind::kMemory;
+      } else if (value == "file") {
+        spec.config.storage.kind = storage::Kind::kFile;
+      } else if (value == "mmap") {
+        spec.config.storage.kind = storage::Kind::kMmap;
+      } else {
+        fail(line_number, "unknown storage backend '" + std::string(value) +
+                              "'");
+      }
+    } else if (key == "journal_dir") {
+      if (value.empty()) fail(line_number, "journal_dir must not be empty");
+      spec.config.storage.journal_dir = std::string(value);
+    } else if (key == "snapshot_interval") {
+      const std::uint64_t interval = parse_number(value, line_number);
+      if (interval > (1u << 30)) fail(line_number, "bad snapshot_interval");
+      spec.config.storage.snapshot_interval =
+          static_cast<std::uint32_t>(interval);
     } else if (key == "client_schedule_cache_capacity") {
       const std::uint64_t capacity = parse_number(value, line_number);
       if (capacity < 1 || capacity > (1u << 20)) {
@@ -235,6 +256,15 @@ ServerSpec parse_server_spec(std::string_view text) {
        spec.config.signing == rekey::SigningMode::kBatch) &&
       !spec.config.suite.signs()) {
     throw ProtocolError("spec: signing mode requires signature != none");
+  }
+  // The disk-backed journals need somewhere to live.
+  if ((spec.config.storage.kind == storage::Kind::kFile ||
+       spec.config.storage.kind == storage::Kind::kMmap) &&
+      spec.config.storage.journal_dir.empty()) {
+    throw ProtocolError("spec: storage = " +
+                        std::string(storage::kind_name(
+                            spec.config.storage.kind)) +
+                        " requires journal_dir");
   }
   return spec;
 }

@@ -1,0 +1,40 @@
+#include "storage/crc32.h"
+
+#include <array>
+
+namespace keygraphs::storage {
+
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xedb88320u;  // reflected IEEE
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc, const std::uint8_t* data,
+                           std::size_t size) noexcept {
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32(BytesView data) noexcept {
+  return crc32_update(0, data.data(), data.size());
+}
+
+}  // namespace keygraphs::storage

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant) for journal frame
+// integrity. Not cryptographic — the journal trusts its own disk, and the
+// sealed-digest field inside each record covers tamper-relevant bytes with
+// a real digest. CRC is the right tool for detecting torn writes and bit
+// rot cheaply on every append and every replay.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace keygraphs::storage {
+
+[[nodiscard]] std::uint32_t crc32(BytesView data) noexcept;
+
+/// Incremental form: feed `crc` from a previous call (start with 0).
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t crc,
+                                         const std::uint8_t* data,
+                                         std::size_t size) noexcept;
+
+}  // namespace keygraphs::storage

@@ -1,0 +1,52 @@
+// Typed failure modes of the durable-state subsystem. Recovery must never
+// load partial state silently: every way a journal or snapshot can be bad
+// maps to a distinct exception so callers (daemon boot, standby promotion,
+// tests) can tell operator errors from corruption from divergence.
+#pragma once
+
+#include "common/error.h"
+
+namespace keygraphs::storage {
+
+/// Root of storage failures: backend IO errors, unusable journal
+/// directories, misconfiguration.
+class StorageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A complete frame failed validation (bad magic, CRC mismatch, malformed
+/// payload, sequence regression) somewhere other than the tail — the
+/// segment is damaged, not merely torn by a crash.
+class JournalCorruptError : public StorageError {
+ public:
+  using StorageError::StorageError;
+};
+
+/// The journal ends mid-frame. The strict default treats this as fatal;
+/// RecoveryOptions::tolerate_torn_tail lets a crash-recovering daemon drop
+/// the partial record instead (safe because append+fsync precedes
+/// delivery: a torn record was never released to clients).
+class JournalTruncatedError : public StorageError {
+ public:
+  using StorageError::StorageError;
+};
+
+/// The snapshot epoch and the journal records do not form one contiguous
+/// epoch stream (a segment was lost, or snapshot and journal come from
+/// different histories). Loading would silently skip rekeys.
+class EpochGapError : public StorageError {
+ public:
+  using StorageError::StorageError;
+};
+
+/// A replayed operation did not reproduce the recorded outcome (sealed
+/// digest mismatch, leftover rng tape, admission result change): the
+/// recovering server's configuration or code diverges from the writer's.
+/// The server's state is unusable after this — construct a fresh one.
+class ReplayDivergenceError : public StorageError {
+ public:
+  using StorageError::StorageError;
+};
+
+}  // namespace keygraphs::storage

@@ -1,0 +1,265 @@
+// Mmap backend: appends are memcpy into a memory mapping; sync() is
+// msync. Each (lane, generation) segment carries a 64-byte header whose
+// `committed` field is the durable length — bytes past it are by
+// definition torn and ignored by readers. sync() orders the flushes
+// (data pages, then committed, then header page) so a crash can never
+// expose a committed length covering unflushed data.
+//
+// Meta/snapshot handling is shared with the file backend via fs_util.h.
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "storage/backend.h"
+#include "storage/fs_util.h"
+
+namespace keygraphs::storage {
+
+namespace {
+
+constexpr std::uint64_t kSegmentMagic = 0x504d474b504d474bull;  // "KGMPKGMP"
+constexpr std::size_t kHeaderSize = 64;
+constexpr std::size_t kInitialCapacity = 1u << 20;  // 1 MiB of data
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw StorageError(what + ": " + std::strerror(errno));
+}
+
+void store_u64(std::uint8_t* at, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) at[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint64_t load_u64(const std::uint8_t* at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(at[i]) << (8 * i);
+  return v;
+}
+
+class MmapBackend final : public StorageBackend {
+ public:
+  MmapBackend(std::string dir, std::size_t lanes)
+      : dir_(std::move(dir)), lanes_(lanes) {
+    ensure_journal_dir(dir_);
+    generation_ = read_generation(dir_);
+  }
+
+  ~MmapBackend() override {
+    for (Lane& lane : lanes_) close_lane(lane);
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "mmap"; }
+  [[nodiscard]] std::size_t lanes() const noexcept override {
+    return lanes_.size();
+  }
+
+  void append(std::size_t lane_index, BytesView frame) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Lane& lane = lane_at(lane_index);
+    open_lane(lane_index, lane);
+    reserve(lane_index, lane, lane.committed + frame.size());
+    std::memcpy(lane.base + kHeaderSize + lane.committed, frame.data(),
+                frame.size());
+    lane.committed += frame.size();
+  }
+
+  void sync(std::size_t lane_index) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Lane& lane = lane_at(lane_index);
+    if (lane.base == nullptr) return;  // nothing appended yet
+    // Data pages first, committed-length last: the header must never
+    // claim bytes the kernel has not yet flushed.
+    if (::msync(lane.base, kHeaderSize + lane.committed, MS_SYNC) != 0) {
+      throw_errno("msync data " + seg_path(lane_index, generation_));
+    }
+    store_u64(lane.base + 8, lane.committed);
+    if (::msync(lane.base, kHeaderSize, MS_SYNC) != 0) {
+      throw_errno("msync header " + seg_path(lane_index, generation_));
+    }
+  }
+
+  [[nodiscard]] Bytes read_journal(std::size_t lane_index,
+                                   std::size_t offset) const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lane& lane = lane_at(lane_index);
+    if (lane.base != nullptr) {
+      // Writer-side read: serve from the live mapping (committed tracks
+      // appended-and-about-to-be-synced bytes).
+      if (offset >= lane.committed) return {};
+      const std::uint8_t* from = lane.base + kHeaderSize + offset;
+      return Bytes(from, from + (lane.committed - offset));
+    }
+    // Reader-side: consult the current generation's file on disk and
+    // honor its durable committed length.
+    const auto data = read_file(seg_path(lane_index, read_generation(dir_)));
+    if (!data || data->size() < kHeaderSize) return {};
+    if (load_u64(data->data()) != kSegmentMagic) {
+      throw JournalCorruptError("mmap segment lane " +
+                                std::to_string(lane_index) + ": bad magic");
+    }
+    std::uint64_t committed = load_u64(data->data() + 8);
+    if (committed > data->size() - kHeaderSize) {
+      committed = data->size() - kHeaderSize;  // header ahead of truncation
+    }
+    if (offset >= committed) return {};
+    const auto* from = data->data() + kHeaderSize + offset;
+    return Bytes(from, from + (static_cast<std::size_t>(committed) - offset));
+  }
+
+  [[nodiscard]] std::size_t journal_size(std::size_t lane_index) const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lane& lane = lane_at(lane_index);
+    if (lane.base != nullptr) return lane.committed;
+    const auto data = read_file(seg_path(lane_index, read_generation(dir_)));
+    if (!data || data->size() < kHeaderSize) return 0;
+    return static_cast<std::size_t>(load_u64(data->data() + 8));
+  }
+
+  void truncate(std::size_t lane_index, std::size_t size) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Lane& lane = lane_at(lane_index);
+    open_lane(lane_index, lane);
+    if (size >= lane.committed) return;
+    lane.committed = size;
+    store_u64(lane.base + 8, lane.committed);
+    if (::msync(lane.base, kHeaderSize, MS_SYNC) != 0) {
+      throw_errno("msync header " + seg_path(lane_index, generation_));
+    }
+  }
+
+  void compact(std::uint64_t epoch, BytesView snapshot) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    write_snapshot_file(dir_, epoch, snapshot);  // before the meta bump
+    const std::uint64_t next = generation_ + 1;
+    write_generation(dir_, next);
+    for (Lane& lane : lanes_) close_lane(lane);
+    generation_ = next;
+    remove_stale_segments(dir_, next);
+  }
+
+  [[nodiscard]] std::optional<Bytes> read_snapshot() const override {
+    auto snapshot = read_snapshot_file(dir_);
+    if (!snapshot) return std::nullopt;
+    return std::move(snapshot->second);
+  }
+
+  [[nodiscard]] std::uint64_t snapshot_epoch() const override {
+    const auto snapshot = read_snapshot_file(dir_);
+    return snapshot ? snapshot->first : 0;
+  }
+
+  [[nodiscard]] std::uint64_t generation() const override {
+    return read_generation(dir_);
+  }
+
+ private:
+  struct Lane {
+    int fd = -1;
+    std::uint8_t* base = nullptr;  // header + data mapping, or null
+    std::size_t capacity = 0;      // mapped data bytes past the header
+    std::size_t committed = 0;
+  };
+
+  [[nodiscard]] Lane& lane_at(std::size_t lane) {
+    if (lane >= lanes_.size()) {
+      throw StorageError("mmap backend: lane " + std::to_string(lane) +
+                         " out of range");
+    }
+    return lanes_[lane];
+  }
+  [[nodiscard]] const Lane& lane_at(std::size_t lane) const {
+    return const_cast<MmapBackend*>(this)->lane_at(lane);
+  }
+
+  [[nodiscard]] std::string seg_path(std::size_t lane,
+                                     std::uint64_t generation) const {
+    return segment_path(dir_, lane, generation, ".map");
+  }
+
+  void close_lane(Lane& lane) {
+    if (lane.base != nullptr) {
+      ::munmap(lane.base, kHeaderSize + lane.capacity);
+      lane.base = nullptr;
+    }
+    if (lane.fd >= 0) {
+      ::close(lane.fd);
+      lane.fd = -1;
+    }
+    lane.capacity = 0;
+    lane.committed = 0;
+  }
+
+  void open_lane(std::size_t lane_index, Lane& lane) {
+    if (lane.base != nullptr) return;
+    const std::string path = seg_path(lane_index, generation_);
+    lane.fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (lane.fd < 0) throw_errno("open " + path);
+    struct stat st = {};
+    if (::fstat(lane.fd, &st) != 0) throw_errno("fstat " + path);
+    const bool fresh = st.st_size == 0;
+    std::size_t file_size = static_cast<std::size_t>(st.st_size);
+    if (file_size < kHeaderSize + kInitialCapacity) {
+      file_size = kHeaderSize + kInitialCapacity;
+      if (::ftruncate(lane.fd, static_cast<off_t>(file_size)) != 0) {
+        throw_errno("ftruncate " + path);
+      }
+    }
+    void* base = ::mmap(nullptr, file_size, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, lane.fd, 0);
+    if (base == MAP_FAILED) throw_errno("mmap " + path);
+    lane.base = static_cast<std::uint8_t*>(base);
+    lane.capacity = file_size - kHeaderSize;
+    if (fresh) {
+      store_u64(lane.base, kSegmentMagic);
+      store_u64(lane.base + 8, 0);
+      lane.committed = 0;
+    } else {
+      if (load_u64(lane.base) != kSegmentMagic) {
+        throw JournalCorruptError("mmap segment " + path + ": bad magic");
+      }
+      lane.committed = static_cast<std::size_t>(load_u64(lane.base + 8));
+      if (lane.committed > lane.capacity) {
+        throw JournalCorruptError("mmap segment " + path +
+                                  ": committed length past end of file");
+      }
+    }
+  }
+
+  void reserve(std::size_t lane_index, Lane& lane, std::size_t needed) {
+    if (needed <= lane.capacity) return;
+    std::size_t next = lane.capacity == 0 ? kInitialCapacity : lane.capacity;
+    while (next < needed) next *= 2;
+    const std::string path = seg_path(lane_index, generation_);
+    if (::munmap(lane.base, kHeaderSize + lane.capacity) != 0) {
+      throw_errno("munmap " + path);
+    }
+    lane.base = nullptr;
+    if (::ftruncate(lane.fd, static_cast<off_t>(kHeaderSize + next)) != 0) {
+      throw_errno("ftruncate " + path);
+    }
+    void* base = ::mmap(nullptr, kHeaderSize + next, PROT_READ | PROT_WRITE,
+                        MAP_SHARED, lane.fd, 0);
+    if (base == MAP_FAILED) throw_errno("mmap (grow) " + path);
+    lane.base = static_cast<std::uint8_t*>(base);
+    lane.capacity = next;
+  }
+
+  const std::string dir_;
+  mutable std::mutex mutex_;
+  std::uint64_t generation_ = 0;  // writer's cached view of meta
+  std::vector<Lane> lanes_;
+};
+
+}  // namespace
+
+std::shared_ptr<StorageBackend> make_mmap_backend(const std::string& dir,
+                                                  std::size_t lanes) {
+  return std::make_shared<MmapBackend>(dir, lanes == 0 ? 1 : lanes);
+}
+
+}  // namespace keygraphs::storage

@@ -1,0 +1,126 @@
+#include "storage/record.h"
+
+#include <string>
+
+#include "common/io.h"
+#include "storage/crc32.h"
+
+namespace keygraphs::storage {
+
+namespace {
+
+void write_users(ByteWriter& writer, const std::vector<std::uint64_t>& users) {
+  writer.u32(static_cast<std::uint32_t>(users.size()));
+  for (const std::uint64_t user : users) writer.u64(user);
+}
+
+std::vector<std::uint64_t> read_users(ByteReader& reader) {
+  const std::uint32_t count = reader.u32();
+  std::vector<std::uint64_t> users;
+  users.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) users.push_back(reader.u64());
+  return users;
+}
+
+}  // namespace
+
+Bytes JournalRecord::encode_payload() const {
+  ByteWriter writer;
+  writer.u64(sequence);
+  writer.u64(epoch);
+  writer.u8(static_cast<std::uint8_t>(kind));
+  writer.u32(shard);
+  writer.u64(timestamp_us);
+  write_users(writer, joins);
+  write_users(writer, leaves);
+  writer.var_bytes(rng_tape);
+  writer.var_bytes(root_tape);
+  writer.var_bytes(sealed_digest);
+  return writer.take();
+}
+
+JournalRecord JournalRecord::decode_payload(BytesView payload) {
+  try {
+    ByteReader reader(payload);
+    JournalRecord record;
+    record.sequence = reader.u64();
+    record.epoch = reader.u64();
+    record.kind = static_cast<OpKind>(reader.u8());
+    record.shard = reader.u32();
+    record.timestamp_us = reader.u64();
+    record.joins = read_users(reader);
+    record.leaves = read_users(reader);
+    record.rng_tape = reader.var_bytes();
+    record.root_tape = reader.var_bytes();
+    record.sealed_digest = reader.var_bytes();
+    reader.expect_done();
+    if (record.kind != OpKind::kJoin && record.kind != OpKind::kLeave &&
+        record.kind != OpKind::kBatch && record.kind != OpKind::kPreload) {
+      throw JournalCorruptError(
+          "journal record: unknown op kind " +
+          std::to_string(static_cast<unsigned>(record.kind)));
+    }
+    return record;
+  } catch (const ParseError& error) {
+    throw JournalCorruptError(std::string("journal record payload: ") +
+                              error.what());
+  }
+}
+
+Bytes JournalRecord::encode_frame() const {
+  const Bytes payload = encode_payload();
+  ByteWriter writer;
+  writer.u32(kFrameMagic);
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  writer.u32(crc32(payload));
+  writer.raw(payload);
+  return writer.take();
+}
+
+FrameScan scan_frames(BytesView stream, std::size_t base_offset) {
+  FrameScan scan;
+  std::size_t pos = 0;
+  while (pos < stream.size()) {
+    const std::size_t at = base_offset + pos;
+    if (stream.size() - pos < kFrameHeaderSize) {
+      scan.torn_tail = true;
+      break;
+    }
+    const auto read_u32 = [&](std::size_t offset) {
+      std::uint32_t v = 0;
+      for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(stream[pos + offset +
+                                               static_cast<std::size_t>(i)])
+             << (8 * i);
+      }
+      return v;
+    };
+    const std::uint32_t magic = read_u32(0);
+    if (magic != kFrameMagic) {
+      throw JournalCorruptError("journal frame at byte " + std::to_string(at) +
+                                ": bad magic");
+    }
+    const std::uint32_t length = read_u32(4);
+    const std::uint32_t crc = read_u32(8);
+    if (length > kMaxFramePayload) {
+      throw JournalCorruptError("journal frame at byte " + std::to_string(at) +
+                                ": implausible length " +
+                                std::to_string(length));
+    }
+    if (stream.size() - pos - kFrameHeaderSize < length) {
+      scan.torn_tail = true;
+      break;
+    }
+    const BytesView payload = stream.subspan(pos + kFrameHeaderSize, length);
+    if (crc32(payload) != crc) {
+      throw JournalCorruptError("journal frame at byte " + std::to_string(at) +
+                                ": CRC mismatch");
+    }
+    scan.records.push_back(JournalRecord::decode_payload(payload));
+    pos += kFrameHeaderSize + length;
+    scan.consumed = pos;
+  }
+  return scan;
+}
+
+}  // namespace keygraphs::storage

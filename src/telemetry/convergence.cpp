@@ -115,6 +115,19 @@ std::uint64_t ConvergenceMonitor::max_lag() const {
   return worst;
 }
 
+void ConvergenceMonitor::restart_from(std::uint64_t epoch) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  publishes_.clear();
+  published_epoch_ = epoch;
+  for (auto& [user, state] : clients_) {
+    if (state.applied > epoch) state.applied = epoch;
+    if (state.lag != nullptr) {
+      state.lag->set(static_cast<std::int64_t>(epoch - state.applied));
+    }
+  }
+  FleetMetrics::get().published_epoch.set(static_cast<std::int64_t>(epoch));
+}
+
 void ConvergenceMonitor::reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
   publishes_.clear();

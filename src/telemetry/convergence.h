@@ -70,6 +70,15 @@ class ConvergenceMonitor {
   /// points, right after Registry::reset().
   void reset();
 
+  /// Re-anchors the monitor after a server's state was replaced wholesale
+  /// (snapshot restore, journal recovery, standby promotion): drops the
+  /// retained publish ring — those publish timestamps belong to the old
+  /// timeline and scoring them against post-restore applies would fake
+  /// latencies — sets the published high-water mark to `epoch`, and clamps
+  /// client applied marks above it so the next real publish still scores.
+  /// Client identities and the SLO survive.
+  void restart_from(std::uint64_t epoch);
+
  private:
   struct Publish {
     std::uint64_t epoch;

@@ -7,6 +7,8 @@
 #include "common/error.h"
 #include "sim/simulator.h"
 #include "sim/workload.h"
+#include "telemetry/convergence.h"
+#include "telemetry/metrics.h"
 
 namespace keygraphs {
 namespace {
@@ -146,6 +148,53 @@ TEST(ServerSnapshot, SnapshotCarriesEpoch) {
   // The next operation uses epoch 7 — clients' replay protection holds.
   replica.leave(2);
   EXPECT_EQ(replica.epoch(), 7u);
+}
+
+TEST(ServerSnapshot, RestoreResetsTheRetransmitWindow) {
+  server::ServerConfig config;
+  config.rng_seed = 13;
+  config.retransmit_window = 16;
+  config.recovery_rate = 0;
+  transport::NullTransport transport;
+  server::GroupKeyServer server(config, transport);
+  for (UserId user = 1; user <= 6; ++user) server.join(user);
+  const Bytes snapshot = server.snapshot();  // epoch 6
+  for (UserId user = 7; user <= 9; ++user) server.join(user);
+
+  // Sanity: before the restore the window serves the small gap.
+  EXPECT_EQ(server.handle_nack(1, server.epoch() - 1),
+            server::NackOutcome::kRetransmitted);
+
+  server.restore(snapshot);
+  EXPECT_EQ(server.epoch(), 6u);
+  // The retained epoch-7..9 datagrams were invalidated by the rollback:
+  // they encrypt against keys the restored tree has rewound past. A NACK
+  // that once hit the window must now escalate to a full resync rather
+  // than replay stale ciphertext.
+  EXPECT_EQ(server.handle_nack(1, server.epoch() - 1),
+            server::NackOutcome::kResynced);
+}
+
+TEST(ServerSnapshot, RestoreReanchorsTheConvergenceMonitor) {
+  telemetry::Registry::global().reset();
+  telemetry::ConvergenceMonitor::global().reset();
+
+  server::ServerConfig config;
+  config.rng_seed = 14;
+  transport::NullTransport transport;
+  server::GroupKeyServer server(config, transport);
+  for (UserId user = 1; user <= 6; ++user) server.join(user);
+  const Bytes snapshot = server.snapshot();
+  for (UserId user = 7; user <= 10; ++user) server.join(user);
+  EXPECT_EQ(telemetry::ConvergenceMonitor::global().published_epoch(), 10u);
+
+  // Rolling back must also roll back the published high-water mark:
+  // otherwise every post-restore apply at epochs 7..10 would score
+  // against the pre-restore publish timeline and fake fleet latencies.
+  server.restore(snapshot);
+  EXPECT_EQ(telemetry::ConvergenceMonitor::global().published_epoch(), 6u);
+  server.join(20);
+  EXPECT_EQ(telemetry::ConvergenceMonitor::global().published_epoch(), 7u);
 }
 
 }  // namespace

@@ -4,8 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
 #include "common/error.h"
 #include "rekey/executor.h"
+#include "storage/errors.h"
 
 namespace keygraphs::server {
 namespace {
@@ -163,6 +169,73 @@ TEST(Spec, RejectsBadScheduleCacheCapacities) {
   EXPECT_THROW(
       parse_server_spec("client_schedule_cache_capacity = 1048577\n"),
       ProtocolError);
+}
+
+TEST(Spec, ParsesStorageKeys) {
+  const ServerSpec spec = parse_server_spec(
+      "storage = file\njournal_dir = /tmp/kg_journal\n"
+      "snapshot_interval = 256\n");
+  EXPECT_EQ(spec.config.storage.kind, storage::Kind::kFile);
+  EXPECT_EQ(spec.config.storage.journal_dir, "/tmp/kg_journal");
+  EXPECT_EQ(spec.config.storage.snapshot_interval, 256u);
+  EXPECT_TRUE(spec.config.storage.enabled());
+
+  EXPECT_EQ(parse_server_spec("storage = memory\n").config.storage.kind,
+            storage::Kind::kMemory);
+  EXPECT_EQ(parse_server_spec(
+                "storage = mmap\njournal_dir = /tmp/kg_journal\n")
+                .config.storage.kind,
+            storage::Kind::kMmap);
+  EXPECT_EQ(parse_server_spec("storage = none\n").config.storage.kind,
+            storage::Kind::kNone);
+
+  // Defaults: durability off, the pre-journal behavior.
+  const ServerSpec defaults = parse_server_spec("degree = 4\n");
+  EXPECT_EQ(defaults.config.storage.kind, storage::Kind::kNone);
+  EXPECT_FALSE(defaults.config.storage.enabled());
+  EXPECT_EQ(defaults.config.storage.snapshot_interval, 1024u);
+}
+
+TEST(Spec, RejectsBadStorageValues) {
+  EXPECT_THROW(parse_server_spec("storage = tape\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("journal_dir =\n"), ProtocolError);
+  EXPECT_THROW(parse_server_spec("snapshot_interval = soon\n"),
+               ProtocolError);
+  EXPECT_THROW(parse_server_spec("snapshot_interval = 2000000000\n"),
+               ProtocolError);
+}
+
+TEST(Spec, DiskStorageRequiresJournalDir) {
+  // The cross-field check names the offending backend.
+  for (const char* kind : {"file", "mmap"}) {
+    try {
+      parse_server_spec(std::string("storage = ") + kind + "\n");
+      FAIL() << "expected ProtocolError for storage = " << kind;
+    } catch (const ProtocolError& error) {
+      EXPECT_NE(std::string(error.what()).find("requires journal_dir"),
+                std::string::npos);
+      EXPECT_NE(std::string(error.what()).find(kind), std::string::npos);
+    }
+  }
+  // A memory journal needs no directory.
+  EXPECT_NO_THROW(parse_server_spec("storage = memory\n"));
+}
+
+TEST(Spec, UnwritableJournalDirFailsAtBoot) {
+  // A path that cannot be a directory (its parent is a regular file):
+  // parsing succeeds — the path is syntactically fine — but the server
+  // constructor's make_backend throws a typed StorageError.
+  const std::string file =
+      (std::filesystem::temp_directory_path() /
+       ("kg_not_a_dir_" + std::to_string(::getpid())))
+          .string();
+  { std::ofstream touch(file); }
+  const ServerSpec spec = parse_server_spec(
+      "storage = file\njournal_dir = " + file + "/journal\n");
+  transport::NullTransport transport;
+  EXPECT_THROW(GroupKeyServer server(spec.config, transport),
+               storage::StorageError);
+  std::filesystem::remove(file);
 }
 
 TEST(Spec, SigningRequiresSignatureAlgorithm) {

@@ -121,6 +121,28 @@ int main(int argc, char** argv) {
   server::GroupKeyServer server(spec.config, transport,
                                 spec.access_control());
 
+  // Crash recovery: rebuild state from the journal before serving (or
+  // admitting the initial cohort — on a restart those users are already
+  // members and the joins below return kDuplicate). A torn tail means the
+  // process died mid-append; that record's datagrams never left, so
+  // dropping it is safe.
+  if (server.durable() != nullptr) {
+    try {
+      storage::RecoveryOptions options;
+      options.tolerate_torn_tail = true;
+      server.recover_from_storage(options);
+      std::printf("keyserverd: recovered epoch %llu, %zu members from %s "
+                  "journal\n",
+                  static_cast<unsigned long long>(server.epoch()),
+                  server.tree_view()->user_count(),
+                  server.durable()->backend().name());
+    } catch (const storage::StorageError& error) {
+      std::fprintf(stderr, "keyserverd: journal recovery failed: %s\n",
+                   error.what());
+      return 3;
+    }
+  }
+
   for (UserId user = 1; user <= spec.initial_size; ++user) {
     server.join(user);
   }
