@@ -18,6 +18,7 @@
 #include <thread>
 #include <utility>
 
+#include "crypto/cpu_features.h"
 #include "sim/experiment.h"
 #include "sim/table.h"
 #include "telemetry/stage.h"
@@ -121,6 +122,10 @@ inline void emit_header_json(
   json += bench;
   json += "\",\"header\":true,\"hardware_concurrency\":";
   json += std::to_string(std::thread::hardware_concurrency());
+  // Which AES kernel the dispatcher picked (and why): results from a
+  // hardware-kernel host and a table-fallback host must never be compared
+  // without noticing.
+  json += ",\"cpu_features\":" + crypto::cpu_features_json();
   for (const auto& [key, value] : config) {
     json += ",\"";
     json += key;

@@ -15,7 +15,9 @@
 #include "bench_util.h"
 #include "client/client.h"
 #include "crypto/aes.h"
+#include "crypto/aes_aesni.h"
 #include "crypto/cbc.h"
+#include "crypto/cpu_features.h"
 #include "crypto/des.h"
 #include "crypto/random.h"
 #include "crypto/rsa.h"
@@ -47,6 +49,21 @@ void BM_AesBlock(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AesBlock);
+
+void BM_AesNiBlock(benchmark::State& state) {
+  if (!Aes128Ni::supported()) {
+    state.SkipWithError("AES-NI not available on this host");
+    return;
+  }
+  SecureRandom rng(2);
+  const Aes128Ni aes(rng.bytes(16));
+  Bytes block = rng.bytes(16);
+  for (auto _ : state) {
+    aes.encrypt_block(block.data(), block.data());
+    benchmark::DoNotOptimize(block.data());
+  }
+}
+BENCHMARK(BM_AesNiBlock);
 
 void BM_CbcKeyWrap(benchmark::State& state) {
   // One rekey payload item: CBC-encrypt one 8-byte key (incl. key schedule,
@@ -215,7 +232,36 @@ double expansions_per_sec(CipherAlgorithm algorithm, double window_ms) {
   return static_cast<double>(count) / elapsed.count();
 }
 
+/// CBC blocks per second through the fused multi-stream kernel: 8
+/// independent messages advancing in lockstep, the shape the executor's
+/// batched seal presents.
+double multi_stream_blocks_per_sec(const Aes128Ni& cipher, double window_ms) {
+  SecureRandom rng(23);
+  constexpr std::size_t kMessage = 1024 * 16;  // 1024 blocks per stream
+  const Bytes plaintext = rng.bytes(kMessage * kAesNiMaxStreams);
+  const Bytes iv = rng.bytes(16 * kAesNiMaxStreams);
+  Bytes out((kMessage + 32) * kAesNiMaxStreams);
+  AesNiCbcStream streams[kAesNiMaxStreams];
+  for (std::size_t s = 0; s < kAesNiMaxStreams; ++s) {
+    streams[s] = {&cipher, plaintext.data() + s * kMessage, kMessage,
+                  iv.data() + s * 16, out.data() + s * (kMessage + 32)};
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::duration<double, std::milli>(
+                                    window_ms);
+  std::uint64_t count = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    aesni_cbc_encrypt_streams(streams, kAesNiMaxStreams);
+    count += (kMessage / 16 + 1) * kAesNiMaxStreams;
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  benchmark::DoNotOptimize(out.data());
+  return static_cast<double>(count) / elapsed.count();
+}
+
 void emit_primitive_json() {
+  bench::emit_header_json("micro_crypto");
   const double window_ms =
       static_cast<double>(bench::env_size("KG_CRYPTO_MS", 200));
   SecureRandom rng(22);
@@ -233,6 +279,26 @@ void emit_primitive_json() {
         cipher_name(algorithm).c_str(), cipher->block_size(),
         blocks_per_sec(*cipher, window_ms),
         expansions_per_sec(algorithm, window_ms));
+    bench::emit_json_line(buffer);
+  }
+  // Per-kernel AES lines (explicit construction, independent of the
+  // dispatch choice), so the hardware-vs-table speedup is one grep away.
+  const Bytes aes_key = rng.bytes(16);
+  const Aes128 table(aes_key);
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "{\"bench\":\"micro_crypto\",\"primitive\":\"AES-128-table\","
+                "\"block_bytes\":16,\"blocks_per_sec\":%.0f}",
+                blocks_per_sec(table, window_ms));
+  bench::emit_json_line(buffer);
+  if (Aes128Ni::supported()) {
+    const Aes128Ni ni(aes_key);
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\"bench\":\"micro_crypto\",\"primitive\":\"AES-128-ni\","
+                  "\"block_bytes\":16,\"blocks_per_sec\":%.0f,"
+                  "\"multi_stream_blocks_per_sec\":%.0f}",
+                  blocks_per_sec(ni, window_ms),
+                  multi_stream_blocks_per_sec(ni, window_ms));
     bench::emit_json_line(buffer);
   }
 }

@@ -15,12 +15,28 @@
 
 namespace keygraphs::crypto {
 
+/// Kernel identity, for dispatch *below* the virtual-call granularity:
+/// CbcCipher::encrypt_many_into interleaves the independent streams of a
+/// batch when every stream's cipher shares a fused multi-block kernel
+/// (AES-NI rounds pipeline across 4-8 messages), and falls back to
+/// sequential encrypt_block calls otherwise. Purely a performance hint —
+/// output bytes are identical on every kernel.
+enum class BlockKernel : std::uint8_t {
+  kGeneric = 0,  ///< one virtual encrypt_block call per block
+  kAesNi = 1,    ///< crypto/aes_aesni.h hardware kernel
+};
+
 /// A raw block cipher: fixed block and key size, one-block ECB primitives.
 /// Implementations are immutable after construction (key schedule is built
 /// in the constructor), so a const instance is safe to share across threads.
 class BlockCipher {
  public:
   virtual ~BlockCipher() = default;
+
+  /// Which fused kernel (if any) this instance can take part in.
+  [[nodiscard]] virtual BlockKernel kernel() const noexcept {
+    return BlockKernel::kGeneric;
+  }
 
   /// Block size in bytes (8 for DES, 16 for AES-128).
   [[nodiscard]] virtual std::size_t block_size() const noexcept = 0;

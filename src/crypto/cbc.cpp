@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "crypto/aes_aesni.h"
 #include "crypto/random.h"
 
 namespace keygraphs::crypto {
@@ -51,6 +52,37 @@ void CbcCipher::encrypt_into(BytesView plaintext, BytesView iv,
   }
   for (std::size_t i = tail; i < block; ++i) dst[i] = pad ^ chain[i];
   cipher_->encrypt_block(dst, dst);
+}
+
+void CbcCipher::encrypt_many_into(std::span<const StreamOp> ops) {
+  std::size_t i = 0;
+  while (i < ops.size()) {
+    // Collect a run of consecutive AES-NI ops and hand them to the fused
+    // multi-stream kernel; a batch of independent CBC messages pipelines
+    // even though each one's chain is serial.
+    if (ops[i].cbc->cipher().kernel() == BlockKernel::kAesNi) {
+      AesNiCbcStream streams[kAesNiMaxStreams];
+      std::size_t n = 0;
+      while (i < ops.size() && n < kAesNiMaxStreams &&
+             ops[i].cbc->cipher().kernel() == BlockKernel::kAesNi) {
+        const StreamOp& op = ops[i];
+        if (op.iv.size() != Aes128Ni::kBlockSize) {
+          throw CryptoError("CBC: IV must be one block");
+        }
+        streams[n].cipher = static_cast<const Aes128Ni*>(&op.cbc->cipher());
+        streams[n].plaintext = op.plaintext.data();
+        streams[n].plaintext_size = op.plaintext.size();
+        streams[n].iv = op.iv.data();
+        streams[n].out = op.out;
+        ++n;
+        ++i;
+      }
+      aesni_cbc_encrypt_streams(streams, n);
+      continue;
+    }
+    ops[i].cbc->encrypt_into(ops[i].plaintext, ops[i].iv, ops[i].out);
+    ++i;
+  }
 }
 
 Bytes CbcCipher::decrypt(BytesView iv_and_ciphertext) const {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "crypto/block_cipher.h"
 
@@ -34,6 +35,24 @@ class CbcCipher {
   /// padded plaintext copy is ever made, so there is nothing to wipe.
   /// `out` must not alias `plaintext` or `iv`.
   void encrypt_into(BytesView plaintext, BytesView iv, std::uint8_t* out) const;
+
+  /// One independent encryption of a multi-buffer batch: the same
+  /// contract as encrypt_into on `cbc`, with `out` sized to
+  /// cbc->ciphertext_size(plaintext.size()).
+  struct StreamOp {
+    const CbcCipher* cbc = nullptr;
+    BytesView plaintext;
+    BytesView iv;
+    std::uint8_t* out = nullptr;
+  };
+
+  /// Encrypts every op of a batch, byte-identical to calling
+  /// op.cbc->encrypt_into(op.plaintext, op.iv, op.out) in order. Runs of
+  /// consecutive ops whose ciphers share the AES-NI kernel are interleaved
+  /// up to kAesNiMaxStreams at a time (the CBC chain is serial within one
+  /// message but independent messages pipeline); everything else falls
+  /// back to sequential encrypt_into. Outputs must not overlap inputs.
+  static void encrypt_many_into(std::span<const StreamOp> ops);
 
   /// Inverse of encrypt(); throws CryptoError on bad length or padding.
   [[nodiscard]] Bytes decrypt(BytesView iv_and_ciphertext) const;

@@ -1,0 +1,105 @@
+#include "crypto/cpu_features.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+#include "common/error.h"
+#include "crypto/aes_aesni.h"
+#include "telemetry/metrics.h"
+
+namespace keygraphs::crypto {
+
+namespace {
+
+CpuFeatures probe() {
+  CpuFeatures features;
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) != 0) {
+    features.aesni = (ecx & (1u << 25)) != 0;
+    features.ssse3 = (ecx & (1u << 9)) != 0;
+    features.sse41 = (ecx & (1u << 19)) != 0;
+    features.pclmul = (ecx & (1u << 1)) != 0;
+    features.sse2 = (edx & (1u << 26)) != 0;
+  }
+#endif
+  features.aesni_compiled = aesni_kernel_compiled();
+  const char* disable = std::getenv("KG_DISABLE_AESNI");
+  features.disabled_by_env =
+      disable != nullptr && *disable != '\0' &&
+      !(disable[0] == '0' && disable[1] == '\0');
+  return features;
+}
+
+/// Dispatch state: -1 = follow the probe, 0 = forced table, 1 = forced
+/// hardware. Relaxed atomics — the decision is a hint read on cipher
+/// construction, never a synchronization point.
+std::atomic<int> g_override{-1};
+
+telemetry::Gauge& kernel_gauge() {
+  static telemetry::Gauge& gauge = telemetry::Registry::global().gauge(
+      "crypto.kernel",
+      "AES dispatch choice: 1 = AES-NI hardware kernel, 0 = table fallback");
+  return gauge;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = probe();
+  return features;
+}
+
+bool aesni_dispatch_enabled() {
+  const int forced = g_override.load(std::memory_order_relaxed);
+  const CpuFeatures& features = cpu_features();
+  const bool enabled = forced >= 0
+                           ? forced != 0
+                           : features.aesni_usable() &&
+                                 !features.disabled_by_env;
+  kernel_gauge().set(enabled ? 1 : 0);
+  return enabled;
+}
+
+void override_aesni_dispatch(std::optional<bool> enabled) {
+  if (enabled.has_value() && *enabled && !cpu_features().aesni_usable()) {
+    throw CryptoError(
+        "override_aesni_dispatch: AES-NI kernel not usable on this host");
+  }
+  g_override.store(enabled.has_value() ? (*enabled ? 1 : 0) : -1,
+                   std::memory_order_relaxed);
+  (void)aesni_dispatch_enabled();  // refresh the gauge
+}
+
+const char* aes_kernel_name() {
+  return aesni_dispatch_enabled() ? "aesni" : "table";
+}
+
+std::string cpu_features_json() {
+  const CpuFeatures& features = cpu_features();
+  const auto flag = [](bool value) { return value ? "true" : "false"; };
+  std::string json = "{\"aesni\":";
+  json += flag(features.aesni);
+  json += ",\"sse2\":";
+  json += flag(features.sse2);
+  json += ",\"ssse3\":";
+  json += flag(features.ssse3);
+  json += ",\"sse4_1\":";
+  json += flag(features.sse41);
+  json += ",\"pclmul\":";
+  json += flag(features.pclmul);
+  json += ",\"aesni_compiled\":";
+  json += flag(features.aesni_compiled);
+  json += ",\"disabled_by_env\":";
+  json += flag(features.disabled_by_env);
+  json += ",\"dispatch\":\"";
+  json += aes_kernel_name();
+  json += "\"}";
+  return json;
+}
+
+}  // namespace keygraphs::crypto

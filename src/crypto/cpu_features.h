@@ -1,0 +1,72 @@
+// Runtime CPU feature detection and the AES kernel dispatch decision.
+//
+// The block-cipher hot path has three kernels: the retained bit-loop
+// reference (crypto/reference.h, the cross-check oracle), the table-driven
+// portable kernel (crypto/aes.h), and the AES-NI kernel (crypto/aes_aesni.h)
+// that runs one round per instruction. Which one `make_cipher` hands out is
+// decided here, once, from three inputs:
+//
+//   1. what this binary was compiled with (the AES-NI translation unit is
+//      only built on x86 toolchains that accept -maes);
+//   2. what the CPU reports via CPUID leaf 1 (AES-NI, SSE2);
+//   3. the KG_DISABLE_AESNI environment override, so the portable path can
+//      be exercised on hardware that would otherwise never take it.
+//
+// The decision is observable: the `crypto.kernel` gauge reads 1 while the
+// hardware kernel is the dispatch choice and 0 on the table fallback, and
+// cpu_features_json() puts the whole probe into every bench JSON header.
+// Wire bytes never depend on the choice — AES is AES — which the
+// cross-check KATs in tests/test_crypto_kernels.cpp pin.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace keygraphs::crypto {
+
+/// The CPUID probe result plus what this binary can actually run.
+struct CpuFeatures {
+  bool aesni = false;          ///< CPUID.1:ECX.AES[25]
+  bool sse2 = false;           ///< CPUID.1:EDX.SSE2[26]
+  bool ssse3 = false;          ///< CPUID.1:ECX.SSSE3[9]
+  bool sse41 = false;          ///< CPUID.1:ECX.SSE4.1[19]
+  bool pclmul = false;         ///< CPUID.1:ECX.PCLMULQDQ[1]
+  bool aesni_compiled = false; ///< the AES-NI kernel is built into this binary
+  bool disabled_by_env = false;  ///< KG_DISABLE_AESNI was set (and not "0")
+
+  /// True when the hardware kernel can execute here: compiled in and the
+  /// CPU reports both AES-NI and SSE2. Ignores the env override — tests
+  /// cross-check the hardware kernel even when dispatch is forced portable.
+  [[nodiscard]] bool aesni_usable() const noexcept {
+    return aesni_compiled && aesni && sse2;
+  }
+};
+
+/// The probe, run once on first use (thread-safe magic static). The env
+/// override is read at the same time; set it before the first cipher is
+/// constructed.
+const CpuFeatures& cpu_features();
+
+/// The live dispatch decision `make_cipher` consults for AES-128: usable
+/// hardware, not disabled by env, and not overridden below. Updates the
+/// `crypto.kernel` gauge as a side effect of any change.
+[[nodiscard]] bool aesni_dispatch_enabled();
+
+/// Test/bench override: force the dispatch decision to `enabled` (forcing
+/// true on hardware where aesni_usable() is false throws CryptoError), or
+/// pass nullopt to return to the probed default. The kernel ablation
+/// sweeps table-vs-hardware in one process through this; production code
+/// never calls it.
+void override_aesni_dispatch(std::optional<bool> enabled);
+
+/// `"aesni"` or `"table"` — the current dispatch choice, for labels.
+[[nodiscard]] const char* aes_kernel_name();
+
+/// The probe as a JSON object (no trailing newline), e.g.
+/// {"aesni":true,"sse2":true,"ssse3":true,"sse4_1":true,"pclmul":true,
+///  "aesni_compiled":true,"disabled_by_env":false,"dispatch":"aesni"}.
+/// Benches embed it in their header line so every result records which
+/// kernel actually ran.
+[[nodiscard]] std::string cpu_features_json();
+
+}  // namespace keygraphs::crypto

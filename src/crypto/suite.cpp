@@ -2,6 +2,8 @@
 
 #include "common/error.h"
 #include "crypto/aes.h"
+#include "crypto/aes_aesni.h"
+#include "crypto/cpu_features.h"
 #include "crypto/des.h"
 #include "crypto/des3.h"
 #include "crypto/md5.h"
@@ -16,6 +18,10 @@ std::unique_ptr<BlockCipher> make_cipher(CipherAlgorithm algorithm,
     case CipherAlgorithm::kDes:
       return std::make_unique<Des>(key);
     case CipherAlgorithm::kAes128:
+      // Runtime dispatch: same algorithm, same bytes, different kernel.
+      if (aesni_dispatch_enabled()) {
+        return std::make_unique<Aes128Ni>(key);
+      }
       return std::make_unique<Aes128>(key);
     case CipherAlgorithm::kDes3:
       return std::make_unique<Des3>(key);

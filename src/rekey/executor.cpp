@@ -9,36 +9,64 @@ namespace keygraphs::rekey {
 using telemetry::Stage;
 using telemetry::StageScope;
 
-/// Resolves one WrapOp into its KeyBlob. Runs on any thread: reads only
-/// the immutable plan, the (thread-safe) schedule cache, and a per-worker
-/// scratch buffer; bumps the (atomic) global encryption counter.
-KeyBlob RekeyExecutor::seal_wrap(const WrapOp& op, const KeySnapshot& keys) {
-  KeyBlob blob;
-  blob.wrap = op.wrap;
-  blob.targets = op.targets;
+/// Resolves the WrapOps [begin, end) of one batch. Runs on any thread:
+/// reads only the immutable plan, the (thread-safe) schedule cache, and
+/// per-worker scratch buffers; bumps the (atomic) global encryption
+/// counter. The whole batch goes through one encrypt_many_into call, so
+/// on the AES-NI kernel its independent CBC streams pipeline; the bytes
+/// are identical to sealing each op alone.
+void RekeyExecutor::seal_wrap_batch(const RekeyPlan& plan, std::size_t begin,
+                                    std::size_t end,
+                                    std::vector<KeyBlob>& blobs) {
+  // Gather every plaintext of the batch into one scratch buffer first,
+  // recording offsets — views are formed only after the buffer stops
+  // growing (insert may reallocate).
   thread_local Bytes scratch;
+  thread_local std::vector<std::pair<std::size_t, std::size_t>> extents;
+  thread_local std::vector<crypto::CbcCipher> ciphers;
+  thread_local std::vector<crypto::CbcCipher::StreamOp> streams;
   scratch.clear();
-  for (const KeyRef& target : op.targets) {
-    const BytesView secret = keys.secret(target);
-    scratch.insert(scratch.end(), secret.begin(), secret.end());
+  extents.clear();
+  ciphers.clear();
+  streams.clear();
+  ciphers.reserve(end - begin);
+  std::size_t encryptions_in_batch = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const WrapOp& op = plan.ops[i];
+    KeyBlob& blob = blobs[i];
+    blob.wrap = op.wrap;
+    blob.targets = op.targets;
+    const std::size_t offset = scratch.size();
+    for (const KeyRef& target : op.targets) {
+      const BytesView secret = plan.keys.secret(target);
+      scratch.insert(scratch.end(), secret.begin(), secret.end());
+    }
+    extents.emplace_back(offset, scratch.size() - offset);
+    ciphers.emplace_back(cache_.get(cipher_, op.wrap, plan.keys.secret(op.wrap)));
+    encryptions_in_batch += op.targets.size();
   }
-  const crypto::CbcCipher cbc(
-      cache_.get(cipher_, op.wrap, keys.secret(op.wrap)));
-  blob.ciphertext.resize(cbc.ciphertext_size(scratch.size()));
-  cbc.encrypt_into(scratch, op.iv, blob.ciphertext.data());
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto [offset, size] = extents[i - begin];
+    const crypto::CbcCipher& cbc = ciphers[i - begin];
+    blobs[i].ciphertext.resize(cbc.ciphertext_size(size));
+    streams.push_back({&cbc, BytesView(scratch.data() + offset, size),
+                       plan.ops[i].iv, blobs[i].ciphertext.data()});
+  }
+  crypto::CbcCipher::encrypt_many_into(streams);
   if (telemetry::enabled()) {
     static auto& encryptions =
         telemetry::Registry::global().counter("rekey.key_encryptions");
-    encryptions.add(op.targets.size());
+    encryptions.add(encryptions_in_batch);
   }
   secure_wipe(scratch.data(), scratch.size());
-  return blob;
 }
 
 RekeyExecutor::RekeyExecutor(crypto::CipherAlgorithm cipher,
-                             std::size_t threads, std::size_t cache_capacity)
+                             std::size_t threads, std::size_t cache_capacity,
+                             std::size_t seal_batch)
     : cipher_(cipher),
       threads_(threads == 0 ? 1 : threads),
+      seal_batch_(seal_batch == 0 ? 1 : seal_batch),
       cache_(cache_capacity, "rekey.schedule_cache") {
   if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_ - 1);
 }
@@ -76,9 +104,17 @@ std::vector<SealedRekey> RekeyExecutor::seal(const RekeyPlan& plan,
         }
       }
     }
-    run(plan.ops.size(), [&](std::size_t i) {
+    // Fan out over batches of seal_batch_ ops, not single ops: each work
+    // unit multi-buffers its streams through one encrypt_many_into call.
+    const std::size_t batches =
+        (plan.ops.size() + seal_batch_ - 1) / seal_batch_;
+    run(batches, [&](std::size_t b) {
       const StageScope op_scope(Stage::kEncrypt);  // inert on pool workers
-      blobs[i] = seal_wrap(plan.ops[i], plan.keys);
+      const std::size_t begin = b * seal_batch_;
+      const std::size_t end =
+          begin + seal_batch_ < plan.ops.size() ? begin + seal_batch_
+                                                : plan.ops.size();
+      seal_wrap_batch(plan, begin, end, blobs);
     });
   }
 

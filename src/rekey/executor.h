@@ -49,9 +49,19 @@ class RekeyExecutor {
   /// tree fits with room to spare) yet only ~a few MB of round keys.
   static constexpr std::size_t kDefaultCacheCapacity = 8192;
 
+  /// Wrap ops sealed per work unit. Each unit is handed to
+  /// CbcCipher::encrypt_many_into, which interleaves up to
+  /// crypto::kAesNiMaxStreams independent CBC streams on the hardware
+  /// kernel — 8 matches that width. Output is byte-identical at any
+  /// batch size or thread split (work is keyed by op index).
+  static constexpr std::size_t kDefaultSealBatch = 8;
+
   /// `threads` >= 1; 1 means serial (no pool is created, no threads spawn).
+  /// `seal_batch` >= 1 is the wrap-op batch width (exposed for the
+  /// hardware-sealing ablation's batch sweep).
   RekeyExecutor(crypto::CipherAlgorithm cipher, std::size_t threads,
-                std::size_t cache_capacity = kDefaultCacheCapacity);
+                std::size_t cache_capacity = kDefaultCacheCapacity,
+                std::size_t seal_batch = kDefaultSealBatch);
 
   /// Seals every message of `plan` in plan order. Safe to call from
   /// several threads concurrently (the pool multiplexes batches); the
@@ -61,6 +71,9 @@ class RekeyExecutor {
 
   [[nodiscard]] std::size_t threads() const noexcept { return threads_; }
 
+  /// The wrap-op batch width the seal fan-out uses.
+  [[nodiscard]] std::size_t seal_batch() const noexcept { return seal_batch_; }
+
   /// The wrapping-key schedule cache (exposed for tests and benchmarks).
   [[nodiscard]] ScheduleCache& schedule_cache() noexcept { return cache_; }
 
@@ -68,13 +81,17 @@ class RekeyExecutor {
   /// fn(i) for i in [0, n), on the pool when it exists, inline otherwise.
   void run(std::size_t n, const std::function<void(std::size_t)>& fn);
 
-  /// Resolves one WrapOp into its KeyBlob using the cached schedule for
-  /// op.wrap and a per-worker scratch buffer (no allocation on the hot
-  /// path once scratch and the blob ciphertext reach steady-state size).
-  KeyBlob seal_wrap(const WrapOp& op, const KeySnapshot& keys);
+  /// Resolves the WrapOps [begin, end) of `plan` into blobs[begin..end),
+  /// multi-buffer: plaintexts are gathered into one per-worker scratch
+  /// buffer, ciphers come from the schedule cache, and all streams of the
+  /// batch go through one CbcCipher::encrypt_many_into call (no allocation
+  /// on the hot path once the per-worker buffers reach steady-state size).
+  void seal_wrap_batch(const RekeyPlan& plan, std::size_t begin,
+                       std::size_t end, std::vector<KeyBlob>& blobs);
 
   crypto::CipherAlgorithm cipher_;
   std::size_t threads_;
+  std::size_t seal_batch_;
   std::unique_ptr<ThreadPool> pool_;  // null when threads_ == 1
   ScheduleCache cache_;
 };

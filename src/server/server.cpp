@@ -528,29 +528,44 @@ void GroupKeyServer::dispatch(PendingRekey&& pending) {
                                       pending.trace.epoch,
                                       pending.trace.op_kind};
   }
-  for (const rekey::SealedRekey& sealed : pending.sealed) {
-    Bytes datagram;
-    {
-      const StageScope scope(Stage::kSerialize);
-      datagram = rekey::Datagram{rekey::MessageType::kRekey, sealed.wire,
-                                 extension}
-                     .encode();
+  // Frame every datagram of the burst first, then hand the whole burst to
+  // the transport at once: gather-capable transports (UDP sendmmsg)
+  // amortize the per-datagram syscall across the burst, and the default
+  // deliver_many preserves the old per-message delivery order exactly.
+  std::vector<Bytes> datagrams(pending.sealed.size());
+  {
+    const StageScope scope(Stage::kSerialize);
+    for (std::size_t i = 0; i < pending.sealed.size(); ++i) {
+      datagrams[i] = rekey::Datagram{rekey::MessageType::kRekey,
+                                     pending.sealed[i].wire, extension}
+                         .encode();
+      op.bytes += datagrams[i].size();
+      op.min_message = std::min(op.min_message, datagrams[i].size());
+      op.max_message = std::max(op.max_message, datagrams[i].size());
     }
-    op.bytes += datagram.size();
-    op.min_message = std::min(op.min_message, datagram.size());
-    op.max_message = std::max(op.max_message, datagram.size());
-    const rekey::Recipient to = sealed.to;
+  }
+  {
     const StageScope scope(Stage::kSend);
-    // Resolve fan-out on the plan-time view: identical to the live tree in
-    // a sequential run, and immune to concurrent mutations between plan
-    // and dispatch under the locked facade.
-    transport_.deliver(to, datagram, [view = pending.view, to] {
-      return to.kind == rekey::Recipient::Kind::kUser
-                 ? std::vector<UserId>{to.user}
-                 : view->resolve_subgroup(to.include, to.exclude);
-    });
-    if (remember) {
-      stored.push_back(rekey::StoredDatagram{to, std::move(datagram)});
+    std::vector<transport::ServerTransport::OutboundDatagram> items;
+    items.reserve(pending.sealed.size());
+    for (std::size_t i = 0; i < pending.sealed.size(); ++i) {
+      const rekey::Recipient to = pending.sealed[i].to;
+      // Resolve fan-out on the plan-time view: identical to the live tree
+      // in a sequential run, and immune to concurrent mutations between
+      // plan and dispatch under the locked facade.
+      items.push_back({to, datagrams[i], [view = pending.view, to] {
+                         return to.kind == rekey::Recipient::Kind::kUser
+                                    ? std::vector<UserId>{to.user}
+                                    : view->resolve_subgroup(to.include,
+                                                             to.exclude);
+                       }});
+    }
+    transport_.deliver_many(items);
+  }
+  if (remember) {
+    for (std::size_t i = 0; i < pending.sealed.size(); ++i) {
+      stored.push_back(rekey::StoredDatagram{pending.sealed[i].to,
+                                             std::move(datagrams[i])});
     }
   }
   if (remember) {

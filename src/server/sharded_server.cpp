@@ -551,25 +551,35 @@ void ShardedGroupKeyServer::dispatch_locked(Lane& lane, Pending& pending,
         rekey::TraceExtension{pending.trace_id, pending.epoch,
                               static_cast<std::uint8_t>(op.kind)};
   }
+  // Frame the whole burst, then deliver it through one deliver_many call
+  // (gather-capable transports batch the syscalls; the default loops
+  // deliver() in the same order as before).
+  std::vector<Bytes> datagrams(pending.sealed.size());
+  std::vector<transport::ServerTransport::OutboundDatagram> items;
+  items.reserve(pending.sealed.size());
   for (std::size_t i = 0; i < pending.sealed.size(); ++i) {
-    const rekey::SealedRekey& sealed = pending.sealed[i];
-    Bytes datagram =
-        rekey::Datagram{rekey::MessageType::kRekey, sealed.wire, extension}
-            .encode();
-    op.bytes += datagram.size();
-    op.min_message = std::min(op.min_message, datagram.size());
-    op.max_message = std::max(op.max_message, datagram.size());
-    const rekey::Recipient to = sealed.to;
+    datagrams[i] = rekey::Datagram{rekey::MessageType::kRekey,
+                                   pending.sealed[i].wire, extension}
+                       .encode();
+    op.bytes += datagrams[i].size();
+    op.min_message = std::min(op.min_message, datagrams[i].size());
+    op.max_message = std::max(op.max_message, datagrams[i].size());
+    const rekey::Recipient to = pending.sealed[i].to;
     const TreeViewPtr& view = pending.views[i];
-    transport_.deliver(to, datagram, [view, to] {
-      return to.kind == rekey::Recipient::Kind::kUser
-                 ? std::vector<UserId>{to.user}
-                 : view->resolve_subgroup(to.include, to.exclude);
-    });
-    if (remember) {
+    items.push_back({to, datagrams[i], [view, to] {
+                       return to.kind == rekey::Recipient::Kind::kUser
+                                  ? std::vector<UserId>{to.user}
+                                  : view->resolve_subgroup(to.include,
+                                                           to.exclude);
+                     }});
+  }
+  transport_.deliver_many(items);
+  if (remember) {
+    for (std::size_t i = 0; i < pending.sealed.size(); ++i) {
       // Pin the per-datagram view: broadcasts address other shards, so the
       // entry-level (lane) view cannot answer their recipient filters.
-      stored.push_back(rekey::StoredDatagram{to, std::move(datagram), view});
+      stored.push_back(rekey::StoredDatagram{
+          pending.sealed[i].to, std::move(datagrams[i]), pending.views[i]});
     }
   }
   if (remember) {

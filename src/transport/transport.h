@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "common/bytes.h"
@@ -31,6 +32,24 @@ class ServerTransport {
 
   virtual void deliver(const rekey::Recipient& to, BytesView datagram,
                        const Resolver& resolve) = 0;
+
+  /// One framed datagram of a dispatch burst, for deliver_many.
+  struct OutboundDatagram {
+    rekey::Recipient to;
+    BytesView datagram;
+    Resolver resolve;
+  };
+
+  /// Delivers a whole burst at once. Semantically identical to calling
+  /// deliver() on each item in order — and that is the default — but
+  /// implementations that can gather (UDP via sendmmsg) override it to
+  /// amortize per-datagram syscall cost across the burst. The referenced
+  /// datagram bytes must stay alive for the duration of the call.
+  virtual void deliver_many(std::span<const OutboundDatagram> items) {
+    for (const OutboundDatagram& item : items) {
+      deliver(item.to, item.datagram, item.resolve);
+    }
+  }
 };
 
 /// Counts-only transport for timing benches.

@@ -5,7 +5,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/error.h"
@@ -23,6 +25,8 @@ struct UdpMetrics {
   telemetry::Counter& bytes_received;
   telemetry::Counter& peer_drops;  // deliveries to unregistered users
   telemetry::Histogram& send_ns;
+  telemetry::Counter& sendmmsg_calls;
+  telemetry::Histogram& sendmmsg_batch_size;
 
   static UdpMetrics& get() {
     auto& registry = telemetry::Registry::global();
@@ -34,6 +38,8 @@ struct UdpMetrics {
         registry.counter("transport.udp.bytes_received"),
         registry.counter("transport.udp.peer_drops"),
         registry.histogram("transport.udp.send_ns"),
+        registry.counter("transport.udp.sendmmsg_calls"),
+        registry.histogram("transport.udp.sendmmsg_batch_size"),
     };
     return *metrics;
   }
@@ -71,21 +77,31 @@ void UdpSocket::bind_loopback(std::uint16_t port) {
     throw TransportError(std::string("UdpSocket: bind(): ") +
                          std::strerror(saved));
   }
+  const char* disable = std::getenv("KG_DISABLE_SENDMMSG");
+  use_sendmmsg_ = !(disable != nullptr && *disable != '\0' &&
+                    !(disable[0] == '0' && disable[1] == '\0'));
 }
 
 UdpSocket::UdpSocket(UdpSocket&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      use_sendmmsg_(other.use_sendmmsg_) {}
 
 UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
+    use_sendmmsg_ = other.use_sendmmsg_;
   }
   return *this;
 }
 
 UdpSocket::~UdpSocket() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpSocket::wait_writable() {
+  pollfd pfd{fd_, POLLOUT, 0};
+  ::poll(&pfd, 1, kSendPollMs);  // best effort: the send retry re-checks
 }
 
 bool UdpSocket::try_send_to(const Address& to, BytesView datagram) {
@@ -106,9 +122,15 @@ bool UdpSocket::try_send_to(const Address& to, BytesView datagram) {
       }
       return true;
     }
-    if (sent < 0 &&
-        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
-      continue;  // transient: interrupted or socket buffer full
+    if (sent < 0 && errno == EINTR) {
+      continue;  // interrupted mid-call: retry immediately
+    }
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Socket buffer full: block until the kernel drains it (or the
+      // short poll deadline passes) instead of burning CPU in a hot
+      // retry spin that starves the very consumer we are waiting on.
+      wait_writable();
+      continue;
     }
     break;  // persistent (EMSGSIZE, ECONNREFUSED, closed fd, ...)
   }
@@ -116,6 +138,105 @@ bool UdpSocket::try_send_to(const Address& to, BytesView datagram) {
   if (telemetry_on) UdpMetrics::get().send_errors.add(1);
   errno = saved;  // send_to reports the real failure, not a counter's
   return false;
+}
+
+std::size_t UdpSocket::send_batch(std::span<const GatherItem> items) {
+#if defined(__linux__)
+  if (use_sendmmsg_) {
+    const bool telemetry_on = telemetry::enabled();
+    std::size_t sent_total = 0;
+    std::size_t done = 0;
+    while (done < items.size()) {
+      // One gather window: kSendBatch datagrams framed into parallel
+      // mmsghdr/iovec/sockaddr arrays, handed to the kernel in a single
+      // syscall. sendmmsg returns how many it accepted; a short return
+      // resumes at the first unsent datagram.
+      const std::size_t window = std::min(kSendBatch, items.size() - done);
+      mmsghdr msgs[kSendBatch];
+      iovec iovs[kSendBatch];
+      sockaddr_in addrs[kSendBatch];
+      for (std::size_t i = 0; i < window; ++i) {
+        const GatherItem& item = items[done + i];
+        addrs[i] = to_sockaddr(item.to);
+        iovs[i].iov_base =
+            const_cast<std::uint8_t*>(item.datagram.data());
+        iovs[i].iov_len = item.datagram.size();
+        std::memset(&msgs[i], 0, sizeof(msgs[i]));
+        msgs[i].msg_hdr.msg_name = &addrs[i];
+        msgs[i].msg_hdr.msg_namelen = sizeof(addrs[i]);
+        msgs[i].msg_hdr.msg_iov = &iovs[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+      }
+      std::size_t window_done = 0;
+      int retries = 0;
+      while (window_done < window) {
+        const std::uint64_t started =
+            telemetry_on ? telemetry::steady_now_ns() : 0;
+        const int rc = ::sendmmsg(fd_, msgs + window_done,
+                                  static_cast<unsigned>(window - window_done),
+                                  0);
+        if (rc > 0) {
+          if (telemetry_on) {
+            UdpMetrics& metrics = UdpMetrics::get();
+            metrics.sendmmsg_calls.add(1);
+            metrics.sendmmsg_batch_size.record(
+                static_cast<std::uint64_t>(rc));
+            metrics.datagrams_sent.add(static_cast<std::uint64_t>(rc));
+            std::uint64_t bytes = 0;
+            for (int i = 0; i < rc; ++i) {
+              bytes += items[done + window_done + i].datagram.size();
+            }
+            metrics.bytes_sent.add(bytes);
+            // Keep send_ns per-datagram attributable: each datagram of
+            // the call carries an equal share of its wall time.
+            const std::uint64_t share =
+                (telemetry::steady_now_ns() - started) /
+                static_cast<std::uint64_t>(rc);
+            for (int i = 0; i < rc; ++i) metrics.send_ns.record(share);
+          }
+          window_done += static_cast<std::size_t>(rc);
+          sent_total += static_cast<std::size_t>(rc);
+          retries = 0;
+          continue;
+        }
+        if (rc < 0 && errno == EINTR) {
+          if (++retries > kSendRetries) break;
+          continue;
+        }
+        if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+          if (++retries > kSendRetries) break;
+          wait_writable();
+          continue;
+        }
+        // Persistent error: it concerns the first unsent datagram. Give
+        // that one the per-datagram path (which counts send_errors when
+        // it too fails) and carry on with the rest of the window, so one
+        // bad peer cannot sink the whole fan-out.
+        if (try_send_to(items[done + window_done].to,
+                        items[done + window_done].datagram)) {
+          ++sent_total;
+        }
+        ++window_done;
+        retries = 0;
+      }
+      // Retry budget exhausted mid-window: sweep the remainder through
+      // the per-datagram path rather than dropping it silently.
+      for (; window_done < window; ++window_done) {
+        if (try_send_to(items[done + window_done].to,
+                        items[done + window_done].datagram)) {
+          ++sent_total;
+        }
+      }
+      done += window;
+    }
+    return sent_total;
+  }
+#endif  // __linux__
+  std::size_t sent_total = 0;
+  for (const GatherItem& item : items) {
+    if (try_send_to(item.to, item.datagram)) ++sent_total;
+  }
+  return sent_total;
 }
 
 void UdpSocket::send_to(const Address& to, BytesView datagram) {
@@ -171,21 +292,15 @@ void UdpServerTransport::register_user(UserId user, const Address& address) {
 
 void UdpServerTransport::unregister_user(UserId user) { peers_.erase(user); }
 
-void UdpServerTransport::deliver(const rekey::Recipient& to,
-                                 BytesView datagram,
-                                 const Resolver& resolve) {
-  // try_send_to, not send_to: one unreachable peer (buffer pressure, a
-  // vanished socket) must not throw away delivery to everyone resolved
-  // after it — the victims recover through the NACK/resync path, the rest
-  // should not need to.
+void UdpServerTransport::gather_recipient(const rekey::Recipient& to,
+                                          BytesView datagram,
+                                          const Resolver& resolve) {
   if (to.kind == rekey::Recipient::Kind::kUser) {
     auto it = peers_.find(to.user);
     if (it == peers_.end()) {
       if (telemetry::enabled()) UdpMetrics::get().peer_drops.add(1);
-    } else if (socket_.try_send_to(it->second, datagram)) {
-      ++datagrams_sent_;
     } else {
-      ++send_failures_;
+      gather_.push_back({it->second, datagram});
     }
     return;
   }
@@ -195,12 +310,35 @@ void UdpServerTransport::deliver(const rekey::Recipient& to,
     auto it = peers_.find(user);
     if (it == peers_.end()) {
       if (telemetry::enabled()) UdpMetrics::get().peer_drops.add(1);
-    } else if (socket_.try_send_to(it->second, datagram)) {
-      ++datagrams_sent_;
     } else {
-      ++send_failures_;
+      gather_.push_back({it->second, datagram});
     }
   }
+}
+
+void UdpServerTransport::deliver(const rekey::Recipient& to,
+                                 BytesView datagram,
+                                 const Resolver& resolve) {
+  // send_batch degrades to try_send_to per datagram (never send_to): one
+  // unreachable peer (buffer pressure, a vanished socket) must not throw
+  // away delivery to everyone resolved after it — the victims recover
+  // through the NACK/resync path, the rest should not need to.
+  gather_.clear();
+  gather_recipient(to, datagram, resolve);
+  const std::size_t sent = socket_.send_batch(gather_);
+  datagrams_sent_ += sent;
+  send_failures_ += gather_.size() - sent;
+}
+
+void UdpServerTransport::deliver_many(
+    std::span<const OutboundDatagram> items) {
+  gather_.clear();
+  for (const OutboundDatagram& item : items) {
+    gather_recipient(item.to, item.datagram, item.resolve);
+  }
+  const std::size_t sent = socket_.send_batch(gather_);
+  datagrams_sent_ += sent;
+  send_failures_ += gather_.size() - sent;
 }
 
 }  // namespace keygraphs::transport

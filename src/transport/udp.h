@@ -6,8 +6,10 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "transport/address.h"
@@ -45,6 +47,38 @@ class UdpSocket {
   /// oversized datagram) and the send is reported failed.
   static constexpr int kSendRetries = 8;
 
+  /// How long one EAGAIN retry waits for POLLOUT before re-attempting.
+  /// Bounded so a dead socket cannot stall a fan-out for more than
+  /// kSendRetries * kSendPollMs.
+  static constexpr int kSendPollMs = 20;
+
+  /// One datagram of a gathered send burst.
+  struct GatherItem {
+    Address to;
+    BytesView datagram;
+  };
+
+  /// Datagrams per sendmmsg call: big enough that the syscall cost is
+  /// noise, small enough that one window's mmsghdr/iovec arrays stay in
+  /// cache (and under typical UIO_MAXIOV-style limits).
+  static constexpr std::size_t kSendBatch = 64;
+
+  /// Sends a burst, gathering kSendBatch datagrams per sendmmsg on Linux
+  /// (per-datagram try_send_to elsewhere, or when set_sendmmsg(false)).
+  /// Partially-accepted windows resume at the first unsent datagram;
+  /// EAGAIN waits for POLLOUT like try_send_to. A datagram that still
+  /// fails is skipped (counted in transport.udp.send_errors) and the
+  /// burst continues, matching try_send_to's one-bad-peer semantics.
+  /// Returns the number of datagrams actually handed to the kernel.
+  std::size_t send_batch(std::span<const GatherItem> items);
+
+  /// Test/bench override of the sendmmsg fast path (also disabled by the
+  /// KG_DISABLE_SENDMMSG environment variable at construction).
+  void set_sendmmsg(bool enabled) noexcept { use_sendmmsg_ = enabled; }
+  [[nodiscard]] bool sendmmsg_enabled() const noexcept {
+    return use_sendmmsg_;
+  }
+
   /// Blocks up to `timeout_ms` (-1 = forever). Returns nullopt on timeout.
   std::optional<std::pair<Address, Bytes>> receive(int timeout_ms);
 
@@ -54,7 +88,11 @@ class UdpSocket {
   explicit UdpSocket(int fd) : fd_(fd) {}
   void bind_loopback(std::uint16_t port);
 
+  /// Blocks up to kSendPollMs for the socket to become writable.
+  void wait_writable();
+
   int fd_ = -1;
+  bool use_sendmmsg_ = true;  // construction reads KG_DISABLE_SENDMMSG
 };
 
 /// ServerTransport over UDP: subgroup multicast is emulated by unicast
@@ -71,6 +109,13 @@ class UdpServerTransport final : public ServerTransport {
   void deliver(const rekey::Recipient& to, BytesView datagram,
                const Resolver& resolve) override;
 
+  /// Gathers the whole burst — unicast items and resolved subgroup
+  /// fan-outs alike — into one address/datagram list and pushes it
+  /// through UdpSocket::send_batch, so a rekey dispatch costs
+  /// ceil(datagrams / UdpSocket::kSendBatch) syscalls instead of one
+  /// sendto each. Bytes on the wire are identical to per-item deliver().
+  void deliver_many(std::span<const OutboundDatagram> items) override;
+
   [[nodiscard]] std::size_t datagrams_sent() const noexcept {
     return datagrams_sent_;
   }
@@ -80,8 +125,13 @@ class UdpServerTransport final : public ServerTransport {
   }
 
  private:
+  /// Appends the resolved targets of one recipient to gather_.
+  void gather_recipient(const rekey::Recipient& to, BytesView datagram,
+                        const Resolver& resolve);
+
   UdpSocket& socket_;
   std::unordered_map<UserId, Address> peers_;
+  std::vector<UdpSocket::GatherItem> gather_;  // reused across bursts
   std::size_t datagrams_sent_ = 0;
   std::size_t send_failures_ = 0;
 };

@@ -16,7 +16,9 @@
 
 #include "common/error.h"
 #include "crypto/aes.h"
+#include "crypto/aes_aesni.h"
 #include "crypto/cbc.h"
+#include "crypto/cpu_features.h"
 #include "crypto/des.h"
 #include "crypto/des3.h"
 #include "crypto/random.h"
@@ -151,6 +153,161 @@ TEST(CrossCheck, DesTableKernelMatchesReference) {
       ASSERT_EQ(back, pt);
     }
   }
+}
+
+TEST(AesNiKernel, Fips197AppendixB) {
+  if (!Aes128Ni::supported()) GTEST_SKIP() << "AES-NI unavailable";
+  const Aes128Ni aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Bytes pt = from_hex("3243f6a8885a308d313198a2e0370734");
+  Bytes ct(16);
+  aes.encrypt_block(pt.data(), ct.data());
+  EXPECT_EQ(to_hex(ct), "3925841d02dc09fbdc118597196a0b32");
+  Bytes back(16);
+  aes.decrypt_block(ct.data(), back.data());
+  EXPECT_EQ(back, pt);
+}
+
+TEST(AesNiKernel, Sp80038aCbcAllFourBlocks) {
+  if (!Aes128Ni::supported()) GTEST_SKIP() << "AES-NI unavailable";
+  const Aes128Ni aes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const Bytes iv = from_hex("000102030405060708090a0b0c0d0e0f");
+  const Bytes pt = from_hex(
+      "6bc1bee22e409f96e93d7e117393172a"
+      "ae2d8a571e03ac9c9eb76fac45af8e51"
+      "30c81c46a35ce411e5fbc1191a0a52ef"
+      "f69f2445df4f9b17ad2b417be66c3710");
+  const Bytes ct = from_hex(
+      "7649abac8119b246cee98e9b12e9197d"
+      "5086cb9b507219ee95db113a917678b2"
+      "73bed6b8e3c1743b7116e69e22229516"
+      "3ff1caa1681fac09120eca307586e1a7");
+  EXPECT_EQ(cbc_raw_encrypt(aes, iv, pt), ct);
+  EXPECT_EQ(cbc_raw_decrypt(aes, iv, ct), pt);
+}
+
+TEST(CrossCheck, AesNiMatchesTableAndReferenceTenThousandBlocks) {
+  // 100 key schedules x 100 blocks: the three kernels (hardware, table,
+  // bit-loop reference) must agree block-for-block in both directions.
+  if (!Aes128Ni::supported()) GTEST_SKIP() << "AES-NI unavailable";
+  SecureRandom rng(44);
+  for (int k = 0; k < 100; ++k) {
+    const Bytes key = rng.bytes(Aes128Ni::kKeySize);
+    const Aes128Ni hw(key);
+    const Aes128 table(key);
+    const ReferenceAes128 reference(key);
+    for (int b = 0; b < 100; ++b) {
+      const Bytes pt = rng.bytes(16);
+      Bytes hw_ct(16), table_ct(16), reference_ct(16), back(16);
+      hw.encrypt_block(pt.data(), hw_ct.data());
+      table.encrypt_block(pt.data(), table_ct.data());
+      reference.encrypt_block(pt.data(), reference_ct.data());
+      ASSERT_EQ(hw_ct, table_ct) << "key " << to_hex(key);
+      ASSERT_EQ(hw_ct, reference_ct) << "key " << to_hex(key);
+      hw.decrypt_block(table_ct.data(), back.data());
+      ASSERT_EQ(back, pt);
+      table.decrypt_block(hw_ct.data(), back.data());
+      ASSERT_EQ(back, pt);
+    }
+  }
+}
+
+TEST(AesNiKernel, UnalignedBuffersMatchAligned) {
+  // The kernel uses unaligned loads/stores; feed it buffers at every
+  // misalignment (and in-place aliasing) and pin the bytes to the table
+  // kernel's.
+  if (!Aes128Ni::supported()) GTEST_SKIP() << "AES-NI unavailable";
+  SecureRandom rng(45);
+  const Bytes key = rng.bytes(16);
+  const Aes128Ni hw(key);
+  const Aes128 table(key);
+  for (std::size_t offset = 0; offset < 8; ++offset) {
+    Bytes in_buffer(16 + offset + 8);
+    Bytes out_buffer(16 + offset + 8, 0);
+    std::uint8_t* in = in_buffer.data() + offset;
+    std::uint8_t* out = out_buffer.data() + offset;
+    const Bytes pt = rng.bytes(16);
+    std::copy(pt.begin(), pt.end(), in);
+    hw.encrypt_block(in, out);
+    Bytes want(16);
+    table.encrypt_block(pt.data(), want.data());
+    EXPECT_EQ(Bytes(out, out + 16), want) << "offset " << offset;
+    hw.encrypt_block(in, in);  // aliased in-place
+    EXPECT_EQ(Bytes(in, in + 16), want) << "aliased, offset " << offset;
+    hw.decrypt_block(in, in);
+    EXPECT_EQ(Bytes(in, in + 16), pt);
+  }
+}
+
+TEST(AesNiKernel, DispatchFollowsOverrideAndIsByteInvariant) {
+  if (!cpu_features().aesni_usable()) {
+    GTEST_SKIP() << "AES-NI unavailable";
+  }
+  SecureRandom rng(46);
+  const Bytes key = rng.bytes(16);
+  const Bytes iv = rng.bytes(16);
+  const Bytes pt = rng.bytes(41);
+  override_aesni_dispatch(true);
+  auto hw = make_cipher(CipherAlgorithm::kAes128, key);
+  EXPECT_EQ(hw->kernel(), BlockKernel::kAesNi);
+  EXPECT_EQ(hw->name(), "AES-128-ni");
+  const Bytes hw_ct = CbcCipher(std::move(hw)).encrypt_with_iv(pt, iv);
+  override_aesni_dispatch(false);
+  auto portable = make_cipher(CipherAlgorithm::kAes128, key);
+  EXPECT_EQ(portable->kernel(), BlockKernel::kGeneric);
+  EXPECT_EQ(portable->name(), "AES-128");
+  const Bytes portable_ct =
+      CbcCipher(std::move(portable)).encrypt_with_iv(pt, iv);
+  override_aesni_dispatch(std::nullopt);
+  EXPECT_EQ(hw_ct, portable_ct);  // wire bytes never depend on dispatch
+}
+
+TEST(AesNiKernel, OverrideToHardwareThrowsWhenUnusable) {
+  if (cpu_features().aesni_usable()) {
+    GTEST_SKIP() << "host can run the hardware kernel";
+  }
+  EXPECT_THROW(override_aesni_dispatch(true), CryptoError);
+  EXPECT_THROW(Aes128Ni(Bytes(16, 0x01)), CryptoError);
+}
+
+TEST(CbcMany, EncryptManyMatchesSequentialAcrossKernelsAndSizes) {
+  // encrypt_many_into over a mixed batch — hardware and generic ciphers
+  // interleaved, sizes crossing every padding case, more ops than one
+  // 8-stream group — must produce exactly the bytes of sequential
+  // encrypt_into calls.
+  SecureRandom rng(47);
+  const std::size_t sizes[] = {0, 1, 8, 15, 16, 17, 31, 32, 33,
+                               64, 100, 128, 240, 256, 257, 300,
+                               512, 1000, 1024};
+  std::vector<CbcCipher> cbcs;
+  std::vector<Bytes> plaintexts, ivs;
+  for (std::size_t i = 0; i < std::size(sizes); ++i) {
+    const Bytes key = rng.bytes(16);
+    const bool hw = Aes128Ni::supported() && i % 3 != 2;
+    cbcs.emplace_back(hw ? std::shared_ptr<const BlockCipher>(
+                               std::make_shared<Aes128Ni>(key))
+                         : std::make_shared<Aes128>(key));
+    plaintexts.push_back(rng.bytes(sizes[i]));
+    ivs.push_back(rng.bytes(16));
+  }
+  std::vector<Bytes> want, got;
+  std::vector<CbcCipher::StreamOp> ops;
+  for (std::size_t i = 0; i < cbcs.size(); ++i) {
+    want.emplace_back(cbcs[i].ciphertext_size(plaintexts[i].size()));
+    cbcs[i].encrypt_into(plaintexts[i], ivs[i], want.back().data());
+    got.emplace_back(want.back().size(), 0);
+  }
+  for (std::size_t i = 0; i < cbcs.size(); ++i) {
+    ops.push_back({&cbcs[i], plaintexts[i], ivs[i], got[i].data()});
+  }
+  CbcCipher::encrypt_many_into(ops);
+  for (std::size_t i = 0; i < cbcs.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "stream " << i << " size "
+                               << plaintexts[i].size();
+  }
+}
+
+TEST(CbcMany, EmptyBatchIsANoOp) {
+  CbcCipher::encrypt_many_into({});
 }
 
 TEST(CbcInto, MatchesAllocatingPaths) {

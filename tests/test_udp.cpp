@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+
 #include "client/client.h"
 #include "common/error.h"
 #include "server/server.h"
+#include "telemetry/metrics.h"
+#include "transport/fault.h"
 
 namespace keygraphs::transport {
 namespace {
@@ -109,6 +113,185 @@ TEST(UdpServerTransport, FanOutSurvivesAFailedRecipient) {
                                     bytes_of("uni"),
                                     [] { return std::vector<UserId>{}; }));
   EXPECT_EQ(transport.send_failures(), 2u);
+}
+
+// Drains every queued datagram from `socket` in arrival order.
+std::vector<Bytes> drain(UdpSocket& socket, int first_timeout_ms = 200) {
+  std::vector<Bytes> received;
+  int timeout = first_timeout_ms;
+  while (auto datagram = socket.receive(timeout)) {
+    received.push_back(std::move(datagram->second));
+    timeout = 50;
+  }
+  return received;
+}
+
+TEST(UdpSocket, SendBatchDeliversEveryDatagramInOrder) {
+  UdpSocket receiver, sender;
+  const Address to = receiver.local_address();
+  std::vector<Bytes> payloads;
+  std::vector<UdpSocket::GatherItem> items;
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    payloads.push_back(Bytes{i, static_cast<std::uint8_t>(i + 1), 0x7f});
+  }
+  for (const Bytes& payload : payloads) {
+    items.push_back({to, payload});
+  }
+  EXPECT_EQ(sender.send_batch(items), payloads.size());
+  EXPECT_EQ(drain(receiver), payloads);
+}
+
+TEST(UdpSocket, SendBatchSpansMultipleSendmmsgWindows) {
+  // 150 datagrams cross two full kSendBatch windows plus a remainder; on
+  // Linux with the gather path enabled that must cost exactly
+  // ceil(150 / 64) = 3 sendmmsg calls.
+  UdpSocket receiver, sender;
+  const Address to = receiver.local_address();
+  constexpr std::size_t kCount = 150;
+  static_assert(kCount > 2 * UdpSocket::kSendBatch);
+  std::vector<Bytes> payloads;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    payloads.push_back(Bytes{static_cast<std::uint8_t>(i),
+                             static_cast<std::uint8_t>(i >> 8)});
+  }
+  std::vector<UdpSocket::GatherItem> items;
+  for (const Bytes& payload : payloads) {
+    items.push_back({to, payload});
+  }
+  auto& calls = telemetry::Registry::global().counter(
+      "transport.udp.sendmmsg_calls");
+  const std::uint64_t calls_before = calls.value();
+  EXPECT_EQ(sender.send_batch(items), kCount);
+  EXPECT_EQ(drain(receiver), payloads);
+#if defined(__linux__)
+  if (sender.sendmmsg_enabled()) {
+    EXPECT_EQ(calls.value() - calls_before,
+              (kCount + UdpSocket::kSendBatch - 1) / UdpSocket::kSendBatch);
+  }
+#else
+  (void)calls_before;
+#endif
+}
+
+TEST(UdpSocket, SendBatchFallbackPathMatchesGatherPath) {
+  UdpSocket receiver, sender;
+  sender.set_sendmmsg(false);
+  const Address to = receiver.local_address();
+  std::vector<Bytes> payloads;
+  for (std::uint8_t i = 0; i < 70; ++i) payloads.push_back(Bytes{i, 0x2a});
+  std::vector<UdpSocket::GatherItem> items;
+  for (const Bytes& payload : payloads) {
+    items.push_back({to, payload});
+  }
+  auto& calls = telemetry::Registry::global().counter(
+      "transport.udp.sendmmsg_calls");
+  const std::uint64_t calls_before = calls.value();
+  EXPECT_EQ(sender.send_batch(items), payloads.size());
+  EXPECT_EQ(drain(receiver), payloads);
+  EXPECT_EQ(calls.value(), calls_before);  // per-datagram path, no sendmmsg
+}
+
+TEST(UdpSocket, SendBatchSkipsFailedDatagramAndContinues) {
+  // A bad destination in the middle of a burst (port 0 fails with EINVAL)
+  // must not sink the datagrams after it — same contract as try_send_to
+  // in the sequential fan-out.
+  UdpSocket receiver, sender;
+  const Address good = receiver.local_address();
+  const Bytes first = bytes_of("first");
+  const Bytes doomed = bytes_of("doomed");
+  const Bytes last = bytes_of("last");
+  const std::vector<UdpSocket::GatherItem> items = {
+      {good, first}, {Address::loopback(0), doomed}, {good, last}};
+  EXPECT_EQ(sender.send_batch(items), 2u);
+  EXPECT_EQ(drain(receiver), (std::vector<Bytes>{first, last}));
+}
+
+TEST(UdpServerTransport, DeliverManyMatchesSequentialDeliver) {
+  UdpSocket server_socket;
+  UdpSocket client1, client2;
+  UdpServerTransport transport(server_socket);
+  transport.register_user(1, client1.local_address());
+  transport.register_user(2, client2.local_address());
+
+  const Bytes both = bytes_of("both");
+  const Bytes solo1 = bytes_of("solo1");
+  const Bytes solo2 = bytes_of("solo2");
+  const ServerTransport::Resolver resolve_both = [] {
+    return std::vector<UserId>{1, 2};
+  };
+  const ServerTransport::Resolver resolve_none = [] {
+    return std::vector<UserId>{};
+  };
+  const std::vector<ServerTransport::OutboundDatagram> items = {
+      {rekey::Recipient::to_subgroup(9), both, resolve_both},
+      {rekey::Recipient::to_user(1), solo1, resolve_none},
+      {rekey::Recipient::to_user(2), solo2, resolve_none},
+  };
+  transport.deliver_many(items);
+  EXPECT_EQ(transport.datagrams_sent(), 4u);
+  EXPECT_EQ(transport.send_failures(), 0u);
+  EXPECT_EQ(drain(client1), (std::vector<Bytes>{both, solo1}));
+  EXPECT_EQ(drain(client2), (std::vector<Bytes>{both, solo2}));
+}
+
+// One seeded server session over real UDP: joins and a leave, with
+// deterministic fault injection (drops, duplicates, corruption) between
+// the server and the socket layer. Everything a client receives — bytes
+// and order — must be identical whether the socket gathers bursts through
+// sendmmsg or falls back to one sendto per datagram: batching is a
+// syscall optimisation, never a wire change.
+TEST(UdpWireIdentity, SendmmsgAndSendtoProduceIdenticalBytes) {
+  constexpr std::size_t kClients = 4;
+  struct SessionResult {
+    std::array<std::vector<Bytes>, kClients> received;
+    std::vector<FaultEvent> trace;
+  };
+  const auto run_session = [&](bool gather) {
+    UdpSocket server_socket;
+    server_socket.set_sendmmsg(gather);
+    UdpServerTransport udp(server_socket);
+    FaultConfig fault_config;
+    fault_config.seed = 99;
+    fault_config.rule.drop = 0.2;
+    fault_config.rule.duplicate = 0.2;
+    fault_config.rule.corrupt = 0.1;
+    fault_config.record_trace = true;
+    FaultyServerTransport faulty(udp, fault_config);
+
+    server::ServerConfig config;
+    config.strategy = rekey::StrategyKind::kGroupOriented;
+    config.rng_seed = 77;
+    // Pinned clock: the wire carries timestamps, and identity across the
+    // two sessions must only depend on the send path under test.
+    config.clock_us = [] { return std::uint64_t{1'722'000'000'000'000}; };
+    server::GroupKeyServer server(config, faulty);
+
+    SessionResult result;
+    std::vector<UdpSocket> clients(kClients);
+    for (std::size_t i = 0; i < kClients; ++i) {
+      const auto user = static_cast<UserId>(i + 1);
+      udp.register_user(user, clients[i].local_address());
+      EXPECT_EQ(server.join_with_token(user, server.auth().join_token(user)),
+                server::JoinResult::kGranted);
+    }
+    EXPECT_TRUE(server.leave_with_token(2, server.auth().leave_token(2)));
+    faulty.engine().flush();
+    for (std::size_t i = 0; i < kClients; ++i) {
+      result.received[i] = drain(clients[i]);
+    }
+    result.trace = faulty.engine().trace();
+    return result;
+  };
+
+  const SessionResult gathered = run_session(true);
+  const SessionResult sequential = run_session(false);
+  EXPECT_EQ(gathered.trace, sequential.trace);
+  ASSERT_FALSE(gathered.trace.empty());
+  for (std::size_t i = 0; i < kClients; ++i) {
+    ASSERT_FALSE(gathered.received[i].empty()) << "client " << i + 1;
+    EXPECT_EQ(gathered.received[i], sequential.received[i])
+        << "client " << i + 1;
+  }
 }
 
 TEST(UdpServerTransport, UnknownUsersSkipped) {
