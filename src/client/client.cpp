@@ -21,6 +21,7 @@ struct RecoveryMetrics {
   telemetry::Counter& nacks;
   telemetry::Counter& resyncs;
   telemetry::Counter& completed;
+  telemetry::Counter& retry_later;
 
   static RecoveryMetrics& get() {
     auto& registry = telemetry::Registry::global();
@@ -31,6 +32,7 @@ struct RecoveryMetrics {
         registry.counter("client.recovery.nacks"),
         registry.counter("client.recovery.resyncs"),
         registry.counter("client.recovery.completed"),
+        registry.counter("client.recovery.retry_later"),
     };
     return *metrics;
   }
@@ -332,6 +334,9 @@ RekeyOutcome GroupClient::handle_datagram(BytesView datagram) {
     ++totals_.rejected;  // truncated/mangled envelope
     return RekeyOutcome{};
   }
+  if (decoded.type == rekey::MessageType::kRetryLater) {
+    return handle_retry_later(decoded.payload);
+  }
   if (decoded.type != rekey::MessageType::kRekey) return RekeyOutcome{};
   telemetry::TraceContext context;
   if (decoded.trace.has_value()) {
@@ -346,6 +351,36 @@ RekeyOutcome GroupClient::handle_datagram(BytesView datagram) {
     receive_span.emplace("client.receive");
   }
   return handle_rekey(decoded.payload);
+}
+
+RekeyOutcome GroupClient::handle_retry_later(BytesView payload) {
+  RekeyOutcome outcome;
+  std::uint64_t hint_us = 0;
+  try {
+    ByteReader reader(payload);
+    hint_us = reader.u64();
+    reader.expect_done();
+  } catch (const ParseError&) {
+    ++totals_.rejected;  // mangled shed notice: ignore, backoff re-arms us
+    return outcome;
+  }
+  outcome.retry_later = true;
+  ++recovery_stats_.retry_later;
+  if (telemetry::enabled()) RecoveryMetrics::get().retry_later.add(1);
+  // The shed request was never processed, so the re-send after the hint is
+  // a plain retry, not an escalation: refund the NACK (and the backoff
+  // exponent) that poll_recovery charged when it emitted the request. A
+  // shed join/resync issued outside poll_recovery leaves both at zero.
+  if (recovery_ != RecoveryState::kSynced) {
+    if (nacks_sent_ > 0) --nacks_sent_;
+    if (attempt_ > 0) --attempt_;
+  }
+  // Honor the server's hint: never retry earlier than it asked, but keep
+  // any later deadline our own backoff already scheduled.
+  const std::uint64_t now =
+      config_.recovery.clock_us ? config_.recovery.clock_us() : 0;
+  next_attempt_us_ = std::max(next_attempt_us_, now + hint_us);
+  return outcome;
 }
 
 std::optional<Bytes> GroupClient::poll_recovery() {

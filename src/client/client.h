@@ -91,6 +91,11 @@ struct RekeyOutcome {
   std::size_t keys_changed = 0;   // new or newer keys installed (Fig. 12)
   std::size_t keys_decrypted = 0; // decryption cost (Table 2(b) unit)
   std::size_t wire_size = 0;
+  /// The server shed our request (kRetryLater) and told us how long to
+  /// back off. The next recovery attempt is deferred by the hint without
+  /// consuming a NACK from the budget — the server never saw the request,
+  /// so it is a pure re-send, not an escalation.
+  bool retry_later = false;
 };
 
 /// Where the client stands in the loss-recovery escalation.
@@ -107,7 +112,8 @@ struct RecoveryStats {
   std::size_t buffered = 0;    // messages parked out of order
   std::size_t nacks_sent = 0;
   std::size_t resyncs_sent = 0;
-  std::size_t completed = 0;  // recoveries that caught back up
+  std::size_t completed = 0;    // recoveries that caught back up
+  std::size_t retry_later = 0;  // kRetryLater sheds honored (overload)
 };
 
 /// Lifetime totals (Table 6 / Figure 12 aggregates).
@@ -218,6 +224,9 @@ class GroupClient {
   void buffer_pending(const rekey::RekeyMessage& message);
   void enter_recovery();
   void maybe_complete_recovery();
+  /// Applies a kRetryLater shed notice: defers the next recovery attempt
+  /// by the server's retry-after hint and refunds the charged attempt.
+  RekeyOutcome handle_retry_later(BytesView payload);
 
   ClientConfig config_;
   rekey::RekeyOpener opener_;

@@ -115,7 +115,7 @@ Datagram Datagram::decode(BytesView data) {
   datagram.type =
       static_cast<MessageType>(type_byte & ~Datagram::kTraceFlag);
   if (datagram.type < MessageType::kJoinRequest ||
-      datagram.type > MessageType::kNackRequest) {
+      datagram.type > MessageType::kRetryLater) {
     throw ParseError("datagram: bad type");
   }
   if ((type_byte & Datagram::kTraceFlag) != 0) {

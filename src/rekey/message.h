@@ -124,6 +124,12 @@ enum class MessageType : std::uint8_t {
   /// its retransmit window, and falls back to a full keyset resync when it
   /// is not (see rekey/retransmit.h).
   kNackRequest = 8,
+  /// Overload control: the server shed this request and the client should
+  /// retry after the hint elapses. Payload: u64 retry-after, microseconds.
+  /// Only ever emitted when the server runs with `overload = on`, so all
+  /// pre-existing wire goldens hold with the default off (see
+  /// docs/PROTOCOL.md § Overload control).
+  kRetryLater = 9,
 };
 
 /// Optional trace-propagation extension on a datagram: the server's trace

@@ -126,6 +126,47 @@ class LockedGroupKeyServer {
     return true;
   }
 
+  // --- Overload control ------------------------------------------------
+  // The coalesce buffers are plan-phase state, so the gate runs under the
+  // plan mutex; the flush itself goes through the sequenced pipeline
+  // (never the wrapped batch(), which would bypass ticket ordering).
+
+  GateResult offer_join(UserId user, BytesView token) {
+    const std::lock_guard lock(mutex_);
+    return server_.offer_join(user, token);
+  }
+
+  GateResult offer_leave(UserId user, BytesView token) {
+    const std::lock_guard lock(mutex_);
+    return server_.offer_leave(user, token);
+  }
+
+  /// Degraded-mode tick: evaluates health and, when the batch tick is
+  /// due, plans one coalesced batch under mutex_ and seals/dispatches it
+  /// with a ticket like every other mutation.
+  OverloadTick poll_overload() {
+    OverloadTick tick;
+    if (!server_.config().overload.enabled) return tick;
+    GroupKeyServer::PendingRekey pending;
+    std::uint64_t ticket = 0;
+    {
+      const std::lock_guard lock(mutex_);
+      server_.evaluate_overload();
+      DegradedFlush flush = server_.take_degraded_flush();
+      tick.shed = std::move(flush.shed);
+      if (!flush.has_work()) return tick;
+      tick.joined = server_.plan_batch(flush.joins, flush.leaves, pending);
+      ticket = tickets_issued_++;
+    }
+    seal_and_dispatch(std::move(pending), ticket);
+    tick.flushed = true;
+    return tick;
+  }
+
+  [[nodiscard]] overload::HealthState health() const {
+    return server_.health();
+  }
+
   /// Authenticated NACK. The rate limiter and retransmit window are
   /// dispatch-phase state, so the replay half runs under dispatch_mutex_;
   /// an out-of-window gap falls back through the lock-free resync path

@@ -1,0 +1,60 @@
+#include "server/request.h"
+
+#include <string>
+
+#include "common/error.h"
+#include "common/io.h"
+#include "telemetry/metrics.h"
+
+namespace keygraphs::server {
+
+namespace {
+
+[[noreturn]] void reject(const std::string& what) {
+  static auto& bad_requests = telemetry::Registry::global().counter(
+      "server.bad_requests",
+      "Client datagrams rejected as malformed before any dispatch");
+  if (telemetry::enabled()) bad_requests.add(1);
+  throw ProtocolError("bad request: " + what);
+}
+
+}  // namespace
+
+Request decode_request(BytesView data) {
+  try {
+    const rekey::Datagram datagram = rekey::Datagram::decode(data);
+    switch (datagram.type) {
+      case rekey::MessageType::kJoinRequest:
+      case rekey::MessageType::kLeaveRequest:
+      case rekey::MessageType::kResyncRequest:
+      case rekey::MessageType::kNackRequest:
+        break;
+      default:
+        reject("not a client request type");
+    }
+    // Clients never stamp trace extensions; a flagged request is either a
+    // reflected server datagram or a forgery.
+    if (datagram.trace.has_value()) reject("unexpected trace extension");
+
+    ByteReader reader(datagram.payload);
+    Request request;
+    request.type = datagram.type;
+    request.user = reader.u64();
+    if (request.user == 0) reject("user id 0");
+    request.token = reader.var_bytes();
+    if (request.token.size() > kMaxRequestTokenBytes) reject("oversized token");
+    if (request.type == rekey::MessageType::kNackRequest) {
+      request.have_epoch = reader.u64();
+    }
+    reader.expect_done();
+    return request;
+  } catch (const ProtocolError&) {
+    throw;  // already counted by reject()
+  } catch (const ParseError& error) {
+    // ParseError and ProtocolError are siblings under Error; the contract
+    // here is one typed error for every malformed input.
+    reject(error.what());
+  }
+}
+
+}  // namespace keygraphs::server

@@ -1,0 +1,39 @@
+// Hardened decoding of client request datagrams.
+//
+// Everything a client sends the server arrives as attacker-controlled
+// bytes off the network. The raw ByteReader already bounds every read, but
+// the daemon used to interleave decoding with dispatch; this module pulls
+// the full decode + validation in front of any state change, translates
+// every malformed input into a typed ProtocolError (never a crash, hang,
+// or out-of-bounds read), and counts rejects in `server.bad_requests`.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "keygraph/key.h"
+#include "rekey/message.h"
+
+namespace keygraphs::server {
+
+/// A fully decoded and validated client request.
+struct Request {
+  rekey::MessageType type = rekey::MessageType::kJoinRequest;
+  UserId user = 0;
+  Bytes token;
+  /// kNackRequest only: the last epoch the client fully applied.
+  std::uint64_t have_epoch = 0;
+};
+
+/// Authentication tokens are small MACs; anything larger is hostile.
+inline constexpr std::size_t kMaxRequestTokenBytes = 256;
+
+/// Decodes one request datagram. Accepts exactly the client->server
+/// request types (join / leave / resync / nack) with their documented
+/// payloads and nothing else: wrong magic, server->client types, unknown
+/// types, truncated fields, oversized tokens, and trailing garbage all
+/// throw ProtocolError (ParseErrors from the reader are translated) and
+/// bump the `server.bad_requests` counter.
+Request decode_request(BytesView data);
+
+}  // namespace keygraphs::server

@@ -35,7 +35,9 @@ GroupKeyServer::GroupKeyServer(ServerConfig config,
       executor_(config_.suite.cipher, config_.seal_threads,
                 config_.schedule_cache_capacity),
       retransmit_(config_.retransmit_window),
-      limiter_(config_.recovery_rate, config_.recovery_burst) {
+      limiter_(config_.recovery_rate, config_.recovery_burst),
+      gate_(config_.overload, /*lanes=*/1),
+      health_(config_.overload) {
   tree_ = std::make_unique<KeyTree>(config_.tree_degree,
                                     config_.suite.key_size(), rng_);
   strategy_ = rekey::make_strategy(config_.strategy);
@@ -142,6 +144,140 @@ bool GroupKeyServer::resync_with_token(UserId user, BytesView token) {
   seal(pending);
   dispatch(std::move(pending));
   return true;
+}
+
+GateResult GroupKeyServer::offer_join(UserId user, BytesView token) {
+  GateResult result;
+  if (!config_.overload.enabled) return result;  // kAdmit: normal path
+  // Validate before consuming any admission budget: a forged token or an
+  // ACL reject must never shed (or displace) honest work.
+  if (!auth_.verify_join_token(user, token) || !acl_.authorizes(user)) {
+    result.denied = true;
+    return result;
+  }
+  if (const auto it = buffered_.find(user); it != buffered_.end()) {
+    if (it->second == BufferedKind::kJoin) {
+      // Idempotent duplicate: rides the already-buffered join.
+      result.action = overload::Admission::kCoalesce;
+      return result;
+    }
+    // Join while this user's leave is buffered: a rejoin needs fresh keys
+    // *after* the departure rekey, so shed it past the next flush.
+    result.action = overload::Admission::kShed;
+    result.retry_after_us = config_.overload.degraded_batch_period_us;
+    return result;
+  }
+  if (tree_->has_user(user)) return result;  // duplicate join: cheap no-op
+  const overload::Decision decision =
+      gate_.admit(0, now_us(), health_.state());
+  result.action = decision.action;
+  result.retry_after_us = decision.retry_after_us;
+  if (decision.action == overload::Admission::kCoalesce) {
+    buffered_.emplace(user, BufferedKind::kJoin);
+    buffered_joins_.push_back({user, now_us()});
+  }
+  return result;
+}
+
+GateResult GroupKeyServer::offer_leave(UserId user, BytesView token) {
+  GateResult result;
+  if (!config_.overload.enabled) return result;
+  if (!auth_.verify_leave_token(user, token)) {
+    result.denied = true;
+    return result;
+  }
+  if (const auto it = buffered_.find(user); it != buffered_.end()) {
+    if (it->second == BufferedKind::kLeave) {
+      result.action = overload::Admission::kCoalesce;
+      return result;
+    }
+    // Leave while the user's join is still buffered: after the flush the
+    // user is a member and the retried leave succeeds.
+    result.action = overload::Admission::kShed;
+    result.retry_after_us = config_.overload.degraded_batch_period_us;
+    return result;
+  }
+  if (!tree_->has_user(user)) {
+    result.denied = true;  // matches leave_with_token's non-member answer
+    return result;
+  }
+  const overload::Decision decision =
+      gate_.admit(0, now_us(), health_.state());
+  result.action = decision.action;
+  result.retry_after_us = decision.retry_after_us;
+  if (decision.action == overload::Admission::kCoalesce) {
+    buffered_.emplace(user, BufferedKind::kLeave);
+    buffered_leaves_.push_back({user, now_us()});
+  }
+  return result;
+}
+
+DegradedFlush GroupKeyServer::take_degraded_flush() {
+  DegradedFlush flush;
+  if (!config_.overload.enabled) return flush;
+  if (buffered_joins_.empty() && buffered_leaves_.empty()) return flush;
+  const std::uint64_t now = now_us();
+  const bool full = buffered_.size() >= config_.overload.admission_queue;
+  if (now < next_flush_us_ && !full) return flush;
+  next_flush_us_ = now + config_.overload.degraded_batch_period_us;
+
+  static auto& deadline_shed = telemetry::Registry::global().counter(
+      "server.overload.deadline_shed",
+      "Buffered ops shed because they waited past shed_deadline_us");
+  const auto expired = [&](const BufferedOp& op) {
+    return config_.overload.shed_deadline_us > 0 && now > op.offered_us &&
+           now - op.offered_us > config_.overload.shed_deadline_us;
+  };
+  for (const BufferedOp& op : buffered_joins_) {
+    if (expired(op)) {
+      flush.shed.push_back(
+          {op.user, true, config_.overload.degraded_batch_period_us});
+      if (telemetry::enabled()) deadline_shed.add(1);
+      continue;
+    }
+    // Filter against live membership: a direct join may have raced the
+    // buffer (e.g. a resumed client went around the gate).
+    if (!tree_->has_user(op.user)) flush.joins.push_back(op.user);
+  }
+  for (const BufferedOp& op : buffered_leaves_) {
+    if (expired(op)) {
+      flush.shed.push_back(
+          {op.user, false, config_.overload.degraded_batch_period_us});
+      if (telemetry::enabled()) deadline_shed.add(1);
+      continue;
+    }
+    if (tree_->has_user(op.user)) flush.leaves.push_back(op.user);
+  }
+  const std::size_t released =
+      buffered_joins_.size() + buffered_leaves_.size();
+  buffered_joins_.clear();
+  buffered_leaves_.clear();
+  buffered_.clear();
+  gate_.release(0, released);
+  return flush;
+}
+
+overload::HealthState GroupKeyServer::evaluate_overload() {
+  if (!config_.overload.enabled) return overload::HealthState::kHealthy;
+  health_.note_sheds(gate_.take_sheds());
+  health_.note_queue_depth(gate_.total_depth());
+  if (config_.overload.slo_lag_epochs > 0) {
+    health_.note_slo_lag(telemetry::ConvergenceMonitor::global().max_lag());
+  }
+  return health_.evaluate(now_us());
+}
+
+OverloadTick GroupKeyServer::poll_overload() {
+  OverloadTick tick;
+  if (!config_.overload.enabled) return tick;
+  evaluate_overload();
+  DegradedFlush flush = take_degraded_flush();
+  tick.shed = std::move(flush.shed);
+  if (flush.has_work()) {
+    tick.joined = batch(flush.joins, flush.leaves);
+    tick.flushed = true;
+  }
+  return tick;
 }
 
 namespace {
@@ -481,7 +617,18 @@ void GroupKeyServer::seal(PendingRekey& pending) {
                                        telemetry::kServerProcess);
   std::optional<telemetry::ScopedSpan> seal_span;
   if (pending.trace.active()) seal_span.emplace("rekey.seal");
+  const auto seal_started = std::chrono::steady_clock::now();
   pending.sealed = executor_.seal(pending.plan, *sealer_);
+  // Seal-stage latency is an overload pressure signal: a sustained EWMA
+  // above degrade_seal_us drives the health machine toward batching.
+  if (config_.overload.enabled && !replaying_) {
+    const auto elapsed_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - seal_started)
+            .count());
+    health_.note_seal_us(elapsed_us);
+    gate_.note_seal(0, elapsed_us, now_us());
+  }
   const telemetry::StageBreakdown& sealed_us = stages.breakdown();
   for (std::size_t i = 0; i < telemetry::kStageCount; ++i) {
     pending.stage_us[i] += sealed_us[i];

@@ -28,6 +28,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "crypto/random.h"
 #include "crypto/rsa.h"
@@ -38,6 +40,7 @@
 #include "rekey/retransmit.h"
 #include "rekey/strategy.h"
 #include "server/access_control.h"
+#include "server/overload.h"
 #include "server/stats.h"
 #include "storage/durable.h"
 #include "telemetry/trace.h"
@@ -98,6 +101,12 @@ struct ServerConfig {
   /// recover_from_storage(). Spec keys `storage`, `journal_dir`,
   /// `snapshot_interval`. Default: disabled (the pre-durability behavior).
   storage::StorageConfig storage;
+  /// Overload-control configuration (server/overload.h). Off by default:
+  /// every request is admitted immediately and no kRetryLater byte ever
+  /// reaches the wire, so the pre-overload goldens hold. Spec keys
+  /// `overload`, `admission_queue`, `shed_deadline_us`,
+  /// `degraded_batch_period_us`.
+  overload::OverloadConfig overload;
 
   /// Star baseline: unbounded degree.
   static ServerConfig star(ServerConfig base);
@@ -120,6 +129,37 @@ enum class NackOutcome : std::uint8_t {
   kResynced = 2,
   /// The user's recovery token bucket was empty; request dropped.
   kRateLimited = 3,
+};
+
+/// Outcome of offering a request to the overload gate (offer_join /
+/// offer_leave). With overload disabled the gate always answers kAdmit
+/// and the caller runs the normal immediate-rekey path.
+struct GateResult {
+  overload::Admission action = overload::Admission::kAdmit;
+  /// For kShed: the retry-after hint to put on the kRetryLater reply.
+  std::uint64_t retry_after_us = 0;
+  /// The request failed validation (bad token, ACL rejection, leave from
+  /// a non-member): rejected outright, not shed and not admitted.
+  bool denied = false;
+};
+
+/// One degraded-mode flush: coalesced ops to run through batch() plus the
+/// buffered ops whose shed deadline passed (answer those with
+/// kRetryLater).
+struct DegradedFlush {
+  std::vector<UserId> joins;
+  std::vector<UserId> leaves;
+  std::vector<overload::ShedNotice> shed;
+  [[nodiscard]] bool has_work() const noexcept {
+    return !joins.empty() || !leaves.empty();
+  }
+};
+
+/// What one poll_overload() tick did.
+struct OverloadTick {
+  std::vector<overload::ShedNotice> shed;
+  std::vector<UserId> joined;
+  bool flushed = false;
 };
 
 class GroupKeyServer {
@@ -263,6 +303,49 @@ class GroupKeyServer {
   std::optional<NackOutcome> try_retransmit(UserId user,
                                             std::uint64_t have_epoch);
 
+  // --- Overload control (server/overload.h) ---------------------------
+  // The offer/flush paths mutate the same coalesce buffers the plan
+  // phase's state lives next to, so they must be externally serialized
+  // with the plan_* mutators (LockedGroupKeyServer runs them under its
+  // plan mutex). With config.overload.enabled == false every offer
+  // answers kAdmit and the caller runs the usual immediate path.
+
+  /// Gates one join request. Validates the token and ACL first (bad
+  /// requests are denied without consuming a queue slot), then asks the
+  /// admission controller: kAdmit = caller runs join_with_token now;
+  /// kCoalesce = buffered for the next degraded batch (the welcome
+  /// arrives with the flush); kShed = answer kRetryLater.
+  GateResult offer_join(UserId user, BytesView token);
+
+  /// Gates one leave request (same contract as offer_join).
+  GateResult offer_leave(UserId user, BytesView token);
+
+  /// Drains the coalesce buffers when the batch tick is due (or the queue
+  /// hit its bound): membership-filtered join/leave lists for batch(),
+  /// plus deadline-expired ops to shed. Empty when nothing is due.
+  DegradedFlush take_degraded_flush();
+
+  /// Feeds the accumulated pressure signals (sheds, queue depth,
+  /// convergence lag) into the HealthMonitor and applies its transition
+  /// rules. Returns the resulting state.
+  overload::HealthState evaluate_overload();
+
+  /// Convenience tick for single-threaded deployments: re-evaluates
+  /// health and, when a flush is due, runs it through batch(). Call
+  /// periodically (e.g. every receive-loop pass).
+  OverloadTick poll_overload();
+
+  /// Current overload health (kHealthy whenever overload is off).
+  [[nodiscard]] overload::HealthState health() const {
+    return health_.state();
+  }
+  [[nodiscard]] overload::AdmissionController& admission() noexcept {
+    return gate_;
+  }
+  [[nodiscard]] overload::HealthMonitor& health_monitor() noexcept {
+    return health_;
+  }
+
   /// The retransmit window, for introspection in tests and tools.
   [[nodiscard]] const rekey::RetransmitWindow& retransmit_window()
       const noexcept {
@@ -367,6 +450,23 @@ class GroupKeyServer {
   /// tail-applied records (friend below).
   bool replaying_ = false;
   std::uint64_t pinned_clock_us_ = 0;
+
+  // Overload-control state. The gate and monitor are internally
+  // synchronized; the coalesce buffers below follow the plan-phase
+  // serialization contract (see the offer_* docs).
+  overload::AdmissionController gate_;
+  overload::HealthMonitor health_;
+  enum class BufferedKind : std::uint8_t { kJoin, kLeave };
+  struct BufferedOp {
+    UserId user = 0;
+    std::uint64_t offered_us = 0;
+  };
+  /// Invariant: a user appears at most once across both buffers (the map
+  /// is the index; conflicting offers are shed, duplicates deduped).
+  std::unordered_map<UserId, BufferedKind> buffered_;
+  std::vector<BufferedOp> buffered_joins_;
+  std::vector<BufferedOp> buffered_leaves_;
+  std::uint64_t next_flush_us_ = 0;
 
   friend class StandbyServer;
 };

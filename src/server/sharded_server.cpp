@@ -140,6 +140,13 @@ ShardedGroupKeyServer::ShardedGroupKeyServer(
   sealer_ = std::make_unique<rekey::RekeySealer>(
       base.signing, base.suite.signing_digest(), signer_.get());
 
+  // One admission lane per shard, so a flash crowd (or slow seal) in one
+  // shard sheds there while its siblings keep admitting.
+  gate_ = std::make_unique<overload::AdmissionController>(base.overload,
+                                                          shards);
+  health_ = std::make_unique<overload::HealthMonitor>(base.overload);
+  buffers_.resize(shards);
+
   // One journal lane per shard: lanes append independently under their
   // dispatch tickets, and the global commit sequence (assigned inside
   // DurableStore::append) stitches them back into total order at recovery.
@@ -500,6 +507,13 @@ void ShardedGroupKeyServer::seal_and_dispatch(Lane& lane, Pending&& pending) {
       std::chrono::duration<double, std::micro>(
           std::chrono::steady_clock::now() - seal_started)
           .count();
+  // Per-shard seal feedback: a lane whose EWMA blows past the degrade
+  // threshold trips its own circuit breaker (the "one slow shard" case).
+  if (config_.base.overload.enabled && !replaying_) {
+    const auto sample = static_cast<std::uint64_t>(seal_us);
+    health_->note_seal_us(sample);
+    gate_->note_seal(pending.shard, sample, now_us());
+  }
 
   if (pending.epoch == 0) {
     // Resync: not part of the stitched epoch stream; deliver whenever the
@@ -677,6 +691,140 @@ std::vector<UserId> ShardedGroupKeyServer::batch(
                     shard_admitted.end());
   }
   return admitted;
+}
+
+// --- Overload control ----------------------------------------------------
+
+GateResult ShardedGroupKeyServer::offer_join(UserId user, BytesView token) {
+  GateResult result;
+  if (!config_.base.overload.enabled) return result;  // kAdmit: normal path
+  if (!auth_.verify_join_token(user, token) || !acl_.authorizes(user)) {
+    result.denied = true;
+    return result;
+  }
+  const std::size_t shard = shard_of(user);
+  const std::lock_guard<std::mutex> lock(overload_mutex_);
+  if (const auto it = buffered_.find(user); it != buffered_.end()) {
+    if (it->second) {
+      result.action = overload::Admission::kCoalesce;  // idempotent dup
+      return result;
+    }
+    result.action = overload::Admission::kShed;  // leave buffered: retry
+    result.retry_after_us = config_.base.overload.degraded_batch_period_us;
+    return result;
+  }
+  if (has_member(user)) return result;  // duplicate join: cheap no-op
+  const overload::Decision decision =
+      gate_->admit(shard, now_us(), health_->state());
+  result.action = decision.action;
+  result.retry_after_us = decision.retry_after_us;
+  if (decision.action == overload::Admission::kCoalesce) {
+    buffered_.emplace(user, true);
+    buffers_[shard].joins.push_back({user, now_us()});
+  }
+  return result;
+}
+
+GateResult ShardedGroupKeyServer::offer_leave(UserId user, BytesView token) {
+  GateResult result;
+  if (!config_.base.overload.enabled) return result;
+  if (!auth_.verify_leave_token(user, token)) {
+    result.denied = true;
+    return result;
+  }
+  const std::size_t shard = shard_of(user);
+  const std::lock_guard<std::mutex> lock(overload_mutex_);
+  if (const auto it = buffered_.find(user); it != buffered_.end()) {
+    if (!it->second) {
+      result.action = overload::Admission::kCoalesce;
+      return result;
+    }
+    result.action = overload::Admission::kShed;  // join buffered: retry
+    result.retry_after_us = config_.base.overload.degraded_batch_period_us;
+    return result;
+  }
+  if (!has_member(user)) {
+    result.denied = true;
+    return result;
+  }
+  const overload::Decision decision =
+      gate_->admit(shard, now_us(), health_->state());
+  result.action = decision.action;
+  result.retry_after_us = decision.retry_after_us;
+  if (decision.action == overload::Admission::kCoalesce) {
+    buffered_.emplace(user, false);
+    buffers_[shard].leaves.push_back({user, now_us()});
+  }
+  return result;
+}
+
+OverloadTick ShardedGroupKeyServer::poll_overload() {
+  OverloadTick tick;
+  if (!config_.base.overload.enabled) return tick;
+  health_->note_sheds(gate_->take_sheds());
+  health_->note_queue_depth(gate_->total_depth());
+  if (config_.base.overload.slo_lag_epochs > 0) {
+    health_->note_slo_lag(telemetry::ConvergenceMonitor::global().max_lag());
+  }
+  health_->evaluate(now_us());
+
+  std::vector<UserId> joins;
+  std::vector<UserId> leaves;
+  {
+    const std::lock_guard<std::mutex> lock(overload_mutex_);
+    if (buffered_.empty()) return tick;
+    const std::uint64_t now = now_us();
+    bool full = false;
+    for (const ShardBuffer& buffer : buffers_) {
+      if (buffer.joins.size() + buffer.leaves.size() >=
+          config_.base.overload.admission_queue) {
+        full = true;
+        break;
+      }
+    }
+    if (now < next_flush_us_ && !full) return tick;
+    next_flush_us_ = now + config_.base.overload.degraded_batch_period_us;
+
+    static auto& deadline_shed = telemetry::Registry::global().counter(
+        "server.overload.deadline_shed",
+        "Buffered ops shed because they waited past shed_deadline_us");
+    const auto expired = [&](const CoalescedOp& op) {
+      return config_.base.overload.shed_deadline_us > 0 &&
+             now > op.offered_us &&
+             now - op.offered_us > config_.base.overload.shed_deadline_us;
+    };
+    const std::uint64_t period = config_.base.overload.degraded_batch_period_us;
+    for (std::size_t shard = 0; shard < buffers_.size(); ++shard) {
+      ShardBuffer& buffer = buffers_[shard];
+      for (const CoalescedOp& op : buffer.joins) {
+        if (expired(op)) {
+          tick.shed.push_back({op.user, true, period});
+          if (telemetry::enabled()) deadline_shed.add(1);
+        } else if (!has_member(op.user)) {
+          joins.push_back(op.user);
+        }
+      }
+      for (const CoalescedOp& op : buffer.leaves) {
+        if (expired(op)) {
+          tick.shed.push_back({op.user, false, period});
+          if (telemetry::enabled()) deadline_shed.add(1);
+        } else if (has_member(op.user)) {
+          leaves.push_back(op.user);
+        }
+      }
+      gate_->release(shard, buffer.joins.size() + buffer.leaves.size());
+      buffer.joins.clear();
+      buffer.leaves.clear();
+    }
+    buffered_.clear();
+  }
+  // batch() takes lane/root/dispatch locks — run it with overload_mutex_
+  // dropped so offers from other threads never wait on a flush.
+  if (!joins.empty() || !leaves.empty()) {
+    tick.joined = batch(joins, leaves);
+    tick.flushed = true;
+  }
+  return tick;
 }
 
 // --- Recovery -----------------------------------------------------------

@@ -47,6 +47,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "keygraph/sharded_tree.h"
@@ -108,6 +109,31 @@ class ShardedGroupKeyServer {
   /// rebuild the preloaded population too. Not safe concurrently with
   /// membership operations.
   void preload(const std::vector<UserId>& users);
+
+  // --- Overload control (server/overload.h) -----------------------------
+  // One admission lane per shard: a flash crowd hashing into one shard
+  // (or one slow shard's open circuit breaker) sheds there without
+  // touching its siblings. The coalesce buffers live under their own
+  // overload mutex — offers never take a lane or root mutex.
+
+  /// Gates one join (see GroupKeyServer::offer_join for the contract).
+  GateResult offer_join(UserId user, BytesView token);
+  GateResult offer_leave(UserId user, BytesView token);
+
+  /// Degraded-mode tick: evaluates health and, when the batch tick is
+  /// due, drains every shard's buffer into one batch() call (which
+  /// partitions by shard internally, one epoch per affected shard).
+  OverloadTick poll_overload();
+
+  [[nodiscard]] overload::HealthState health() const {
+    return health_->state();
+  }
+  [[nodiscard]] overload::AdmissionController& admission() noexcept {
+    return *gate_;
+  }
+  [[nodiscard]] overload::HealthMonitor& health_monitor() noexcept {
+    return *health_;
+  }
 
   // --- Durable state (write-ahead journal) ------------------------------
 
@@ -262,6 +288,25 @@ class ShardedGroupKeyServer {
   telemetry::Gauge* fleet_users_ = nullptr;
   telemetry::Gauge* fleet_epoch_ = nullptr;
   telemetry::Gauge* fleet_seal_us_ = nullptr;
+
+  // Overload control: K admission lanes plus per-shard coalesce buffers.
+  // overload_mutex_ guards the buffers only and nests inside nothing —
+  // poll_overload() drops it before calling batch().
+  struct CoalescedOp {
+    UserId user = 0;
+    std::uint64_t offered_us = 0;
+  };
+  struct ShardBuffer {
+    std::vector<CoalescedOp> joins;
+    std::vector<CoalescedOp> leaves;
+  };
+  std::unique_ptr<overload::AdmissionController> gate_;
+  std::unique_ptr<overload::HealthMonitor> health_;
+  std::mutex overload_mutex_;
+  std::vector<ShardBuffer> buffers_;
+  /// user -> is-join; a user is buffered at most once across all shards.
+  std::unordered_map<UserId, bool> buffered_;
+  std::uint64_t next_flush_us_ = 0;
 };
 
 }  // namespace keygraphs::server

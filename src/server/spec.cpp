@@ -238,6 +238,45 @@ ServerSpec parse_server_spec(std::string_view text) {
       if (interval > (1u << 30)) fail(line_number, "bad snapshot_interval");
       spec.config.storage.snapshot_interval =
           static_cast<std::uint32_t>(interval);
+    } else if (key == "overload") {
+      if (value == "on") {
+        spec.config.overload.enabled = true;
+      } else if (value == "off") {
+        spec.config.overload.enabled = false;
+      } else {
+        fail(line_number, "overload must be on or off");
+      }
+    } else if (key == "admission_queue") {
+      const std::uint64_t queue = parse_number(value, line_number);
+      if (queue < 1 || queue > (1u << 20)) {
+        fail(line_number, "bad admission_queue");
+      }
+      spec.config.overload.admission_queue =
+          static_cast<std::size_t>(queue);
+    } else if (key == "shed_deadline_us") {
+      // 0 disables the queue deadline.
+      const std::uint64_t deadline = parse_number(value, line_number);
+      if (deadline > 3'600'000'000ULL) {
+        fail(line_number, "bad shed_deadline_us");
+      }
+      spec.config.overload.shed_deadline_us = deadline;
+    } else if (key == "degraded_batch_period_us") {
+      const std::uint64_t period = parse_number(value, line_number);
+      if (period < 1 || period > 60'000'000) {
+        fail(line_number, "bad degraded_batch_period_us");
+      }
+      spec.config.overload.degraded_batch_period_us = period;
+    } else if (key == "admission_rate") {
+      // Admitted requests per lane per second; 0 = unlimited.
+      const std::uint64_t rate = parse_number(value, line_number);
+      if (rate > 10'000'000) fail(line_number, "bad admission_rate");
+      spec.config.overload.admission_rate = static_cast<double>(rate);
+    } else if (key == "admission_burst") {
+      const std::uint64_t burst = parse_number(value, line_number);
+      if (burst < 1 || burst > 10'000'000) {
+        fail(line_number, "bad admission_burst");
+      }
+      spec.config.overload.admission_burst = static_cast<double>(burst);
     } else if (key == "client_schedule_cache_capacity") {
       const std::uint64_t capacity = parse_number(value, line_number);
       if (capacity < 1 || capacity > (1u << 20)) {

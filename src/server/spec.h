@@ -38,6 +38,18 @@
 //                    created if absent>
 //   snapshot_interval = <journal records between compacted snapshots;
 //                        0 = never compact; default 1024>
+//   overload      = on | off   (overload control: bounded admission, load
+//                   shedding with kRetryLater, and degraded-mode batch
+//                   coalescing; default off = byte-identical wire output)
+//   admission_queue = <1..1048576 coalesced ops buffered per admission
+//                      lane before requests are shed; default 1024>
+//   shed_deadline_us = <buffered ops older than this at flush time are
+//                       shed instead of batched; 0 = no deadline;
+//                       default 250000>
+//   degraded_batch_period_us = <degraded-mode flush tick; default 100000>
+//   admission_rate  = <token-bucket admissions per lane per second;
+//                      0 = unlimited; default 0>
+//   admission_burst = <token-bucket burst capacity; default 64>
 #pragma once
 
 #include <optional>

@@ -1,0 +1,105 @@
+#include "storage/faulty_backend.h"
+
+#include <utility>
+
+namespace keygraphs::storage {
+
+namespace {
+
+/// splitmix64 finalizer — the same counter-based deterministic stream the
+/// client uses for backoff jitter: draw n of seed s never changes.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultyStorageBackend::FaultyStorageBackend(
+    std::shared_ptr<StorageBackend> inner, FaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan) {
+  if (inner_ == nullptr) {
+    throw StorageError("faulty backend: no inner backend");
+  }
+}
+
+double FaultyStorageBackend::draw() {
+  // 53 high bits of the mixed counter -> uniform double in [0, 1).
+  const std::uint64_t bits = mix64(plan_.seed * 0x9e3779b97f4a7c15ull +
+                                   draws_++);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+const char* FaultyStorageBackend::name() const noexcept { return "faulty"; }
+
+std::size_t FaultyStorageBackend::lanes() const noexcept {
+  return inner_->lanes();
+}
+
+void FaultyStorageBackend::append(std::size_t lane, BytesView frame) {
+  if (plan_.fail_after_appends != 0 &&
+      appends_ok_ >= plan_.fail_after_appends) {
+    ++injected_.append_errors;
+    throw StorageError("injected: append failed, device full");
+  }
+  if (plan_.append_error_rate > 0.0 && draw() < plan_.append_error_rate) {
+    ++injected_.append_errors;
+    throw StorageError("injected: append failed, IO error");
+  }
+  if (plan_.short_write_rate > 0.0 && draw() < plan_.short_write_rate &&
+      frame.size() > 1) {
+    // Half the frame lands before the "device" errors out: the inner
+    // journal now ends in a torn frame, exactly like a crash mid-write.
+    ++injected_.short_writes;
+    inner_->append(lane, frame.first(frame.size() / 2));
+    throw StorageError("injected: short write, torn journal tail");
+  }
+  inner_->append(lane, frame);
+  ++appends_ok_;
+}
+
+void FaultyStorageBackend::sync(std::size_t lane) {
+  if (plan_.sync_error_rate > 0.0 && draw() < plan_.sync_error_rate) {
+    ++injected_.sync_errors;
+    throw StorageError("injected: fsync failed");
+  }
+  inner_->sync(lane);
+}
+
+Bytes FaultyStorageBackend::read_journal(std::size_t lane,
+                                         std::size_t offset) const {
+  return inner_->read_journal(lane, offset);
+}
+
+std::size_t FaultyStorageBackend::journal_size(std::size_t lane) const {
+  return inner_->journal_size(lane);
+}
+
+void FaultyStorageBackend::truncate(std::size_t lane, std::size_t size) {
+  inner_->truncate(lane, size);
+}
+
+void FaultyStorageBackend::compact(std::uint64_t epoch, BytesView snapshot) {
+  inner_->compact(epoch, snapshot);
+}
+
+std::optional<Bytes> FaultyStorageBackend::read_snapshot() const {
+  return inner_->read_snapshot();
+}
+
+std::uint64_t FaultyStorageBackend::snapshot_epoch() const {
+  return inner_->snapshot_epoch();
+}
+
+std::uint64_t FaultyStorageBackend::generation() const {
+  return inner_->generation();
+}
+
+std::shared_ptr<FaultyStorageBackend> make_faulty_backend(
+    std::shared_ptr<StorageBackend> inner, FaultPlan plan) {
+  return std::make_shared<FaultyStorageBackend>(std::move(inner), plan);
+}
+
+}  // namespace keygraphs::storage

@@ -1,0 +1,79 @@
+// FaultyStorageBackend: a deterministic fault-injecting decorator over any
+// StorageBackend, for testing how the durable-state layer behaves when the
+// disk misbehaves. Faults are drawn from a seeded counter-based stream, so
+// a failing test reproduces byte-for-byte from its seed alone.
+//
+// Three injectable failure modes, each surfaced as a typed StorageError
+// exactly where a real backend would throw it:
+//   append_error_rate — the append fails before any byte lands (EIO).
+//   short_write_rate  — only a prefix of the frame lands in the inner
+//                       backend, then the append throws: the journal now
+//                       ends in a torn frame, exactly the shape a crash
+//                       mid-write leaves behind.
+//   sync_error_rate   — the append landed but fsync fails; the caller must
+//                       treat the record as not durable.
+// Plus a hard wall: after `fail_after_appends` successful appends every
+// further append fails (a full disk does not recover by retrying).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/backend.h"
+
+namespace keygraphs::storage {
+
+/// Deterministic fault schedule (all rates in [0, 1]; 0 = never).
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double append_error_rate = 0.0;
+  double short_write_rate = 0.0;
+  double sync_error_rate = 0.0;
+  /// After this many successful appends, every append fails (0 = no wall).
+  std::uint64_t fail_after_appends = 0;
+};
+
+/// How many of each fault the decorator actually injected.
+struct FaultCounts {
+  std::uint64_t append_errors = 0;
+  std::uint64_t short_writes = 0;
+  std::uint64_t sync_errors = 0;
+};
+
+class FaultyStorageBackend final : public StorageBackend {
+ public:
+  FaultyStorageBackend(std::shared_ptr<StorageBackend> inner, FaultPlan plan);
+
+  [[nodiscard]] const char* name() const noexcept override;
+  [[nodiscard]] std::size_t lanes() const noexcept override;
+  void append(std::size_t lane, BytesView frame) override;
+  void sync(std::size_t lane) override;
+  [[nodiscard]] Bytes read_journal(std::size_t lane,
+                                   std::size_t offset) const override;
+  [[nodiscard]] std::size_t journal_size(std::size_t lane) const override;
+  void truncate(std::size_t lane, std::size_t size) override;
+  void compact(std::uint64_t epoch, BytesView snapshot) override;
+  [[nodiscard]] std::optional<Bytes> read_snapshot() const override;
+  [[nodiscard]] std::uint64_t snapshot_epoch() const override;
+  [[nodiscard]] std::uint64_t generation() const override;
+
+  [[nodiscard]] const FaultCounts& injected() const noexcept {
+    return injected_;
+  }
+  [[nodiscard]] StorageBackend& inner() noexcept { return *inner_; }
+
+ private:
+  /// The n-th draw of the seeded stream, uniform in [0, 1).
+  [[nodiscard]] double draw();
+
+  std::shared_ptr<StorageBackend> inner_;
+  FaultPlan plan_;
+  std::uint64_t draws_ = 0;
+  std::uint64_t appends_ok_ = 0;
+  FaultCounts injected_;
+};
+
+[[nodiscard]] std::shared_ptr<FaultyStorageBackend> make_faulty_backend(
+    std::shared_ptr<StorageBackend> inner, FaultPlan plan);
+
+}  // namespace keygraphs::storage

@@ -57,6 +57,21 @@ std::string TelemetryHttpServer::respond(const std::string& path) {
                          render_prometheus(Registry::global()));
   }
   if (path == "/healthz") {
+    // Driven by the `server.health` gauge the overload HealthMonitor
+    // publishes (0 = healthy, 1 = degraded, 2 = shedding). A process that
+    // never publishes it — overload off, or no key server at all — reads
+    // 0 and answers exactly as before. Degraded stays 200 (the server is
+    // serving, just batching); shedding is 503 so load balancers and
+    // probes back off while admission is refusing work.
+    const double health = Registry::global().gauge("server.health").value();
+    if (health >= 2.0) {
+      return make_response(503, "Service Unavailable",
+                           "text/plain; charset=utf-8", "shedding\n");
+    }
+    if (health >= 1.0) {
+      return make_response(200, "OK", "text/plain; charset=utf-8",
+                           "degraded\n");
+    }
     return make_response(200, "OK", "text/plain; charset=utf-8", "ok\n");
   }
   if (path == "/trace") {

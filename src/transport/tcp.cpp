@@ -1,5 +1,6 @@
 #include "transport/tcp.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -57,12 +58,46 @@ bool read_exact(int fd, std::uint8_t* out, std::size_t n) {
   return true;
 }
 
+void count_send_error() {
+  if (!telemetry::enabled()) return;
+  static auto& errors = telemetry::Registry::global().counter(
+      "transport.tcp.send_errors",
+      "TCP sends that failed: socket error or write-stall budget exhausted");
+  errors.add(1);
+}
+
+// How long send() tolerates a peer that is not draining its socket buffer
+// before giving up: kSendStallBudget rounds of a kSendStallMs POLLOUT
+// wait (~2 s total). EINTR is not a stall and retries for free.
+constexpr int kSendStallBudget = 40;
+constexpr int kSendStallMs = 50;
+
 void write_all(int fd, const std::uint8_t* data, std::size_t n) {
   std::size_t done = 0;
+  int stalls = 0;
   while (done < n) {
     const ssize_t sent = ::write(fd, data + done, n - done);
     if (sent < 0) {
-      if (errno == EINTR) continue;
+      const int saved = errno;
+      if (saved == EINTR) continue;
+      if (saved == EAGAIN || saved == EWOULDBLOCK) {
+        // Full socket buffer on a non-blocking fd: wait (bounded) for the
+        // peer to drain. The bound keeps one zero-window client from
+        // wedging the whole dispatch fan-out; the caller drops it.
+        if (++stalls > kSendStallBudget) {
+          count_send_error();
+          errno = ETIMEDOUT;
+          fail("write() stalled, peer not draining");
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, kSendStallMs) < 0 && errno != EINTR) {
+          count_send_error();
+          fail("poll(POLLOUT)");
+        }
+        continue;
+      }
+      count_send_error();
+      errno = saved;
       fail("write()");
     }
     done += static_cast<std::size_t>(sent);
@@ -158,6 +193,14 @@ std::optional<Bytes> TcpConnection::receive(int timeout_ms) {
 }
 
 Address TcpConnection::local_address() const { return address_of_fd(fd_); }
+
+void TcpConnection::set_nonblocking(bool on) {
+  if (fd_ < 0) throw TransportError("tcp: set_nonblocking on closed fd");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) fail("fcntl(F_GETFL)");
+  const int wanted = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd_, F_SETFL, wanted) < 0) fail("fcntl(F_SETFL)");
+}
 
 TcpListener::TcpListener(std::uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);

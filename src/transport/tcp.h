@@ -42,6 +42,13 @@ class TcpConnection {
   [[nodiscard]] Address local_address() const;
   [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
 
+  /// Switches the socket's non-blocking flag. send() stays logically
+  /// blocking either way — on EAGAIN it waits for POLLOUT with a bounded
+  /// stall budget (then throws TransportError and counts
+  /// transport.tcp.send_errors). Exposed so tests can drive send()
+  /// through that retry path against a peer that stops reading.
+  void set_nonblocking(bool on = true);
+
   /// Frames above this size are treated as a protocol violation.
   static constexpr std::uint32_t kMaxFrame = 1u << 24;  // 16 MiB
 

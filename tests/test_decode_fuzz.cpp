@@ -1,0 +1,146 @@
+// Server-side request decode hardening: a seeded fuzzer mutates valid
+// join/leave/resync/nack frames and asserts decode_request() answers every
+// one of them with either a parsed Request or a typed ProtocolError —
+// never a crash, a hang, or any other exception type. Malformed inputs
+// are counted on server.bad_requests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.h"
+#include "common/io.h"
+#include "rekey/message.h"
+#include "server/request.h"
+#include "telemetry/metrics.h"
+
+namespace keygraphs {
+namespace {
+
+Bytes request_frame(rekey::MessageType type, UserId user, BytesView token,
+                    std::uint64_t have_epoch = 0) {
+  ByteWriter writer;
+  writer.u64(user);
+  writer.var_bytes(token);
+  if (type == rekey::MessageType::kNackRequest) writer.u64(have_epoch);
+  return rekey::Datagram{type, writer.take()}.encode();
+}
+
+std::vector<Bytes> valid_frames() {
+  const Bytes token = bytes_of("fuzz-seed-token");
+  return {
+      request_frame(rekey::MessageType::kJoinRequest, 7, token),
+      request_frame(rekey::MessageType::kLeaveRequest, 7, token),
+      request_frame(rekey::MessageType::kResyncRequest, 42, token),
+      request_frame(rekey::MessageType::kNackRequest, 42, token, 1234),
+  };
+}
+
+TEST(DecodeFuzzTest, ValidFramesDecode) {
+  for (const Bytes& frame : valid_frames()) {
+    const server::Request request = server::decode_request(frame);
+    EXPECT_NE(request.user, 0u);
+    EXPECT_FALSE(request.token.empty());
+  }
+}
+
+TEST(DecodeFuzzTest, TenThousandSeededMutationsNeverEscapeTyped) {
+  // Seeded with the paper's year so a failure reproduces exactly.
+  std::mt19937_64 rng(1998);
+  const std::vector<Bytes> bases = valid_frames();
+  std::size_t decoded = 0;
+  std::size_t rejected = 0;
+
+  for (int iteration = 0; iteration < 10'000; ++iteration) {
+    Bytes frame = bases[rng() % bases.size()];
+    const int mutations = 1 + static_cast<int>(rng() % 4);
+    for (int m = 0; m < mutations; ++m) {
+      switch (rng() % 4) {
+        case 0:  // flip one byte
+          if (!frame.empty()) frame[rng() % frame.size()] ^=
+              static_cast<std::uint8_t>(1u << (rng() % 8));
+          break;
+        case 1:  // truncate
+          if (!frame.empty()) frame.resize(rng() % frame.size());
+          break;
+        case 2: {  // extend with garbage
+          const std::size_t extra = 1 + rng() % 16;
+          for (std::size_t i = 0; i < extra; ++i) {
+            frame.push_back(static_cast<std::uint8_t>(rng()));
+          }
+          break;
+        }
+        default:  // splice garbage over a random span
+          for (std::size_t i = rng() % (frame.size() + 1); i < frame.size();
+               ++i) {
+            frame[i] = static_cast<std::uint8_t>(rng());
+            if (rng() % 4 == 0) break;
+          }
+          break;
+      }
+    }
+
+    try {
+      const server::Request request = server::decode_request(frame);
+      // Decoded requests honor every documented invariant.
+      EXPECT_NE(request.user, 0u);
+      EXPECT_LE(request.token.size(), server::kMaxRequestTokenBytes);
+      ++decoded;
+    } catch (const ProtocolError&) {
+      ++rejected;  // the one sanctioned answer for malformed input
+    }
+    // Any other exception type (ParseError leaking, std::exception, ...)
+    // propagates out of the try above and fails the test.
+  }
+
+  EXPECT_EQ(decoded + rejected, 10'000u);
+  // The corpus must actually exercise both sides of the contract.
+  EXPECT_GT(rejected, 100u);
+  EXPECT_GT(decoded, 0u);
+}
+
+TEST(DecodeFuzzTest, TargetedRejections) {
+  // Non-request types are refused even when perfectly well-formed.
+  EXPECT_THROW(server::decode_request(
+                   rekey::Datagram{rekey::MessageType::kRekey, {}}.encode()),
+               ProtocolError);
+  EXPECT_THROW(
+      server::decode_request(
+          rekey::Datagram{rekey::MessageType::kRetryLater, {}}.encode()),
+      ProtocolError);
+  // User id 0 is reserved.
+  EXPECT_THROW(server::decode_request(request_frame(
+                   rekey::MessageType::kJoinRequest, 0, bytes_of("t"))),
+               ProtocolError);
+  // Oversized token.
+  const Bytes big(server::kMaxRequestTokenBytes + 1, 0xab);
+  EXPECT_THROW(server::decode_request(request_frame(
+                   rekey::MessageType::kJoinRequest, 5, big)),
+               ProtocolError);
+  // Trailing bytes after a complete payload.
+  Bytes trailing = request_frame(rekey::MessageType::kResyncRequest, 5,
+                                 bytes_of("t"));
+  trailing.push_back(0x00);
+  EXPECT_THROW(server::decode_request(trailing), ProtocolError);
+  // Truncated mid-token.
+  Bytes cut = request_frame(rekey::MessageType::kLeaveRequest, 5,
+                            bytes_of("longer-token"));
+  cut.resize(cut.size() - 4);
+  EXPECT_THROW(server::decode_request(cut), ProtocolError);
+}
+
+TEST(DecodeFuzzTest, BadRequestsAreCounted) {
+  telemetry::set_enabled(true);
+  auto& counter = telemetry::Registry::global().counter("server.bad_requests");
+  const std::uint64_t before = counter.value();
+  EXPECT_THROW(server::decode_request(Bytes{0xff, 0xff}), ProtocolError);
+  EXPECT_THROW(server::decode_request(request_frame(
+                   rekey::MessageType::kJoinRequest, 0, bytes_of("t"))),
+               ProtocolError);
+  EXPECT_EQ(counter.value(), before + 2);
+  telemetry::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace keygraphs

@@ -29,6 +29,27 @@ TEST(HttpRouting, HealthzAnswersOk) {
   EXPECT_EQ(body_of(response), "ok\n");
 }
 
+TEST(HttpRouting, HealthzTracksTheServerHealthGauge) {
+  // The overload HealthMonitor publishes server.health unconditionally
+  // (0/1/2); /healthz maps it to load-balancer semantics: degraded still
+  // answers 200 (keep routing, the server is batching), shedding answers
+  // 503 (drain this instance).
+  auto& health = Registry::global().gauge("server.health");
+  health.set(1.0);
+  std::string response = TelemetryHttpServer::respond("/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(body_of(response), "degraded\n");
+
+  health.set(2.0);
+  response = TelemetryHttpServer::respond("/healthz");
+  EXPECT_NE(response.find("503"), std::string::npos);
+  EXPECT_EQ(body_of(response), "shedding\n");
+
+  health.set(0.0);
+  response = TelemetryHttpServer::respond("/healthz");
+  EXPECT_EQ(body_of(response), "ok\n");
+}
+
 TEST(HttpRouting, MetricsRendersPrometheusText) {
   Registry::global().reset();
   Registry::global().counter("http.test_counter", "A routed counter").add(3);

@@ -277,6 +277,47 @@ TEST(RecoveryLimiter, TokenBucketRefillsOnInjectedClock) {
 TEST(RecoveryLimiter, NonPositiveRateDisablesLimiting) {
   rekey::RecoveryLimiter limiter(0.0, 1.0);
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(limiter.admit(7, 0));
+  // A negative rate means the same thing as zero, not a NaN bucket.
+  rekey::RecoveryLimiter negative(-3.0, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(negative.admit(7, 0));
+  // Zero rate admits even with a zero-capacity burst.
+  rekey::RecoveryLimiter no_burst(0.0, 0.0);
+  EXPECT_TRUE(no_burst.admit(7, 0));
+}
+
+TEST(RecoveryLimiter, BackwardsClockMintsNoTokens) {
+  rekey::RecoveryLimiter limiter(1.0, 2.0);  // 1/s, burst 2
+  EXPECT_TRUE(limiter.admit(1, 10'000'000));
+  EXPECT_TRUE(limiter.admit(1, 10'000'000));
+  EXPECT_FALSE(limiter.admit(1, 10'000'000));
+  // The clock steps back (NTP slew, VM migration): a naive
+  // now - refilled_us underflows to ~584,000 years of refill. The bucket
+  // must stay empty instead.
+  EXPECT_FALSE(limiter.admit(1, 9'000'000));
+  EXPECT_FALSE(limiter.admit(1, 0));
+  // Forward progress from the high-water mark refills normally again.
+  EXPECT_TRUE(limiter.admit(1, 11'000'000));
+}
+
+TEST(RecoveryLimiter, ExactRefillBoundaryAfterBurstExhaustion) {
+  rekey::RecoveryLimiter limiter(4.0, 3.0);  // 4/s, burst 3
+  // Drain the whole burst in one instant.
+  EXPECT_TRUE(limiter.admit(5, 1'000'000));
+  EXPECT_TRUE(limiter.admit(5, 1'000'000));
+  EXPECT_TRUE(limiter.admit(5, 1'000'000));
+  EXPECT_FALSE(limiter.admit(5, 1'000'000));
+  // One token takes exactly 250 ms at 4/s. One microsecond early: still
+  // dry (a failed admit at 1.249999s advances refilled_us, so the
+  // boundary probe below must cover the remaining 1 µs).
+  EXPECT_FALSE(limiter.admit(5, 1'249'999));
+  EXPECT_TRUE(limiter.admit(5, 1'250'000));
+  EXPECT_FALSE(limiter.admit(5, 1'250'000));
+  // Refill never overshoots the burst cap: after a long idle gap the
+  // bucket holds exactly `burst` tokens, not rate * elapsed.
+  EXPECT_TRUE(limiter.admit(5, 100'000'000));
+  EXPECT_TRUE(limiter.admit(5, 100'000'000));
+  EXPECT_TRUE(limiter.admit(5, 100'000'000));
+  EXPECT_FALSE(limiter.admit(5, 100'000'000));
 }
 
 }  // namespace

@@ -1,0 +1,219 @@
+// FaultyStorageBackend: seeded fault injection for the durable layer.
+// The decorator turns a healthy backend into one that fails with typed
+// StorageErrors — whole-append EIO, short writes that leave a torn
+// journal tail, fsync failures, and a hard "device full" wall — and the
+// tests prove DurableStore surfaces every one of them as StorageError
+// instead of wedging, crashing, or silently dropping the record.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/durable.h"
+#include "storage/errors.h"
+#include "storage/faulty_backend.h"
+#include "storage/record.h"
+
+namespace keygraphs {
+namespace {
+
+using storage::DurableStore;
+using storage::FaultCounts;
+using storage::FaultPlan;
+using storage::FaultyStorageBackend;
+using storage::JournalRecord;
+using storage::OpKind;
+using storage::StorageError;
+
+JournalRecord sample_record(std::uint64_t epoch) {
+  JournalRecord record;
+  record.epoch = epoch;
+  record.kind = OpKind::kJoin;
+  record.shard = 0;
+  record.timestamp_us = 1'000'000 + epoch;
+  record.joins = {epoch};
+  record.rng_tape = Bytes{1, 2, 3, static_cast<std::uint8_t>(epoch)};
+  record.sealed_digest = Bytes(32, static_cast<std::uint8_t>(epoch));
+  return record;
+}
+
+// --- decorator unit tests ----------------------------------------------
+
+TEST(FaultyBackendTest, RefusesToWrapNothing) {
+  EXPECT_THROW(storage::make_faulty_backend(nullptr, FaultPlan{}),
+               StorageError);
+}
+
+TEST(FaultyBackendTest, CleanPlanIsTransparent) {
+  auto faulty =
+      storage::make_faulty_backend(storage::make_memory_backend(2), {});
+  const Bytes frame = bytes_of("clean passthrough");
+  faulty->append(1, frame);
+  faulty->sync(1);
+  EXPECT_EQ(faulty->journal_size(1), frame.size());
+  EXPECT_EQ(faulty->read_journal(1, 0), frame);
+  EXPECT_EQ(faulty->journal_size(0), 0u);
+  EXPECT_EQ(faulty->injected().append_errors, 0u);
+  EXPECT_EQ(faulty->injected().short_writes, 0u);
+  EXPECT_EQ(faulty->injected().sync_errors, 0u);
+}
+
+TEST(FaultyBackendTest, AppendErrorLeavesTheInnerJournalUntouched) {
+  FaultPlan plan;
+  plan.append_error_rate = 1.0;
+  auto faulty =
+      storage::make_faulty_backend(storage::make_memory_backend(1), plan);
+  EXPECT_THROW(faulty->append(0, bytes_of("doomed")), StorageError);
+  EXPECT_EQ(faulty->injected().append_errors, 1u);
+  // A whole-append EIO writes nothing: the journal stays consistent.
+  EXPECT_EQ(faulty->journal_size(0), 0u);
+}
+
+TEST(FaultyBackendTest, ShortWriteLeavesATornTail) {
+  FaultPlan plan;
+  plan.short_write_rate = 1.0;
+  auto faulty =
+      storage::make_faulty_backend(storage::make_memory_backend(1), plan);
+  const Bytes frame = bytes_of("this frame tears in the middle");
+  EXPECT_THROW(faulty->append(0, frame), StorageError);
+  EXPECT_EQ(faulty->injected().short_writes, 1u);
+  // Exactly the first half landed — a crash mid-write, byte for byte.
+  EXPECT_EQ(faulty->journal_size(0), frame.size() / 2);
+  EXPECT_EQ(faulty->read_journal(0, 0),
+            Bytes(frame.begin(), frame.begin() + frame.size() / 2));
+}
+
+TEST(FaultyBackendTest, DeviceFullWallTripsAfterExactlyNAppends) {
+  FaultPlan plan;
+  plan.fail_after_appends = 3;
+  auto faulty =
+      storage::make_faulty_backend(storage::make_memory_backend(1), plan);
+  for (int i = 0; i < 3; ++i) faulty->append(0, bytes_of("ok"));
+  EXPECT_THROW(faulty->append(0, bytes_of("over the wall")), StorageError);
+  EXPECT_THROW(faulty->append(0, bytes_of("still full")), StorageError);
+  EXPECT_EQ(faulty->injected().append_errors, 2u);
+  EXPECT_EQ(faulty->journal_size(0), 6u);  // three "ok" frames
+}
+
+TEST(FaultyBackendTest, SyncFailureIsTypedAndCounted) {
+  FaultPlan plan;
+  plan.sync_error_rate = 1.0;
+  auto faulty =
+      storage::make_faulty_backend(storage::make_memory_backend(1), plan);
+  faulty->append(0, bytes_of("durable?"));
+  EXPECT_THROW(faulty->sync(0), StorageError);
+  EXPECT_EQ(faulty->injected().sync_errors, 1u);
+}
+
+TEST(FaultyBackendTest, SameSeedSameFaultSequence) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.append_error_rate = 0.5;
+  auto run = [&plan]() {
+    auto faulty =
+        storage::make_faulty_backend(storage::make_memory_backend(1), plan);
+    Bytes pattern;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        faulty->append(0, bytes_of("x"));
+        pattern.push_back(1);
+      } catch (const StorageError&) {
+        pattern.push_back(0);
+      }
+    }
+    return pattern;
+  };
+  const Bytes first = run();
+  EXPECT_EQ(first, run());
+  // A half-rate plan must actually produce both outcomes.
+  EXPECT_NE(first, Bytes(64, 0));
+  EXPECT_NE(first, Bytes(64, 1));
+}
+
+// --- DurableStore integration ------------------------------------------
+
+TEST(DurableStoreFaultsTest, AppendSurfacesInjectedIoError) {
+  FaultPlan plan;
+  plan.append_error_rate = 1.0;
+  auto faulty =
+      storage::make_faulty_backend(storage::make_memory_backend(1), plan);
+  DurableStore store(faulty, 0);
+  JournalRecord record = sample_record(1);
+  EXPECT_THROW(store.append(record), StorageError);
+  EXPECT_EQ(faulty->injected().append_errors, 1u);
+}
+
+TEST(DurableStoreFaultsTest, SyncFailureSurfacesBeforeTheRecordIsDurable) {
+  FaultPlan plan;
+  plan.sync_error_rate = 1.0;
+  auto faulty =
+      storage::make_faulty_backend(storage::make_memory_backend(1), plan);
+  DurableStore store(faulty, 0);
+  JournalRecord record = sample_record(1);
+  // The bytes may land but the fsync fails — the caller must hear about
+  // it, because "appended but not synced" is not durable.
+  EXPECT_THROW(store.append(record), StorageError);
+  EXPECT_EQ(faulty->injected().sync_errors, 1u);
+}
+
+TEST(DurableStoreFaultsTest, DeviceFullMidStreamStopsTheSequence) {
+  FaultPlan plan;
+  plan.fail_after_appends = 2;
+  auto inner = storage::make_memory_backend(1);
+  auto faulty = storage::make_faulty_backend(inner, plan);
+  DurableStore store(faulty, 0);
+  for (std::uint64_t epoch = 1; epoch <= 2; ++epoch) {
+    JournalRecord record = sample_record(epoch);
+    store.append(record);
+  }
+  JournalRecord doomed = sample_record(3);
+  EXPECT_THROW(store.append(doomed), StorageError);
+  // What made it down before the wall replays cleanly.
+  DurableStore reader(inner, 0);
+  const storage::RecoveredLog log = reader.load({});
+  ASSERT_EQ(log.records.size(), 2u);
+  EXPECT_EQ(log.records[0].epoch, 1u);
+  EXPECT_EQ(log.records[1].epoch, 2u);
+}
+
+TEST(DurableStoreFaultsTest, TornTailIsDetectedThenRecoverable) {
+  auto inner = storage::make_memory_backend(1);
+  {
+    DurableStore store(inner, 0);
+    JournalRecord record = sample_record(1);
+    store.append(record);
+  }
+  // Now a short write tears the second record's frame in half.
+  FaultPlan plan;
+  plan.short_write_rate = 1.0;
+  auto faulty = storage::make_faulty_backend(inner, plan);
+  {
+    DurableStore store(faulty, 0);
+    JournalRecord record = sample_record(2);
+    EXPECT_THROW(store.append(record), StorageError);
+  }
+  EXPECT_EQ(faulty->injected().short_writes, 1u);
+  // Strict recovery names the damage...
+  {
+    DurableStore store(inner, 0);
+    EXPECT_THROW((void)store.load({}), storage::JournalTruncatedError);
+  }
+  // ...and tolerant recovery truncates the torn tail and keeps epoch 1.
+  {
+    DurableStore store(inner, 0);
+    storage::RecoveryOptions options;
+    options.tolerate_torn_tail = true;
+    const storage::RecoveredLog log = store.load(options);
+    ASSERT_EQ(log.records.size(), 1u);
+    EXPECT_EQ(log.records[0].epoch, 1u);
+    // The tail is gone: appending after recovery works again.
+    JournalRecord record = sample_record(2);
+    store.append(record);
+    const storage::RecoveredLog again = store.load({});
+    ASSERT_EQ(again.records.size(), 2u);
+    EXPECT_EQ(again.records[1].epoch, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace keygraphs

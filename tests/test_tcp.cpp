@@ -5,11 +5,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <string>
 #include <thread>
+#include <utility>
 
 #include "client/client.h"
 #include "common/error.h"
 #include "server/server.h"
+#include "telemetry/metrics.h"
 
 namespace keygraphs::transport {
 namespace {
@@ -106,6 +110,67 @@ TEST(Tcp, ConnectToNothingFails) {
 TEST(Tcp, AcceptTimesOut) {
   TcpListener listener;
   EXPECT_EQ(listener.accept(50), std::nullopt);
+}
+
+TEST(Tcp, NonblockingSendDrainsThroughPolloutWait) {
+  TcpListener listener;
+  TcpConnection sender = TcpConnection::connect(listener.local_address());
+  auto receiver = listener.accept(2000);
+  ASSERT_TRUE(receiver.has_value());
+  sender.set_nonblocking();
+
+  // Big enough that loopback socket buffers cannot absorb it all while
+  // the peer sits on its hands: the writes must hit EAGAIN and park on
+  // POLLOUT until the late reader drains the other end.
+  const Bytes frame(8u << 20, 0x5a);
+  std::thread late_reader([&receiver, &frame] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    for (int i = 0; i < 3; ++i) {
+      const auto got = receiver->receive(5000);
+      ASSERT_TRUE(got.has_value());
+      ASSERT_EQ(got->size(), frame.size());
+      ASSERT_EQ((*got)[i], 0x5a);
+    }
+  });
+  for (int i = 0; i < 3; ++i) sender.send(frame);  // blocks logically, not hard
+  late_reader.join();
+}
+
+TEST(Tcp, StallBudgetExhaustionThrowsAndCountsSendErrors) {
+  telemetry::set_enabled(true);
+  auto& errors =
+      telemetry::Registry::global().counter("transport.tcp.send_errors");
+  const std::uint64_t before = errors.value();
+
+  TcpListener listener;
+  TcpConnection sender = TcpConnection::connect(listener.local_address());
+  auto receiver = listener.accept(2000);
+  ASSERT_TRUE(receiver.has_value());
+  sender.set_nonblocking();
+
+  // The peer never reads: once both socket buffers are full, send() waits
+  // out its bounded stall budget (~2 s) and gives up with a typed error
+  // instead of wedging the dispatch fan-out forever.
+  const Bytes frame(8u << 20, 0x77);
+  bool threw = false;
+  try {
+    for (int i = 0; i < 8; ++i) sender.send(frame);
+  } catch (const TransportError& error) {
+    threw = true;
+    EXPECT_NE(std::string(error.what()).find("stalled"), std::string::npos);
+  }
+  EXPECT_TRUE(threw) << "8 x 8 MiB fit in loopback buffers?";
+  EXPECT_EQ(errors.value(), before + 1);
+  telemetry::set_enabled(false);
+}
+
+TEST(Tcp, SetNonblockingOnClosedConnectionThrows) {
+  TcpListener listener;
+  TcpConnection outer = TcpConnection::connect(listener.local_address());
+  TcpConnection moved = std::move(outer);
+  EXPECT_THROW(outer.set_nonblocking(), TransportError);
+  moved.set_nonblocking();       // the live fd accepts the flag
+  moved.set_nonblocking(false);  // and switches back
 }
 
 TEST(TcpServerTransport, FanOutAndDisconnectHandling) {

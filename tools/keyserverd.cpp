@@ -21,6 +21,14 @@
 //   client -> server : kResyncRequest { u64 user, var token }
 //   client -> server : kNackRequest   { u64 user, var token, u64 have_epoch }
 //   server -> client : kRekey / kJoinDenied / kLeaveAck
+//   server -> client : kRetryLater { u64 retry_after_us }   (overload = on)
+//
+// With `overload = on` in the spec, joins and leaves pass through the
+// admission gate: under pressure they are coalesced into periodic batch
+// rekeys (the join welcome arrives with the flush) or shed with a
+// kRetryLater hint; recovery requests are shed outright while the server
+// is in the shedding state. With the default `overload = off` the gate is
+// bypassed entirely and every wire byte matches the pre-overload daemon.
 //
 // The daemon prints one line per handled request. With `telemetry = json` or
 // `telemetry = prom` it dumps a metrics snapshot to stderr every
@@ -32,9 +40,11 @@
 #include <cstdio>
 
 #include <optional>
+#include <unordered_map>
 
 #include "common/error.h"
 #include "common/io.h"
+#include "server/request.h"
 #include "server/spec.h"
 #include "telemetry/convergence.h"
 #include "telemetry/export.h"
@@ -67,6 +77,16 @@ void print_stats(const server::GroupKeyServer& server) {
               joins.operations, joins.avg_processing_ms,
               joins.avg_encryptions, leaves.operations,
               leaves.avg_processing_ms, leaves.avg_encryptions);
+}
+
+void send_retry_later(transport::UdpSocket& socket,
+                      const transport::Address& to,
+                      std::uint64_t retry_after_us) {
+  ByteWriter writer;
+  writer.u64(retry_after_us);
+  socket.send_to(
+      to, rekey::Datagram{rekey::MessageType::kRetryLater, writer.take()}
+              .encode());
 }
 
 void dump_telemetry(server::TelemetryFormat format) {
@@ -162,6 +182,12 @@ int main(int argc, char** argv) {
   const auto period = std::chrono::seconds(spec.telemetry_period_s);
   auto next_dump = Clock::now() + period;
 
+  const bool overload_on = spec.config.overload.enabled;
+  // Where each coalesced op's client lives, so a deadline shed at flush
+  // time can still be answered with a kRetryLater datagram. Cleared on
+  // every flush: the server drops its whole coalesce buffer then.
+  std::unordered_map<UserId, transport::Address> coalesced_from;
+
   while (!g_stop) {
     if (telemetry_on) {
       const bool timer_due =
@@ -177,15 +203,68 @@ int main(int argc, char** argv) {
       print_stats(server);  // SIGUSR1 still gives the plain summary
     }
 
+    if (overload_on) {
+      // Degraded-mode tick: when the batch period elapses this coalesces
+      // every buffered join/leave into one batch rekey; ops whose shed
+      // deadline passed are answered with kRetryLater instead.
+      const server::OverloadTick tick = server.poll_overload();
+      for (const server::overload::ShedNotice& notice : tick.shed) {
+        if (notice.join) transport.unregister_user(notice.user);
+        const auto it = coalesced_from.find(notice.user);
+        if (it != coalesced_from.end()) {
+          send_retry_later(socket, it->second, notice.retry_after_us);
+        }
+        std::printf("shed %s %llu at flush (deadline)\n",
+                    notice.join ? "join" : "leave",
+                    static_cast<unsigned long long>(notice.user));
+      }
+      if (tick.flushed || !tick.shed.empty()) coalesced_from.clear();
+      if (tick.flushed) {
+        std::printf("degraded flush -> %zu joins admitted (health=%s)\n",
+                    tick.joined.size(),
+                    server::overload::health_name(server.health()));
+      }
+    }
+
     const auto received = socket.receive(250);
     if (!received.has_value()) continue;
     const auto& [from, data] = *received;
     try {
-      const rekey::Datagram datagram = rekey::Datagram::decode(data);
-      ByteReader reader(datagram.payload);
-      const UserId user = reader.u64();
-      const Bytes token = reader.var_bytes();
-      if (datagram.type == rekey::MessageType::kJoinRequest) {
+      const server::Request request = server::decode_request(data);
+      const UserId user = request.user;
+      const Bytes& token = request.token;
+      if (request.type == rekey::MessageType::kJoinRequest) {
+        if (overload_on) {
+          const server::GateResult gate = server.offer_join(user, token);
+          if (gate.denied) {
+            socket.send_to(
+                from, rekey::Datagram{rekey::MessageType::kJoinDenied, {}}
+                          .encode());
+            std::printf("join %llu from %s -> denied\n",
+                        static_cast<unsigned long long>(user),
+                        from.to_string().c_str());
+            continue;
+          }
+          if (gate.action == server::overload::Admission::kShed) {
+            send_retry_later(socket, from, gate.retry_after_us);
+            std::printf("join %llu from %s -> shed (retry in %llu us)\n",
+                        static_cast<unsigned long long>(user),
+                        from.to_string().c_str(),
+                        static_cast<unsigned long long>(gate.retry_after_us));
+            continue;
+          }
+          if (gate.action == server::overload::Admission::kCoalesce) {
+            // Registered now so the flush's batch rekey reaches the user:
+            // the join welcome is deferred to the next degraded flush.
+            transport.register_user(user, from);
+            coalesced_from[user] = from;
+            std::printf("join %llu from %s -> coalesced\n",
+                        static_cast<unsigned long long>(user),
+                        from.to_string().c_str());
+            continue;
+          }
+          // kAdmit: fall through to the immediate path below.
+        }
         transport.register_user(user, from);
         const server::JoinResult result = server.join_with_token(user, token);
         if (result != server::JoinResult::kGranted) {
@@ -199,15 +278,32 @@ int main(int argc, char** argv) {
                     from.to_string().c_str(),
                     result == server::JoinResult::kGranted ? "granted"
                                                            : "denied");
-      } else if (datagram.type == rekey::MessageType::kResyncRequest) {
+      } else if (request.type == rekey::MessageType::kResyncRequest) {
+        if (overload_on &&
+            server.health() == server::overload::HealthState::kShedding) {
+          // Resyncs are the most expensive replies the server can build;
+          // in the shedding state they are deferred wholesale.
+          send_retry_later(socket, from,
+                           spec.config.overload.degraded_batch_period_us);
+          std::printf("resync %llu -> shed\n",
+                      static_cast<unsigned long long>(user));
+          continue;
+        }
         const bool ok = server.resync_with_token(user, token);
         std::printf("resync %llu -> %s\n",
                     static_cast<unsigned long long>(user),
                     ok ? "replayed" : "denied");
-      } else if (datagram.type == rekey::MessageType::kNackRequest) {
-        const std::uint64_t have_epoch = reader.u64();
+      } else if (request.type == rekey::MessageType::kNackRequest) {
+        if (overload_on &&
+            server.health() == server::overload::HealthState::kShedding) {
+          send_retry_later(socket, from,
+                           spec.config.overload.degraded_batch_period_us);
+          std::printf("nack %llu -> shed\n",
+                      static_cast<unsigned long long>(user));
+          continue;
+        }
         const std::optional<server::NackOutcome> outcome =
-            server.nack_with_token(user, token, have_epoch);
+            server.nack_with_token(user, token, request.have_epoch);
         const char* label = "denied";
         if (outcome.has_value()) {
           switch (*outcome) {
@@ -224,8 +320,39 @@ int main(int argc, char** argv) {
         }
         std::printf("nack %llu have=%llu -> %s\n",
                     static_cast<unsigned long long>(user),
-                    static_cast<unsigned long long>(have_epoch), label);
-      } else if (datagram.type == rekey::MessageType::kLeaveRequest) {
+                    static_cast<unsigned long long>(request.have_epoch),
+                    label);
+      } else if (request.type == rekey::MessageType::kLeaveRequest) {
+        if (overload_on) {
+          const server::GateResult gate = server.offer_leave(user, token);
+          if (gate.denied) {
+            socket.send_to(from,
+                           rekey::Datagram{rekey::MessageType::kLeaveAck, {}}
+                               .encode());
+            std::printf("leave %llu -> denied\n",
+                        static_cast<unsigned long long>(user));
+            continue;
+          }
+          if (gate.action == server::overload::Admission::kShed) {
+            send_retry_later(socket, from, gate.retry_after_us);
+            std::printf("leave %llu -> shed (retry in %llu us)\n",
+                        static_cast<unsigned long long>(user),
+                        static_cast<unsigned long long>(gate.retry_after_us));
+            continue;
+          }
+          if (gate.action == server::overload::Admission::kCoalesce) {
+            // Acked now: the departure is accepted and applied with the
+            // next flush. A deadline shed still answers kRetryLater, so
+            // the client learns if the ack was optimistic.
+            coalesced_from[user] = from;
+            socket.send_to(from,
+                           rekey::Datagram{rekey::MessageType::kLeaveAck, {}}
+                               .encode());
+            std::printf("leave %llu -> coalesced\n",
+                        static_cast<unsigned long long>(user));
+            continue;
+          }
+        }
         const bool granted = server.leave_with_token(user, token);
         if (granted) transport.unregister_user(user);
         socket.send_to(from,
